@@ -1,0 +1,267 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation, plus the
+// complexity remarks and the engine-level throughput claim. Run with
+//
+//	go test -bench=. -benchmem
+//
+// The harness in cmd/sbbench prints the corresponding report tables; the
+// benchmarks here measure the cost of regenerating each artefact and report
+// the headline metric of each experiment via b.ReportMetric.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/geom"
+	"repro/internal/matrix"
+	"repro/internal/rules"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// BenchmarkTableIIOverlap measures the ⊗ operator of Table II (the
+// innermost kernel of every motion validation).
+func BenchmarkTableIIOverlap(b *testing.B) {
+	mm := rules.EastSliding().MM
+	mp := matrix.MustPresence([][]int{{0, 0, 0}, {1, 1, 0}, {1, 1, 1}})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !matrix.Overlap(mm, mp) {
+			b.Fatal("east sliding must validate")
+		}
+	}
+}
+
+// BenchmarkTableICodes measures the event-code classification of Table I.
+func BenchmarkTableICodes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for c := event.Code(0); c < event.NumCodes; c++ {
+			_ = c.Static()
+			_ = c.Dynamic()
+			_, _ = event.RequiredBefore(c)
+		}
+	}
+}
+
+// BenchmarkFig3Validation measures a full rule validation against a sensed
+// neighbourhood (eqs. (1)-(3)).
+func BenchmarkFig3Validation(b *testing.B) {
+	occ := func(v geom.Vec) bool {
+		switch v {
+		case geom.V(0, 0), geom.V(1, 0), geom.V(2, 0), geom.V(0, 1), geom.V(1, 1):
+			return true
+		}
+		return false
+	}
+	rule := rules.EastSliding()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		mp := rules.PresenceAround(geom.V(1, 1), 1, occ)
+		if !rule.AppliesTo(mp) {
+			b.Fatal("must validate")
+		}
+	}
+}
+
+// BenchmarkFig4Closure measures deriving the full rule family from the base
+// rules "via symmetry or rotation".
+func BenchmarkFig4Closure(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if got := len(rules.Closure(rules.BaseRules()...)); got != 16 {
+			b.Fatalf("closure = %d", got)
+		}
+	}
+}
+
+// BenchmarkFig7XMLRoundTrip measures the Fig. 7 capability codec.
+func BenchmarkFig7XMLRoundTrip(b *testing.B) {
+	lib := rules.StandardLibrary()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		data, err := rules.EncodeXML(lib)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rules.DecodeXML(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10Reconfiguration measures the full §V-D example: the
+// distributed elections, motion planning and physics of the 12-block run.
+// block-moves/run reports the Remark-4 metric next to the paper's 55.
+func BenchmarkFig10Reconfiguration(b *testing.B) {
+	var hops, rounds int
+	for i := 0; i < b.N; i++ {
+		s, err := scenario.Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := core.Run(s.Surface, rules.StandardLibrary(), s.Config(), core.RunParams{Seed: 1})
+		if err != nil || !res.Success {
+			b.Fatalf("%v err=%v", res, err)
+		}
+		hops, rounds = res.Hops, res.Rounds
+	}
+	b.ReportMetric(float64(hops), "block-moves/run")
+	b.ReportMetric(float64(rounds), "elections/run")
+}
+
+// benchSweep parameterises the Remark 2-4 benchmarks over N.
+func benchSweep(b *testing.B, metric string, pick func(core.Result) float64) {
+	for _, n := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			var last float64
+			for i := 0; i < b.N; i++ {
+				scs, err := scenario.TowerSweep([]int{n})
+				if err != nil {
+					b.Fatal(err)
+				}
+				s := scs[0]
+				res, err := core.Run(s.Surface, rules.StandardLibrary(), s.Config(), core.RunParams{Seed: 1})
+				if err != nil || !res.Success {
+					b.Fatalf("%v err=%v", res, err)
+				}
+				last = pick(res)
+			}
+			b.ReportMetric(last, metric)
+		})
+	}
+}
+
+// BenchmarkRemark2DistanceComputations: O(N^3) bound.
+func BenchmarkRemark2DistanceComputations(b *testing.B) {
+	benchSweep(b, "dist-comps/run", func(r core.Result) float64 {
+		return float64(r.Counters.DistanceComputations)
+	})
+}
+
+// BenchmarkRemark3Messages: O(N^3) bound.
+func BenchmarkRemark3Messages(b *testing.B) {
+	benchSweep(b, "messages/run", func(r core.Result) float64 {
+		return float64(r.MessagesSent)
+	})
+}
+
+// BenchmarkRemark4Hops: O(N^2) bound.
+func BenchmarkRemark4Hops(b *testing.B) {
+	benchSweep(b, "hops/run", func(r core.Result) float64 {
+		return float64(r.Hops)
+	})
+}
+
+// BenchmarkLemma1RandomInstance measures a randomized staircase solve.
+func BenchmarkLemma1RandomInstance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := scenario.RandomStaircase(int64(i%50) + 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := core.Run(s.Surface, rules.StandardLibrary(), s.Config(), core.RunParams{Seed: 1})
+		if err != nil || !res.Success {
+			b.Fatalf("seed %d: %v err=%v", i%50+1, res, err)
+		}
+	}
+}
+
+// BenchmarkSimThroughput is experiment E13: raw event throughput of the
+// discrete-event core (the paper reports ~650k events/s for VisibleSim with
+// 2e6 modules). events/sec is the headline metric.
+func BenchmarkSimThroughput(b *testing.B) {
+	for _, modules := range []int{1_000, 100_000, 1_000_000} {
+		b.Run(fmt.Sprintf("modules=%d", modules), func(b *testing.B) {
+			var processed uint64
+			for i := 0; i < b.N; i++ {
+				s := sim.NewScheduler(1)
+				remaining := make([]int, modules)
+				perModule := 2_000_000 / modules
+				if perModule < 2 {
+					perModule = 2
+				}
+				var tick func(i int)
+				tick = func(i int) {
+					if remaining[i] <= 0 {
+						return
+					}
+					remaining[i]--
+					s.After(sim.Time(1+i%7), func() { tick(i) })
+				}
+				for m := 0; m < modules; m++ {
+					remaining[m] = perModule
+					m := m
+					s.After(sim.Time(m%13), func() { tick(m) })
+				}
+				processed = s.Run(0)
+			}
+			b.ReportMetric(float64(processed)*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+		})
+	}
+}
+
+// BenchmarkBaselineFreeMotion is the E14 comparator: the predecessor
+// system's run on the Fig. 10 instance.
+func BenchmarkBaselineFreeMotion(b *testing.B) {
+	var hops int
+	for i := 0; i < b.N; i++ {
+		s, err := scenario.Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := baseline.RunFreeMotion(s.Surface, s.Input, s.Output)
+		if err != nil || !res.Success {
+			b.Fatalf("%v err=%v", res, err)
+		}
+		hops = res.Hops
+	}
+	b.ReportMetric(float64(hops), "block-moves/run")
+}
+
+// BenchmarkHungarianOracle measures the optimal-assignment lower bound.
+func BenchmarkHungarianOracle(b *testing.B) {
+	s, err := scenario.Fig10()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.Oracle(s.Surface, s.Input, s.Output); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAsyncRuntime is experiment A3: the goroutine engine on Fig. 10.
+func BenchmarkAsyncRuntime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := scenario.Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := core.RunAsync(s.Surface, rules.StandardLibrary(), s.Config(), core.AsyncParams{Seed: 1})
+		if err != nil || !res.Success {
+			b.Fatalf("%v err=%v", res, err)
+		}
+	}
+}
+
+// BenchmarkPlannerApplicationsFor measures the per-block move enumeration
+// (the inner loop of eq. (9)'s mobility test).
+func BenchmarkPlannerApplicationsFor(b *testing.B) {
+	scs, err := scenario.TowerSweep([]int{16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := scs[0]
+	lib := rules.StandardLibrary()
+	pos := geom.V(2, 7) // a lane block with several applicable rules
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = lib.ApplicationsFor(pos, s.Surface.Occupied)
+	}
+}

@@ -1,0 +1,65 @@
+// Command sbbench regenerates the paper's evaluation artefacts: every
+// table, figure, remark and lemma has an experiment that reruns its
+// workload and prints the measured rows next to the paper's claims. The
+// per-experiment index lives in DESIGN.md §4; the recorded
+// measured-vs-paper outcomes live in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	sbbench -list            list the experiments
+//	sbbench -exp fig10       run one experiment
+//	sbbench -exp all         run the full evaluation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		list = flag.Bool("list", false, "list the experiments")
+		exp  = flag.String("exp", "", "experiment id, or 'all'")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-12s %s\n", "ID", "PAPER ARTEFACT")
+		for _, e := range experiments.All() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Paper)
+		}
+		return
+	}
+	if *exp == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var toRun []experiments.Experiment
+	if *exp == "all" {
+		toRun = experiments.All()
+	} else {
+		e, ok := experiments.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "sbbench: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(2)
+		}
+		toRun = []experiments.Experiment{e}
+	}
+	failed := 0
+	for _, e := range toRun {
+		fmt.Printf("==> %s — %s\n\n", e.ID, e.Paper)
+		out, err := e.Run()
+		fmt.Println(out)
+		if err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "sbbench: %s FAILED: %v\n\n", e.ID, err)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "sbbench: %d experiment(s) failed\n", failed)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,124 @@
+// Command sbrules inspects the block-motion capability system of §IV: the
+// event codes of Table I, the validation truth table of Table II, the
+// standard rule library (the two base rules of Fig. 7 closed under symmetry
+// and rotation), and its XML serialisation.
+//
+// Usage:
+//
+//	sbrules -table1            print Table I (event codes)
+//	sbrules -table2            print Table II (truth table)
+//	sbrules -list              list the standard library
+//	sbrules -show NAME         print one rule's Motion Matrix and moves
+//	sbrules -dump FILE         write the standard library as XML
+//	sbrules -load FILE         parse + validate an XML capability file
+//	sbrules -paper             print the paper's Fig. 7 XML extract
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/event"
+	"repro/internal/rules"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		table1 = flag.Bool("table1", false, "print Table I")
+		table2 = flag.Bool("table2", false, "print Table II")
+		list   = flag.Bool("list", false, "list the standard library")
+		show   = flag.String("show", "", "print one rule")
+		dump   = flag.String("dump", "", "write the standard library as XML to FILE")
+		load   = flag.String("load", "", "parse and validate an XML capability FILE")
+		paper  = flag.Bool("paper", false, "print the paper's Fig. 7 XML extract")
+	)
+	flag.Parse()
+	ran := false
+
+	if *table1 {
+		ran = true
+		t := stats.NewTable("Table I — codes associated to the different events",
+			"Code", "Context", "Case")
+		for c := event.Code(0); c < event.NumCodes; c++ {
+			t.AddRow(int(c), c.Context(), c.Case())
+		}
+		fmt.Print(t)
+	}
+	if *table2 {
+		ran = true
+		t := stats.NewTable("Table II — truth table for validation of block motion",
+			"Presence\\Motion", "0", "1", "2", "3", "4", "5")
+		tt := event.TruthTable()
+		for p := 0; p < 2; p++ {
+			row := []any{p}
+			for m := 0; m < event.NumCodes; m++ {
+				row = append(row, tt[p][m])
+			}
+			t.AddRow(row...)
+		}
+		fmt.Print(t)
+	}
+	lib := rules.StandardLibrary()
+	if *list {
+		ran = true
+		t := stats.NewTable(fmt.Sprintf("standard library (%d capabilities)", lib.Len()),
+			"name", "size", "movers", "carrying")
+		for _, r := range lib.Rules() {
+			t.AddRow(r.Name, fmt.Sprintf("%dx%d", r.MM.Size(), r.MM.Size()),
+				len(r.Movers()), r.IsCarrying())
+		}
+		fmt.Print(t)
+	}
+	if *show != "" {
+		ran = true
+		r, ok := lib.Get(*show)
+		if !ok {
+			fail(fmt.Errorf("unknown rule %q (try -list)", *show))
+		}
+		fmt.Printf("%s\nmotion matrix:\n%smoves:\n", r, r.MM)
+		for _, m := range r.Moves {
+			fmt.Printf("  %s\n", m)
+		}
+	}
+	if *dump != "" {
+		ran = true
+		data, err := rules.EncodeXML(lib)
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*dump, data, 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %d capabilities to %s (%d bytes)\n", lib.Len(), *dump, len(data))
+	}
+	if *load != "" {
+		ran = true
+		data, err := os.ReadFile(*load)
+		if err != nil {
+			fail(err)
+		}
+		got, err := rules.DecodeXML(data)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s: %d capabilities, all valid\n", *load, got.Len())
+		for _, r := range got.Rules() {
+			fmt.Printf("  %s\n", r)
+		}
+	}
+	if *paper {
+		ran = true
+		fmt.Print(rules.PaperXMLExtract)
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "sbrules:", err)
+	os.Exit(1)
+}

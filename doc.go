@@ -1,0 +1,29 @@
+// Package repro is a from-scratch Go reproduction of
+//
+//	D. El Baz, B. Piranda, J. Bourgeois,
+//	"A Distributed Algorithm for a Reconfigurable Modular Surface",
+//	IEEE IPDPSW 2014, pp. 1591-1598, DOI 10.1109/IPDPSW.2014.178.
+//
+// The Smart Blocks modular surface reconfigures itself so that a shortest
+// path of blocks links the part input I to the part output O, driven by
+// iterated distributed elections over a Dijkstra-Scholten activity graph,
+// under the support-constrained motion rules of the paper's §IV.
+//
+// The library lives under internal/: geometry (geom), the Table I/II event
+// system (event), Motion/Presence matrices (matrix), the rule library with
+// its Fig. 7 XML format (rules), the surface physics (lattice), the
+// deterministic discrete-event engine (sim) and the goroutine runtime
+// (runtime), the Dijkstra-Scholten tracker (dsterm), the election value
+// layer (election), the algorithm itself (core), the free-motion baseline
+// (baseline), scenarios, tracing, statistics, the part-conveying simulation
+// (convey) and the evaluation harness (experiments).
+//
+// Start with examples/quickstart, or run:
+//
+//	go run ./cmd/smartconvey           # build a conveyor, watch it work
+//	go run ./cmd/sbbench -exp all      # regenerate the paper's evaluation
+//	go run ./cmd/sbrules -list         # inspect the motion-rule system
+//
+// DESIGN.md maps every paper artefact to its module and experiment;
+// EXPERIMENTS.md records measured-vs-paper outcomes.
+package repro

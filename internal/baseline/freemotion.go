@@ -1,0 +1,162 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/lattice"
+)
+
+// Result summarises a baseline run, with the same key metrics as
+// core.Result for side-by-side comparison.
+type Result struct {
+	Success   bool
+	PathBuilt bool
+	Rounds    int // elections
+	Hops      int // elementary cell traversals
+	Blocks    int
+	// OracleHops is the optimal-assignment lower bound for this instance.
+	OracleHops int
+}
+
+// String renders a one-line summary.
+func (r Result) String() string {
+	return fmt.Sprintf("baseline success=%t path=%t N=%d rounds=%d hops=%d oracle=%d",
+		r.Success, r.PathBuilt, r.Blocks, r.Rounds, r.Hops, r.OracleHops)
+}
+
+// LPath returns the target shortest path the free-motion system fills: the
+// L-shaped path from I to O that first follows the column of O... for
+// same-column instances it is the straight segment. Cells are ordered from
+// I towards O.
+func LPath(input, output geom.Vec) []geom.Vec {
+	var path []geom.Vec
+	cur := input
+	path = append(path, cur)
+	stepY := 1
+	if output.Y < input.Y {
+		stepY = -1
+	}
+	stepX := 1
+	if output.X < input.X {
+		stepX = -1
+	}
+	// First close the X gap along I's row, then the Y gap along O's column
+	// (one corner at (O.x, I.y)): the "straightest" L consistent with
+	// eq. (8)'s freezing of O-aligned cells.
+	for cur.X != output.X {
+		cur = cur.Add(geom.V(stepX, 0))
+		path = append(path, cur)
+	}
+	for cur.Y != output.Y {
+		cur = cur.Add(geom.V(0, stepY))
+		path = append(path, cur)
+	}
+	return path
+}
+
+// Oracle computes the minimal total hops to fill the I->O path from the
+// current block positions: an exact minimum-cost assignment of blocks to
+// path cells under the Manhattan metric (free flight, ignoring collisions
+// and support, hence a lower bound for every motion system).
+func Oracle(surf *lattice.Surface, input, output geom.Vec) (int, error) {
+	path := LPath(input, output)
+	blocks := surf.Positions()
+	if len(blocks) < len(path) {
+		return 0, fmt.Errorf("baseline: %d blocks cannot fill %d path cells", len(blocks), len(path))
+	}
+	cost := make([][]int, len(blocks))
+	for i, b := range blocks {
+		cost[i] = make([]int, len(path))
+		for j, c := range path {
+			cost[i][j] = b.Manhattan(c)
+		}
+	}
+	_, total, err := Assign(cost)
+	return total, err
+}
+
+// RunFreeMotion executes the predecessor system's reconfiguration on the
+// surface: iterated elections with the same distance semantics as the
+// paper's eqs. (8)-(10), but the elected block relocates directly to the
+// next unfilled path cell ("the elected block moves directly to the output
+// O" regime of [14]); motion needs no support from other blocks. The
+// surface is mutated in place.
+//
+// The election itself is rendered centrally (min over unfrozen blocks with
+// deterministic tie-break): the message-passing machinery is identical to
+// the constrained system's and is not what E14 compares.
+func RunFreeMotion(surf *lattice.Surface, input, output geom.Vec) (Result, error) {
+	cfg := core.Config{Input: input, Output: output}
+	if err := core.ValidateInstance(surf, cfg.WithDefaults()); err != nil {
+		return Result{}, err
+	}
+	oracle, err := Oracle(surf, input, output)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Blocks: surf.NumBlocks(), OracleHops: oracle}
+
+	path := LPath(input, output)
+	claimed := map[geom.Vec]bool{}
+	// Path cells already occupied are kept (and their blocks frozen),
+	// matching eq. (8)'s "this position must continue to be occupied".
+	for _, c := range path {
+		if surf.Occupied(c) {
+			claimed[c] = true
+		}
+	}
+	frozen := func(v geom.Vec) bool { return claimed[v] }
+
+	for {
+		// Next unfilled path cell, walking from I towards O.
+		var target geom.Vec
+		found := false
+		for _, c := range path {
+			if !claimed[c] {
+				target = c
+				found = true
+				break
+			}
+		}
+		if !found {
+			break // path complete
+		}
+		// Elect the unfrozen block with minimal hop count to O (the paper's
+		// metric), deterministic lowest-id tie-break.
+		type cand struct {
+			id  lattice.BlockID
+			pos geom.Vec
+			d   int
+		}
+		var cands []cand
+		for _, id := range surf.Blocks() {
+			pos, _ := surf.PositionOf(id)
+			if frozen(pos) {
+				continue
+			}
+			cands = append(cands, cand{id: id, pos: pos, d: pos.Manhattan(output)})
+		}
+		if len(cands) == 0 {
+			return res, fmt.Errorf("baseline: no mobile blocks left, path incomplete")
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].d != cands[j].d {
+				return cands[i].d < cands[j].d
+			}
+			return cands[i].id < cands[j].id
+		})
+		chosen := cands[0]
+		res.Rounds++
+		if err := surf.MoveTeleport(chosen.id, target, lattice.Constraints{}); err != nil {
+			return res, fmt.Errorf("baseline: relocating block %d: %w", chosen.id, err)
+		}
+		res.Hops += chosen.pos.Manhattan(target)
+		claimed[target] = true
+	}
+	res.Success = true
+	res.PathBuilt = core.PathBuilt(surf, input, output)
+	return res, nil
+}

@@ -1,0 +1,123 @@
+// Package baseline implements the comparison systems of experiment E14:
+//
+//   - FreeMotion: a rendition of the predecessor system [14] (Tembo &
+//     El Baz 2013), where "blocks could move freely on the surface without
+//     any support of other blocks" — the same iterated min-distance
+//     election, but the elected block relocates directly to the next path
+//     cell, unconstrained by motion rules;
+//   - the assignment Oracle: the cost of an optimal block-to-path-cell
+//     assignment (exact Hungarian algorithm), a lower bound on the total
+//     hops any motion system needs to build the path.
+//
+// The paper's claim under test is directional: the support-constrained
+// system of this paper must need at least as many hops and elections as
+// free motion, which in turn is bounded below by the oracle.
+package baseline
+
+import (
+	"fmt"
+	"math"
+)
+
+// hungarian solves the assignment problem for an n x m cost matrix with
+// n <= m: every row is assigned a distinct column minimising total cost.
+// Classic O(n^2 m) potential-based Hungarian method.
+func hungarian(a [][]int64) (rowToCol []int, total int64) {
+	n := len(a)
+	if n == 0 {
+		return nil, 0
+	}
+	m := len(a[0])
+	const inf = math.MaxInt64 / 4
+	u := make([]int64, n+1)
+	v := make([]int64, m+1)
+	p := make([]int, m+1)   // p[j] = row (1-based) assigned to column j; 0 free
+	way := make([]int, m+1) // alternating-path back pointers
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]int64, m+1)
+		used := make([]bool, m+1)
+		for j := range minv {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			var delta int64 = inf
+			j1 := 0
+			for j := 1; j <= m; j++ {
+				if used[j] {
+					continue
+				}
+				cur := a[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= m; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+	rowToCol = make([]int, n)
+	for j := 1; j <= m; j++ {
+		if p[j] != 0 {
+			rowToCol[p[j]-1] = j - 1
+			total += a[p[j]-1][j-1]
+		}
+	}
+	return rowToCol, total
+}
+
+// Assign solves the rectangular assignment problem: cost[i][j] is the cost
+// of giving row i (a block) column j (a path cell); every column must be
+// assigned a distinct row, rows may stay idle (blocks may stay off the
+// path). It returns, per column, the assigned row, plus the minimal total
+// cost.
+func Assign(cost [][]int) (colToRow []int, total int, err error) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0, nil
+	}
+	m := len(cost[0])
+	for i, row := range cost {
+		if len(row) != m {
+			return nil, 0, fmt.Errorf("baseline: ragged cost matrix at row %d", i)
+		}
+	}
+	if m > n {
+		return nil, 0, fmt.Errorf("baseline: %d columns exceed %d rows", m, n)
+	}
+	// Transpose so that every row of the transposed problem (= original
+	// column) must be matched: the classic algorithm wants n' <= m'.
+	t := make([][]int64, m)
+	for j := 0; j < m; j++ {
+		t[j] = make([]int64, n)
+		for i := 0; i < n; i++ {
+			t[j][i] = int64(cost[i][j])
+		}
+	}
+	rowToCol, tot := hungarian(t)
+	return rowToCol, int(tot), nil
+}

@@ -1,0 +1,131 @@
+// Package convey simulates what the reconfigured surface is for: conveying
+// fragile micro-parts over the air-jet actuator arrays on top of the blocks
+// (paper §I–II). Once the distributed algorithm has built the shortest
+// block path from the input I to the output O, parts are injected at I,
+// ride the air jets one cell per tick, and leave at O. The simulation
+// enforces the contact-free discipline (one part per cell) and reports the
+// delivery metrics a production line cares about: latency (path length in
+// ticks) and steady-state throughput (one part per tick).
+package convey
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/lattice"
+)
+
+// PartID identifies an injected part.
+type PartID int
+
+// Delivery reports a part leaving the conveyor at O.
+type Delivery struct {
+	Part    PartID
+	Latency int // ticks from injection to delivery
+}
+
+// Conveyor moves parts along a built shortest path.
+type Conveyor struct {
+	path []geom.Vec
+	// occupancy: index into path -> part (or -1)
+	cells []PartID
+	// injection bookkeeping
+	next      PartID
+	birthTick map[PartID]int
+	tick      int
+	delivered []Delivery
+}
+
+// ErrNoPath reports that the surface does not carry a completed shortest
+// path from I to O.
+var ErrNoPath = fmt.Errorf("convey: no completed shortest path between I and O")
+
+// New builds a conveyor over the blocks of surf; the shortest occupied path
+// between input and output must exist and be of minimal (Manhattan) length,
+// i.e. the reconfiguration must have succeeded.
+func New(surf *lattice.Surface, input, output geom.Vec) (*Conveyor, error) {
+	if !core.PathBuilt(surf, input, output) {
+		return nil, ErrNoPath
+	}
+	path := core.ShortestOccupiedPath(surf, input, output)
+	c := &Conveyor{
+		path:      path,
+		cells:     make([]PartID, len(path)),
+		birthTick: make(map[PartID]int),
+		next:      1,
+	}
+	for i := range c.cells {
+		c.cells[i] = -1
+	}
+	return c, nil
+}
+
+// PathLength returns the number of cells a part traverses.
+func (c *Conveyor) PathLength() int { return len(c.path) }
+
+// Path returns the conveyor's cells from I to O.
+func (c *Conveyor) Path() []geom.Vec { return append([]geom.Vec(nil), c.path...) }
+
+// Inject places a new part on the input cell. It fails while the input
+// cell still holds the previous part (contact between parts is what the
+// air-jet surface is designed to avoid).
+func (c *Conveyor) Inject() (PartID, error) {
+	if c.cells[0] != -1 {
+		return 0, fmt.Errorf("convey: input cell busy with part %d", c.cells[0])
+	}
+	id := c.next
+	c.next++
+	c.cells[0] = id
+	c.birthTick[id] = c.tick
+	return id, nil
+}
+
+// Tick advances the surface flow by one actuation period: every part whose
+// next cell is free moves forward one cell (computed from O backwards so a
+// convoy advances in lock-step); a part on O is delivered. It returns the
+// deliveries of this tick.
+func (c *Conveyor) Tick() []Delivery {
+	c.tick++
+	var out []Delivery
+	last := len(c.cells) - 1
+	if p := c.cells[last]; p != -1 {
+		lat := c.tick - c.birthTick[p]
+		out = append(out, Delivery{Part: p, Latency: lat})
+		c.delivered = append(c.delivered, out[len(out)-1])
+		delete(c.birthTick, p)
+		c.cells[last] = -1
+	}
+	for i := last - 1; i >= 0; i-- {
+		if c.cells[i] != -1 && c.cells[i+1] == -1 {
+			c.cells[i+1] = c.cells[i]
+			c.cells[i] = -1
+		}
+	}
+	return out
+}
+
+// InFlight returns the number of parts currently on the conveyor.
+func (c *Conveyor) InFlight() int {
+	n := 0
+	for _, p := range c.cells {
+		if p != -1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Delivered returns every delivery so far, in order.
+func (c *Conveyor) Delivered() []Delivery { return c.delivered }
+
+// Tick count since construction.
+func (c *Conveyor) Ticks() int { return c.tick }
+
+// PartAt returns the part occupying the given path index, or -1.
+func (c *Conveyor) PartAt(i int) PartID {
+	if i < 0 || i >= len(c.cells) {
+		return -1
+	}
+	return c.cells[i]
+}

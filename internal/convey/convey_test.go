@@ -1,0 +1,173 @@
+package convey
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/lattice"
+)
+
+func pathSurface(t *testing.T, cells ...geom.Vec) *lattice.Surface {
+	t.Helper()
+	s, err := lattice.NewSurface(10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range cells {
+		if _, err := s.Place(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func column(t *testing.T, h int) *lattice.Surface {
+	t.Helper()
+	var cells []geom.Vec
+	for y := 0; y < h; y++ {
+		cells = append(cells, geom.V(2, y))
+	}
+	return pathSurface(t, cells...)
+}
+
+func TestNewRequiresBuiltPath(t *testing.T) {
+	// Straight column: ok.
+	s := column(t, 4)
+	c, err := New(s, geom.V(2, 0), geom.V(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.PathLength() != 4 {
+		t.Errorf("path length = %d, want 4", c.PathLength())
+	}
+	// Detour-only connection: rejected.
+	u := pathSurface(t,
+		geom.V(1, 0), geom.V(2, 0), geom.V(3, 0), geom.V(3, 1), geom.V(3, 2),
+		geom.V(2, 2), geom.V(1, 2))
+	if _, err := New(u, geom.V(1, 0), geom.V(1, 2)); err != ErrNoPath {
+		t.Errorf("detour: err = %v, want ErrNoPath", err)
+	}
+	// No blocks at all.
+	empty := pathSurface(t)
+	if _, err := New(empty, geom.V(0, 0), geom.V(3, 3)); err == nil {
+		t.Error("empty surface must fail")
+	}
+}
+
+// TestSinglePartLatency: a lone part takes exactly PathLength ticks from
+// injection to delivery (one cell per tick, delivered from O).
+func TestSinglePartLatency(t *testing.T) {
+	c, err := New(column(t, 5), geom.V(2, 0), geom.V(2, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Inject(); err != nil {
+		t.Fatal(err)
+	}
+	var got []Delivery
+	for i := 0; i < 20 && len(got) == 0; i++ {
+		got = append(got, c.Tick()...)
+	}
+	if len(got) != 1 {
+		t.Fatalf("deliveries = %v", got)
+	}
+	if got[0].Latency != 5 {
+		t.Errorf("latency = %d ticks, want 5", got[0].Latency)
+	}
+}
+
+// TestSteadyStateThroughput: injecting every tick delivers one part per
+// tick once the pipeline fills — the "fast conveying" property.
+func TestSteadyStateThroughput(t *testing.T) {
+	c, err := New(column(t, 6), geom.V(2, 0), geom.V(2, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	const total = 30
+	injected := 0
+	for tick := 0; tick < total+10; tick++ {
+		if injected < total {
+			if _, err := c.Inject(); err == nil {
+				injected++
+			}
+		}
+		delivered += len(c.Tick())
+	}
+	if injected != total {
+		t.Errorf("injected %d of %d (input cell stalled)", injected, total)
+	}
+	if delivered != total {
+		t.Errorf("delivered %d of %d", delivered, total)
+	}
+	if c.InFlight() != 0 {
+		t.Errorf("%d parts stranded", c.InFlight())
+	}
+	// Order preserved (no overtaking on a single lane).
+	ds := c.Delivered()
+	for i := 1; i < len(ds); i++ {
+		if ds[i].Part < ds[i-1].Part {
+			t.Errorf("parts reordered: %v before %v", ds[i-1].Part, ds[i].Part)
+		}
+	}
+}
+
+// TestInjectBackpressure: the input cell refuses a second part until the
+// first has moved on (contact-free discipline).
+func TestInjectBackpressure(t *testing.T) {
+	c, err := New(column(t, 4), geom.V(2, 0), geom.V(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Inject(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Inject(); err == nil {
+		t.Error("second inject on a busy input must fail")
+	}
+	c.Tick()
+	if _, err := c.Inject(); err != nil {
+		t.Errorf("inject after the cell cleared: %v", err)
+	}
+	if c.InFlight() != 2 {
+		t.Errorf("in flight = %d, want 2", c.InFlight())
+	}
+}
+
+// TestNoTwoPartsPerCell: a stalled head never lets followers pile onto the
+// same cell.
+func TestNoTwoPartsPerCell(t *testing.T) {
+	c, err := New(column(t, 3), geom.V(2, 0), geom.V(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		c.Inject() // some fail; fine
+		c.Tick()
+		seen := map[PartID]bool{}
+		for j := 0; j < c.PathLength(); j++ {
+			p := c.PartAt(j)
+			if p == -1 {
+				continue
+			}
+			if seen[p] {
+				t.Fatalf("part %d on two cells", p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestPartAtBounds(t *testing.T) {
+	c, err := New(column(t, 3), geom.V(2, 0), geom.V(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.PartAt(-1) != -1 || c.PartAt(99) != -1 {
+		t.Error("out-of-range PartAt should be -1")
+	}
+	p := c.Path()
+	if len(p) != 3 || p[0] != geom.V(2, 0) || p[2] != geom.V(2, 2) {
+		t.Errorf("path = %v", p)
+	}
+}

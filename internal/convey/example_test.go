@@ -1,0 +1,47 @@
+package convey_test
+
+import (
+	"fmt"
+
+	"repro/internal/convey"
+	"repro/internal/geom"
+	"repro/internal/lattice"
+)
+
+// Example conveys three parts along a five-cell block path: first-part
+// latency equals the path length, then one delivery per tick.
+func Example() {
+	surf, err := lattice.NewSurface(8, 8)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for y := 0; y < 5; y++ {
+		if _, err := surf.Place(geom.V(2, y)); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+	}
+	c, err := convey.New(surf, geom.V(2, 0), geom.V(2, 4))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	injected := 0
+	for delivered := 0; delivered < 3; {
+		if injected < 3 {
+			if _, err := c.Inject(); err == nil {
+				injected++
+			}
+		}
+		for _, d := range c.Tick() {
+			fmt.Printf("part %d delivered after %d ticks\n", d.Part, d.Latency)
+			delivered++
+		}
+	}
+	// Each part rides the pipeline for exactly PathLength ticks.
+	// Output:
+	// part 1 delivered after 5 ticks
+	// part 2 delivered after 5 ticks
+	// part 3 delivered after 5 ticks
+}

@@ -1,0 +1,512 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/dsterm"
+	"repro/internal/election"
+	"repro/internal/exec"
+	"repro/internal/geom"
+	"repro/internal/lattice"
+	"repro/internal/msg"
+)
+
+// shared is the run-wide state all BlockCodes of one run point at: the
+// configuration plus the completion report sink. It carries no algorithm
+// state — every protocol decision lives in per-block state or in messages.
+type shared struct {
+	cfg      Config
+	term     exec.Termination
+	finished atomic.Bool
+}
+
+// BlockCode is the per-block program of Algorithm 1. All blocks run the
+// same code; the block that boots on cell I discovers it is the Root
+// (Assumption 2) and coordinates the iterated elections.
+type BlockCode struct {
+	sh *shared
+	id lattice.BlockID
+
+	// Dijkstra–Scholten engagement (one tracker, reused every round).
+	ds dsterm.Tracker[lattice.BlockID]
+	// agg folds this node's bid with its children's acks; it also keeps the
+	// routing pointer (Via) the Select message follows. It survives
+	// disengagement until the next round overwrites it.
+	agg *election.Aggregator
+
+	round  uint32
+	tier   msg.Tier
+	father lattice.BlockID
+
+	// Root-only sequencing state.
+	isRoot        bool
+	roundsRun     int
+	gotSelectAck  bool
+	gotMoveDone   bool
+	lastMoveMsg   msg.Message
+	electionsLeft int // MaxRounds budget; <0 means unlimited
+	// emptyStreak counts consecutive all-tier election ladders that found
+	// nobody electable. The Root only declares a blocking after several
+	// empty ladders: a single empty sweep can be transient (suppression
+	// backoff in flight, sensor faults), and retrying re-reads the world.
+	emptyStreak int
+
+	// Flood deduplication (round numbers strictly increase).
+	lastMoveDoneSeen uint32
+
+	// suppressedFor marks a block whose elected move attempt was entirely
+	// rejected by the physical layer: it bids neutral for that many
+	// upcoming elections, so the Root immediately tries someone else. The
+	// counter decays (a bounded retry backoff: rejection can be transient,
+	// e.g. under sensor faults) and clears at once when the neighbourhood
+	// changes or any block moves (MoveDone flood).
+	suppressedFor int
+	// noReturnTo is the anti-oscillation memory: after any hop the block
+	// refuses to hop straight back into the cell it came from, until it
+	// observes an external change in its sensed neighbourhood ("if nothing
+	// around me changed, my last move is still right; if something changed,
+	// reconsider"). Without it, a block whose only distance-decreasing move
+	// is a trap ping-pongs between two cells forever, starving the blocks
+	// that could make real progress.
+	noReturnTo  geom.Vec
+	hasNoReturn bool
+	// pendingOwnMove distinguishes the OnMoved callback of a hop this block
+	// initiated (memory must survive) from a passive carry displacement
+	// (memory is stale and must clear).
+	pendingOwnMove bool
+	done           bool
+}
+
+// avoidCell returns the planner exclusion for this block at the given tier;
+// the desperation tier overrides the no-return memory.
+func (b *BlockCode) avoidCell(tier msg.Tier) *geom.Vec {
+	if !b.hasNoReturn || tier >= msg.TierDesperate {
+		return nil
+	}
+	v := b.noReturnTo
+	return &v
+}
+
+// NewFactory returns the exec.CodeFactory for one run of the algorithm.
+// term receives the Root's completion report (may be nil).
+func NewFactory(cfg Config, term exec.Termination) exec.CodeFactory {
+	sh := &shared{cfg: cfg.WithDefaults(), term: term}
+	return func(id lattice.BlockID) exec.BlockCode {
+		b := &BlockCode{sh: sh, id: id, electionsLeft: -1}
+		if sh.cfg.MaxRounds > 0 {
+			b.electionsLeft = sh.cfg.MaxRounds
+		}
+		return b
+	}
+}
+
+// OnStart implements exec.BlockCode: the block on I assumes the Root role
+// and opens the first election.
+func (b *BlockCode) OnStart(env exec.Env) {
+	if env.Position() != env.Input() {
+		return
+	}
+	b.isRoot = true
+	if env.Input() == env.Output() {
+		// Degenerate instance: the path is the single cell I = O.
+		b.finish(env, true)
+		return
+	}
+	b.startElection(env, msg.TierDecreasing)
+}
+
+// startElection opens election round k+1 as the Root (§V-C first phase).
+func (b *BlockCode) startElection(env exec.Env, tier msg.Tier) {
+	if b.done {
+		return
+	}
+	if b.electionsLeft == 0 {
+		env.Logf("round budget exhausted, giving up")
+		b.finish(env, false)
+		return
+	}
+	if b.electionsLeft > 0 {
+		b.electionsLeft--
+	}
+	b.round++
+	b.tier = tier
+	b.gotSelectAck = false
+	b.gotMoveDone = false
+	if tier == msg.TierRetreat {
+		b.sh.cfg.Counters.EscapeElections.Add(1)
+	}
+	if err := b.ds.BeginRoot(b.round); err != nil {
+		env.Logf("BeginRoot: %v", err)
+		b.finish(env, false)
+		return
+	}
+	// The Root is pinned on I (Lemma 1(b)) and never a candidate.
+	b.agg = election.NewAggregator(election.Neutral())
+
+	init := msg.Message{
+		Type:   msg.TypeActivate,
+		Round:  b.round,
+		Tier:   tier,
+		Father: b.id,
+		Output: b.sh.cfg.Output,
+		// Eqs. (6)-(7): the initial bound is |O-I| attributed to the Root.
+		ShortestDistance: b.sh.cfg.InitialShortestDistance(),
+		IDShortest:       b.id,
+	}
+	sent := b.sendToNeighbors(env, init, lattice.None)
+	if done, err := b.ds.RecordSent(sent); err != nil || done {
+		// A Root with no neighbours cannot build anything (excluded by
+		// Assumption 2, handled defensively).
+		b.ds.Disengage()
+		b.finish(env, false)
+	}
+}
+
+// OnMessage implements exec.BlockCode.
+func (b *BlockCode) OnMessage(env exec.Env, from lattice.BlockID, m msg.Message) {
+	if b.done {
+		return
+	}
+	switch m.Type {
+	case msg.TypeActivate:
+		b.onActivate(env, from, m)
+	case msg.TypeAck:
+		b.onAck(env, from, m)
+	case msg.TypeSelect:
+		b.onSelect(env, from, m)
+	case msg.TypeSelectAck:
+		b.onSelectAck(env, from, m)
+	case msg.TypeMoveDone:
+		b.onMoveDoneFlood(env, from, m)
+	case msg.TypeFinished:
+		b.onFinishedFlood(env, from, m)
+	default:
+		env.Logf("unknown message %v from %d", m.Type, from)
+	}
+}
+
+// onActivate handles the first phase of the election: engagement in the
+// activity graph, bid computation and activation forwarding.
+func (b *BlockCode) onActivate(env exec.Env, from lattice.BlockID, m msg.Message) {
+	class, err := b.ds.OnActivate(m.Round, from)
+	if err != nil {
+		env.Logf("activate: %v", err)
+		return
+	}
+	switch class {
+	case dsterm.Engaged:
+		b.round = m.Round
+		b.tier = m.Tier
+		b.father = from
+		own := b.ownCandidate(env, m.Round, m.Tier)
+		b.agg = election.NewAggregator(own)
+
+		fwd := m
+		fwd.Father = b.id
+		// Keep the paper's running-best fields current on the way down.
+		if !own.IsNeutral() && own.Distance < m.ShortestDistance {
+			fwd.ShortestDistance = own.Distance
+			fwd.IDShortest = b.id
+		}
+		sent := b.sendToNeighbors(env, fwd, from)
+		if done, err := b.ds.RecordSent(sent); err != nil {
+			env.Logf("record sent: %v", err)
+		} else if done {
+			b.ackFather(env)
+		}
+	case dsterm.Redundant, dsterm.Stale:
+		// "An active block ... does nothing" — except the acknowledgement
+		// the Dijkstra-Scholten protocol requires, carrying a neutral bid.
+		neutral := election.Neutral()
+		_ = env.Send(from, msg.Message{
+			Type: msg.TypeAck, Round: m.Round, Tier: m.Tier,
+			Father: from, Son: b.id,
+			ShortestDistance: neutral.Distance, IDShortest: neutral.ID,
+		})
+	}
+}
+
+// onAck folds a child's report and propagates the subtree result when the
+// deficit clears (§V-C: "active blocks that have received acknowledgments
+// from all their sons become inactive and send an acknowledgment message to
+// their father").
+func (b *BlockCode) onAck(env exec.Env, from lattice.BlockID, m msg.Message) {
+	done, err := b.ds.OnAck(m.Round)
+	if err != nil {
+		env.Logf("ack: %v", err)
+		return
+	}
+	b.agg.Fold(election.Candidate{
+		Distance: m.ShortestDistance,
+		Priority: election.PriorityFor(b.sh.cfg.TieBreak, m.Round, m.IDShortest),
+		ID:       m.IDShortest,
+	}, from)
+	if !done {
+		return
+	}
+	if b.isRoot {
+		b.onElectionComplete(env)
+		return
+	}
+	b.ackFather(env)
+}
+
+// ackFather reports the subtree best to the father and disengages.
+func (b *BlockCode) ackFather(env exec.Env) {
+	best := b.agg.Best()
+	_ = env.Send(b.father, msg.Message{
+		Type: msg.TypeAck, Round: b.round, Tier: b.tier,
+		Father: b.father, Son: b.id,
+		ShortestDistance: best.Distance, IDShortest: best.ID,
+	})
+	b.ds.Disengage()
+}
+
+// onElectionComplete runs at the Root when its deficit clears: the first
+// phase is over, every block has been activated and acknowledged, and the
+// Root holds the global minimum. It selects the winner or escalates.
+func (b *BlockCode) onElectionComplete(env exec.Env) {
+	b.ds.Disengage()
+	b.sh.cfg.Counters.Elections.Add(1)
+	b.roundsRun++
+	best := b.agg.Best()
+	if best.IsNeutral() {
+		// Nobody can move at this tier; escalate, retry the ladder, or
+		// declare a blocking.
+		if b.sh.cfg.AllowRetreat && b.tier < msg.TierDesperate {
+			b.startElection(env, b.tier+1)
+			return
+		}
+		b.emptyStreak++
+		if b.emptyStreak < emptyLadderRetries {
+			env.Logf("empty election ladder %d/%d; retrying", b.emptyStreak, emptyLadderRetries)
+			b.startElection(env, msg.TierDecreasing)
+			return
+		}
+		env.Logf("no electable block after %d ladders; stopping", b.emptyStreak)
+		b.finish(env, false)
+		return
+	}
+	b.emptyStreak = 0
+	via := b.agg.Via()
+	if via == lattice.None {
+		// The Root itself won — impossible, it always bids Neutral.
+		env.Logf("root won its own election; protocol error")
+		b.finish(env, false)
+		return
+	}
+	_ = env.Send(via, msg.Message{
+		Type: msg.TypeSelect, Round: b.round, Tier: b.tier, IDShortest: best.ID,
+	})
+}
+
+// onSelect routes the Select message down the father/son tree, or performs
+// the elected hop when it reaches the winner.
+func (b *BlockCode) onSelect(env exec.Env, from lattice.BlockID, m msg.Message) {
+	if m.Round != b.round {
+		env.Logf("select for round %d during %d", m.Round, b.round)
+		return
+	}
+	if m.IDShortest != b.id {
+		via := b.agg.Via()
+		if via == lattice.None {
+			env.Logf("select for %d but no route", m.IDShortest)
+			return
+		}
+		_ = env.Send(via, m)
+		return
+	}
+	// Elected. First acknowledge the Root (ends the distributed election,
+	// §V-C), then perform one hop towards O.
+	_ = env.Send(b.father, msg.Message{
+		Type: msg.TypeSelectAck, Round: m.Round, Tier: m.Tier, IDShortest: b.id,
+	})
+	b.performHop(env, m.Tier)
+}
+
+// onSelectAck forwards the elected block's acknowledgement up to the Root.
+func (b *BlockCode) onSelectAck(env exec.Env, from lattice.BlockID, m msg.Message) {
+	if b.isRoot {
+		if m.Round == b.round {
+			b.gotSelectAck = true
+			b.maybeAdvance(env)
+		}
+		return
+	}
+	_ = env.Send(b.father, m)
+}
+
+// performHop executes the elected block's hop: the best admissible candidate
+// motion that the physical layer accepts. On total failure the block
+// self-suppresses and reports failure, so the Root re-elects someone else.
+func (b *BlockCode) performHop(env exec.Env, tier msg.Tier) {
+	from := env.Position()
+	cands := planCandidates(b.sh.cfg, env.Library(), from, env.Sense, tier, b.avoidCell(tier))
+	for _, c := range cands {
+		b.pendingOwnMove = true
+		if err := env.Move(c.App); err == nil {
+			to := env.Position()
+			// Remember the origin so the next hop will not undo this one.
+			b.hasNoReturn = true
+			b.noReturnTo = from
+			env.Logf("hop %s -> %s via %s", from, to, c.App.Rule.Name)
+			b.floodMoveDone(env, from, to, true)
+			return
+		}
+		b.pendingOwnMove = false
+	}
+	b.sh.cfg.Counters.MoveFailures.Add(1)
+	b.suppressedFor = suppressionRounds
+	env.Logf("all %d candidates rejected; suppressed for %d rounds", len(cands), suppressionRounds)
+	b.floodMoveDone(env, from, from, false)
+}
+
+// floodMoveDone starts the round-completion flood from the mover.
+func (b *BlockCode) floodMoveDone(env exec.Env, from, to geom.Vec, success bool) {
+	m := msg.Message{
+		Type: msg.TypeMoveDone, Round: b.round, Tier: b.tier,
+		Mover: b.id, From: from, To: to, Success: success,
+	}
+	b.lastMoveDoneSeen = b.round
+	b.sendToNeighbors(env, m, lattice.None)
+	// A mover that is its own only witness (no Root elsewhere) cannot
+	// happen: the Root exists and the graph is connected.
+}
+
+// onMoveDoneFlood forwards the flood once per round and lets the Root
+// sequence the next iteration of Algorithm 1.
+func (b *BlockCode) onMoveDoneFlood(env exec.Env, from lattice.BlockID, m msg.Message) {
+	if m.Round <= b.lastMoveDoneSeen {
+		return // already seen (rounds strictly increase)
+	}
+	b.lastMoveDoneSeen = m.Round
+	if m.Success {
+		// Global progress: any previously impossible move may have become
+		// possible, so suppressed blocks bid again.
+		b.suppressedFor = 0
+	}
+	b.sendToNeighbors(env, m, from)
+	if b.isRoot && m.Round == b.round {
+		b.gotMoveDone = true
+		b.lastMoveMsg = m
+		b.maybeAdvance(env)
+	}
+}
+
+// maybeAdvance moves the Root to the next round once the move outcome
+// arrived. The paper has the Root turn inactive on the elected block's
+// acknowledgement; that ack climbs the father/son tree, and the tree can be
+// severed by the very motion the election triggered (a carried helper may
+// be a relay). Sequencing therefore keys on the MoveDone flood, which
+// survives any topology change of a still-connected ensemble; the
+// SelectAck remains the paper's election-termination signal and is
+// tracked on a best-effort basis (see DESIGN.md).
+func (b *BlockCode) maybeAdvance(env exec.Env) {
+	if !b.gotMoveDone {
+		return
+	}
+	m := b.lastMoveMsg
+	if m.Success && m.To == b.sh.cfg.Output {
+		// Algorithm 1's loop condition: a block occupies O.
+		b.finish(env, true)
+		return
+	}
+	b.startElection(env, msg.TierDecreasing)
+}
+
+// finish ends the run: the Root floods Finished and reports termination.
+func (b *BlockCode) finish(env exec.Env, success bool) {
+	if b.done {
+		return
+	}
+	b.done = true
+	b.sendToNeighbors(env, msg.Message{
+		Type: msg.TypeFinished, Round: b.round, Success: success,
+	}, lattice.None)
+	if b.sh.finished.CompareAndSwap(false, true) && b.sh.term != nil {
+		b.sh.term.Finish(success, b.roundsRun)
+	}
+}
+
+// onFinishedFlood spreads termination; every block shuts down.
+func (b *BlockCode) onFinishedFlood(env exec.Env, from lattice.BlockID, m msg.Message) {
+	b.done = true
+	b.sendToNeighbors(env, m, from)
+}
+
+// OnMoved implements exec.BlockCode: the block was displaced. For a hop the
+// block itself initiated, the fresh no-return memory must survive; for a
+// passive carry displacement the memory refers to a stale origin and clears.
+func (b *BlockCode) OnMoved(env exec.Env, from, to geom.Vec) {
+	b.suppressedFor = 0
+	if b.pendingOwnMove {
+		b.pendingOwnMove = false
+		return
+	}
+	b.hasNoReturn = false
+}
+
+// OnNeighborhoodChanged implements exec.BlockCode: a sensed cell changed
+// through someone else's motion, so every cached conclusion — immobility
+// and the no-return memory — is stale.
+func (b *BlockCode) OnNeighborhoodChanged(env exec.Env) {
+	b.suppressedFor = 0
+	b.hasNoReturn = false
+}
+
+// suppressionRounds is the retry backoff after a fully rejected hop: the
+// block bids neutral for this many elections before trying again.
+const suppressionRounds = 3
+
+// emptyLadderRetries is how many consecutive empty tier ladders the Root
+// tolerates before declaring a blocking; retries outlast the suppression
+// backoff so a transiently suppressed block gets to bid again.
+const emptyLadderRetries = 4
+
+// ownCandidate evaluates this block's bid per eqs. (8)-(10): neutral when
+// frozen, suppressed or moveless; otherwise its hop count to O.
+func (b *BlockCode) ownCandidate(env exec.Env, round uint32, tier msg.Tier) election.Candidate {
+	cfg := b.sh.cfg
+	cfg.Counters.DistanceComputations.Add(1)
+	pos := env.Position()
+	suppressed := b.suppressedFor > 0
+	if suppressed {
+		b.suppressedFor--
+	}
+	hasMove := false
+	if !cfg.Frozen(pos) && !suppressed {
+		hasMove = len(planCandidates(cfg, env.Library(), pos, env.Sense, tier, b.avoidCell(tier))) > 0
+	}
+	d := cfg.distanceValue(pos, hasMove)
+	if d == msg.InfiniteDistance {
+		return election.Neutral()
+	}
+	return election.Candidate{
+		Distance: d,
+		Priority: election.PriorityFor(cfg.TieBreak, round, b.id),
+		ID:       b.id,
+	}
+}
+
+// sendToNeighbors sends m to every adjacent block except `except`,
+// returning the number of messages sent.
+func (b *BlockCode) sendToNeighbors(env exec.Env, m msg.Message, except lattice.BlockID) int {
+	nt := env.Neighbors()
+	sent := 0
+	for _, d := range geom.Dirs() {
+		nb := nt[d]
+		if nb == lattice.None || nb == except {
+			continue
+		}
+		mm := m
+		if mm.Type == msg.TypeActivate {
+			mm.Son = nb
+		}
+		if env.Send(nb, mm) == nil {
+			sent++
+		}
+	}
+	return sent
+}
+
+var _ exec.BlockCode = (*BlockCode)(nil)

@@ -1,0 +1,147 @@
+// Package core implements the paper's contribution: the distributed
+// iterative algorithm (Algorithm 1) that builds a minimum-hop-count shortest
+// path of blocks between the input I and the output O of the modular
+// surface, under the motion constraints of §IV.
+//
+// Every block runs the same BlockCode. The block sitting on I is the Root
+// (Assumption 2): it drives iterated distributed elections over the
+// Dijkstra–Scholten activity graph (§V-C); each election picks the mobile
+// block with the smallest hop count to O (eqs. (6)–(10)); the elected block
+// performs one straight hop towards O through a validated motion rule
+// (possibly a carrying rule that displaces a helper too); the Root iterates
+// until a block occupies O.
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/election"
+	"repro/internal/geom"
+)
+
+// VetoMode selects how the Remark 1 "line or column between I and O"
+// blocking prohibition is enforced on every candidate motion.
+type VetoMode int
+
+const (
+	// VetoLookahead (default) generalises Remark 1: a motion is rejected if
+	// afterwards no unfrozen block has any locally valid move towards O
+	// while O is still free — the state Remark 1 calls "a blocking".
+	VetoLookahead VetoMode = iota
+	// VetoLine implements the literal prohibition: a motion is rejected if
+	// afterwards the unfrozen blocks form a single line or column.
+	VetoLine
+	// VetoNone disables the guard (for ablations).
+	VetoNone
+)
+
+// String implements fmt.Stringer.
+func (v VetoMode) String() string {
+	switch v {
+	case VetoLookahead:
+		return "lookahead"
+	case VetoLine:
+		return "line"
+	case VetoNone:
+		return "none"
+	}
+	return fmt.Sprintf("VetoMode(%d)", int(v))
+}
+
+// Config parameterises the algorithm. The zero value is not usable; call
+// (Config).WithDefaults or fill Input/Output explicitly.
+type Config struct {
+	// Input is the cell I where parts enter and the Root sits (pinned).
+	Input geom.Vec
+	// Output is the cell O where parts leave; every block knows it
+	// (Assumption 2).
+	Output geom.Vec
+
+	// StrictEq8 applies eq. (8) literally: any block sharing a row or
+	// column with O freezes, wherever it stands. The default (false)
+	// restricts freezing to the I–O rectangle, so blocks outside the region
+	// of graph G are not stranded (see DESIGN.md, interpretation choices).
+	StrictEq8 bool
+
+	// TieBreak orders equally distant candidates; TieRandom reproduces the
+	// paper's random selection (reproducibly), TieLowestID is fully
+	// deterministic and is what the engine-equivalence tests use.
+	TieBreak election.TieBreak
+
+	// AllowRetreat enables the escape tier: when no block has a
+	// distance-decreasing move, the Root re-runs the election admitting
+	// distance-preserving moves (the paper's hop "tends to diminish the
+	// distance", leaving room for lateral detours). Disable for ablations.
+	AllowRetreat bool
+
+	// Veto selects the Remark 1 blocking guard.
+	Veto VetoMode
+
+	// MaxRounds caps the number of elections as a safety net; 0 derives
+	// a generous bound from the instance size at Run time.
+	MaxRounds int
+
+	// Counters receives the algorithm metrics; nil allocates a fresh set.
+	Counters *Counters
+}
+
+// WithDefaults fills unset fields with the documented defaults.
+func (c Config) WithDefaults() Config {
+	if c.Counters == nil {
+		c.Counters = &Counters{}
+	}
+	return c
+}
+
+// NewConfig returns the default configuration for an I -> O instance:
+// rectangle-scoped eq. (8), random tie-break, escape tier enabled,
+// lookahead veto.
+func NewConfig(input, output geom.Vec) Config {
+	return Config{
+		Input:        input,
+		Output:       output,
+		TieBreak:     election.TieRandom,
+		AllowRetreat: true,
+		Veto:         VetoLookahead,
+	}.WithDefaults()
+}
+
+// Counters aggregates algorithm metrics across all blocks. In a physical
+// deployment each block would keep its own and the harness would sum them;
+// sharing one set is equivalent and simpler. Fields are atomic because the
+// goroutine runtime updates them concurrently.
+type Counters struct {
+	// DistanceComputations counts evaluations of d(B,O) (Remark 2 metric).
+	DistanceComputations atomic.Int64
+	// Elections counts completed election rounds (Algorithm 1 iterations).
+	Elections atomic.Int64
+	// EscapeElections counts rounds run at the distance-preserving tier.
+	EscapeElections atomic.Int64
+	// MoveFailures counts elected blocks whose every candidate motion was
+	// rejected by the physical layer (they self-suppress until the
+	// neighbourhood changes).
+	MoveFailures atomic.Int64
+	// CandidateEnumerations counts move-planning passes.
+	CandidateEnumerations atomic.Int64
+}
+
+// Snapshot returns a plain-struct copy of the counters.
+func (c *Counters) Snapshot() CounterValues {
+	return CounterValues{
+		DistanceComputations:  c.DistanceComputations.Load(),
+		Elections:             c.Elections.Load(),
+		EscapeElections:       c.EscapeElections.Load(),
+		MoveFailures:          c.MoveFailures.Load(),
+		CandidateEnumerations: c.CandidateEnumerations.Load(),
+	}
+}
+
+// CounterValues is a point-in-time copy of Counters.
+type CounterValues struct {
+	DistanceComputations  int64
+	Elections             int64
+	EscapeElections       int64
+	MoveFailures          int64
+	CandidateEnumerations int64
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/lattice"
+	"repro/internal/rules"
+)
+
+// TestBuildConstraintsImmobile: the physics layer refuses to move frozen
+// blocks and the Root, looked up by live position.
+func TestBuildConstraintsImmobile(t *testing.T) {
+	cfg := NewConfig(geom.V(1, 0), geom.V(1, 5))
+	s := surfaceWith(t, 6, 8, geom.V(1, 0), geom.V(1, 1), geom.V(2, 0), geom.V(2, 1))
+	c := BuildConstraints(cfg, s, rules.StandardLibrary())
+	rootID, _ := s.BlockAt(geom.V(1, 0))
+	colID, _ := s.BlockAt(geom.V(1, 1))
+	laneID, _ := s.BlockAt(geom.V(2, 1))
+	if !c.Immobile(rootID) {
+		t.Error("Root must be immobile")
+	}
+	if !c.Immobile(colID) {
+		t.Error("column block must be immobile")
+	}
+	if c.Immobile(laneID) {
+		t.Error("lane block must be mobile")
+	}
+	if !c.RequireConnectivity {
+		t.Error("connectivity must be required (Remark 1)")
+	}
+}
+
+// TestLineVeto: the literal Remark 1 prohibition rejects states where the
+// unfrozen blocks form a single line or column.
+func TestLineVeto(t *testing.T) {
+	cfg := NewConfig(geom.V(1, 0), geom.V(1, 5))
+	cfg.Veto = VetoLine
+	// Unfrozen blocks all in row 0 east of the column: a line.
+	lineState := surfaceWith(t, 8, 8,
+		geom.V(1, 0), geom.V(2, 0), geom.V(3, 0), geom.V(4, 0))
+	if err := lineVeto(cfg, lineState); err == nil {
+		t.Error("collinear unfrozen blocks must be vetoed")
+	}
+	// A 2D-spread of unfrozen blocks passes.
+	spread := surfaceWith(t, 8, 8,
+		geom.V(1, 0), geom.V(2, 0), geom.V(2, 1), geom.V(3, 0))
+	if err := lineVeto(cfg, spread); err != nil {
+		t.Errorf("2D spread vetoed: %v", err)
+	}
+	// Terminal state (O occupied) always passes.
+	done := surfaceWith(t, 8, 8, geom.V(1, 0), geom.V(1, 5), geom.V(2, 0), geom.V(3, 0))
+	if err := lineVeto(cfg, done); err != nil {
+		t.Errorf("terminal state vetoed: %v", err)
+	}
+	// A single unfrozen block is not a "line".
+	single := surfaceWith(t, 8, 8, geom.V(1, 0), geom.V(2, 0))
+	if err := lineVeto(cfg, single); err != nil {
+		t.Errorf("single mobile block vetoed: %v", err)
+	}
+}
+
+// TestLookaheadVeto: the generalised guard rejects states where no unfrozen
+// block has any admissible move while O is free.
+func TestLookaheadVeto(t *testing.T) {
+	cfg := NewConfig(geom.V(1, 0), geom.V(1, 5))
+	lib := rules.StandardLibrary()
+	// A healthy tower: lane blocks can climb.
+	healthy := surfaceWith(t, 6, 8,
+		geom.V(1, 0), geom.V(1, 1), geom.V(2, 0), geom.V(2, 1))
+	if err := lookaheadVeto(cfg, lib, healthy); err != nil {
+		t.Errorf("healthy state vetoed: %v", err)
+	}
+	// All blocks frozen, O unoccupied: dead.
+	dead := surfaceWith(t, 6, 8, geom.V(1, 0), geom.V(1, 1), geom.V(1, 2))
+	if err := lookaheadVeto(cfg, lib, dead); err == nil {
+		t.Error("state with no unfrozen blocks and free O must be vetoed")
+	}
+	// O occupied: always fine.
+	done := surfaceWith(t, 6, 8, geom.V(1, 0), geom.V(1, 5))
+	if err := lookaheadVeto(cfg, lib, done); err != nil {
+		t.Errorf("terminal state vetoed: %v", err)
+	}
+	// An isolated pair beside the column with no possible motion: dead.
+	// Two blocks at the east edge cannot move (no support for any slide).
+	stuck := surfaceWith(t, 6, 8,
+		geom.V(1, 0), geom.V(1, 1), geom.V(1, 2), geom.V(2, 5), geom.V(2, 6))
+	// (2,5),(2,6) hang beside the frozen column above its top; check the
+	// veto's verdict matches a direct mobility scan.
+	err := lookaheadVeto(cfg, lib, stuck)
+	anyMobile := false
+	for _, pos := range unfrozenPositions(cfg, stuck) {
+		if len(planCandidates(cfg, lib, pos, stuck.Occupied, 1, nil)) > 0 {
+			anyMobile = true
+		}
+	}
+	if (err == nil) != anyMobile {
+		t.Errorf("veto verdict %v inconsistent with mobility scan %v", err, anyMobile)
+	}
+}
+
+// TestVetoModeWiring: blockingVeto dispatches per mode.
+func TestVetoModeWiring(t *testing.T) {
+	cfg := NewConfig(geom.V(1, 0), geom.V(1, 5))
+	cfg.Veto = VetoNone
+	if blockingVeto(cfg, rules.StandardLibrary()) != nil {
+		t.Error("VetoNone must disable the guard")
+	}
+	cfg.Veto = VetoLine
+	if blockingVeto(cfg, rules.StandardLibrary()) == nil {
+		t.Error("VetoLine must install a guard")
+	}
+	cfg.Veto = VetoLookahead
+	if blockingVeto(cfg, rules.StandardLibrary()) == nil {
+		t.Error("VetoLookahead must install a guard")
+	}
+}
+
+// TestValidateInstanceErrors covers every Assumption-2 violation.
+func TestValidateInstanceErrors(t *testing.T) {
+	lib := rules.StandardLibrary()
+	_ = lib
+	cases := []struct {
+		name  string
+		build func(t *testing.T) (*lattice.Surface, Config)
+		want  string
+	}{
+		{"I out of bounds", func(t *testing.T) (*lattice.Surface, Config) {
+			return surfaceWith(t, 4, 4, geom.V(1, 1)), Config{Input: geom.V(9, 0), Output: geom.V(1, 3)}
+		}, "outside"},
+		{"no root on I", func(t *testing.T) (*lattice.Surface, Config) {
+			return surfaceWith(t, 4, 4, geom.V(1, 1), geom.V(2, 1)), Config{Input: geom.V(0, 0), Output: geom.V(1, 3)}
+		}, "no Root"},
+		{"O occupied", func(t *testing.T) (*lattice.Surface, Config) {
+			return surfaceWith(t, 4, 4, geom.V(1, 1), geom.V(1, 2), geom.V(2, 1)), Config{Input: geom.V(1, 1), Output: geom.V(1, 2)}
+		}, "already occupied"},
+		{"disconnected", func(t *testing.T) (*lattice.Surface, Config) {
+			return surfaceWith(t, 6, 6, geom.V(1, 1), geom.V(2, 1), geom.V(4, 4)), Config{Input: geom.V(1, 1), Output: geom.V(1, 3)}
+		}, "not connected"},
+		{"collinear", func(t *testing.T) (*lattice.Surface, Config) {
+			return surfaceWith(t, 6, 6, geom.V(1, 1), geom.V(2, 1), geom.V(3, 1)), Config{Input: geom.V(1, 1), Output: geom.V(1, 4)}
+		}, "line or column"},
+	}
+	for _, c := range cases {
+		surf, cfg := c.build(t)
+		err := ValidateInstance(surf, cfg.WithDefaults())
+		if err == nil {
+			t.Errorf("%s: want error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+	// A valid instance passes.
+	surf := surfaceWith(t, 6, 8, geom.V(1, 0), geom.V(2, 0), geom.V(1, 1), geom.V(2, 1))
+	if err := ValidateInstance(surf, NewConfig(geom.V(1, 0), geom.V(1, 5))); err != nil {
+		t.Errorf("valid instance rejected: %v", err)
+	}
+}
+
+// TestRunRejectsInvalidInstance: Run surfaces validation errors.
+func TestRunRejectsInvalidInstance(t *testing.T) {
+	surf := surfaceWith(t, 6, 6, geom.V(1, 1), geom.V(3, 3))
+	_, err := Run(surf, rules.StandardLibrary(), NewConfig(geom.V(1, 1), geom.V(1, 4)), RunParams{})
+	if err == nil {
+		t.Fatal("Run must reject a disconnected instance")
+	}
+}

@@ -1,0 +1,31 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/rules"
+	"repro/internal/scenario"
+)
+
+// ExampleRun executes Algorithm 1 on the smallest sensible instance: a 2x2
+// blob raising a three-cell column over the input.
+func ExampleRun() {
+	s, err := scenario.Staircase("tiny", []int{2, 2}, 2)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	res, err := core.Run(s.Surface, rules.StandardLibrary(), s.Config(), core.RunParams{Seed: 1})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("success:", res.Success)
+	fmt.Println("path built:", res.PathBuilt)
+	fmt.Println("blocks:", res.Blocks)
+	// Output:
+	// success: true
+	// path built: true
+	// blocks: 4
+}

@@ -1,0 +1,35 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rules"
+	"repro/internal/scenario"
+)
+
+// TestExtendedLibraryCompatibility: the 5x5 chain-carry extension (§IV's
+// "larger matrices" general case) is a strict superset of the standard
+// family; on Fig. 10 the planner's fewer-movers preference keeps the move
+// sequence identical, and the run still succeeds.
+func TestExtendedLibraryCompatibility(t *testing.T) {
+	results := map[string]core.Result{}
+	for _, lib := range []struct {
+		name string
+		l    *rules.Library
+	}{{"standard", rules.StandardLibrary()}, {"extended", rules.ExtendedLibrary()}} {
+		s, err := scenario.Fig10()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(s.Surface, lib.l, s.Config(), core.RunParams{Seed: 1})
+		if err != nil || !res.Success || !res.PathBuilt {
+			t.Fatalf("%s: %v err=%v", lib.name, res, err)
+		}
+		results[lib.name] = res
+	}
+	if results["standard"].Hops != results["extended"].Hops {
+		t.Errorf("hops differ: standard %d vs extended %d",
+			results["standard"].Hops, results["extended"].Hops)
+	}
+}

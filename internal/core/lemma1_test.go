@@ -1,0 +1,71 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rules"
+	"repro/internal/scenario"
+)
+
+// TestLemma1Property is experiment E12: over the randomized instance family
+// (seeded staircases satisfying Assumptions 1-2 with N blocks and a path of
+// at most N-1 cells), the distributed algorithm terminates in finite time
+// with the shortest path built — Lemma 1's claim. Every instance must
+// succeed; the MaxRounds safety cap never triggers.
+func TestLemma1Property(t *testing.T) {
+	seeds := 40
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		s, err := scenario.RandomStaircase(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		n := s.Surface.NumBlocks()
+		pathCells := s.Input.Manhattan(s.Output) + 1
+		if pathCells > n-1 {
+			t.Fatalf("seed %d: generator violated the Lemma precondition: %d cells, %d blocks",
+				seed, pathCells, n)
+		}
+		res, err := core.Run(s.Surface, rules.StandardLibrary(), s.Config(), core.RunParams{Seed: seed})
+		if err != nil {
+			t.Errorf("seed %d (%s): %v", seed, s.Name, err)
+			continue
+		}
+		if !res.Success || !res.PathBuilt {
+			t.Errorf("seed %d (%s): Lemma 1 violated: %v", seed, s.Name, res)
+			continue
+		}
+		// "Solved ... with at most N blocks": the path uses only blocks the
+		// instance already had, and every path cell is occupied.
+		if got := len(core.ShortestOccupiedPath(s.Surface, s.Input, s.Output)); got != pathCells {
+			t.Errorf("seed %d: path has %d cells, want %d", seed, got, pathCells)
+		}
+		if res.MessagesDropped != 0 {
+			t.Errorf("seed %d: dropped %d messages", seed, res.MessagesDropped)
+		}
+	}
+}
+
+// TestLemma1FiniteTime: rounds stay well under the safety cap, i.e. the
+// algorithm terminates by reaching O, not by exhausting its budget.
+func TestLemma1FiniteTime(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		s, err := scenario.RandomStaircase(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := s.Surface.NumBlocks()
+		d := s.Input.Manhattan(s.Output)
+		cap := 64 + 8*n*(d+2)
+		res, err := core.Run(s.Surface, rules.StandardLibrary(), s.Config(), core.RunParams{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rounds >= cap {
+			t.Errorf("seed %d: %d rounds hit the cap %d", seed, res.Rounds, cap)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/msg"
+	"repro/internal/rules"
+)
+
+// CandidateMove is one admissible elementary motion for a block: a rule
+// application in which the block is a mover, together with the block's own
+// destination. Candidates are what eq. (9) quantifies over and what the
+// elected block executes.
+type CandidateMove struct {
+	App rules.Application
+	To  geom.Vec // the planning block's destination under App
+}
+
+// planCandidates enumerates the block's admissible moves at the given tier,
+// using only local information (the sensed occupancy window and knowledge
+// of I, O and the freezing rule, which is a pure function of position).
+//
+// A rule application qualifies when:
+//   - the planning block is one of its movers,
+//   - the matrix validates against the sensed neighbourhood (MM⊗MP),
+//   - no mover is frozen (frozen path blocks must keep their cells; the
+//     Root never moves, not even carried),
+//   - the planning block's own displacement strictly decreases its hop
+//     count to O (TierDecreasing); the TierRetreat escape tier also admits
+//     one-step retreats — on the Manhattan grid every hop changes d by
+//     exactly ±1, so the only alternative to approaching is retreating
+//     (the latitude behind the paper's "tends to diminish the distance"),
+//   - the destination is not the `avoid` cell, when given (the block's
+//     anti-oscillation memory: a block that just retreated from a cell
+//     will not immediately hop back into it).
+//
+// The result is ordered best-first: nearer destination, then fewer moved
+// blocks (a plain slide beats a carry when both reach the same cell, to
+// minimise total block moves), then a stable deterministic key.
+func planCandidates(cfg Config, lib *rules.Library, pos geom.Vec, sense func(geom.Vec) bool, tier msg.Tier, avoid *geom.Vec) []CandidateMove {
+	cfg.Counters.CandidateEnumerations.Add(1)
+	d0 := pos.Manhattan(cfg.Output)
+	var out []CandidateMove
+	for _, app := range lib.ApplicationsFor(pos, sense) {
+		mv, ok := app.MoveOf(pos)
+		if !ok {
+			continue
+		}
+		d1 := mv.To.Manhattan(cfg.Output)
+		if tier == msg.TierDecreasing && d1 >= d0 {
+			continue
+		}
+		if avoid != nil && mv.To == *avoid {
+			continue
+		}
+		badMover := false
+		for _, am := range app.AbsMoves() {
+			if cfg.Frozen(am.From) {
+				// Frozen path blocks keep their cells; the Root never
+				// moves, not even carried.
+				badMover = true
+				break
+			}
+			if am.From != pos && am.To.Manhattan(cfg.Output) >= am.From.Manhattan(cfg.Output) {
+				// A carried helper must strictly approach O too. Without
+				// this, a block can "shove" a neighbour backwards as an
+				// unwilling helper, and two blocks shoving each other over
+				// a contested cell livelock the system (each sees its own
+				// distance decrease while undoing the other's hop).
+				badMover = true
+				break
+			}
+		}
+		if badMover {
+			continue
+		}
+		out = append(out, CandidateMove{App: app, To: mv.To})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		// 1. Joining the path beats everything: a block that freezes onto
+		//    a path cell leaves the mobile pool for good (eq. (8)).
+		fi, fj := cfg.Frozen(out[i].To), cfg.Frozen(out[j].To)
+		if fi != fj {
+			return fi
+		}
+		// 2. Nearer destination.
+		di := out[i].To.Manhattan(cfg.Output)
+		dj := out[j].To.Manhattan(cfg.Output)
+		if di != dj {
+			return di < dj
+		}
+		// 3. Fewer moved blocks (a slide beats a carry to the same cell).
+		ni, nj := len(out[i].App.Rule.Moves), len(out[j].App.Rule.Moves)
+		if ni != nj {
+			return ni < nj
+		}
+		// 4. Stable deterministic key.
+		if out[i].App.Rule.Name != out[j].App.Rule.Name {
+			return out[i].App.Rule.Name < out[j].App.Rule.Name
+		}
+		return out[i].App.Anchor.Less(out[j].App.Anchor)
+	})
+	return out
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/exec"
+	"repro/internal/lattice"
+	"repro/internal/rules"
+	"repro/internal/sim"
+)
+
+// Result summarises one reconfiguration run: the outcome of Algorithm 1
+// plus every metric the paper's remarks quantify.
+type Result struct {
+	// Success is the Root's verdict: a block reached O.
+	Success bool
+	// PathBuilt is the harness's independent check that the occupied cells
+	// realise a shortest Manhattan path from I to O.
+	PathBuilt bool
+	// Rounds is the number of completed elections (Algorithm 1 iterations).
+	Rounds int
+	// Hops is the number of elementary block moves (Remark 4; the "55 block
+	// moves" metric of §V-D).
+	Hops int
+	// Applications is the number of motion-rule applications executed
+	// (carries move two blocks in one application).
+	Applications int
+	// MessagesSent is the total block-to-block message count (Remark 3).
+	MessagesSent uint64
+	// MessagesDropped counts messages lost to buffer overflow (0 in a
+	// healthy run).
+	MessagesDropped uint64
+	// Counters is the algorithm-level metric snapshot (Remark 2 et al.).
+	Counters CounterValues
+	// Blocks is the number of blocks on the surface.
+	Blocks int
+	// PathLength is the Manhattan distance (hops) between I and O.
+	PathLength int
+	// VirtualTime is the simulated completion time.
+	VirtualTime sim.Time
+	// Events is the number of simulator events processed.
+	Events uint64
+}
+
+// String renders a one-line summary.
+func (r Result) String() string {
+	return fmt.Sprintf("success=%t path=%t N=%d d=%d rounds=%d hops=%d apps=%d msgs=%d dist-comps=%d",
+		r.Success, r.PathBuilt, r.Blocks, r.PathLength, r.Rounds, r.Hops,
+		r.Applications, r.MessagesSent, r.Counters.DistanceComputations)
+}
+
+// RunParams tunes the simulation side of a run; the zero value works.
+type RunParams struct {
+	// Seed drives all randomness (default 1 so the zero value is usable
+	// and reproducible).
+	Seed int64
+	// Latency is the link latency model (default: uniform 500..1500 ticks,
+	// the asynchronous regime of Assumption 3).
+	Latency sim.LatencyModel
+	// MaxEvents bounds the simulation (0 = no bound; termination is
+	// guaranteed by the election round cap).
+	MaxEvents uint64
+	// OnApply observes every executed motion (trace recording).
+	OnApply func(lattice.ApplyResult)
+	// Logf receives per-block debug lines.
+	Logf func(string, ...any)
+	// Wrap, when non-nil, decorates the BlockCode factory before the
+	// engine boots; the fault-injection layer (internal/faults) hooks in
+	// here.
+	Wrap func(exec.CodeFactory) exec.CodeFactory
+}
+
+// termRecorder captures the Root's Finish call.
+type termRecorder struct {
+	fired   bool
+	success bool
+	rounds  int
+}
+
+// Finish implements exec.Termination.
+func (t *termRecorder) Finish(success bool, rounds int) {
+	t.fired = true
+	t.success = success
+	t.rounds = rounds
+}
+
+// ValidateInstance checks the preconditions of Assumption 2 on a surface:
+// the ensemble is connected, a block occupies I, O is a free surface cell,
+// and (unless the instance is the degenerate I == O) the blocks are not all
+// collinear.
+func ValidateInstance(surf *lattice.Surface, cfg Config) error {
+	if !surf.InBounds(cfg.Input) || !surf.InBounds(cfg.Output) {
+		return fmt.Errorf("core: I=%s or O=%s outside the %dx%d surface",
+			cfg.Input, cfg.Output, surf.Width(), surf.Height())
+	}
+	if !surf.Occupied(cfg.Input) {
+		return fmt.Errorf("core: no Root block on I=%s (Assumption 2)", cfg.Input)
+	}
+	if cfg.Input != cfg.Output && surf.Occupied(cfg.Output) {
+		return fmt.Errorf("core: O=%s already occupied", cfg.Output)
+	}
+	if !surf.Connected() {
+		return fmt.Errorf("core: initial ensemble not connected (Assumption 1)")
+	}
+	if surf.NumBlocks() >= 2 && cfg.Input != cfg.Output {
+		positions := surf.Positions()
+		sameX, sameY := true, true
+		for _, p := range positions[1:] {
+			if p.X != positions[0].X {
+				sameX = false
+			}
+			if p.Y != positions[0].Y {
+				sameY = false
+			}
+		}
+		if sameX || sameY {
+			return fmt.Errorf("core: initial blocks form a single line or column (excluded by Assumption 2)")
+		}
+	}
+	return nil
+}
+
+// Run executes Algorithm 1 on the DES engine until termination and returns
+// the full result. The surface is mutated in place (final configuration).
+func Run(surf *lattice.Surface, lib *rules.Library, cfg Config, p RunParams) (Result, error) {
+	cfg = cfg.WithDefaults()
+	if err := ValidateInstance(surf, cfg); err != nil {
+		return Result{}, err
+	}
+	if cfg.MaxRounds == 0 {
+		n := surf.NumBlocks()
+		d := cfg.Input.Manhattan(cfg.Output)
+		// Each productive round moves one block one hop towards its final
+		// cell; total work is O(N*d) with escape rounds interleaved. The
+		// cap is a safety net, far above any healthy run.
+		cfg.MaxRounds = 64 + 8*n*(d+2)
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.Latency == nil {
+		p.Latency = sim.UniformLatency{Min: 500, Max: 1500}
+	}
+
+	rec := &termRecorder{}
+	constraints := BuildConstraints(cfg, surf, lib)
+	factory := NewFactory(cfg, rec)
+	if p.Wrap != nil {
+		factory = p.Wrap(factory)
+	}
+	eng, err := sim.NewEngine(surf, lib, factory, sim.Config{
+		Input:       cfg.Input,
+		Output:      cfg.Output,
+		Seed:        p.Seed,
+		Latency:     p.Latency,
+		Constraints: constraints,
+		OnApply:     p.OnApply,
+		Logf:        p.Logf,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	eng.Boot()
+	events := eng.Run(p.MaxEvents)
+
+	res := Result{
+		Success:         rec.fired && rec.success,
+		PathBuilt:       PathBuilt(surf, cfg.Input, cfg.Output),
+		Rounds:          rec.rounds,
+		Hops:            surf.Hops(),
+		Applications:    surf.Applications(),
+		MessagesSent:    eng.MessagesSent(),
+		MessagesDropped: eng.MessagesDropped(),
+		Counters:        cfg.Counters.Snapshot(),
+		Blocks:          surf.NumBlocks(),
+		PathLength:      cfg.Input.Manhattan(cfg.Output),
+		VirtualTime:     eng.Scheduler().Now(),
+		Events:          events,
+	}
+	if !rec.fired {
+		return res, fmt.Errorf("core: simulation quiesced without termination report (%d events)", events)
+	}
+	return res, nil
+}

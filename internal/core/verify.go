@@ -1,0 +1,89 @@
+package core
+
+import (
+	"repro/internal/geom"
+	"repro/internal/lattice"
+)
+
+// OccupiedDistance returns the length (in hops) of the shortest path from a
+// to b travelling only through occupied cells, or -1 if none exists. It is
+// the harness's judge for "the shortest path is built": the reconfiguration
+// succeeded when OccupiedDistance(surf, I, O) == I.Manhattan(O).
+func OccupiedDistance(surf *lattice.Surface, a, b geom.Vec) int {
+	if !surf.Occupied(a) || !surf.Occupied(b) {
+		return -1
+	}
+	if a == b {
+		return 0
+	}
+	dist := map[geom.Vec]int{a: 0}
+	queue := []geom.Vec{a}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, n := range geom.Neighbors4(v) {
+			if !surf.Occupied(n) {
+				continue
+			}
+			if _, seen := dist[n]; seen {
+				continue
+			}
+			dist[n] = dist[v] + 1
+			if n == b {
+				return dist[n]
+			}
+			queue = append(queue, n)
+		}
+	}
+	return -1
+}
+
+// PathBuilt reports whether the occupied cells realise a shortest Manhattan
+// path between I and O.
+func PathBuilt(surf *lattice.Surface, input, output geom.Vec) bool {
+	d := OccupiedDistance(surf, input, output)
+	return d >= 0 && d == input.Manhattan(output)
+}
+
+// ShortestOccupiedPath returns one shortest path from a to b through
+// occupied cells (inclusive of both ends), or nil if none exists. Used by
+// the renderer to highlight the built conveyor line.
+func ShortestOccupiedPath(surf *lattice.Surface, a, b geom.Vec) []geom.Vec {
+	if !surf.Occupied(a) || !surf.Occupied(b) {
+		return nil
+	}
+	if a == b {
+		return []geom.Vec{a}
+	}
+	prev := map[geom.Vec]geom.Vec{a: a}
+	queue := []geom.Vec{a}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, n := range geom.Neighbors4(v) {
+			if !surf.Occupied(n) {
+				continue
+			}
+			if _, seen := prev[n]; seen {
+				continue
+			}
+			prev[n] = v
+			if n == b {
+				var path []geom.Vec
+				for cur := b; ; cur = prev[cur] {
+					path = append(path, cur)
+					if cur == a {
+						break
+					}
+				}
+				// Reverse to a->b order.
+				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+					path[i], path[j] = path[j], path[i]
+				}
+				return path
+			}
+			queue = append(queue, n)
+		}
+	}
+	return nil
+}

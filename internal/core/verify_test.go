@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestOccupiedDistance(t *testing.T) {
+	s := surfaceWith(t, 8, 8,
+		geom.V(1, 0), geom.V(1, 1), geom.V(1, 2), geom.V(2, 2), geom.V(3, 2))
+	if d := OccupiedDistance(s, geom.V(1, 0), geom.V(3, 2)); d != 4 {
+		t.Errorf("distance = %d, want 4", d)
+	}
+	if d := OccupiedDistance(s, geom.V(1, 0), geom.V(1, 0)); d != 0 {
+		t.Errorf("self distance = %d, want 0", d)
+	}
+	// Unoccupied endpoints.
+	if d := OccupiedDistance(s, geom.V(0, 0), geom.V(1, 0)); d != -1 {
+		t.Errorf("empty start = %d, want -1", d)
+	}
+	if d := OccupiedDistance(s, geom.V(1, 0), geom.V(7, 7)); d != -1 {
+		t.Errorf("empty end = %d, want -1", d)
+	}
+	// Disconnected occupied cells.
+	s2 := surfaceWith(t, 8, 8, geom.V(0, 0), geom.V(5, 5))
+	if d := OccupiedDistance(s2, geom.V(0, 0), geom.V(5, 5)); d != -1 {
+		t.Errorf("disconnected = %d, want -1", d)
+	}
+}
+
+func TestPathBuilt(t *testing.T) {
+	// Straight column: a shortest path.
+	s := surfaceWith(t, 6, 8, geom.V(2, 0), geom.V(2, 1), geom.V(2, 2), geom.V(2, 3))
+	if !PathBuilt(s, geom.V(2, 0), geom.V(2, 3)) {
+		t.Error("straight column should be a built path")
+	}
+	// A detour (occupied connection longer than Manhattan) is not.
+	s2 := surfaceWith(t, 8, 8,
+		geom.V(1, 0), geom.V(2, 0), geom.V(3, 0), geom.V(3, 1), geom.V(3, 2),
+		geom.V(2, 2), geom.V(1, 2))
+	if PathBuilt(s2, geom.V(1, 0), geom.V(1, 2)) {
+		t.Error("U-shaped detour is not a shortest path")
+	}
+	// An L-path in general position is.
+	s3 := surfaceWith(t, 8, 8,
+		geom.V(1, 1), geom.V(2, 1), geom.V(3, 1), geom.V(3, 2), geom.V(3, 3))
+	if !PathBuilt(s3, geom.V(1, 1), geom.V(3, 3)) {
+		t.Error("L path should be a built shortest path")
+	}
+}
+
+func TestShortestOccupiedPath(t *testing.T) {
+	s := surfaceWith(t, 8, 8,
+		geom.V(1, 1), geom.V(2, 1), geom.V(3, 1), geom.V(3, 2), geom.V(3, 3))
+	p := ShortestOccupiedPath(s, geom.V(1, 1), geom.V(3, 3))
+	if len(p) != 5 {
+		t.Fatalf("path = %v", p)
+	}
+	if p[0] != geom.V(1, 1) || p[len(p)-1] != geom.V(3, 3) {
+		t.Errorf("endpoints wrong: %v", p)
+	}
+	for i := 1; i < len(p); i++ {
+		if p[i].Manhattan(p[i-1]) != 1 {
+			t.Errorf("path not contiguous at %d: %v", i, p)
+		}
+		if !s.Occupied(p[i]) {
+			t.Errorf("path leaves occupied cells at %v", p[i])
+		}
+	}
+	// Single cell.
+	if p := ShortestOccupiedPath(s, geom.V(1, 1), geom.V(1, 1)); len(p) != 1 {
+		t.Errorf("self path = %v", p)
+	}
+	// None.
+	if p := ShortestOccupiedPath(s, geom.V(1, 1), geom.V(7, 7)); p != nil {
+		t.Errorf("impossible path = %v", p)
+	}
+}

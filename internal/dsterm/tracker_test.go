@@ -1,0 +1,336 @@
+package dsterm
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// --- In-process simulation of a diffusing computation -----------------------
+
+type kind int
+
+const (
+	kActivate kind = iota
+	kAck
+)
+
+type wire struct {
+	from, to int
+	kind     kind
+	round    uint32
+}
+
+// diffusion runs one complete Dijkstra–Scholten diffusing computation over
+// the given undirected graph with adversarially shuffled asynchronous
+// delivery, and returns per-node engagement counts, father links and message
+// totals. trackers persist across calls so multi-round behaviour is tested.
+type diffusion struct {
+	t        *testing.T
+	rng      *rand.Rand
+	adj      [][]int
+	trackers []*Tracker[int]
+
+	queue      []wire
+	engagedCnt []int
+	fathers    []int
+	activates  int
+	acks       int
+	terminated bool
+}
+
+func newDiffusion(t *testing.T, adj [][]int, trackers []*Tracker[int], seed int64) *diffusion {
+	return &diffusion{
+		t:        t,
+		rng:      rand.New(rand.NewSource(seed)),
+		adj:      adj,
+		trackers: trackers,
+	}
+}
+
+func (d *diffusion) send(from, to int, k kind, round uint32) {
+	d.queue = append(d.queue, wire{from: from, to: to, kind: k, round: round})
+	if k == kActivate {
+		d.activates++
+	} else {
+		d.acks++
+	}
+}
+
+func (d *diffusion) run(root int, round uint32) {
+	n := len(d.adj)
+	d.engagedCnt = make([]int, n)
+	d.fathers = make([]int, n)
+	for i := range d.fathers {
+		d.fathers[i] = -1
+	}
+	d.terminated = false
+	d.activates, d.acks = 0, 0
+
+	rt := d.trackers[root]
+	if err := rt.BeginRoot(round); err != nil {
+		d.t.Fatalf("BeginRoot: %v", err)
+	}
+	d.engagedCnt[root]++
+	for _, nb := range d.adj[root] {
+		d.send(root, nb, kActivate, round)
+	}
+	if done, err := rt.RecordSent(len(d.adj[root])); err != nil {
+		d.t.Fatalf("root RecordSent: %v", err)
+	} else if done {
+		// Root with no neighbours: degenerate, immediately terminated.
+		rt.Disengage()
+		d.terminated = true
+	}
+
+	for len(d.queue) > 0 {
+		// Adversarial asynchronous delivery: random in-flight message next.
+		i := d.rng.Intn(len(d.queue))
+		m := d.queue[i]
+		d.queue[i] = d.queue[len(d.queue)-1]
+		d.queue = d.queue[:len(d.queue)-1]
+		d.deliver(m)
+	}
+}
+
+func (d *diffusion) deliver(m wire) {
+	tr := d.trackers[m.to]
+	switch m.kind {
+	case kActivate:
+		class, err := tr.OnActivate(m.round, m.from)
+		if err != nil {
+			d.t.Fatalf("OnActivate(%d<-%d): %v", m.to, m.from, err)
+		}
+		switch class {
+		case Engaged:
+			d.engagedCnt[m.to]++
+			d.fathers[m.to] = m.from
+			sent := 0
+			for _, nb := range d.adj[m.to] {
+				if nb != m.from {
+					d.send(m.to, nb, kActivate, m.round)
+					sent++
+				}
+			}
+			done, err := tr.RecordSent(sent)
+			if err != nil {
+				d.t.Fatalf("RecordSent(%d): %v", m.to, err)
+			}
+			if done {
+				d.send(m.to, tr.Father(), kAck, m.round)
+				tr.Disengage()
+			}
+		case Redundant, Stale:
+			// Protocol: every activation is acknowledged.
+			d.send(m.to, m.from, kAck, m.round)
+		}
+	case kAck:
+		done, err := tr.OnAck(m.round)
+		if err != nil {
+			d.t.Fatalf("OnAck(%d): %v", m.to, err)
+		}
+		if done {
+			if tr.IsRoot() {
+				tr.Disengage()
+				d.terminated = true
+			} else {
+				d.send(m.to, tr.Father(), kAck, m.round)
+				tr.Disengage()
+			}
+		}
+	}
+}
+
+// randomConnectedGraph builds an undirected connected graph: a random
+// spanning tree plus extra random edges.
+func randomConnectedGraph(n int, extra int, rng *rand.Rand) [][]int {
+	adj := make([][]int, n)
+	addEdge := func(a, b int) {
+		for _, x := range adj[a] {
+			if x == b {
+				return
+			}
+		}
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	}
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		addEdge(perm[i], perm[rng.Intn(i)])
+	}
+	for e := 0; e < extra; e++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a != b {
+			addEdge(a, b)
+		}
+	}
+	return adj
+}
+
+// TestDiffusingComputationProperty: over many random graphs and adversarial
+// delivery orders, the computation terminates, reaches every node exactly
+// once as an engagement, leaves everyone disengaged, and conserves messages
+// (every activation acknowledged: acks == activations).
+func TestDiffusingComputationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2014))
+	for trial := 0; trial < 120; trial++ {
+		n := 2 + rng.Intn(40)
+		adj := randomConnectedGraph(n, rng.Intn(2*n), rng)
+		trackers := make([]*Tracker[int], n)
+		for i := range trackers {
+			trackers[i] = &Tracker[int]{}
+		}
+		d := newDiffusion(t, adj, trackers, rng.Int63())
+		root := rng.Intn(n)
+		d.run(root, 1)
+
+		if !d.terminated {
+			t.Fatalf("trial %d: root never detected termination", trial)
+		}
+		for i, tr := range trackers {
+			if tr.Engaged() {
+				t.Fatalf("trial %d: node %d still engaged after termination", trial, i)
+			}
+			if d.engagedCnt[i] != 1 {
+				t.Fatalf("trial %d: node %d engaged %d times", trial, i, d.engagedCnt[i])
+			}
+		}
+		if d.acks != d.activates {
+			t.Fatalf("trial %d: %d activations vs %d acks", trial, d.activates, d.acks)
+		}
+		// Father links of non-roots form a tree rooted at root: following
+		// fathers always reaches the root within n steps.
+		for i := range trackers {
+			if i == root {
+				continue
+			}
+			cur, steps := i, 0
+			for cur != root {
+				cur = d.fathers[cur]
+				steps++
+				if cur < 0 || steps > n {
+					t.Fatalf("trial %d: father chain from %d broken", trial, i)
+				}
+			}
+		}
+	}
+}
+
+// TestConsecutiveRounds: the same trackers support repeated rounds, as in
+// Algorithm 1's iterated elections.
+func TestConsecutiveRounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	adj := randomConnectedGraph(25, 10, rng)
+	trackers := make([]*Tracker[int], 25)
+	for i := range trackers {
+		trackers[i] = &Tracker[int]{}
+	}
+	d := newDiffusion(t, adj, trackers, 99)
+	for round := uint32(1); round <= 5; round++ {
+		d.run(3, round)
+		if !d.terminated {
+			t.Fatalf("round %d did not terminate", round)
+		}
+	}
+}
+
+// TestSingleNodeRoot: a root with no neighbours terminates instantly.
+func TestSingleNodeRoot(t *testing.T) {
+	tr := &Tracker[int]{}
+	if err := tr.BeginRoot(1); err != nil {
+		t.Fatal(err)
+	}
+	done, err := tr.RecordSent(0)
+	if err != nil || !done {
+		t.Fatalf("RecordSent = %v, %v; want done", done, err)
+	}
+	tr.Disengage()
+	if tr.Engaged() {
+		t.Error("still engaged")
+	}
+}
+
+// TestProtocolViolations: the tracker rejects sequences that break DS
+// invariants.
+func TestProtocolViolations(t *testing.T) {
+	tr := &Tracker[int]{}
+	if _, err := tr.OnAck(1); !errors.Is(err, ErrNotEngaged) {
+		t.Errorf("ack while idle: %v", err)
+	}
+	if _, err := tr.RecordSent(1); !errors.Is(err, ErrNotEngaged) {
+		t.Errorf("RecordSent while idle: %v", err)
+	}
+	if err := tr.BeginRoot(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.BeginRoot(2); !errors.Is(err, ErrReengagement) {
+		t.Errorf("double BeginRoot: %v", err)
+	}
+	if _, err := tr.RecordSent(-1); err == nil {
+		t.Error("negative RecordSent must fail")
+	}
+	if _, err := tr.RecordSent(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.OnAck(2); !errors.Is(err, ErrWrongRound) {
+		t.Errorf("wrong-round ack: %v", err)
+	}
+	if done, err := tr.OnAck(1); err != nil || !done {
+		t.Fatalf("valid ack: %v, %v", done, err)
+	}
+	if _, err := tr.OnAck(1); !errors.Is(err, ErrOverAcked) {
+		t.Errorf("over-ack: %v", err)
+	}
+	// Re-engagement while engaged with a newer round is a violation.
+	tr2 := &Tracker[int]{}
+	if _, err := tr2.OnActivate(1, 9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr2.OnActivate(2, 9); !errors.Is(err, ErrWrongRound) {
+		t.Errorf("newer round while engaged: %v", err)
+	}
+}
+
+// TestClassifications covers the activation classification paths.
+func TestClassifications(t *testing.T) {
+	tr := &Tracker[int]{}
+	class, err := tr.OnActivate(5, 2)
+	if err != nil || class != Engaged {
+		t.Fatalf("first activation: %v, %v", class, err)
+	}
+	if tr.Father() != 2 || tr.Round() != 5 || !tr.Engaged() || tr.IsRoot() {
+		t.Error("engagement state wrong")
+	}
+	class, err = tr.OnActivate(5, 3)
+	if err != nil || class != Redundant {
+		t.Errorf("redundant activation: %v, %v", class, err)
+	}
+	class, err = tr.OnActivate(4, 3)
+	if err != nil || class != Stale {
+		t.Errorf("stale activation: %v, %v", class, err)
+	}
+	if Engaged.String() != "engaged" || Redundant.String() != "redundant" || Stale.String() != "stale" {
+		t.Error("classification names wrong")
+	}
+	if Classification(9).String() != "Classification(9)" {
+		t.Error("invalid classification name wrong")
+	}
+}
+
+// TestDeficitAccounting: deficits rise with sends and fall with acks.
+func TestDeficitAccounting(t *testing.T) {
+	tr := &Tracker[int]{}
+	_ = tr.BeginRoot(1)
+	done, _ := tr.RecordSent(3)
+	if done || tr.Deficit() != 3 {
+		t.Fatalf("deficit = %d", tr.Deficit())
+	}
+	for i := 0; i < 2; i++ {
+		if done, _ := tr.OnAck(1); done {
+			t.Fatal("done too early")
+		}
+	}
+	if done, _ := tr.OnAck(1); !done {
+		t.Fatal("not done after all acks")
+	}
+}

@@ -1,0 +1,134 @@
+// Package election implements the value layer of the paper's distributed
+// election (§V-C): the (ShortestDistance, IDshortest) candidates carried by
+// Activate and Ack messages, their order-insensitive aggregation along the
+// Dijkstra–Scholten activity graph, and the per-node routing pointers that
+// let the Root's Select message travel down the father/son tree to the
+// elected block.
+//
+// Tie-breaking: the paper has the Root "select randomly one block" among
+// equally distant candidates. Aggregation along the tree collapses ties
+// before the Root sees them, so randomness is realised with a per-round
+// pseudo-random priority: every block derives Priority = h(round, id) from
+// the public round number, and candidates order by (distance, priority,
+// id). The choice is uniform-like across rounds yet identical on every
+// engine and every message ordering, which keeps runs reproducible.
+package election
+
+import (
+	"fmt"
+
+	"repro/internal/lattice"
+	"repro/internal/msg"
+)
+
+// TieBreak selects how equally distant candidates are ordered.
+type TieBreak int
+
+const (
+	// TieLowestID prefers the smallest block id (fully deterministic).
+	TieLowestID TieBreak = iota
+	// TieRandom uses the per-round pseudo-random priority (the paper's
+	// random selection, made reproducible).
+	TieRandom
+)
+
+// String implements fmt.Stringer.
+func (t TieBreak) String() string {
+	switch t {
+	case TieLowestID:
+		return "lowest-id"
+	case TieRandom:
+		return "random"
+	}
+	return fmt.Sprintf("TieBreak(%d)", int(t))
+}
+
+// Candidate is a block's bid in one election.
+type Candidate struct {
+	Distance int32 // hops to the output O, or msg.InfiniteDistance
+	Priority uint64
+	ID       lattice.BlockID
+}
+
+// Neutral returns the identity element of Merge: an infinitely distant
+// non-block. Blocks with d = +inf (eqs. (8)–(9)) bid Neutral.
+func Neutral() Candidate {
+	return Candidate{Distance: msg.InfiniteDistance, Priority: ^uint64(0), ID: lattice.None}
+}
+
+// IsNeutral reports whether c can never win an election.
+func (c Candidate) IsNeutral() bool { return c.Distance == msg.InfiniteDistance }
+
+// Better reports whether c strictly precedes o in election order:
+// smaller distance, then smaller priority, then smaller id.
+func (c Candidate) Better(o Candidate) bool {
+	if c.Distance != o.Distance {
+		return c.Distance < o.Distance
+	}
+	if c.Priority != o.Priority {
+		return c.Priority < o.Priority
+	}
+	return c.ID < o.ID
+}
+
+// Merge returns the better of a and b. It is commutative, associative and
+// idempotent, with Neutral as identity — the properties that make the
+// tree-fold independent of message arrival order.
+func Merge(a, b Candidate) Candidate {
+	if b.Better(a) {
+		return b
+	}
+	return a
+}
+
+// String implements fmt.Stringer.
+func (c Candidate) String() string {
+	if c.IsNeutral() {
+		return "candidate<none>"
+	}
+	return fmt.Sprintf("candidate<d=%d id=%d>", c.Distance, c.ID)
+}
+
+// PriorityFor derives block id's tie-break priority for an election round.
+// With TieLowestID every priority is zero and order falls back to ids; with
+// TieRandom it is a SplitMix64 hash of (round, id), identical on every
+// engine because both inputs are public protocol state.
+func PriorityFor(mode TieBreak, round uint32, id lattice.BlockID) uint64 {
+	if mode == TieLowestID {
+		return 0
+	}
+	x := uint64(round)<<32 | uint64(uint32(id))
+	// SplitMix64 finaliser.
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Aggregator folds the candidates a node learns during one election round
+// (its own bid plus one per child ack) and remembers which neighbour
+// reported the running best, so Select can be routed later.
+type Aggregator struct {
+	best Candidate
+	via  lattice.BlockID // neighbour that reported best; lattice.None = self
+}
+
+// NewAggregator starts an aggregation with the node's own bid.
+func NewAggregator(own Candidate) *Aggregator {
+	return &Aggregator{best: own, via: lattice.None}
+}
+
+// Fold merges a candidate reported by neighbour `from`.
+func (a *Aggregator) Fold(c Candidate, from lattice.BlockID) {
+	if c.Better(a.best) {
+		a.best = c
+		a.via = from
+	}
+}
+
+// Best returns the current best candidate.
+func (a *Aggregator) Best() Candidate { return a.best }
+
+// Via returns the neighbour whose subtree holds Best, or lattice.None when
+// the node's own bid is best.
+func (a *Aggregator) Via() lattice.BlockID { return a.via }

@@ -1,0 +1,170 @@
+package election
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lattice"
+	"repro/internal/msg"
+)
+
+func randCandidate(rng *rand.Rand) Candidate {
+	if rng.Intn(5) == 0 {
+		return Neutral()
+	}
+	return Candidate{
+		Distance: int32(rng.Intn(100)),
+		Priority: uint64(rng.Intn(8)),
+		ID:       lattice.BlockID(1 + rng.Intn(50)),
+	}
+}
+
+// TestMergeSemilattice: Merge is commutative, associative, idempotent and
+// has Neutral as identity — the algebra that makes the distributed fold
+// order-insensitive.
+func TestMergeSemilattice(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c := randCandidate(rng), randCandidate(rng), randCandidate(rng)
+		if Merge(a, b) != Merge(b, a) {
+			return false
+		}
+		if Merge(Merge(a, b), c) != Merge(a, Merge(b, c)) {
+			return false
+		}
+		if Merge(a, a) != a {
+			return false
+		}
+		return Merge(a, Neutral()) == a && Merge(Neutral(), a) == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBetterOrdering(t *testing.T) {
+	near := Candidate{Distance: 3, ID: 9}
+	far := Candidate{Distance: 8, ID: 1}
+	if !near.Better(far) || far.Better(near) {
+		t.Error("distance must dominate")
+	}
+	a := Candidate{Distance: 3, Priority: 1, ID: 9}
+	b := Candidate{Distance: 3, Priority: 2, ID: 1}
+	if !a.Better(b) {
+		t.Error("priority must break distance ties")
+	}
+	c := Candidate{Distance: 3, Priority: 1, ID: 2}
+	if !c.Better(a) {
+		t.Error("id must break (distance,priority) ties")
+	}
+	if Neutral().Better(near) {
+		t.Error("neutral never wins")
+	}
+	if !near.Better(Neutral()) {
+		t.Error("anything beats neutral")
+	}
+	if !Neutral().IsNeutral() || near.IsNeutral() {
+		t.Error("IsNeutral wrong")
+	}
+}
+
+// TestFoldMatchesLinearScan: aggregating candidates in any order yields the
+// global minimum and routes via the correct neighbour.
+func TestFoldMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		own := randCandidate(rng)
+		n := rng.Intn(6)
+		type report struct {
+			c    Candidate
+			from lattice.BlockID
+		}
+		reports := make([]report, n)
+		for i := range reports {
+			reports[i] = report{randCandidate(rng), lattice.BlockID(100 + i)}
+		}
+		agg := NewAggregator(own)
+		for _, i := range rng.Perm(n) {
+			agg.Fold(reports[i].c, reports[i].from)
+		}
+		// Linear scan reference.
+		best, via := own, lattice.None
+		for _, r := range reports {
+			if r.c.Better(best) {
+				best, via = r.c, r.from
+			}
+		}
+		if agg.Best() != best {
+			t.Fatalf("trial %d: Best = %v, want %v", trial, agg.Best(), best)
+		}
+		if agg.Via() != via {
+			t.Fatalf("trial %d: Via = %v, want %v", trial, agg.Via(), via)
+		}
+	}
+}
+
+func TestPriorityModes(t *testing.T) {
+	if PriorityFor(TieLowestID, 7, 3) != 0 {
+		t.Error("lowest-id mode must have zero priorities")
+	}
+	// Deterministic: same inputs, same priority.
+	if PriorityFor(TieRandom, 7, 3) != PriorityFor(TieRandom, 7, 3) {
+		t.Error("random priority not deterministic")
+	}
+	// Sensitive to both round and id.
+	if PriorityFor(TieRandom, 7, 3) == PriorityFor(TieRandom, 8, 3) {
+		t.Error("priority should vary with round")
+	}
+	if PriorityFor(TieRandom, 7, 3) == PriorityFor(TieRandom, 7, 4) {
+		t.Error("priority should vary with id")
+	}
+}
+
+// TestRandomTieBreakIsFairAcrossRounds: with TieRandom, the winner among a
+// fixed tied set changes from round to round and visits every contender.
+func TestRandomTieBreakIsFairAcrossRounds(t *testing.T) {
+	ids := []lattice.BlockID{1, 2, 3, 4, 5}
+	wins := map[lattice.BlockID]int{}
+	for round := uint32(1); round <= 500; round++ {
+		best := Neutral()
+		for _, id := range ids {
+			c := Candidate{Distance: 4, Priority: PriorityFor(TieRandom, round, id), ID: id}
+			best = Merge(best, c)
+		}
+		wins[best.ID]++
+	}
+	for _, id := range ids {
+		if wins[id] == 0 {
+			t.Errorf("block %d never won a tie in 500 rounds: %v", id, wins)
+		}
+	}
+	// No contender should take the overwhelming majority.
+	for id, w := range wins {
+		if w > 300 {
+			t.Errorf("block %d won %d/500 ties; distribution skewed: %v", id, w, wins)
+		}
+	}
+}
+
+func TestNeutralDistanceIsInfinite(t *testing.T) {
+	if Neutral().Distance != msg.InfiniteDistance {
+		t.Error("neutral must carry the wire infinity")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if TieLowestID.String() != "lowest-id" || TieRandom.String() != "random" {
+		t.Error("tie-break names wrong")
+	}
+	if TieBreak(9).String() != "TieBreak(9)" {
+		t.Error("invalid tie-break name wrong")
+	}
+	if Neutral().String() != "candidate<none>" {
+		t.Error("neutral string wrong")
+	}
+	c := Candidate{Distance: 4, ID: 11}
+	if c.String() != "candidate<d=4 id=11>" {
+		t.Errorf("candidate string = %q", c.String())
+	}
+}

@@ -1,0 +1,175 @@
+// Package event implements the cell-event coding of the paper's motion-rule
+// system: the six event codes of Table I and the validation truth table of
+// Table II. A Motion Matrix is a grid of these codes; overlapping it with a
+// Presence Matrix (cell occupancy) through the truth table decides whether a
+// block motion is permitted by the technology constraints (paper §IV).
+package event
+
+import "fmt"
+
+// Code is one of the six events that can occur at a cell during an elementary
+// block motion (paper Table I).
+type Code int8
+
+const (
+	// RemainsEmpty (code 0, static): the cell remains empty.
+	RemainsEmpty Code = 0
+	// RemainsOccupied (code 1, static): the cell remains occupied by the
+	// same block. In the base rules this marks the required support blocks.
+	RemainsOccupied Code = 1
+	// Any (code 2, static or dynamic): every possible event can occur at
+	// that position; the cell has no incidence on the motion ("don't care").
+	Any Code = 2
+	// BecomesOccupied (code 3, dynamic): an empty cell becomes occupied;
+	// the destination of a moving block.
+	BecomesOccupied Code = 3
+	// BecomesEmpty (code 4, dynamic): an occupied cell becomes empty; the
+	// origin of a moving block.
+	BecomesEmpty Code = 4
+	// Handover (code 5, dynamic): a new block occupies immediately a cell
+	// abandoned by a previous block; the middle cell of a carrying motion.
+	Handover Code = 5
+
+	// NumCodes is the number of distinct event codes.
+	NumCodes = 6
+)
+
+var codeNames = [NumCodes]string{
+	"remains-empty", "remains-occupied", "any",
+	"becomes-occupied", "becomes-empty", "handover",
+}
+
+// codeCases carries the prose of Table I's "Case" column.
+var codeCases = [NumCodes]string{
+	"The cell remains empty",
+	"The cell remains occupied by same block",
+	"Every possible event can occur at that position",
+	"An empty cell becomes occupied",
+	"An occupied cell becomes empty",
+	"A new block occupies immediately a cell abandoned by a previous block",
+}
+
+// Valid reports whether c is one of the six codes of Table I.
+func (c Code) Valid() bool { return c >= 0 && c < NumCodes }
+
+// Static reports whether the cell context is static under c (codes 0 and 1).
+// Code 2 is "static or dynamic" and reports false here; use Wildcard.
+func (c Code) Static() bool { return c == RemainsEmpty || c == RemainsOccupied }
+
+// Dynamic reports whether the cell context changes under c (codes 3, 4, 5).
+func (c Code) Dynamic() bool { return c >= BecomesOccupied && c <= Handover }
+
+// Wildcard reports whether c is the "don't care" code 2.
+func (c Code) Wildcard() bool { return c == Any }
+
+// Context returns Table I's "Context" column for c.
+func (c Code) Context() string {
+	switch {
+	case c.Static():
+		return "Static"
+	case c.Wildcard():
+		return "Stat. or Dyn."
+	case c.Dynamic():
+		return "Dynamic"
+	}
+	return "Invalid"
+}
+
+// Case returns Table I's "Case" column for c.
+func (c Code) Case() string {
+	if !c.Valid() {
+		return "invalid event code"
+	}
+	return codeCases[c]
+}
+
+// String implements fmt.Stringer.
+func (c Code) String() string {
+	if !c.Valid() {
+		return fmt.Sprintf("Code(%d)", int8(c))
+	}
+	return codeNames[c]
+}
+
+// Presence is the initial state of a cell before a motion: Empty or Occupied.
+// The paper encodes it as 0/1 in the Presence Matrix (§IV).
+type Presence int8
+
+const (
+	// Empty means the cell holds no block.
+	Empty Presence = 0
+	// Occupied means the cell holds a block.
+	Occupied Presence = 1
+)
+
+// Valid reports whether p is Empty or Occupied.
+func (p Presence) Valid() bool { return p == Empty || p == Occupied }
+
+// String implements fmt.Stringer.
+func (p Presence) String() string {
+	switch p {
+	case Empty:
+		return "empty"
+	case Occupied:
+		return "occupied"
+	}
+	return fmt.Sprintf("Presence(%d)", int8(p))
+}
+
+// Compatible implements the truth table of Table II: it reports whether
+// event code m may occur at a cell whose initial state is p. The motion
+// validation operator MM⊗MP applies Compatible entry-wise and requires all
+// entries to hold (paper eq. (3)).
+//
+//	Motion     0 1 2 3 4 5
+//	Presence 0 1 0 1 1 0 0
+//	Presence 1 0 1 1 0 1 1
+func Compatible(m Code, p Presence) bool {
+	if !m.Valid() || !p.Valid() {
+		return false
+	}
+	if p == Empty {
+		return m == RemainsEmpty || m == Any || m == BecomesOccupied
+	}
+	return m == RemainsOccupied || m == Any || m == BecomesEmpty || m == Handover
+}
+
+// TruthTable returns Table II as a 2x6 matrix of 0/1 entries; row index is
+// the Presence value, column index the motion Code.
+func TruthTable() [2][NumCodes]int {
+	var t [2][NumCodes]int
+	for p := Empty; p <= Occupied; p++ {
+		for m := Code(0); m < NumCodes; m++ {
+			if Compatible(m, p) {
+				t[p][m] = 1
+			}
+		}
+	}
+	return t
+}
+
+// OccupiedAfter returns the cell occupancy after a motion whose event at the
+// cell is c, given the initial occupancy. For the wildcard code the occupancy
+// is unchanged (the rule does not touch the cell).
+func OccupiedAfter(c Code, before Presence) Presence {
+	switch c {
+	case RemainsEmpty, BecomesEmpty:
+		return Empty
+	case RemainsOccupied, BecomesOccupied, Handover:
+		return Occupied
+	default: // Any
+		return before
+	}
+}
+
+// RequiredBefore returns the initial occupancy required by code c and whether
+// the code constrains the initial occupancy at all (the wildcard does not).
+func RequiredBefore(c Code) (p Presence, constrained bool) {
+	switch c {
+	case RemainsEmpty, BecomesOccupied:
+		return Empty, true
+	case RemainsOccupied, BecomesEmpty, Handover:
+		return Occupied, true
+	}
+	return Empty, false
+}

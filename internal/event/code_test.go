@@ -1,0 +1,160 @@
+package event
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestTableICodes checks every row of Table I: code, context, case.
+func TestTableICodes(t *testing.T) {
+	rows := []struct {
+		code    Code
+		context string
+		caseTxt string
+	}{
+		{0, "Static", "The cell remains empty"},
+		{1, "Static", "The cell remains occupied by same block"},
+		{2, "Stat. or Dyn.", "Every possible event can occur at that position"},
+		{3, "Dynamic", "An empty cell becomes occupied"},
+		{4, "Dynamic", "An occupied cell becomes empty"},
+		{5, "Dynamic", "A new block occupies immediately a cell abandoned by a previous block"},
+	}
+	for _, r := range rows {
+		if !r.code.Valid() {
+			t.Errorf("code %d should be valid", r.code)
+		}
+		if got := r.code.Context(); got != r.context {
+			t.Errorf("code %d context = %q, want %q", r.code, got, r.context)
+		}
+		if got := r.code.Case(); got != r.caseTxt {
+			t.Errorf("code %d case = %q, want %q", r.code, got, r.caseTxt)
+		}
+	}
+	if Code(6).Valid() || Code(-1).Valid() {
+		t.Error("out-of-range codes should be invalid")
+	}
+}
+
+// TestTableIClassification checks the static/dynamic partition of Table I.
+func TestTableIClassification(t *testing.T) {
+	if !RemainsEmpty.Static() || !RemainsOccupied.Static() {
+		t.Error("codes 0,1 must be static")
+	}
+	if !BecomesOccupied.Dynamic() || !BecomesEmpty.Dynamic() || !Handover.Dynamic() {
+		t.Error("codes 3,4,5 must be dynamic")
+	}
+	if !Any.Wildcard() || Any.Static() || Any.Dynamic() {
+		t.Error("code 2 must be wildcard, neither purely static nor dynamic")
+	}
+	for c := Code(0); c < NumCodes; c++ {
+		n := 0
+		if c.Static() {
+			n++
+		}
+		if c.Dynamic() {
+			n++
+		}
+		if c.Wildcard() {
+			n++
+		}
+		if n != 1 {
+			t.Errorf("code %d matches %d classes, want exactly 1", c, n)
+		}
+	}
+}
+
+// TestTableIITruthTable checks the full 2x6 table of Table II verbatim.
+func TestTableIITruthTable(t *testing.T) {
+	want := [2][NumCodes]int{
+		{1, 0, 1, 1, 0, 0}, // presence 0
+		{0, 1, 1, 0, 1, 1}, // presence 1
+	}
+	if got := TruthTable(); got != want {
+		t.Fatalf("TruthTable =\n%v\nwant\n%v", got, want)
+	}
+}
+
+// TestCompatibleExhaustive cross-checks Compatible against first principles:
+// a code is compatible with a presence iff the code's required initial
+// occupancy matches (or the code is the wildcard).
+func TestCompatibleExhaustive(t *testing.T) {
+	for c := Code(0); c < NumCodes; c++ {
+		for _, p := range []Presence{Empty, Occupied} {
+			req, constrained := RequiredBefore(c)
+			want := !constrained || req == p
+			if got := Compatible(c, p); got != want {
+				t.Errorf("Compatible(%v,%v) = %v, want %v", c, p, got, want)
+			}
+		}
+	}
+	if Compatible(Code(9), Empty) || Compatible(RemainsEmpty, Presence(7)) {
+		t.Error("invalid inputs must be incompatible")
+	}
+}
+
+// TestWildcardCompatibleWithEverything: column 2 of Table II is all ones.
+func TestWildcardCompatibleWithEverything(t *testing.T) {
+	f := func(p bool) bool {
+		pres := Empty
+		if p {
+			pres = Occupied
+		}
+		return Compatible(Any, pres)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOccupiedAfter covers the post-state of every code.
+func TestOccupiedAfter(t *testing.T) {
+	cases := []struct {
+		c      Code
+		before Presence
+		want   Presence
+	}{
+		{RemainsEmpty, Empty, Empty},
+		{RemainsOccupied, Occupied, Occupied},
+		{BecomesOccupied, Empty, Occupied},
+		{BecomesEmpty, Occupied, Empty},
+		{Handover, Occupied, Occupied},
+		{Any, Empty, Empty},
+		{Any, Occupied, Occupied},
+	}
+	for _, c := range cases {
+		if got := OccupiedAfter(c.c, c.before); got != c.want {
+			t.Errorf("OccupiedAfter(%v,%v) = %v, want %v", c.c, c.before, got, c.want)
+		}
+	}
+}
+
+// TestHandoverConservation: code 5 keeps the cell occupied through the swap,
+// which is what makes carrying rules conserve support (the paper's "a new
+// block occupies immediately a cell abandoned by a previous block").
+func TestHandoverConservation(t *testing.T) {
+	if OccupiedAfter(Handover, Occupied) != Occupied {
+		t.Error("handover must leave the cell occupied")
+	}
+	req, constrained := RequiredBefore(Handover)
+	if !constrained || req != Occupied {
+		t.Error("handover requires the cell initially occupied")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if Handover.String() != "handover" || RemainsEmpty.String() != "remains-empty" {
+		t.Error("code names wrong")
+	}
+	if Code(9).String() != "Code(9)" {
+		t.Error("invalid code name wrong")
+	}
+	if Empty.String() != "empty" || Occupied.String() != "occupied" {
+		t.Error("presence names wrong")
+	}
+	if Presence(3).String() != "Presence(3)" {
+		t.Error("invalid presence name wrong")
+	}
+	if Presence(3).Valid() {
+		t.Error("Presence(3) must be invalid")
+	}
+}

@@ -1,0 +1,102 @@
+// Package exec defines the execution model shared by the two engines that
+// can run a block program: the deterministic discrete-event simulator
+// (internal/sim, the VisibleSim substitute of §V-E) and the asynchronous
+// goroutine runtime (internal/runtime). A per-block program — the paper
+// calls it a BlockCode — is written once against these interfaces and runs
+// unchanged on either engine.
+package exec
+
+import (
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/lattice"
+	"repro/internal/msg"
+	"repro/internal/rules"
+)
+
+// Env is a block's view of its host hardware: identity, registers, the four
+// side ports, sensors, motion actuators, and the rule library stored in its
+// memory (the XML capabilities of Fig. 7). Engines guarantee that all
+// callbacks of one block are serialised, so a BlockCode never needs locks
+// around its own state.
+type Env interface {
+	// ID returns the host block's identifier.
+	ID() lattice.BlockID
+	// Position returns the block's current cell. Blocks "store in registers
+	// their position on the surface" (Assumption 2); engines keep the
+	// register current as the block moves.
+	Position() geom.Vec
+	// Input returns the position of the input cell I (where the Root sits).
+	Input() geom.Vec
+	// Output returns the position of the output cell O, known to all blocks
+	// (Assumption 2).
+	Output() geom.Vec
+
+	// Neighbors returns the Neighbor Table NT: the adjacent block on each
+	// lateral side, or lattice.None (§V-B).
+	Neighbors() [geom.NumDirs]lattice.BlockID
+	// Send transmits a message through the port facing the given adjacent
+	// block. Sending to a non-adjacent block fails: ports are physical
+	// contacts (§II).
+	Send(to lattice.BlockID, m msg.Message) error
+
+	// Sense reports the occupancy of a cell within the sensing window
+	// (Chebyshev distance <= SensingRadius from the block). Side sensors
+	// give distance-1 cells; rounds of neighbour information exchange
+	// extend the window far enough to evaluate every library rule anchored
+	// so that this block is one of its movers (twice the largest rule
+	// radius: distance 2 for the paper's 3x3 rules, 4 with the 5x5
+	// chain-carry extension). Cells outside the window panic: the hardware
+	// has no way to observe them.
+	Sense(v geom.Vec) bool
+	// SensingRadius returns the window radius (2 x the max rule radius).
+	SensingRadius() int
+
+	// Library returns the motion capabilities stored in the block.
+	Library() *rules.Library
+	// Move asks the actuators to execute a rule application in which this
+	// block is a mover. The physical layer validates it against the full
+	// surface (including the global connectivity guard of Remark 1) and
+	// executes it atomically; helpers move in the same instant.
+	Move(app rules.Application) error
+
+	// Rand returns this block's deterministic random source (seeded from
+	// the engine seed and the block id); the Root uses it for the paper's
+	// random tie-break among equally distant blocks.
+	Rand() *rand.Rand
+	// Logf emits a debug line tagged with the block id, the analogue of
+	// VisibleSim's per-block debugging text (§V-E). Engines may discard it.
+	Logf(format string, args ...any)
+}
+
+// BlockCode is the per-block program, named after VisibleSim's concept of
+// the same name (§V-E). Engines call the hooks with the block's Env; hooks
+// of a single block never run concurrently.
+type BlockCode interface {
+	// OnStart runs once when the system boots, before any message flows.
+	OnStart(env Env)
+	// OnMessage runs for each message popped from the block's reception
+	// buffers (Fig. 8).
+	OnMessage(env Env, from lattice.BlockID, m msg.Message)
+	// OnMoved runs after the host block was physically displaced, whether
+	// as the initiating mover or as a carried helper.
+	OnMoved(env Env, from, to geom.Vec)
+	// OnNeighborhoodChanged runs when any cell inside the block's sensing
+	// window changed occupancy without the block itself moving (a sensor
+	// interrupt). The block may re-evaluate its mobility.
+	OnNeighborhoodChanged(env Env)
+}
+
+// CodeFactory builds the BlockCode for a block; engines call it once per
+// block at boot.
+type CodeFactory func(id lattice.BlockID) BlockCode
+
+// Termination is how the algorithm reports completion to the engine and the
+// harness: the Root calls Finish exactly once.
+type Termination interface {
+	// Finish reports whether the reconfiguration succeeded (a block
+	// occupies O and the path stands) after the given number of election
+	// rounds.
+	Finish(success bool, rounds int)
+}

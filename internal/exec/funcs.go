@@ -1,0 +1,47 @@
+package exec
+
+import (
+	"repro/internal/geom"
+	"repro/internal/lattice"
+	"repro/internal/msg"
+)
+
+// BlockCodeFuncs adapts plain functions to the BlockCode interface; nil
+// fields are no-ops. Tests and small tools use it to avoid boilerplate,
+// the same way http.HandlerFunc adapts functions to http.Handler.
+type BlockCodeFuncs struct {
+	Start               func(Env)
+	Message             func(Env, lattice.BlockID, msg.Message)
+	Moved               func(Env, geom.Vec, geom.Vec)
+	NeighborhoodChanged func(Env)
+}
+
+// OnStart implements BlockCode.
+func (f BlockCodeFuncs) OnStart(env Env) {
+	if f.Start != nil {
+		f.Start(env)
+	}
+}
+
+// OnMessage implements BlockCode.
+func (f BlockCodeFuncs) OnMessage(env Env, from lattice.BlockID, m msg.Message) {
+	if f.Message != nil {
+		f.Message(env, from, m)
+	}
+}
+
+// OnMoved implements BlockCode.
+func (f BlockCodeFuncs) OnMoved(env Env, from, to geom.Vec) {
+	if f.Moved != nil {
+		f.Moved(env, from, to)
+	}
+}
+
+// OnNeighborhoodChanged implements BlockCode.
+func (f BlockCodeFuncs) OnNeighborhoodChanged(env Env) {
+	if f.NeighborhoodChanged != nil {
+		f.NeighborhoodChanged(env)
+	}
+}
+
+var _ BlockCode = BlockCodeFuncs{}

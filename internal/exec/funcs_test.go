@@ -1,0 +1,34 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/lattice"
+	"repro/internal/msg"
+)
+
+// TestBlockCodeFuncsDispatch: every hook dispatches to its function and
+// nil hooks are safe no-ops.
+func TestBlockCodeFuncsDispatch(t *testing.T) {
+	var started, messaged, moved, changed int
+	code := BlockCodeFuncs{
+		Start:               func(Env) { started++ },
+		Message:             func(Env, lattice.BlockID, msg.Message) { messaged++ },
+		Moved:               func(Env, geom.Vec, geom.Vec) { moved++ },
+		NeighborhoodChanged: func(Env) { changed++ },
+	}
+	code.OnStart(nil)
+	code.OnMessage(nil, 1, msg.Message{})
+	code.OnMoved(nil, geom.V(0, 0), geom.V(1, 0))
+	code.OnNeighborhoodChanged(nil)
+	if started != 1 || messaged != 1 || moved != 1 || changed != 1 {
+		t.Errorf("dispatch counts: %d %d %d %d", started, messaged, moved, changed)
+	}
+
+	var empty BlockCodeFuncs
+	empty.OnStart(nil)
+	empty.OnMessage(nil, 1, msg.Message{})
+	empty.OnMoved(nil, geom.V(0, 0), geom.V(1, 0))
+	empty.OnNeighborhoodChanged(nil)
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEveryExperimentRuns: each regenerator completes without error and
+// produces non-trivial output. This is the end-to-end guarantee that
+// `sbbench -exp all` reproduces the full evaluation.
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are not short")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			out, err := e.Run()
+			if err != nil {
+				t.Fatalf("%s (%s): %v\n%s", e.ID, e.Paper, err, out)
+			}
+			if len(strings.TrimSpace(out)) < 20 {
+				t.Errorf("%s: suspiciously short output %q", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("fig10"); !ok {
+		t.Error("fig10 should exist")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("unknown id should not resolve")
+	}
+	if len(All()) != 17 {
+		t.Errorf("experiment count = %d, want 17", len(All()))
+	}
+}

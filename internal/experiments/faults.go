@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/faults"
+	"repro/internal/rules"
+	"repro/internal/scenario"
+	"repro/internal/stats"
+)
+
+// Faults regenerates the fault-injection study behind the paper's future
+// work ("we plan also to deal with fault detection, e.g., block failures,
+// and sensor failures", §VI):
+//
+//   - sensor faults: long-range occupancy readings flip with probability p;
+//     the algorithm's layered defences (physics validation, suppression
+//     backoff, election-ladder retries) absorb moderate noise at the cost
+//     of extra rounds;
+//   - block crashes: a silent block wedges the Dijkstra–Scholten election,
+//     demonstrating that the published protocol needs the future-work
+//     detection layer to survive crash faults.
+func Faults() (string, error) {
+	t := stats.NewTable("Fig. 10 under injected faults",
+		"fault", "runs", "solved", "mean rounds", "mean hops")
+
+	clean, err := runFig10(nil)
+	if err != nil {
+		return "", err
+	}
+	t.AddRow("none", 1, 1, clean.Rounds, clean.Hops)
+
+	for _, p := range []float64{0.01, 0.03, 0.10} {
+		const runs = 5
+		solved := 0
+		var rounds, hops []float64
+		for seed := int64(1); seed <= runs; seed++ {
+			res, err := runFig10(func(inner exec.CodeFactory) exec.CodeFactory {
+				return faults.FlakySensors(inner, p, seed)
+			})
+			if err != nil {
+				continue // a wedged run counts as unsolved
+			}
+			if res.Success && res.PathBuilt {
+				solved++
+				rounds = append(rounds, float64(res.Rounds))
+				hops = append(hops, float64(res.Hops))
+			}
+		}
+		t.AddRow(fmt.Sprintf("sensors p=%.2f", p), runs, solved,
+			stats.Summarize(rounds).Mean, stats.Summarize(hops).Mean)
+	}
+
+	// One crashed block: the election wedges (no termination report).
+	_, err = runFig10(func(inner exec.CodeFactory) exec.CodeFactory {
+		return faults.DeadBlocks(inner, 11)
+	})
+	crashed := "wedges the election (as expected: detection is future work)"
+	if err == nil {
+		return t.String(), fmt.Errorf("faults: a crashed block should wedge the election")
+	}
+	out := t.String() + "block crash (#11 silent): " + crashed + "\n"
+	return out, nil
+}
+
+func runFig10(wrap func(exec.CodeFactory) exec.CodeFactory) (core.Result, error) {
+	s, err := scenario.Fig10()
+	if err != nil {
+		return core.Result{}, err
+	}
+	return core.Run(s.Surface, rules.StandardLibrary(), s.Config(), core.RunParams{
+		Seed: 1,
+		Wrap: wrap,
+	})
+}

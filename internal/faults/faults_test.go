@@ -1,0 +1,120 @@
+package faults
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/lattice"
+	"repro/internal/rules"
+	"repro/internal/scenario"
+)
+
+// TestFlakySensorsToleratedAtLowRates: with a few percent of long-range
+// sensor readings flipped, the algorithm still completes the Fig. 10
+// reconfiguration. The defence in depth is structural: misplanned motions
+// are rejected by the physical layer, the block self-suppresses, and the
+// Root elects another block; missed opportunities cost extra rounds, not
+// correctness.
+func TestFlakySensorsToleratedAtLowRates(t *testing.T) {
+	for _, p := range []float64{0.01, 0.03} {
+		ok := 0
+		const trials = 5
+		for seed := int64(1); seed <= trials; seed++ {
+			s, err := scenario.Fig10()
+			if err != nil {
+				t.Fatal(err)
+			}
+			tally := &Tally{}
+			res, err := core.Run(s.Surface, rules.StandardLibrary(), s.Config(), core.RunParams{
+				Seed: seed,
+				Wrap: func(inner exec.CodeFactory) exec.CodeFactory {
+					return CountingFlakySensors(inner, p, seed, tally)
+				},
+			})
+			if err != nil {
+				continue
+			}
+			if tally.Flips() == 0 {
+				t.Errorf("p=%v seed=%d: no sensor faults were injected (%d reads)",
+					p, seed, tally.Reads())
+			}
+			if res.Success && res.PathBuilt {
+				ok++
+			}
+		}
+		if ok < trials-1 {
+			t.Errorf("p=%v: only %d/%d flaky runs completed", p, ok, trials)
+		}
+	}
+}
+
+// TestFlakySensorsCostRounds: sensor faults may cost extra elections
+// compared to the clean run, never fewer productive outcomes.
+func TestFlakySensorsCostRounds(t *testing.T) {
+	clean, err := scenario.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanRes, err := core.Run(clean.Surface, rules.StandardLibrary(), clean.Config(), core.RunParams{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := scenario.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(s.Surface, rules.StandardLibrary(), s.Config(), core.RunParams{
+		Seed: 1,
+		Wrap: func(inner exec.CodeFactory) exec.CodeFactory {
+			return FlakySensors(inner, 0.02, 7)
+		},
+	})
+	if err != nil {
+		t.Skipf("this seed's fault pattern wedged the run: %v", err)
+	}
+	if res.Success && res.Rounds < cleanRes.Rounds/2 {
+		t.Errorf("faulty run used suspiciously few rounds: %d vs clean %d",
+			res.Rounds, cleanRes.Rounds)
+	}
+}
+
+// TestDeadBlockWedgesElection documents that the published protocol does
+// not tolerate crash faults: a dead (silent) block never acknowledges its
+// activation, the Dijkstra-Scholten deficit never clears, and the run ends
+// without a termination report — precisely the gap the paper's future-work
+// section ("fault detection") is about.
+func TestDeadBlockWedgesElection(t *testing.T) {
+	s, err := scenario.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill block #11 (top of the lane; not the Root).
+	_, err = core.Run(s.Surface, rules.StandardLibrary(), s.Config(), core.RunParams{
+		Seed: 1,
+		Wrap: func(inner exec.CodeFactory) exec.CodeFactory {
+			return DeadBlocks(inner, 11)
+		},
+	})
+	if err == nil {
+		t.Fatal("run with a crashed block should not report termination")
+	}
+}
+
+// TestDeadBlocksFactorySelective: only the listed ids are silenced.
+func TestDeadBlocksFactorySelective(t *testing.T) {
+	calls := map[lattice.BlockID]bool{}
+	inner := func(id lattice.BlockID) exec.BlockCode {
+		calls[id] = true
+		return exec.BlockCodeFuncs{}
+	}
+	f := DeadBlocks(inner, 3)
+	_ = f(3)
+	_ = f(5)
+	if calls[3] {
+		t.Error("dead block's inner code should not be constructed")
+	}
+	if !calls[5] {
+		t.Error("healthy block's inner code missing")
+	}
+}

@@ -1,0 +1,95 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRectSpanningCanonical(t *testing.T) {
+	// Regardless of corner order, the spanned rectangle is the same: the
+	// paper's graph G may be oriented left-up, right-down, etc. (§III).
+	a, b := V(7, 2), V(3, 9)
+	r1 := RectSpanning(a, b)
+	r2 := RectSpanning(b, a)
+	if r1 != r2 {
+		t.Fatalf("RectSpanning not symmetric: %v vs %v", r1, r2)
+	}
+	if r1.Min != V(3, 2) || r1.Max != V(7, 9) {
+		t.Errorf("bounds = %v", r1)
+	}
+	if r1.Width() != 5 || r1.Height() != 8 || r1.Area() != 40 {
+		t.Errorf("dims = %dx%d area %d", r1.Width(), r1.Height(), r1.Area())
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := RectSpanning(V(0, 0), V(4, 4))
+	for _, v := range []Vec{V(0, 0), V(4, 4), V(2, 3), V(0, 4)} {
+		if !r.Contains(v) {
+			t.Errorf("%v should be in %v", v, r)
+		}
+	}
+	for _, v := range []Vec{V(-1, 0), V(5, 0), V(2, 5), V(0, -1)} {
+		if r.Contains(v) {
+			t.Errorf("%v should not be in %v", v, r)
+		}
+	}
+}
+
+func TestRectCellsOrderAndCount(t *testing.T) {
+	r := RectSpanning(V(1, 1), V(3, 2))
+	var got []Vec
+	r.Cells(func(v Vec) { got = append(got, v) })
+	want := []Vec{V(1, 1), V(2, 1), V(3, 1), V(1, 2), V(2, 2), V(3, 2)}
+	if len(got) != len(want) {
+		t.Fatalf("got %d cells, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("cell %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRectExpandUnion(t *testing.T) {
+	r := RectSpanning(V(2, 2), V(3, 3)).Expand(1)
+	if r.Min != V(1, 1) || r.Max != V(4, 4) {
+		t.Errorf("Expand = %v", r)
+	}
+	u := RectSpanning(V(0, 0), V(1, 1)).Union(RectSpanning(V(5, 5), V(6, 6)))
+	if u.Min != V(0, 0) || u.Max != V(6, 6) {
+		t.Errorf("Union = %v", u)
+	}
+}
+
+func TestRectSpanningContainsCorners(t *testing.T) {
+	f := func(ax, ay, bx, by int8) bool {
+		a, b := V(int(ax), int(ay)), V(int(bx), int(by))
+		r := RectSpanning(a, b)
+		return r.Contains(a) && r.Contains(b) &&
+			r.Area() == r.Width()*r.Height() && r.Area() >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxShortestPath(t *testing.T) {
+	// Paper §III: the maximum length of a shortest path on the surface is
+	// W + H - 1 (I and O at opposite corners).
+	if got := MaxShortestPath(10, 10); got != 19 {
+		t.Errorf("MaxShortestPath(10,10) = %d, want 19", got)
+	}
+	if got := MaxShortestPath(1, 12); got != 12 {
+		t.Errorf("MaxShortestPath(1,12) = %d, want 12", got)
+	}
+	// Consistency with the metric: W + H - 1 is the number of cells on a
+	// shortest path between opposite corners, i.e. corner Manhattan distance
+	// (in hops) plus one. This matches Lemma 1's "path length N-1 with N
+	// blocks" accounting.
+	w, h := 6, 9
+	d := V(0, 0).Manhattan(V(w-1, h-1))
+	if d+1 != MaxShortestPath(w, h) {
+		t.Errorf("corner hops+1 = %d, MaxShortestPath = %d", d+1, MaxShortestPath(w, h))
+	}
+}

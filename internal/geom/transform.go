@@ -1,0 +1,102 @@
+package geom
+
+import "fmt"
+
+// Transform is an element of the dihedral group D4: the eight symmetries of
+// the square. The paper derives additional motion rules from the base ones
+// "via symmetry or rotation of a selected block motion" (§IV, Fig. 4);
+// applying every Transform to a base rule yields the full rule family.
+//
+// Transforms act on relative displacements about the origin. Rotations are
+// counter-clockwise in the east/north coordinate frame.
+type Transform int
+
+const (
+	Identity      Transform = iota // (x,y) -> (x,y)
+	Rot90                          // (x,y) -> (-y,x)
+	Rot180                         // (x,y) -> (-x,-y)
+	Rot270                         // (x,y) -> (y,-x)
+	MirrorX                        // (x,y) -> (-x,y)   horizontal flip (west<->east)
+	MirrorY                        // (x,y) -> (x,-y)   vertical flip (north<->south)
+	MirrorNE                       // (x,y) -> (y,x)    flip about the x=y diagonal
+	MirrorNW                       // (x,y) -> (-y,-x)  flip about the x=-y diagonal
+	NumTransforms = 8
+)
+
+var transformNames = [NumTransforms]string{
+	"identity", "rot90", "rot180", "rot270",
+	"mirror-x", "mirror-y", "mirror-ne", "mirror-nw",
+}
+
+// Valid reports whether t is one of the eight D4 elements.
+func (t Transform) Valid() bool { return t >= 0 && t < NumTransforms }
+
+// String implements fmt.Stringer.
+func (t Transform) String() string {
+	if !t.Valid() {
+		return fmt.Sprintf("Transform(%d)", int(t))
+	}
+	return transformNames[t]
+}
+
+// Apply maps the relative vector v through t.
+func (t Transform) Apply(v Vec) Vec {
+	switch t {
+	case Identity:
+		return v
+	case Rot90:
+		return Vec{-v.Y, v.X}
+	case Rot180:
+		return Vec{-v.X, -v.Y}
+	case Rot270:
+		return Vec{v.Y, -v.X}
+	case MirrorX:
+		return Vec{-v.X, v.Y}
+	case MirrorY:
+		return Vec{v.X, -v.Y}
+	case MirrorNE:
+		return Vec{v.Y, v.X}
+	case MirrorNW:
+		return Vec{-v.Y, -v.X}
+	}
+	panic(fmt.Sprintf("geom: invalid transform %d", int(t)))
+}
+
+// Compose returns the transform equivalent to applying u first, then t
+// (function composition t∘u).
+func (t Transform) Compose(u Transform) Transform {
+	// Small group: derive by probing two independent vectors.
+	a := t.Apply(u.Apply(Vec{1, 0}))
+	b := t.Apply(u.Apply(Vec{0, 1}))
+	for _, w := range Transforms() {
+		if w.Apply(Vec{1, 0}) == a && w.Apply(Vec{0, 1}) == b {
+			return w
+		}
+	}
+	panic("geom: D4 is not closed; unreachable")
+}
+
+// Inverse returns the transform undoing t.
+func (t Transform) Inverse() Transform {
+	for _, w := range Transforms() {
+		if t.Compose(w) == Identity {
+			return w
+		}
+	}
+	panic("geom: D4 element without inverse; unreachable")
+}
+
+// IsRotation reports whether t is one of the four pure rotations.
+func (t Transform) IsRotation() bool { return t >= Identity && t <= Rot270 }
+
+// Transforms returns all eight D4 elements in deterministic order.
+func Transforms() [NumTransforms]Transform {
+	return [NumTransforms]Transform{
+		Identity, Rot90, Rot180, Rot270, MirrorX, MirrorY, MirrorNE, MirrorNW,
+	}
+}
+
+// Rotations returns the four pure rotations in deterministic order.
+func Rotations() [4]Transform {
+	return [4]Transform{Identity, Rot90, Rot180, Rot270}
+}

@@ -1,0 +1,109 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTransformBasics(t *testing.T) {
+	v := V(2, 1)
+	cases := []struct {
+		tr   Transform
+		want Vec
+	}{
+		{Identity, V(2, 1)},
+		{Rot90, V(-1, 2)},
+		{Rot180, V(-2, -1)},
+		{Rot270, V(1, -2)},
+		{MirrorX, V(-2, 1)},
+		{MirrorY, V(2, -1)},
+		{MirrorNE, V(1, 2)},
+		{MirrorNW, V(-1, -2)},
+	}
+	for _, c := range cases {
+		if got := c.tr.Apply(v); got != c.want {
+			t.Errorf("%v.Apply(%v) = %v, want %v", c.tr, v, got, c.want)
+		}
+	}
+}
+
+func TestTransformPreservesNorm(t *testing.T) {
+	f := func(x, y int8, ti uint8) bool {
+		tr := Transform(int(ti) % NumTransforms)
+		v := V(int(x), int(y))
+		return tr.Apply(v).Norm1() == v.Norm1()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransformGroupClosure(t *testing.T) {
+	// D4 is a group of order 8: composition stays in the set and every
+	// element has an inverse.
+	for _, a := range Transforms() {
+		for _, b := range Transforms() {
+			c := a.Compose(b)
+			if !c.Valid() {
+				t.Fatalf("%v∘%v = invalid %v", a, b, c)
+			}
+			// Verify on a probe vector that composition is correct.
+			v := V(3, 1)
+			if c.Apply(v) != a.Apply(b.Apply(v)) {
+				t.Errorf("(%v∘%v) disagrees with sequential application", a, b)
+			}
+		}
+		inv := a.Inverse()
+		if a.Compose(inv) != Identity || inv.Compose(a) != Identity {
+			t.Errorf("%v inverse %v does not compose to identity", a, inv)
+		}
+	}
+}
+
+func TestRotationSubgroup(t *testing.T) {
+	if Rot90.Compose(Rot90) != Rot180 {
+		t.Error("Rot90∘Rot90 != Rot180")
+	}
+	if Rot90.Compose(Rot270) != Identity {
+		t.Error("Rot90∘Rot270 != Identity")
+	}
+	if Rot180.Compose(Rot180) != Identity {
+		t.Error("Rot180 is not an involution")
+	}
+	for _, r := range Rotations() {
+		if !r.IsRotation() {
+			t.Errorf("%v should be a rotation", r)
+		}
+	}
+	for _, m := range []Transform{MirrorX, MirrorY, MirrorNE, MirrorNW} {
+		if m.IsRotation() {
+			t.Errorf("%v should not be a rotation", m)
+		}
+		if m.Compose(m) != Identity {
+			t.Errorf("mirror %v is not an involution", m)
+		}
+	}
+}
+
+func TestTransformDirMapping(t *testing.T) {
+	// Rotating a direction vector by Rot90 turns east into north, etc.,
+	// matching Dir.CCW. This is what lets rule derivation reuse Dir math.
+	for _, d := range Dirs() {
+		got := Rot90.Apply(d.Vec())
+		if got != d.CCW().Vec() {
+			t.Errorf("Rot90 of %v = %v, want %v", d, got, d.CCW().Vec())
+		}
+	}
+}
+
+func TestTransformStrings(t *testing.T) {
+	if Identity.String() != "identity" || Rot90.String() != "rot90" {
+		t.Error("transform names wrong")
+	}
+	if Transform(42).String() != "Transform(42)" {
+		t.Error("invalid transform name wrong")
+	}
+	if Transform(42).Valid() {
+		t.Error("Transform(42) should be invalid")
+	}
+}

@@ -1,0 +1,166 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestVecArithmetic(t *testing.T) {
+	a := V(3, -2)
+	b := V(-1, 5)
+	if got := a.Add(b); got != V(2, 3) {
+		t.Errorf("Add = %v, want (2,3)", got)
+	}
+	if got := a.Sub(b); got != V(4, -7) {
+		t.Errorf("Sub = %v, want (4,-7)", got)
+	}
+	if got := a.Neg(); got != V(-3, 2) {
+		t.Errorf("Neg = %v, want (-3,2)", got)
+	}
+	if got := a.Scale(-2); got != V(-6, 4) {
+		t.Errorf("Scale = %v, want (-6,4)", got)
+	}
+}
+
+func TestManhattan(t *testing.T) {
+	cases := []struct {
+		a, b Vec
+		want int
+	}{
+		{V(0, 0), V(0, 0), 0},
+		{V(0, 0), V(3, 4), 7},
+		{V(2, 0), V(2, 11), 11}, // the Fig. 10 instance: I and O in a column, d = 11
+		{V(-1, -1), V(1, 1), 4},
+		{V(5, 5), V(0, 0), 10},
+	}
+	for _, c := range cases {
+		if got := c.a.Manhattan(c.b); got != c.want {
+			t.Errorf("Manhattan(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Manhattan(c.a); got != c.want {
+			t.Errorf("Manhattan not symmetric for %v,%v", c.a, c.b)
+		}
+	}
+}
+
+func TestManhattanProperties(t *testing.T) {
+	// Triangle inequality and identity of indiscernibles, via testing/quick.
+	tri := func(ax, ay, bx, by, cx, cy int8) bool {
+		a, b, c := V(int(ax), int(ay)), V(int(bx), int(by)), V(int(cx), int(cy))
+		return a.Manhattan(c) <= a.Manhattan(b)+b.Manhattan(c)
+	}
+	if err := quick.Check(tri, nil); err != nil {
+		t.Errorf("triangle inequality violated: %v", err)
+	}
+	zero := func(ax, ay int8) bool {
+		a := V(int(ax), int(ay))
+		return a.Manhattan(a) == 0
+	}
+	if err := quick.Check(zero, nil); err != nil {
+		t.Errorf("d(a,a) != 0: %v", err)
+	}
+}
+
+func TestIsUnitStep(t *testing.T) {
+	for _, d := range Dirs() {
+		if !d.Vec().IsUnitStep() {
+			t.Errorf("%v.Vec() should be a unit step", d)
+		}
+	}
+	for _, v := range []Vec{V(0, 0), V(1, 1), V(2, 0), V(-1, 1)} {
+		if v.IsUnitStep() {
+			t.Errorf("%v should not be a unit step", v)
+		}
+	}
+}
+
+func TestAlignedWith(t *testing.T) {
+	o := V(5, 7)
+	aligned := []Vec{V(5, 0), V(5, 100), V(0, 7), V(-3, 7), V(5, 7)}
+	for _, v := range aligned {
+		if !v.AlignedWith(o) {
+			t.Errorf("%v should be aligned with %v", v, o)
+		}
+	}
+	notAligned := []Vec{V(4, 6), V(6, 8), V(0, 0)}
+	for _, v := range notAligned {
+		if v.AlignedWith(o) {
+			t.Errorf("%v should not be aligned with %v", v, o)
+		}
+	}
+}
+
+func TestDirBasics(t *testing.T) {
+	if East.Opposite() != West || North.Opposite() != South {
+		t.Error("Opposite wrong")
+	}
+	if West.Opposite() != East || South.Opposite() != North {
+		t.Error("Opposite wrong for W/S")
+	}
+	for _, d := range Dirs() {
+		if d.Opposite().Opposite() != d {
+			t.Errorf("double Opposite of %v != identity", d)
+		}
+		if d.CCW().CW() != d {
+			t.Errorf("CCW then CW of %v != identity", d)
+		}
+		if d.Vec().Add(d.Opposite().Vec()) != V(0, 0) {
+			t.Errorf("%v + opposite != 0", d)
+		}
+	}
+	if East.CCW() != North || North.CCW() != West {
+		t.Error("CCW ordering wrong")
+	}
+}
+
+func TestDirOf(t *testing.T) {
+	from := V(4, 4)
+	for _, d := range Dirs() {
+		got, ok := DirOf(from, from.Add(d.Vec()))
+		if !ok || got != d {
+			t.Errorf("DirOf 1-step %v = %v,%v", d, got, ok)
+		}
+	}
+	if _, ok := DirOf(from, from); ok {
+		t.Error("DirOf(same cell) should fail")
+	}
+	if _, ok := DirOf(from, V(6, 4)); ok {
+		t.Error("DirOf(2 cells away) should fail")
+	}
+	if _, ok := DirOf(from, V(5, 5)); ok {
+		t.Error("DirOf(diagonal) should fail")
+	}
+}
+
+func TestNeighbors4(t *testing.T) {
+	n := Neighbors4(V(1, 1))
+	want := [4]Vec{V(2, 1), V(1, 2), V(0, 1), V(1, 0)}
+	if n != want {
+		t.Errorf("Neighbors4 = %v, want %v", n, want)
+	}
+}
+
+func TestVecLessIsStrictTotalOrder(t *testing.T) {
+	f := func(ax, ay, bx, by int8) bool {
+		a, b := V(int(ax), int(ay)), V(int(bx), int(by))
+		if a == b {
+			return !a.Less(b) && !b.Less(a)
+		}
+		return a.Less(b) != b.Less(a) // exactly one holds
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVecString(t *testing.T) {
+	if got := V(3, -1).String(); got != "(3,-1)" {
+		t.Errorf("String = %q", got)
+	}
+	if got := North.String(); got != "north" {
+		t.Errorf("Dir.String = %q", got)
+	}
+	if got := Dir(9).String(); got != "Dir(9)" {
+		t.Errorf("invalid Dir.String = %q", got)
+	}
+}

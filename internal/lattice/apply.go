@@ -1,0 +1,205 @@
+package lattice
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/rules"
+)
+
+// Constraints configures the validation of a rule application beyond the
+// Motion Matrix itself. The zero value checks only physics (matrix validity
+// and bounds); the reconfiguration algorithm adds connectivity preservation,
+// immobilised blocks (the frozen path of eq. (8)) and a scenario-specific
+// veto (the Remark 1 line/column blocking guard).
+type Constraints struct {
+	// RequireConnectivity rejects motions after which the ensemble is no
+	// longer one 4-connected component (Remark 1).
+	RequireConnectivity bool
+	// Immobile reports blocks that must not move (nor be carried): blocks
+	// frozen on the path under construction, and the Root pinned on I.
+	Immobile func(BlockID) bool
+	// Veto inspects the would-be post-move surface and may reject it; the
+	// planner uses it for the Remark 1 "line or column between I and O"
+	// blocking guard. Veto runs on a scratch copy of the surface.
+	Veto func(after *Surface) error
+}
+
+// ApplyResult describes an executed rule application.
+type ApplyResult struct {
+	App        rules.Application
+	Moved      []BlockID // ids in move-list order
+	Hops       int       // elementary moves executed (= len(Moved))
+	IsCarrying bool
+}
+
+// Validate checks whether the application can execute under the constraints,
+// without modifying the surface. It returns nil when the motion is legal.
+func (s *Surface) Validate(app rules.Application, c Constraints) error {
+	// 1. Physics: the Motion Matrix must validate against the actual
+	//    occupancy (the MM⊗MP operator of §IV) ...
+	mp := rules.PresenceAround(app.Anchor, app.Rule.MM.Radius(), s.Occupied)
+	if !app.Rule.AppliesTo(mp) {
+		return fmt.Errorf("%w: %s", ErrRuleInvalid, app)
+	}
+	// ... and no block may leave the surface.
+	for _, m := range app.AbsMoves() {
+		if !s.InBounds(m.To) {
+			return fmt.Errorf("%w: destination %v of %s", ErrOutOfBounds, m.To, app)
+		}
+		if !s.InBounds(m.From) {
+			return fmt.Errorf("%w: origin %v of %s", ErrOutOfBounds, m.From, app)
+		}
+	}
+	// 2. Immobilised blocks (frozen path blocks, pinned Root).
+	if c.Immobile != nil {
+		for _, pos := range app.Movers() {
+			id, ok := s.BlockAt(pos)
+			if !ok {
+				return fmt.Errorf("%w: no block at mover cell %v", ErrVacant, pos)
+			}
+			if c.Immobile(id) {
+				return fmt.Errorf("%w: block %d at %v", ErrImmobile, id, pos)
+			}
+		}
+	}
+	// 3. Global checks on the post-move state.
+	if c.RequireConnectivity || c.Veto != nil {
+		after := s.Clone()
+		if err := after.execute(app); err != nil {
+			return err
+		}
+		if c.RequireConnectivity && !after.Connected() {
+			return fmt.Errorf("%w: %s", ErrDisconnects, app)
+		}
+		if c.Veto != nil {
+			if err := c.Veto(after); err != nil {
+				return fmt.Errorf("%w: %s: %v", ErrVetoed, app, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Apply validates and atomically executes the application: all elementary
+// moves of a time step happen simultaneously, so a carrying pair exchanges
+// its handover cell (code 5) without intermediate vacancy.
+func (s *Surface) Apply(app rules.Application, c Constraints) (ApplyResult, error) {
+	if err := s.Validate(app, c); err != nil {
+		return ApplyResult{}, err
+	}
+	moved, err := s.executeTracked(app)
+	if err != nil {
+		return ApplyResult{}, err
+	}
+	s.hops += len(moved)
+	s.applications++
+	return ApplyResult{
+		App:        app,
+		Moved:      moved,
+		Hops:       len(moved),
+		IsCarrying: app.Rule.IsCarrying(),
+	}, nil
+}
+
+// execute performs the moves without validation or counter updates; used on
+// scratch clones during Validate.
+func (s *Surface) execute(app rules.Application) error {
+	_, err := s.executeTracked(app)
+	return err
+}
+
+func (s *Surface) executeTracked(app rules.Application) ([]BlockID, error) {
+	moves := app.AbsMoves()
+	// Group by time step; each group executes atomically.
+	sort.SliceStable(moves, func(i, j int) bool { return moves[i].Time < moves[j].Time })
+	var moved []BlockID
+	for lo := 0; lo < len(moves); {
+		hi := lo
+		for hi < len(moves) && moves[hi].Time == moves[lo].Time {
+			hi++
+		}
+		group := moves[lo:hi]
+		ids := make([]BlockID, len(group))
+		// Phase 1: lift every mover of the step off the grid.
+		for i, m := range group {
+			id := s.grid[s.idx(m.From)]
+			if id == None {
+				return nil, fmt.Errorf("%w: %v during %s", ErrVacant, m.From, app)
+			}
+			ids[i] = id
+			s.grid[s.idx(m.From)] = None
+		}
+		// Phase 2: set every mover down on its destination.
+		for i, m := range group {
+			if s.grid[s.idx(m.To)] != None {
+				return nil, fmt.Errorf("%w: %v during %s", ErrOccupied, m.To, app)
+			}
+			s.grid[s.idx(m.To)] = ids[i]
+			s.pos[ids[i]] = m.To
+		}
+		moved = append(moved, ids...)
+		lo = hi
+	}
+	return moved, nil
+}
+
+// ApplicationsFor returns every rule application from lib in which block id
+// is a mover and that passes Validate under the constraints. Deterministic
+// order (library order, then anchor placements).
+func (s *Surface) ApplicationsFor(id BlockID, lib *rules.Library, c Constraints) ([]rules.Application, error) {
+	pos, ok := s.pos[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownBlock, id)
+	}
+	var out []rules.Application
+	for _, app := range lib.ApplicationsFor(pos, s.Occupied) {
+		if s.Validate(app, c) == nil {
+			out = append(out, app)
+		}
+	}
+	return out, nil
+}
+
+// MoveTeleport displaces a block to an arbitrary free cell without any rule
+// validation or support requirement. This is the motion model of the
+// baseline system [14] (Tembo & El Baz 2013), where "blocks could move
+// freely on the surface without any support of other blocks". Connectivity
+// may still be demanded through c.RequireConnectivity.
+func (s *Surface) MoveTeleport(id BlockID, to geom.Vec, c Constraints) error {
+	from, ok := s.pos[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownBlock, id)
+	}
+	if !s.InBounds(to) {
+		return fmt.Errorf("%w: %v", ErrOutOfBounds, to)
+	}
+	if s.grid[s.idx(to)] != None {
+		return fmt.Errorf("%w: %v", ErrOccupied, to)
+	}
+	if c.Immobile != nil && c.Immobile(id) {
+		return fmt.Errorf("%w: block %d", ErrImmobile, id)
+	}
+	doMove := func(t *Surface) {
+		t.grid[t.idx(from)] = None
+		t.grid[t.idx(to)] = id
+		t.pos[id] = to
+	}
+	if c.RequireConnectivity || c.Veto != nil {
+		after := s.Clone()
+		doMove(after)
+		if c.RequireConnectivity && !after.Connected() {
+			return fmt.Errorf("%w: teleport %d to %v", ErrDisconnects, id, to)
+		}
+		if c.Veto != nil {
+			if err := c.Veto(after); err != nil {
+				return fmt.Errorf("%w: %v", ErrVetoed, err)
+			}
+		}
+	}
+	doMove(s)
+	s.hops += from.Manhattan(to) // a free move of k cells costs k hops
+	s.applications++
+	return nil
+}

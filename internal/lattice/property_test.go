@@ -1,0 +1,140 @@
+package lattice
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rules"
+)
+
+// randomConnectedSurface grows a random connected configuration of n blocks
+// on a w x h surface, seeded at (1,0).
+func randomConnectedSurface(t *testing.T, rng *rand.Rand, w, h, n int) *Surface {
+	t.Helper()
+	s, err := NewSurface(w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := geom.V(1, 0)
+	if _, err := s.Place(start); err != nil {
+		t.Fatal(err)
+	}
+	frontier := []geom.Vec{start}
+	for s.NumBlocks() < n && len(frontier) > 0 {
+		v := frontier[rng.Intn(len(frontier))]
+		var free []geom.Vec
+		for _, nb := range geom.Neighbors4(v) {
+			if s.InBounds(nb) && !s.Occupied(nb) {
+				free = append(free, nb)
+			}
+		}
+		if len(free) == 0 {
+			for i, f := range frontier {
+				if f == v {
+					frontier = append(frontier[:i], frontier[i+1:]...)
+					break
+				}
+			}
+			continue
+		}
+		c := free[rng.Intn(len(free))]
+		if _, err := s.Place(c); err != nil {
+			t.Fatal(err)
+		}
+		frontier = append(frontier, c)
+	}
+	return s
+}
+
+// TestRandomWalkPreservesInvariants drives random valid rule applications
+// over random connected configurations and checks the physical invariants
+// after every step: block count and identity conserved, every block's
+// position consistent with the grid, connectivity preserved under the
+// guard, and hop accounting exact.
+func TestRandomWalkPreservesInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	lib := rules.StandardLibrary()
+	cons := Constraints{RequireConnectivity: true}
+	for trial := 0; trial < 30; trial++ {
+		s := randomConnectedSurface(t, rng, 12, 12, 6+rng.Intn(10))
+		ids := s.Blocks()
+		wantBlocks := len(ids)
+		hops := 0
+		for step := 0; step < 40; step++ {
+			// Collect every valid application of every block.
+			var all []rules.Application
+			for _, id := range ids {
+				apps, err := s.ApplicationsFor(id, lib, cons)
+				if err != nil {
+					t.Fatal(err)
+				}
+				all = append(all, apps...)
+			}
+			if len(all) == 0 {
+				break
+			}
+			app := all[rng.Intn(len(all))]
+			res, err := s.Apply(app, cons)
+			if err != nil {
+				t.Fatalf("trial %d step %d: apply %v: %v", trial, step, app, err)
+			}
+			hops += res.Hops
+
+			// Invariants.
+			if s.NumBlocks() != wantBlocks {
+				t.Fatalf("trial %d: block count changed: %d -> %d", trial, wantBlocks, s.NumBlocks())
+			}
+			if !s.Connected() {
+				t.Fatalf("trial %d: guard let the ensemble disconnect", trial)
+			}
+			for _, id := range ids {
+				pos, ok := s.PositionOf(id)
+				if !ok {
+					t.Fatalf("trial %d: block %d vanished", trial, id)
+				}
+				if got, _ := s.BlockAt(pos); got != id {
+					t.Fatalf("trial %d: grid/position disagree for block %d", trial, id)
+				}
+				if !s.InBounds(pos) {
+					t.Fatalf("trial %d: block %d off-surface at %v", trial, id, pos)
+				}
+			}
+			if s.Hops() != hops {
+				t.Fatalf("trial %d: hop accounting %d, want %d", trial, s.Hops(), hops)
+			}
+		}
+	}
+}
+
+// TestValidateNeverMutates: a Validate call (including its clone-based
+// connectivity and veto checks) leaves the surface untouched.
+func TestValidateNeverMutates(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	lib := rules.StandardLibrary()
+	s := randomConnectedSurface(t, rng, 10, 10, 12)
+	before := s.Clone()
+	cons := Constraints{
+		RequireConnectivity: true,
+		Veto:                func(after *Surface) error { return nil },
+	}
+	for _, id := range s.Blocks() {
+		pos, _ := s.PositionOf(id)
+		for _, app := range lib.ApplicationsFor(pos, s.Occupied) {
+			_ = s.Validate(app, cons)
+		}
+	}
+	for y := 0; y < s.Height(); y++ {
+		for x := 0; x < s.Width(); x++ {
+			v := geom.V(x, y)
+			ib, _ := before.BlockAt(v)
+			ia, _ := s.BlockAt(v)
+			if ib != ia {
+				t.Fatalf("Validate mutated cell %v: %d -> %d", v, ib, ia)
+			}
+		}
+	}
+	if s.Hops() != before.Hops() {
+		t.Error("Validate changed counters")
+	}
+}

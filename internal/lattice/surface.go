@@ -1,0 +1,244 @@
+// Package lattice implements the physical modular surface of the Smart
+// Blocks system (paper §II–§IV): a W x H grid of cells occupied by
+// identified blocks, per-side neighbour sensing, and atomic execution of
+// validated motion-rule applications. The lattice enforces what the
+// electro-permanent magnet technology enforces: blocks move only through
+// rule applications whose Motion Matrix validates against the actual cell
+// occupancy, never off the surface, and never in a way that disconnects the
+// ensemble (a separated block "cannot move anymore ... and thus cannot
+// participate anymore to the distributed application", Remark 1).
+package lattice
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// BlockID identifies a block, like the numbers that tag blocks in the
+// paper's Fig. 10/11 storyboard. The zero value means "no block".
+type BlockID int32
+
+// None is the absent block.
+const None BlockID = 0
+
+// Errors reported by surface operations.
+var (
+	ErrOutOfBounds  = errors.New("lattice: cell outside the surface")
+	ErrOccupied     = errors.New("lattice: cell already occupied")
+	ErrVacant       = errors.New("lattice: cell holds no block")
+	ErrUnknownBlock = errors.New("lattice: unknown block id")
+	ErrRuleInvalid  = errors.New("lattice: motion matrix does not validate against surface state")
+	ErrDisconnects  = errors.New("lattice: motion would disconnect the block ensemble")
+	ErrImmobile     = errors.New("lattice: motion moves an immobilised block")
+	ErrVetoed       = errors.New("lattice: motion vetoed by guard")
+)
+
+// Surface is the modular surface state. It is not safe for concurrent use;
+// execution engines serialise access (the DES by construction, the goroutine
+// runtime through a mutex in its adapter).
+type Surface struct {
+	w, h int
+	grid []BlockID // y*w+x, None = empty
+	pos  map[BlockID]geom.Vec
+	next BlockID
+
+	hops         int // elementary block moves executed (Remark 4 metric)
+	applications int // rule applications executed
+}
+
+// NewSurface returns an empty surface of the given dimensions.
+func NewSurface(w, h int) (*Surface, error) {
+	if w < 1 || h < 1 {
+		return nil, fmt.Errorf("lattice: invalid dimensions %dx%d", w, h)
+	}
+	return &Surface{
+		w:    w,
+		h:    h,
+		grid: make([]BlockID, w*h),
+		pos:  make(map[BlockID]geom.Vec),
+		next: 1,
+	}, nil
+}
+
+// Width returns the surface width W.
+func (s *Surface) Width() int { return s.w }
+
+// Height returns the surface height H.
+func (s *Surface) Height() int { return s.h }
+
+// Bounds returns the surface extent as a rectangle.
+func (s *Surface) Bounds() geom.Rect {
+	return geom.Rect{Min: geom.V(0, 0), Max: geom.V(s.w-1, s.h-1)}
+}
+
+// InBounds reports whether v is a cell of the surface.
+func (s *Surface) InBounds(v geom.Vec) bool {
+	return v.X >= 0 && v.X < s.w && v.Y >= 0 && v.Y < s.h
+}
+
+// Place puts a new block on cell v and returns its id.
+func (s *Surface) Place(v geom.Vec) (BlockID, error) {
+	id := s.next
+	if err := s.PlaceWithID(id, v); err != nil {
+		return None, err
+	}
+	return id, nil
+}
+
+// PlaceWithID puts a new block with a caller-chosen id on cell v. Scenario
+// loaders use it to reproduce the numbered layouts of Fig. 10.
+func (s *Surface) PlaceWithID(id BlockID, v geom.Vec) error {
+	if id == None {
+		return fmt.Errorf("%w: id 0 is reserved", ErrUnknownBlock)
+	}
+	if !s.InBounds(v) {
+		return fmt.Errorf("%w: %v", ErrOutOfBounds, v)
+	}
+	if s.grid[s.idx(v)] != None {
+		return fmt.Errorf("%w: %v", ErrOccupied, v)
+	}
+	if _, dup := s.pos[id]; dup {
+		return fmt.Errorf("lattice: block %d already placed", id)
+	}
+	s.grid[s.idx(v)] = id
+	s.pos[id] = v
+	if id >= s.next {
+		s.next = id + 1
+	}
+	return nil
+}
+
+// Remove deletes the block from the surface (used by fault-injection tests).
+func (s *Surface) Remove(id BlockID) error {
+	v, ok := s.pos[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownBlock, id)
+	}
+	s.grid[s.idx(v)] = None
+	delete(s.pos, id)
+	return nil
+}
+
+// Occupied reports whether cell v holds a block. Cells outside the surface
+// read as empty: a block can never sense or lean on support beyond the edge.
+func (s *Surface) Occupied(v geom.Vec) bool {
+	return s.InBounds(v) && s.grid[s.idx(v)] != None
+}
+
+// Occ returns the occupancy predicate used by the rules engine.
+func (s *Surface) Occ() func(geom.Vec) bool { return s.Occupied }
+
+// BlockAt returns the block occupying v, if any.
+func (s *Surface) BlockAt(v geom.Vec) (BlockID, bool) {
+	if !s.InBounds(v) {
+		return None, false
+	}
+	id := s.grid[s.idx(v)]
+	return id, id != None
+}
+
+// PositionOf returns the position of block id.
+func (s *Surface) PositionOf(id BlockID) (geom.Vec, bool) {
+	v, ok := s.pos[id]
+	return v, ok
+}
+
+// NumBlocks returns the number of blocks on the surface.
+func (s *Surface) NumBlocks() int { return len(s.pos) }
+
+// Blocks returns all block ids in ascending order.
+func (s *Surface) Blocks() []BlockID {
+	out := make([]BlockID, 0, len(s.pos))
+	for id := range s.pos {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Positions returns the occupied cells in deterministic (row-major) order.
+func (s *Surface) Positions() []geom.Vec {
+	out := make([]geom.Vec, 0, len(s.pos))
+	for i, id := range s.grid {
+		if id != None {
+			out = append(out, geom.V(i%s.w, i/s.w))
+		}
+	}
+	return out
+}
+
+// Neighbors returns the per-side neighbour table of block id: for each of
+// the four lateral sides, the adjacent block or None. This is the paper's
+// Neighbor Table NT, fed by the side sensors (§V-B, Fig. 8).
+func (s *Surface) Neighbors(id BlockID) ([geom.NumDirs]BlockID, error) {
+	var nt [geom.NumDirs]BlockID
+	v, ok := s.pos[id]
+	if !ok {
+		return nt, fmt.Errorf("%w: %d", ErrUnknownBlock, id)
+	}
+	for _, d := range geom.Dirs() {
+		if nb, ok := s.BlockAt(v.Add(d.Vec())); ok {
+			nt[d] = nb
+		}
+	}
+	return nt, nil
+}
+
+// Hops returns the total number of elementary block moves executed so far
+// (each block displaced by a rule application counts one hop; the metric of
+// Remark 4 and of the "55 block moves" of §V-D).
+func (s *Surface) Hops() int { return s.hops }
+
+// Applications returns the number of rule applications executed.
+func (s *Surface) Applications() int { return s.applications }
+
+// Connected reports whether the blocks form one 4-connected component.
+// An empty surface counts as connected.
+func (s *Surface) Connected() bool {
+	if len(s.pos) <= 1 {
+		return true
+	}
+	var start geom.Vec
+	for _, v := range s.pos {
+		start = v
+		break
+	}
+	return s.reachableFrom(start) == len(s.pos)
+}
+
+func (s *Surface) reachableFrom(start geom.Vec) int {
+	seen := map[geom.Vec]bool{start: true}
+	stack := []geom.Vec{start}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, n := range geom.Neighbors4(v) {
+			if s.Occupied(n) && !seen[n] {
+				seen[n] = true
+				stack = append(stack, n)
+			}
+		}
+	}
+	return len(seen)
+}
+
+func (s *Surface) idx(v geom.Vec) int { return v.Y*s.w + v.X }
+
+// Clone returns a deep copy of the surface (counters included).
+func (s *Surface) Clone() *Surface {
+	out := &Surface{
+		w: s.w, h: s.h,
+		grid:         append([]BlockID(nil), s.grid...),
+		pos:          make(map[BlockID]geom.Vec, len(s.pos)),
+		next:         s.next,
+		hops:         s.hops,
+		applications: s.applications,
+	}
+	for id, v := range s.pos {
+		out.pos[id] = v
+	}
+	return out
+}

@@ -1,0 +1,412 @@
+package lattice
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rules"
+)
+
+func mustSurface(t *testing.T, w, h int, cells ...geom.Vec) *Surface {
+	t.Helper()
+	s, err := NewSurface(w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range cells {
+		if _, err := s.Place(v); err != nil {
+			t.Fatalf("placing %v: %v", v, err)
+		}
+	}
+	return s
+}
+
+func TestPlacementAndLookup(t *testing.T) {
+	s := mustSurface(t, 8, 8)
+	id, err := s.Place(geom.V(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == None {
+		t.Fatal("Place returned None")
+	}
+	if got, ok := s.BlockAt(geom.V(2, 3)); !ok || got != id {
+		t.Errorf("BlockAt = %v,%v", got, ok)
+	}
+	if v, ok := s.PositionOf(id); !ok || v != geom.V(2, 3) {
+		t.Errorf("PositionOf = %v,%v", v, ok)
+	}
+	if !s.Occupied(geom.V(2, 3)) || s.Occupied(geom.V(2, 4)) {
+		t.Error("Occupied wrong")
+	}
+	if s.NumBlocks() != 1 {
+		t.Errorf("NumBlocks = %d", s.NumBlocks())
+	}
+
+	if _, err := s.Place(geom.V(2, 3)); !errors.Is(err, ErrOccupied) {
+		t.Errorf("double placement: %v", err)
+	}
+	if _, err := s.Place(geom.V(8, 0)); !errors.Is(err, ErrOutOfBounds) {
+		t.Errorf("out of bounds: %v", err)
+	}
+	if _, err := s.Place(geom.V(-1, 0)); !errors.Is(err, ErrOutOfBounds) {
+		t.Errorf("negative: %v", err)
+	}
+}
+
+func TestPlaceWithID(t *testing.T) {
+	s := mustSurface(t, 5, 5)
+	if err := s.PlaceWithID(9, geom.V(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PlaceWithID(9, geom.V(2, 2)); err == nil {
+		t.Error("duplicate id must fail")
+	}
+	if err := s.PlaceWithID(None, geom.V(3, 3)); err == nil {
+		t.Error("id 0 must be rejected")
+	}
+	// Auto ids continue above explicit ones.
+	id, err := s.Place(geom.V(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id <= 9 {
+		t.Errorf("auto id %d should exceed explicit 9", id)
+	}
+}
+
+func TestOutOfBoundsReadsEmpty(t *testing.T) {
+	s := mustSurface(t, 3, 3, geom.V(0, 0))
+	for _, v := range []geom.Vec{geom.V(-1, 0), geom.V(0, -1), geom.V(3, 0), geom.V(0, 3)} {
+		if s.Occupied(v) {
+			t.Errorf("%v beyond the edge must read empty", v)
+		}
+		if _, ok := s.BlockAt(v); ok {
+			t.Errorf("BlockAt(%v) should fail", v)
+		}
+	}
+}
+
+func TestNeighborsTable(t *testing.T) {
+	// A plus-shape: centre block with all four neighbours.
+	s := mustSurface(t, 5, 5)
+	ids := map[string]BlockID{}
+	for name, v := range map[string]geom.Vec{
+		"c": geom.V(2, 2), "e": geom.V(3, 2), "n": geom.V(2, 3),
+		"w": geom.V(1, 2), "s": geom.V(2, 1),
+	} {
+		id, err := s.Place(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[name] = id
+	}
+	nt, err := s.Neighbors(ids["c"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nt[geom.East] != ids["e"] || nt[geom.North] != ids["n"] ||
+		nt[geom.West] != ids["w"] || nt[geom.South] != ids["s"] {
+		t.Errorf("NT = %v", nt)
+	}
+	// Edge block: absent sides read None.
+	nt, err = s.Neighbors(ids["n"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nt[geom.North] != None || nt[geom.South] != ids["c"] {
+		t.Errorf("edge NT = %v", nt)
+	}
+	if _, err := s.Neighbors(12345); !errors.Is(err, ErrUnknownBlock) {
+		t.Errorf("unknown block: %v", err)
+	}
+}
+
+func TestConnected(t *testing.T) {
+	s := mustSurface(t, 10, 10)
+	if !s.Connected() {
+		t.Error("empty surface counts as connected")
+	}
+	s = mustSurface(t, 10, 10, geom.V(0, 0))
+	if !s.Connected() {
+		t.Error("single block is connected")
+	}
+	s = mustSurface(t, 10, 10, geom.V(0, 0), geom.V(1, 0), geom.V(1, 1))
+	if !s.Connected() {
+		t.Error("L-tromino is connected")
+	}
+	s = mustSurface(t, 10, 10, geom.V(0, 0), geom.V(2, 0))
+	if s.Connected() {
+		t.Error("gap must disconnect")
+	}
+	s = mustSurface(t, 10, 10, geom.V(0, 0), geom.V(1, 1))
+	if s.Connected() {
+		t.Error("diagonal adjacency is not connectivity")
+	}
+}
+
+func TestBlocksAndPositionsDeterministic(t *testing.T) {
+	s := mustSurface(t, 6, 6, geom.V(3, 3), geom.V(1, 1), geom.V(2, 1))
+	b := s.Blocks()
+	if len(b) != 3 || b[0] > b[1] || b[1] > b[2] {
+		t.Errorf("Blocks = %v, want ascending", b)
+	}
+	p := s.Positions()
+	want := []geom.Vec{geom.V(1, 1), geom.V(2, 1), geom.V(3, 3)}
+	if len(p) != 3 {
+		t.Fatalf("Positions = %v", p)
+	}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Errorf("Positions[%d] = %v, want %v (row-major)", i, p[i], want[i])
+		}
+	}
+}
+
+func TestRemove(t *testing.T) {
+	s := mustSurface(t, 4, 4)
+	id, _ := s.Place(geom.V(1, 1))
+	if err := s.Remove(id); err != nil {
+		t.Fatal(err)
+	}
+	if s.Occupied(geom.V(1, 1)) || s.NumBlocks() != 0 {
+		t.Error("block still present after Remove")
+	}
+	if err := s.Remove(id); !errors.Is(err, ErrUnknownBlock) {
+		t.Errorf("double remove: %v", err)
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	s := mustSurface(t, 4, 4, geom.V(0, 0), geom.V(1, 0))
+	c := s.Clone()
+	if _, err := c.Place(geom.V(2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumBlocks() != 2 || c.NumBlocks() != 3 {
+		t.Error("Clone shares state with original")
+	}
+	if s.Occupied(geom.V(2, 0)) {
+		t.Error("original modified through clone")
+	}
+}
+
+func TestNewSurfaceValidation(t *testing.T) {
+	if _, err := NewSurface(0, 5); err == nil {
+		t.Error("zero width must fail")
+	}
+	if _, err := NewSurface(5, -1); err == nil {
+		t.Error("negative height must fail")
+	}
+}
+
+// slideApp builds the east-sliding application anchored at the mover cell.
+func slideApp(pos geom.Vec) rules.Application {
+	return rules.Application{Rule: rules.EastSliding(), Anchor: pos}
+}
+
+func TestApplyEastSliding(t *testing.T) {
+	// Fig. 3 situation: mover at (1,1), supports south, west neighbour.
+	s := mustSurface(t, 6, 6,
+		geom.V(0, 0), geom.V(1, 0), geom.V(2, 0), geom.V(0, 1), geom.V(1, 1))
+	mover, _ := s.BlockAt(geom.V(1, 1))
+	res, err := s.Apply(slideApp(geom.V(1, 1)), Constraints{RequireConnectivity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Moved) != 1 || res.Moved[0] != mover || res.Hops != 1 {
+		t.Errorf("result = %+v", res)
+	}
+	if got, _ := s.BlockAt(geom.V(2, 1)); got != mover {
+		t.Errorf("mover not at destination")
+	}
+	if s.Occupied(geom.V(1, 1)) {
+		t.Error("origin still occupied")
+	}
+	if s.Hops() != 1 || s.Applications() != 1 {
+		t.Errorf("counters = %d hops, %d applications", s.Hops(), s.Applications())
+	}
+}
+
+func TestApplyRejectsInvalidMatrix(t *testing.T) {
+	// No support under the destination: rule must not validate.
+	s := mustSurface(t, 6, 6, geom.V(0, 1), geom.V(1, 1), geom.V(1, 0))
+	_, err := s.Apply(slideApp(geom.V(1, 1)), Constraints{})
+	if !errors.Is(err, ErrRuleInvalid) {
+		t.Errorf("want ErrRuleInvalid, got %v", err)
+	}
+}
+
+func TestApplyRejectsOffSurface(t *testing.T) {
+	// Every standard rule demands support under (or beside) its destination,
+	// and off-surface cells read empty, so standard rules can never validate
+	// with an off-surface destination: the matrix check fails first.
+	s := mustSurface(t, 3, 2, geom.V(1, 0), geom.V(2, 0), geom.V(2, 1), geom.V(1, 1), geom.V(0, 0))
+	err := s.Validate(slideApp(geom.V(2, 1)), Constraints{})
+	if !errors.Is(err, ErrRuleInvalid) {
+		t.Errorf("edge slide: want ErrRuleInvalid, got %v", err)
+	}
+
+	// A permissive custom rule (no support under the destination) exposes
+	// the explicit bounds check: the matrix validates, the physics refuses.
+	looseMM := rules.EastSliding().MM.Clone()
+	looseMM.Set(geom.V(1, -1), 2) // relax the destination-south support to a wildcard
+	loose := rules.MustNew("loose-east", looseMM, rules.EastSliding().Moves)
+	app := rules.Application{Rule: loose, Anchor: geom.V(2, 1)}
+	err = s.Validate(app, Constraints{})
+	if !errors.Is(err, ErrOutOfBounds) {
+		t.Errorf("loose edge slide: want ErrOutOfBounds, got %v", err)
+	}
+
+	// Teleports are bounds-checked too.
+	if err := s.MoveTeleport(1, geom.V(9, 9), Constraints{}); !errors.Is(err, ErrOutOfBounds) {
+		t.Errorf("teleport off-surface: %v", err)
+	}
+}
+
+func TestApplyConnectivityGuard(t *testing.T) {
+	// A 2x2 square plus a tail hanging east of the NE corner:
+	//   . . . .
+	//   A B T .
+	//   C D . .
+	// Sliding T north or south has no support; sliding T east has none
+	// either. To build a disconnection case reachable by a valid rule we use
+	// the mirrored sliding (support north): blocks E,F north of T... The
+	// support preconditions make genuinely disconnecting motions rare, which
+	// is the paper's point. We force one with a custom veto-free scenario:
+	//   row2:  E F
+	//   row1:  A B T
+	// T slides north? support north of T and dest... Simpler: verify the
+	// guard machinery directly with a teleport.
+	s := mustSurface(t, 8, 8, geom.V(0, 0), geom.V(1, 0), geom.V(2, 0))
+	end, _ := s.BlockAt(geom.V(2, 0))
+	err := s.MoveTeleport(end, geom.V(4, 4), Constraints{RequireConnectivity: true})
+	if !errors.Is(err, ErrDisconnects) {
+		t.Errorf("disconnecting teleport: %v", err)
+	}
+	// Without the constraint it is allowed (baseline [14] semantics differ).
+	if err := s.MoveTeleport(end, geom.V(4, 4), Constraints{}); err != nil {
+		t.Errorf("unconstrained teleport: %v", err)
+	}
+}
+
+func TestApplyImmobileGuard(t *testing.T) {
+	s := mustSurface(t, 6, 6,
+		geom.V(0, 0), geom.V(1, 0), geom.V(2, 0), geom.V(0, 1), geom.V(1, 1))
+	mover, _ := s.BlockAt(geom.V(1, 1))
+	frozen := map[BlockID]bool{mover: true}
+	_, err := s.Apply(slideApp(geom.V(1, 1)), Constraints{
+		Immobile: func(id BlockID) bool { return frozen[id] },
+	})
+	if !errors.Is(err, ErrImmobile) {
+		t.Errorf("frozen mover: %v", err)
+	}
+}
+
+func TestApplyVeto(t *testing.T) {
+	s := mustSurface(t, 6, 6,
+		geom.V(0, 0), geom.V(1, 0), geom.V(2, 0), geom.V(0, 1), geom.V(1, 1))
+	vetoErr := errors.New("forbidden shape")
+	_, err := s.Apply(slideApp(geom.V(1, 1)), Constraints{
+		Veto: func(after *Surface) error { return vetoErr },
+	})
+	if !errors.Is(err, ErrVetoed) {
+		t.Errorf("veto: %v", err)
+	}
+	// Surface untouched after rejection.
+	if !s.Occupied(geom.V(1, 1)) || s.Occupied(geom.V(2, 1)) {
+		t.Error("surface modified by rejected application")
+	}
+	if s.Hops() != 0 {
+		t.Error("counters modified by rejected application")
+	}
+}
+
+func TestApplyCarryingAtomicity(t *testing.T) {
+	// The corner-crossing carry: wall x=2 heights 0..2, pair at (3,1),(3,2).
+	s := mustSurface(t, 8, 8,
+		geom.V(2, 0), geom.V(2, 1), geom.V(2, 2), geom.V(3, 1), geom.V(3, 2))
+	top, _ := s.BlockAt(geom.V(3, 2))
+	helper, _ := s.BlockAt(geom.V(3, 1))
+
+	apps, err := s.ApplicationsFor(top, rules.StandardLibrary(), Constraints{RequireConnectivity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var carry *rules.Application
+	for i, a := range apps {
+		if mv, ok := a.MoveOf(geom.V(3, 2)); ok && mv.To == geom.V(3, 3) && a.Rule.IsCarrying() {
+			carry = &apps[i]
+		}
+	}
+	if carry == nil {
+		t.Fatalf("no valid carry among %v", apps)
+	}
+	res, err := s.Apply(*carry, Constraints{RequireConnectivity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hops != 2 || !res.IsCarrying {
+		t.Errorf("result = %+v", res)
+	}
+	if got, _ := s.BlockAt(geom.V(3, 3)); got != top {
+		t.Error("carried block not at (3,3)")
+	}
+	if got, _ := s.BlockAt(geom.V(3, 2)); got != helper {
+		t.Error("helper not at the handover cell (3,2)")
+	}
+	if s.Occupied(geom.V(3, 1)) {
+		t.Error("helper origin still occupied")
+	}
+	if !s.Connected() {
+		t.Error("ensemble disconnected by carry")
+	}
+}
+
+func TestApplicationsForUnknownBlock(t *testing.T) {
+	s := mustSurface(t, 4, 4, geom.V(0, 0))
+	if _, err := s.ApplicationsFor(999, rules.StandardLibrary(), Constraints{}); !errors.Is(err, ErrUnknownBlock) {
+		t.Errorf("unknown block: %v", err)
+	}
+}
+
+func TestMoveTeleportCounters(t *testing.T) {
+	s := mustSurface(t, 10, 10, geom.V(0, 0), geom.V(1, 0))
+	id, _ := s.BlockAt(geom.V(1, 0))
+	if err := s.MoveTeleport(id, geom.V(4, 2), Constraints{}); err != nil {
+		t.Fatal(err)
+	}
+	// 3 east + 2 north = 5 hops.
+	if s.Hops() != 5 {
+		t.Errorf("Hops = %d, want 5", s.Hops())
+	}
+	if v, _ := s.PositionOf(id); v != geom.V(4, 2) {
+		t.Errorf("position = %v", v)
+	}
+	if err := s.MoveTeleport(id, geom.V(0, 0), Constraints{}); !errors.Is(err, ErrOccupied) {
+		t.Errorf("teleport onto block: %v", err)
+	}
+	if err := s.MoveTeleport(999, geom.V(5, 5), Constraints{}); !errors.Is(err, ErrUnknownBlock) {
+		t.Errorf("teleport unknown: %v", err)
+	}
+}
+
+func TestTeleportImmobileAndVeto(t *testing.T) {
+	s := mustSurface(t, 6, 6, geom.V(0, 0), geom.V(1, 0))
+	id, _ := s.BlockAt(geom.V(1, 0))
+	if err := s.MoveTeleport(id, geom.V(2, 0), Constraints{
+		Immobile: func(BlockID) bool { return true },
+	}); !errors.Is(err, ErrImmobile) {
+		t.Errorf("immobile teleport: %v", err)
+	}
+	boom := errors.New("boom")
+	if err := s.MoveTeleport(id, geom.V(2, 0), Constraints{
+		Veto: func(*Surface) error { return boom },
+	}); !errors.Is(err, ErrVetoed) {
+		t.Errorf("vetoed teleport: %v", err)
+	}
+	if v, _ := s.PositionOf(id); v != geom.V(1, 0) {
+		t.Error("rejected teleport moved the block")
+	}
+}

@@ -1,0 +1,32 @@
+package matrix_test
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+)
+
+// ExampleOverlapResult replays eqs. (1)-(3) of the paper: the east-sliding
+// Motion Matrix against the example Presence Matrix validates everywhere.
+func ExampleOverlapResult() {
+	mm := matrix.MustMotion([][]int{
+		{2, 0, 0},
+		{2, 4, 3},
+		{2, 1, 1},
+	})
+	mp := matrix.MustPresence([][]int{
+		{0, 0, 0},
+		{1, 1, 0},
+		{1, 1, 1},
+	})
+	ok, result := matrix.OverlapResult(mm, mp)
+	fmt.Println("valid:", ok)
+	for _, row := range result {
+		fmt.Println(row)
+	}
+	// Output:
+	// valid: true
+	// [1 1 1]
+	// [1 1 1]
+	// [1 1 1]
+}

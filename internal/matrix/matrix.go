@@ -1,0 +1,213 @@
+// Package matrix implements the Motion Matrix / Presence Matrix machinery of
+// the paper's block-motion validation (§IV): square matrices of event codes
+// or occupancy bits centred on a moving block, the D4 transforms that derive
+// rule variants "via symmetry or rotation", and the ⊗ overlap operator that
+// validates a motion by applying the Table II truth table entry-wise.
+//
+// Display convention: the paper prints matrices with north on the top row and
+// west in the left column. Methods taking (row, col) use this display order;
+// methods taking a geom.Vec use relative offsets from the centre where
+// (+1, 0) is east and (0, +1) is north. For a matrix of size n (odd, radius
+// r = n/2): col = r + dx, row = r - dy.
+package matrix
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/event"
+	"repro/internal/geom"
+)
+
+// Motion is a square Motion Matrix: one event code per cell, describing the
+// events a motion rule requires around the moving block (paper §IV).
+type Motion struct {
+	size  int
+	codes []event.Code // row-major in display order
+}
+
+// NewMotion returns a size x size Motion Matrix filled with the wildcard
+// code (2, "every possible event can occur").
+func NewMotion(size int) (*Motion, error) {
+	if err := checkSize(size); err != nil {
+		return nil, err
+	}
+	m := &Motion{size: size, codes: make([]event.Code, size*size)}
+	for i := range m.codes {
+		m.codes[i] = event.Any
+	}
+	return m, nil
+}
+
+// MotionFromRows builds a Motion Matrix from rows in display order (north
+// first), e.g. the paper's east-sliding matrix of eq. (1):
+//
+//	MotionFromRows([][]int{{2, 0, 0}, {2, 4, 3}, {2, 1, 1}})
+func MotionFromRows(rows [][]int) (*Motion, error) {
+	size := len(rows)
+	if err := checkSize(size); err != nil {
+		return nil, err
+	}
+	m := &Motion{size: size, codes: make([]event.Code, size*size)}
+	for r, row := range rows {
+		if len(row) != size {
+			return nil, fmt.Errorf("matrix: row %d has %d entries, want %d", r, len(row), size)
+		}
+		for c, v := range row {
+			code := event.Code(v)
+			if !code.Valid() {
+				return nil, fmt.Errorf("matrix: invalid event code %d at row %d col %d", v, r, c)
+			}
+			m.codes[r*size+c] = code
+		}
+	}
+	return m, nil
+}
+
+// MustMotion is MotionFromRows that panics on error; for package-level rule
+// tables whose literals are fixed at compile time.
+func MustMotion(rows [][]int) *Motion {
+	m, err := MotionFromRows(rows)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Size returns the matrix dimension n.
+func (m *Motion) Size() int { return m.size }
+
+// Radius returns n/2, the maximum relative offset covered by the matrix.
+func (m *Motion) Radius() int { return m.size / 2 }
+
+// InRange reports whether the relative offset lies inside the matrix.
+func (m *Motion) InRange(rel geom.Vec) bool {
+	r := m.Radius()
+	return rel.X >= -r && rel.X <= r && rel.Y >= -r && rel.Y <= r
+}
+
+// At returns the event code at relative offset rel from the centre.
+func (m *Motion) At(rel geom.Vec) event.Code {
+	row, col := m.rc(rel)
+	return m.codes[row*m.size+col]
+}
+
+// Set assigns the event code at relative offset rel.
+func (m *Motion) Set(rel geom.Vec, c event.Code) {
+	row, col := m.rc(rel)
+	m.codes[row*m.size+col] = c
+}
+
+// AtRC returns the code at display coordinates (row 0 = north).
+func (m *Motion) AtRC(row, col int) event.Code { return m.codes[row*m.size+col] }
+
+// Rows returns the matrix as rows of ints in display order.
+func (m *Motion) Rows() [][]int {
+	rows := make([][]int, m.size)
+	for r := 0; r < m.size; r++ {
+		rows[r] = make([]int, m.size)
+		for c := 0; c < m.size; c++ {
+			rows[r][c] = int(m.codes[r*m.size+c])
+		}
+	}
+	return rows
+}
+
+// Transform returns a new Motion Matrix with every entry moved through t:
+// entry at offset v in the result equals the entry at t⁻¹(v) in m. Event
+// codes are orientation-free so only positions move.
+func (m *Motion) Transform(t geom.Transform) *Motion {
+	out := &Motion{size: m.size, codes: make([]event.Code, len(m.codes))}
+	r := m.Radius()
+	for dy := -r; dy <= r; dy++ {
+		for dx := -r; dx <= r; dx++ {
+			src := geom.V(dx, dy)
+			out.Set(t.Apply(src), m.At(src))
+		}
+	}
+	return out
+}
+
+// Equal reports whether m and o have the same size and entries.
+func (m *Motion) Equal(o *Motion) bool {
+	if m.size != o.size {
+		return false
+	}
+	for i := range m.codes {
+		if m.codes[i] != o.codes[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of m.
+func (m *Motion) Clone() *Motion {
+	out := &Motion{size: m.size, codes: make([]event.Code, len(m.codes))}
+	copy(out.codes, m.codes)
+	return out
+}
+
+// Origins returns the relative offsets whose code is "becomes empty" (4) or
+// "handover" (5): the cells a block leaves during the motion.
+func (m *Motion) Origins() []geom.Vec { return m.offsetsWith(event.BecomesEmpty, event.Handover) }
+
+// Destinations returns the relative offsets whose code is "becomes occupied"
+// (3) or "handover" (5): the cells a block enters during the motion.
+func (m *Motion) Destinations() []geom.Vec {
+	return m.offsetsWith(event.BecomesOccupied, event.Handover)
+}
+
+// Supports returns the relative offsets whose code is "remains occupied" (1):
+// the support blocks the motion requires (electro-permanent magnet contact).
+func (m *Motion) Supports() []geom.Vec { return m.offsetsWith(event.RemainsOccupied) }
+
+func (m *Motion) offsetsWith(codes ...event.Code) []geom.Vec {
+	var out []geom.Vec
+	r := m.Radius()
+	// Deterministic scan order: north row first, matching display order.
+	for row := 0; row < m.size; row++ {
+		for col := 0; col < m.size; col++ {
+			dy := r - row
+			dx := col - r
+			got := m.At(geom.V(dx, dy))
+			for _, c := range codes {
+				if got == c {
+					out = append(out, geom.V(dx, dy))
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// String renders the matrix in the paper's display layout.
+func (m *Motion) String() string {
+	var b strings.Builder
+	for r := 0; r < m.size; r++ {
+		for c := 0; c < m.size; c++ {
+			if c > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%d", int(m.codes[r*m.size+c]))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func (m *Motion) rc(rel geom.Vec) (row, col int) {
+	r := m.Radius()
+	if !m.InRange(rel) {
+		panic(fmt.Sprintf("matrix: offset %v out of range for size %d", rel, m.size))
+	}
+	return r - rel.Y, r + rel.X
+}
+
+func checkSize(size int) error {
+	if size < 3 || size%2 == 0 {
+		return fmt.Errorf("matrix: size must be odd and >= 3, got %d", size)
+	}
+	return nil
+}

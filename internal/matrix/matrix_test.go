@@ -1,0 +1,267 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/event"
+	"repro/internal/geom"
+)
+
+// eastSlidingMM is the paper's eq. (1); eastSlidingMP is eq. (2).
+func eastSlidingMM() *Motion {
+	return MustMotion([][]int{
+		{2, 0, 0},
+		{2, 4, 3},
+		{2, 1, 1},
+	})
+}
+
+func eastSlidingMP() *Presence {
+	return MustPresence([][]int{
+		{0, 0, 0},
+		{1, 1, 0},
+		{1, 1, 1},
+	})
+}
+
+// TestEastSlidingPaperExample reproduces eq. (3): the overlap of the east
+// sliding Motion Matrix with the example Presence Matrix is the all-ones
+// matrix, i.e. the motion is valid (experiment E3, Fig. 3).
+func TestEastSlidingPaperExample(t *testing.T) {
+	ok, res := OverlapResult(eastSlidingMM(), eastSlidingMP())
+	if !ok {
+		t.Fatal("east sliding must be valid on the paper's presence matrix")
+	}
+	for r, row := range res {
+		for c, v := range row {
+			if v != 1 {
+				t.Errorf("result[%d][%d] = %d, want 1 (eq. (3) is all ones)", r, c, v)
+			}
+		}
+	}
+}
+
+// TestDisplayCoordinateMapping pins the display <-> relative-offset mapping:
+// in eq. (1), the centre is 4, east of centre is 3, south row is 2 1 1.
+func TestDisplayCoordinateMapping(t *testing.T) {
+	mm := eastSlidingMM()
+	if got := mm.At(geom.V(0, 0)); got != event.BecomesEmpty {
+		t.Errorf("centre = %v, want becomes-empty(4)", got)
+	}
+	if got := mm.At(geom.V(1, 0)); got != event.BecomesOccupied {
+		t.Errorf("east = %v, want becomes-occupied(3)", got)
+	}
+	if got := mm.At(geom.V(0, -1)); got != event.RemainsOccupied {
+		t.Errorf("south = %v, want remains-occupied(1)", got)
+	}
+	if got := mm.At(geom.V(1, -1)); got != event.RemainsOccupied {
+		t.Errorf("south-east = %v, want remains-occupied(1)", got)
+	}
+	if got := mm.At(geom.V(0, 1)); got != event.RemainsEmpty {
+		t.Errorf("north = %v, want remains-empty(0)", got)
+	}
+	if got := mm.At(geom.V(-1, 0)); got != event.Any {
+		t.Errorf("west = %v, want any(2)", got)
+	}
+	if got := mm.AtRC(1, 1); got != event.BecomesEmpty {
+		t.Errorf("AtRC(1,1) = %v, want centre code", got)
+	}
+}
+
+// TestOriginsDestinationsSupports checks the derived move structure of the
+// two base rules of the paper.
+func TestOriginsDestinationsSupports(t *testing.T) {
+	mm := eastSlidingMM()
+	if o := mm.Origins(); len(o) != 1 || o[0] != geom.V(0, 0) {
+		t.Errorf("east sliding origins = %v", o)
+	}
+	if d := mm.Destinations(); len(d) != 1 || d[0] != geom.V(1, 0) {
+		t.Errorf("east sliding destinations = %v", d)
+	}
+	if s := mm.Supports(); len(s) != 2 {
+		t.Errorf("east sliding supports = %v, want the two south blocks", s)
+	}
+
+	// East carrying, eq. (4): origins are centre (handover) and west
+	// (becomes empty); destinations are east and centre.
+	carry := MustMotion([][]int{
+		{0, 0, 0},
+		{4, 5, 3},
+		{2, 1, 2},
+	})
+	if o := carry.Origins(); len(o) != 2 {
+		t.Errorf("east carrying origins = %v, want 2", o)
+	}
+	if d := carry.Destinations(); len(d) != 2 {
+		t.Errorf("east carrying destinations = %v, want 2", d)
+	}
+	if s := carry.Supports(); len(s) != 1 || s[0] != geom.V(0, -1) {
+		t.Errorf("east carrying supports = %v, want [(0,-1)]", s)
+	}
+}
+
+// TestInvalidOverlaps: perturbations of the paper's presence matrix that
+// violate the support or free-space requirements must be invalid (E5).
+func TestInvalidOverlaps(t *testing.T) {
+	mm := eastSlidingMM()
+	cases := []struct {
+		name string
+		rows [][]int
+	}{
+		{"destination occupied", [][]int{{0, 0, 0}, {1, 1, 1}, {1, 1, 1}}},
+		{"missing dst support", [][]int{{0, 0, 0}, {1, 1, 0}, {1, 1, 0}}},
+		{"missing src support", [][]int{{0, 0, 0}, {1, 1, 0}, {1, 0, 1}}},
+		{"north not free", [][]int{{0, 1, 0}, {1, 1, 0}, {1, 1, 1}}},
+		{"north-east not free", [][]int{{0, 0, 1}, {1, 1, 0}, {1, 1, 1}}},
+		{"mover absent", [][]int{{0, 0, 0}, {1, 0, 0}, {1, 1, 1}}},
+	}
+	for _, c := range cases {
+		mp := MustPresence(c.rows)
+		if Overlap(mm, mp) {
+			t.Errorf("%s: overlap should be invalid", c.name)
+		}
+	}
+}
+
+// TestTransformRoundTrip: applying a transform then its inverse recovers the
+// original matrix, for both Motion and Presence.
+func TestTransformRoundTrip(t *testing.T) {
+	mm := eastSlidingMM()
+	mp := eastSlidingMP()
+	for _, tr := range geom.Transforms() {
+		if got := mm.Transform(tr).Transform(tr.Inverse()); !got.Equal(mm) {
+			t.Errorf("motion transform %v round trip failed:\n%v", tr, got)
+		}
+		if got := mp.Transform(tr).Transform(tr.Inverse()); !got.Equal(mp) {
+			t.Errorf("presence transform %v round trip failed:\n%v", tr, got)
+		}
+	}
+}
+
+// TestVerticalSymmetryFig4 reproduces Fig. 4: the vertical symmetry of the
+// east sliding rule. Mirroring north<->south moves the support blocks to the
+// north row and the free cells to the south row; the mover still goes east.
+func TestVerticalSymmetryFig4(t *testing.T) {
+	mirrored := eastSlidingMM().Transform(geom.MirrorY)
+	want := MustMotion([][]int{
+		{2, 1, 1},
+		{2, 4, 3},
+		{2, 0, 0},
+	})
+	if !mirrored.Equal(want) {
+		t.Errorf("vertical symmetry =\n%vwant\n%v", mirrored, want)
+	}
+	// And it validates against the mirrored presence matrix.
+	if !Overlap(mirrored, eastSlidingMP().Transform(geom.MirrorY)) {
+		t.Error("mirrored rule must validate against mirrored presence")
+	}
+}
+
+// TestOverlapInvariantUnderTransform: validity of MM⊗MP is preserved when
+// both matrices are moved through the same D4 element. This is the property
+// that justifies deriving rules "via symmetry or rotation" (§IV).
+func TestOverlapInvariantUnderTransform(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		mm, _ := NewMotion(3)
+		mp, _ := NewPresence(3)
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				mm.Set(geom.V(dx, dy), event.Code(rng.Intn(event.NumCodes)))
+				mp.Set(geom.V(dx, dy), event.Presence(rng.Intn(2)))
+			}
+		}
+		base := Overlap(mm, mp)
+		for _, tr := range geom.Transforms() {
+			if got := Overlap(mm.Transform(tr), mp.Transform(tr)); got != base {
+				t.Fatalf("trial %d: overlap changed under %v: %v -> %v\nMM:\n%vMP:\n%v",
+					trial, tr, base, got, mm, mp)
+			}
+		}
+	}
+}
+
+func TestSizeValidation(t *testing.T) {
+	if _, err := NewMotion(2); err == nil {
+		t.Error("even size must be rejected")
+	}
+	if _, err := NewMotion(1); err == nil {
+		t.Error("size 1 must be rejected")
+	}
+	if _, err := NewPresence(4); err == nil {
+		t.Error("even presence size must be rejected")
+	}
+	if _, err := MotionFromRows([][]int{{0, 0}, {0, 0}}); err == nil {
+		t.Error("2x2 rows must be rejected")
+	}
+	if _, err := MotionFromRows([][]int{{0, 0, 0}, {0, 9, 0}, {0, 0, 0}}); err == nil {
+		t.Error("invalid code must be rejected")
+	}
+	if _, err := PresenceFromRows([][]int{{0, 0, 0}, {0, 2, 0}, {0, 0, 0}}); err == nil {
+		t.Error("invalid presence must be rejected")
+	}
+	if _, err := MotionFromRows([][]int{{0, 0, 0}, {0, 0}, {0, 0, 0}}); err == nil {
+		t.Error("ragged rows must be rejected")
+	}
+	// 5x5 matrices are allowed: "the size ... can be larger in order to take
+	// into account the simultaneous motion of set of blocks" (§IV).
+	if _, err := NewMotion(5); err != nil {
+		t.Errorf("5x5 should be allowed: %v", err)
+	}
+}
+
+func TestOverlapSizeMismatch(t *testing.T) {
+	mm, _ := NewMotion(5)
+	mp, _ := NewPresence(3)
+	if Overlap(mm, mp) {
+		t.Error("size mismatch must be invalid")
+	}
+}
+
+func TestRowsRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mm, _ := NewMotion(3)
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				mm.Set(geom.V(dx, dy), event.Code(rng.Intn(event.NumCodes)))
+			}
+		}
+		back, err := MotionFromRows(mm.Rows())
+		return err == nil && back.Equal(mm)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	mm := eastSlidingMM()
+	cl := mm.Clone()
+	cl.Set(geom.V(0, 0), event.Any)
+	if mm.At(geom.V(0, 0)) != event.BecomesEmpty {
+		t.Error("Clone must not share storage")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	want := "2 0 0\n2 4 3\n2 1 1\n"
+	if got := eastSlidingMM().String(); got != want {
+		t.Errorf("Motion.String = %q, want %q", got, want)
+	}
+	wantP := "0 0 0\n1 1 0\n1 1 1\n"
+	if got := eastSlidingMP().String(); got != wantP {
+		t.Errorf("Presence.String = %q, want %q", got, wantP)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range At must panic")
+		}
+	}()
+	eastSlidingMM().At(geom.V(2, 0))
+}

@@ -1,0 +1,170 @@
+package matrix
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/event"
+	"repro/internal/geom"
+)
+
+// Presence is a square Presence Matrix: the initial occupancy of the cells
+// around a block that is supposed to move, with the block itself at the
+// centre (paper §IV).
+type Presence struct {
+	size  int
+	cells []event.Presence // row-major in display order
+}
+
+// NewPresence returns a size x size Presence Matrix with all cells empty.
+func NewPresence(size int) (*Presence, error) {
+	if err := checkSize(size); err != nil {
+		return nil, err
+	}
+	return &Presence{size: size, cells: make([]event.Presence, size*size)}, nil
+}
+
+// PresenceFromRows builds a Presence Matrix from 0/1 rows in display order
+// (north first), e.g. the paper's eq. (2): {{0,0,0},{1,1,0},{1,1,1}}.
+func PresenceFromRows(rows [][]int) (*Presence, error) {
+	size := len(rows)
+	if err := checkSize(size); err != nil {
+		return nil, err
+	}
+	p := &Presence{size: size, cells: make([]event.Presence, size*size)}
+	for r, row := range rows {
+		if len(row) != size {
+			return nil, fmt.Errorf("matrix: row %d has %d entries, want %d", r, len(row), size)
+		}
+		for c, v := range row {
+			if v != 0 && v != 1 {
+				return nil, fmt.Errorf("matrix: invalid presence %d at row %d col %d", v, r, c)
+			}
+			p.cells[r*size+c] = event.Presence(v)
+		}
+	}
+	return p, nil
+}
+
+// MustPresence is PresenceFromRows that panics on error.
+func MustPresence(rows [][]int) *Presence {
+	p, err := PresenceFromRows(rows)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Size returns the matrix dimension n.
+func (p *Presence) Size() int { return p.size }
+
+// Radius returns n/2.
+func (p *Presence) Radius() int { return p.size / 2 }
+
+// At returns the occupancy at relative offset rel from the centre.
+func (p *Presence) At(rel geom.Vec) event.Presence {
+	row, col := p.rc(rel)
+	return p.cells[row*p.size+col]
+}
+
+// Set assigns the occupancy at relative offset rel.
+func (p *Presence) Set(rel geom.Vec, v event.Presence) {
+	row, col := p.rc(rel)
+	p.cells[row*p.size+col] = v
+}
+
+// AtRC returns the occupancy at display coordinates (row 0 = north).
+func (p *Presence) AtRC(row, col int) event.Presence { return p.cells[row*p.size+col] }
+
+// Rows returns the matrix as 0/1 rows in display order.
+func (p *Presence) Rows() [][]int {
+	rows := make([][]int, p.size)
+	for r := 0; r < p.size; r++ {
+		rows[r] = make([]int, p.size)
+		for c := 0; c < p.size; c++ {
+			rows[r][c] = int(p.cells[r*p.size+c])
+		}
+	}
+	return rows
+}
+
+// Transform returns a new Presence Matrix with entries moved through t.
+func (p *Presence) Transform(t geom.Transform) *Presence {
+	out := &Presence{size: p.size, cells: make([]event.Presence, len(p.cells))}
+	r := p.Radius()
+	for dy := -r; dy <= r; dy++ {
+		for dx := -r; dx <= r; dx++ {
+			src := geom.V(dx, dy)
+			out.Set(t.Apply(src), p.At(src))
+		}
+	}
+	return out
+}
+
+// Equal reports whether p and o have the same size and entries.
+func (p *Presence) Equal(o *Presence) bool {
+	if p.size != o.size {
+		return false
+	}
+	for i := range p.cells {
+		if p.cells[i] != o.cells[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix in the paper's display layout.
+func (p *Presence) String() string {
+	var b strings.Builder
+	for r := 0; r < p.size; r++ {
+		for c := 0; c < p.size; c++ {
+			if c > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%d", int(p.cells[r*p.size+c]))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func (p *Presence) rc(rel geom.Vec) (row, col int) {
+	r := p.Radius()
+	if rel.X < -r || rel.X > r || rel.Y < -r || rel.Y > r {
+		panic(fmt.Sprintf("matrix: offset %v out of range for size %d", rel, p.size))
+	}
+	return r - rel.Y, r + rel.X
+}
+
+// Overlap applies the paper's MM⊗MP operator: the Table II truth table is
+// applied to corresponding entries of the Motion and Presence matrices, and
+// the motion is valid iff the result is true everywhere (the all-ones matrix
+// of eq. (3)). It returns whether the motion is valid.
+func Overlap(mm *Motion, mp *Presence) bool {
+	ok, _ := OverlapResult(mm, mp)
+	return ok
+}
+
+// OverlapResult is Overlap returning also the entry-wise result matrix in
+// display order (1 where the truth table holds, 0 elsewhere), as printed in
+// eq. (3) of the paper. Matrices of different sizes are invalid by definition.
+func OverlapResult(mm *Motion, mp *Presence) (bool, [][]int) {
+	if mm.Size() != mp.Size() {
+		return false, nil
+	}
+	n := mm.Size()
+	out := make([][]int, n)
+	all := true
+	for r := 0; r < n; r++ {
+		out[r] = make([]int, n)
+		for c := 0; c < n; c++ {
+			if event.Compatible(mm.AtRC(r, c), mp.AtRC(r, c)) {
+				out[r][c] = 1
+			} else {
+				all = false
+			}
+		}
+	}
+	return all, out
+}

@@ -1,0 +1,197 @@
+// Package msg defines the messages blocks exchange over their four lateral
+// communication ports and the per-side reception buffers of the paper's
+// memory organisation (§V-B, Figs. 8–9). The election messages follow the
+// paper's formats:
+//
+//	Activate[Father, Son, O, ShortestDistance, IDshortest]
+//	Ack[Son, Father, ShortestDistance, IDshortest]
+//
+// plus the Select message of the second phase, its acknowledgement, and the
+// round-completion floods (MoveDone, Finished) that let the Root sequence
+// Algorithm 1's iterations. Messages marshal to a fixed 44-byte wire format:
+// Smart Blocks have small memories, so the codec keeps every message
+// byte-bounded and allocation-free to decode.
+package msg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/lattice"
+)
+
+// Type discriminates the message kinds.
+type Type uint8
+
+const (
+	// TypeActivate engages a neighbour in the Dijkstra–Scholten diffusing
+	// computation of the current election (paper §V-C).
+	TypeActivate Type = iota + 1
+	// TypeAck acknowledges an activation. First-activation acks carry the
+	// subtree's best (distance, id); redundant-activation acks are neutral.
+	TypeAck
+	// TypeSelect is routed from the Root down the father/son tree to the
+	// elected block.
+	TypeSelect
+	// TypeSelectAck is the elected block's acknowledgement, routed back up
+	// to the Root; its reception ends the distributed election.
+	TypeSelectAck
+	// TypeMoveDone is flooded by the elected block after its hop attempt,
+	// carrying the outcome; the Root starts the next iteration on reception.
+	TypeMoveDone
+	// TypeFinished is flooded by the Root when Algorithm 1 terminates.
+	TypeFinished
+
+	numTypes = 6
+)
+
+var typeNames = [numTypes + 1]string{
+	"invalid", "activate", "ack", "select", "select-ack", "move-done", "finished",
+}
+
+// Valid reports whether t is a known message type.
+func (t Type) Valid() bool { return t >= TypeActivate && t <= TypeFinished }
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	if !t.Valid() {
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+	return typeNames[t]
+}
+
+// InfiniteDistance encodes the paper's d = +inf (eqs. (8)–(9)): blocks that
+// are aligned with the output or cannot move are never elected.
+const InfiniteDistance int32 = math.MaxInt32
+
+// Tier selects the move classes an election considers; see core.Config.
+type Tier uint8
+
+const (
+	// TierDecreasing elects blocks with a strictly distance-decreasing move
+	// (the paper's normal case: the hop "tends to diminish the distance").
+	TierDecreasing Tier = 0
+	// TierRetreat additionally admits one-step retreats (distance d+1; on
+	// the Manhattan grid a hop always changes d by exactly one, so d+1 is
+	// the only alternative to d-1). The Root escalates to this tier only
+	// when a decreasing round elects nobody — the latitude behind the
+	// paper's "tends to diminish the distance".
+	TierRetreat Tier = 1
+	// TierDesperate additionally lets blocks ignore their no-return memory:
+	// the last escalation before the Root declares a blocking. Undoing a
+	// previous hop is better than global deadlock.
+	TierDesperate Tier = 2
+)
+
+// Message is the single wire format for all block-to-block traffic. Unused
+// fields are zero; which fields are meaningful depends on Type.
+type Message struct {
+	Type  Type
+	Round uint32 // election iteration k of Algorithm 1
+	Tier  Tier   // move tier of this election round
+
+	// Election fields (Activate/Ack/Select/SelectAck).
+	Father           lattice.BlockID // sender for Activate; destination for Ack
+	Son              lattice.BlockID // destination for Activate; sender for Ack
+	Output           geom.Vec        // position of O (Activate; Assumption 2 state)
+	ShortestDistance int32           // current best distance to O
+	IDShortest       lattice.BlockID // block achieving ShortestDistance
+
+	// Flood fields (MoveDone/Finished).
+	Mover    lattice.BlockID // block that moved (MoveDone)
+	From, To geom.Vec        // executed hop (MoveDone)
+	Success  bool            // MoveDone: hop executed; Finished: path built
+}
+
+// String implements fmt.Stringer with a compact per-type rendering.
+func (m Message) String() string {
+	switch m.Type {
+	case TypeActivate:
+		return fmt.Sprintf("Activate[r%d %d->%d O=%s d=%s id=%d]",
+			m.Round, m.Father, m.Son, m.Output, distString(m.ShortestDistance), m.IDShortest)
+	case TypeAck:
+		return fmt.Sprintf("Ack[r%d %d->%d d=%s id=%d]",
+			m.Round, m.Son, m.Father, distString(m.ShortestDistance), m.IDShortest)
+	case TypeSelect:
+		return fmt.Sprintf("Select[r%d elected=%d]", m.Round, m.IDShortest)
+	case TypeSelectAck:
+		return fmt.Sprintf("SelectAck[r%d elected=%d]", m.Round, m.IDShortest)
+	case TypeMoveDone:
+		return fmt.Sprintf("MoveDone[r%d block=%d %s->%s ok=%t]",
+			m.Round, m.Mover, m.From, m.To, m.Success)
+	case TypeFinished:
+		return fmt.Sprintf("Finished[r%d ok=%t]", m.Round, m.Success)
+	}
+	return fmt.Sprintf("Message{%v}", m.Type)
+}
+
+func distString(d int32) string {
+	if d == InfiniteDistance {
+		return "inf"
+	}
+	return fmt.Sprintf("%d", d)
+}
+
+// WireSize is the fixed encoded size of a Message in bytes.
+const WireSize = 44
+
+// MarshalBinary encodes m into the fixed 44-byte wire format.
+func (m Message) MarshalBinary() ([]byte, error) {
+	if !m.Type.Valid() {
+		return nil, fmt.Errorf("msg: cannot marshal invalid type %d", m.Type)
+	}
+	var b [WireSize]byte
+	b[0] = byte(m.Type)
+	b[1] = byte(m.Tier)
+	if m.Success {
+		b[2] = 1
+	}
+	binary.LittleEndian.PutUint32(b[4:], m.Round)
+	binary.LittleEndian.PutUint32(b[8:], uint32(m.Father))
+	binary.LittleEndian.PutUint32(b[12:], uint32(m.Son))
+	putVec(b[16:], m.Output)
+	binary.LittleEndian.PutUint32(b[24:], uint32(m.ShortestDistance))
+	binary.LittleEndian.PutUint32(b[28:], uint32(m.IDShortest))
+	binary.LittleEndian.PutUint32(b[32:], uint32(m.Mover))
+	putVec(b[36:], m.From)
+	putVec(b[40:], m.To)
+	return b[:], nil
+}
+
+// UnmarshalBinary decodes the fixed wire format.
+func (m *Message) UnmarshalBinary(data []byte) error {
+	if len(data) != WireSize {
+		return fmt.Errorf("msg: wire size %d, want %d", len(data), WireSize)
+	}
+	t := Type(data[0])
+	if !t.Valid() {
+		return fmt.Errorf("msg: invalid type %d on the wire", data[0])
+	}
+	m.Type = t
+	m.Tier = Tier(data[1])
+	m.Success = data[2] == 1
+	m.Round = binary.LittleEndian.Uint32(data[4:])
+	m.Father = lattice.BlockID(binary.LittleEndian.Uint32(data[8:]))
+	m.Son = lattice.BlockID(binary.LittleEndian.Uint32(data[12:]))
+	m.Output = getVec(data[16:])
+	m.ShortestDistance = int32(binary.LittleEndian.Uint32(data[24:]))
+	m.IDShortest = lattice.BlockID(binary.LittleEndian.Uint32(data[28:]))
+	m.Mover = lattice.BlockID(binary.LittleEndian.Uint32(data[32:]))
+	m.From = getVec(data[36:])
+	m.To = getVec(data[40:])
+	return nil
+}
+
+// Positions fit in int16 each: the paper's surfaces are centimetre-scale
+// grids of at most a few thousand cells per side.
+func putVec(b []byte, v geom.Vec) {
+	binary.LittleEndian.PutUint16(b[0:], uint16(int16(v.X)))
+	binary.LittleEndian.PutUint16(b[2:], uint16(int16(v.Y)))
+}
+
+func getVec(b []byte) geom.Vec {
+	return geom.V(int(int16(binary.LittleEndian.Uint16(b[0:]))),
+		int(int16(binary.LittleEndian.Uint16(b[2:]))))
+}

@@ -1,0 +1,236 @@
+package msg
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/lattice"
+)
+
+func TestMarshalRoundTrip(t *testing.T) {
+	cases := []Message{
+		{
+			Type: TypeActivate, Round: 3, Tier: TierDecreasing,
+			Father: 7, Son: 12, Output: geom.V(2, 11),
+			ShortestDistance: 11, IDShortest: 7,
+		},
+		{
+			Type: TypeAck, Round: 3, Father: 7, Son: 12,
+			ShortestDistance: InfiniteDistance, IDShortest: 0,
+		},
+		{Type: TypeSelect, Round: 9, IDShortest: 4},
+		{Type: TypeSelectAck, Round: 9, IDShortest: 4},
+		{
+			Type: TypeMoveDone, Round: 10, Mover: 5,
+			From: geom.V(3, 4), To: geom.V(3, 5), Success: true,
+		},
+		{Type: TypeFinished, Round: 55, Success: true},
+		{Type: TypeMoveDone, Round: 1, Mover: 2, From: geom.V(0, 0), To: geom.V(5, 7)},
+	}
+	for _, m := range cases {
+		data, err := m.MarshalBinary()
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if len(data) != WireSize {
+			t.Fatalf("%v: wire size %d, want %d", m, len(data), WireSize)
+		}
+		var back Message
+		if err := back.UnmarshalBinary(data); err != nil {
+			t.Fatalf("%v: unmarshal: %v", m, err)
+		}
+		if back != m {
+			t.Errorf("round trip changed message:\n got %+v\nwant %+v", back, m)
+		}
+	}
+}
+
+func TestMarshalRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := Message{
+			Type:             Type(1 + rng.Intn(numTypes)),
+			Round:            rng.Uint32(),
+			Tier:             Tier(rng.Intn(2)),
+			Father:           lattice.BlockID(rng.Int31()),
+			Son:              lattice.BlockID(rng.Int31()),
+			Output:           geom.V(rng.Intn(4000)-2000, rng.Intn(4000)-2000),
+			ShortestDistance: rng.Int31(),
+			IDShortest:       lattice.BlockID(rng.Int31()),
+			Mover:            lattice.BlockID(rng.Int31()),
+			From:             geom.V(rng.Intn(4000)-2000, rng.Intn(4000)-2000),
+			To:               geom.V(rng.Intn(4000)-2000, rng.Intn(4000)-2000),
+			Success:          rng.Intn(2) == 1,
+		}
+		data, err := m.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var back Message
+		if err := back.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		return back == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMarshalErrors(t *testing.T) {
+	if _, err := (Message{}).MarshalBinary(); err == nil {
+		t.Error("zero-type message must not marshal")
+	}
+	var m Message
+	if err := m.UnmarshalBinary(make([]byte, WireSize-1)); err == nil {
+		t.Error("short buffer must fail")
+	}
+	bad := make([]byte, WireSize)
+	bad[0] = 99
+	if err := m.UnmarshalBinary(bad); err == nil {
+		t.Error("unknown type must fail")
+	}
+}
+
+func TestTypeNamesAndValidity(t *testing.T) {
+	for ty := TypeActivate; ty <= TypeFinished; ty++ {
+		if !ty.Valid() {
+			t.Errorf("type %d should be valid", ty)
+		}
+		if strings.HasPrefix(ty.String(), "Type(") {
+			t.Errorf("type %d has no name", ty)
+		}
+	}
+	if Type(0).Valid() || Type(7).Valid() {
+		t.Error("types 0 and 7 should be invalid")
+	}
+	if Type(0).String() != "Type(0)" {
+		t.Errorf("invalid type string = %q", Type(0).String())
+	}
+}
+
+func TestMessageStringPerType(t *testing.T) {
+	cases := []struct {
+		m    Message
+		want string
+	}{
+		{Message{Type: TypeActivate, Round: 1, Father: 2, Son: 3, Output: geom.V(2, 11), ShortestDistance: 11, IDShortest: 2}, "Activate[r1 2->3 O=(2,11) d=11 id=2]"},
+		{Message{Type: TypeAck, Round: 1, Father: 2, Son: 3, ShortestDistance: InfiniteDistance}, "Ack[r1 3->2 d=inf id=0]"},
+		{Message{Type: TypeSelect, Round: 4, IDShortest: 9}, "Select[r4 elected=9]"},
+		{Message{Type: TypeFinished, Round: 5, Success: true}, "Finished[r5 ok=true]"},
+	}
+	for _, c := range cases {
+		if got := c.m.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestBuffersPerSideFIFO(t *testing.T) {
+	b, err := NewBuffers(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(side geom.Dir, round uint32) Inbound {
+		return Inbound{From: 1, Side: side, Msg: Message{Type: TypeActivate, Round: round}}
+	}
+	// Two messages on the north side keep their order.
+	b.Push(mk(geom.North, 1))
+	b.Push(mk(geom.North, 2))
+	first, ok := b.Pop()
+	if !ok || first.Msg.Round != 1 {
+		t.Fatalf("first pop = %+v,%v", first, ok)
+	}
+	second, ok := b.Pop()
+	if !ok || second.Msg.Round != 2 {
+		t.Fatalf("second pop = %+v,%v", second, ok)
+	}
+	if _, ok := b.Pop(); ok {
+		t.Error("empty buffers must report false")
+	}
+}
+
+func TestBuffersRoundRobin(t *testing.T) {
+	b, _ := NewBuffers(8)
+	for i := 0; i < 3; i++ {
+		b.Push(Inbound{Side: geom.East, Msg: Message{Type: TypeAck, Round: uint32(100 + i)}})
+		b.Push(Inbound{Side: geom.West, Msg: Message{Type: TypeAck, Round: uint32(200 + i)}})
+	}
+	var sides []geom.Dir
+	for {
+		in, ok := b.Pop()
+		if !ok {
+			break
+		}
+		sides = append(sides, in.Side)
+	}
+	if len(sides) != 6 {
+		t.Fatalf("popped %d messages", len(sides))
+	}
+	// Round-robin service alternates between the two active sides.
+	for i := 1; i < len(sides); i++ {
+		if sides[i] == sides[i-1] {
+			t.Errorf("sides not alternating: %v", sides)
+			break
+		}
+	}
+}
+
+func TestBuffersOverflowDrops(t *testing.T) {
+	b, _ := NewBuffers(2)
+	in := Inbound{Side: geom.South, Msg: Message{Type: TypeAck}}
+	if !b.Push(in) || !b.Push(in) {
+		t.Fatal("first two pushes must succeed")
+	}
+	if b.Push(in) {
+		t.Error("third push must fail at capacity 2")
+	}
+	if b.Drops() != 1 {
+		t.Errorf("Drops = %d, want 1", b.Drops())
+	}
+	if b.Len() != 2 || b.LenSide(geom.South) != 2 {
+		t.Errorf("Len = %d, LenSide = %d", b.Len(), b.LenSide(geom.South))
+	}
+	// Invalid side is also a drop.
+	if b.Push(Inbound{Side: geom.Dir(9)}) {
+		t.Error("invalid side must be rejected")
+	}
+	if b.Drops() != 2 {
+		t.Errorf("Drops = %d, want 2", b.Drops())
+	}
+}
+
+func TestNewBuffersValidation(t *testing.T) {
+	if _, err := NewBuffers(0); err == nil {
+		t.Error("capacity 0 must be rejected")
+	}
+}
+
+// TestUnmarshalNeverPanics: arbitrary wire bytes either decode or return an
+// error; they never panic (a block cannot crash on a corrupted frame).
+func TestUnmarshalNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 5000; trial++ {
+		n := rng.Intn(2 * WireSize)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		var m Message
+		_ = m.UnmarshalBinary(buf) // must not panic
+	}
+	// Round-trip of a valid frame with every byte corrupted one at a time.
+	orig := Message{Type: TypeActivate, Round: 9, Father: 1, Son: 2,
+		Output: geom.V(3, 4), ShortestDistance: 5, IDShortest: 1}
+	data, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0xff
+		var m Message
+		_ = m.UnmarshalBinary(mut)
+	}
+}

@@ -1,0 +1,103 @@
+package rules
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/matrix"
+)
+
+// EastSliding returns the paper's basic "east1" capability (eq. (1), Fig. 3):
+// a block slides one cell east over two support blocks lying south of its
+// initial and final positions, with free cells to the north.
+func EastSliding() *Rule {
+	return MustNew("east1",
+		matrix.MustMotion([][]int{
+			{2, 0, 0},
+			{2, 4, 3},
+			{2, 1, 1},
+		}),
+		[]Move{{Time: 0, From: geom.V(0, 0), To: geom.V(1, 0)}},
+	)
+}
+
+// EastCarrying returns the paper's "carry_east1" capability (eq. (4),
+// Fig. 6): two horizontally adjacent blocks shift one cell east together;
+// the leading block is supported from the south and the trailing block hands
+// its cell over while occupying the cell the leader abandons (code 5).
+func EastCarrying() *Rule {
+	return MustNew("carry_east1",
+		matrix.MustMotion([][]int{
+			{0, 0, 0},
+			{4, 5, 3},
+			{2, 1, 2},
+		}),
+		[]Move{
+			{Time: 0, From: geom.V(0, 0), To: geom.V(1, 0)},
+			{Time: 0, From: geom.V(-1, 0), To: geom.V(0, 0)},
+		},
+	)
+}
+
+// BaseRules returns the two base capabilities shown in the paper, in the
+// order of Fig. 7.
+func BaseRules() []*Rule { return []*Rule{EastSliding(), EastCarrying()} }
+
+// deriveName builds the systematic name of a derived rule. The identity
+// keeps the base name; other variants append the transform, e.g.
+// "east1.rot90" for the north-sliding variant.
+func deriveName(base string, t geom.Transform) string {
+	if t == geom.Identity {
+		return base
+	}
+	return fmt.Sprintf("%s.%s", base, t)
+}
+
+// Closure returns every distinct rule obtained by applying all eight D4
+// transforms to each rule in bases, deduplicated by Equivalent, preserving
+// deterministic order (base order, then transform order). This realises the
+// paper's "similar block motion rules can also be obtained via symmetry or
+// rotation" (§IV).
+func Closure(bases ...*Rule) []*Rule {
+	var out []*Rule
+	for _, b := range bases {
+		for _, t := range geom.Transforms() {
+			cand := b.Transform(t, deriveName(b.Name, t))
+			dup := false
+			for _, have := range out {
+				if have.Equivalent(cand) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, cand)
+			}
+		}
+	}
+	return out
+}
+
+// StandardLibrary returns the full rule family used by the reconfiguration
+// algorithm: the closure of the two base rules under all symmetries and
+// rotations (16 distinct capabilities: 4 directions x 2 support sides for
+// sliding and likewise for carrying).
+func StandardLibrary() *Library {
+	l, err := NewLibrary(Closure(BaseRules()...)...)
+	if err != nil {
+		panic(err) // closure names are unique by construction
+	}
+	return l
+}
+
+// SlidingOnlyLibrary returns the library restricted to single-block sliding
+// rules (the carrying family removed). Used by the A1 ablation: without
+// carrying, blocks cannot cross convex corners (the #5-carries-#9 episode of
+// Fig. 10 becomes impossible).
+func SlidingOnlyLibrary() *Library {
+	l, err := NewLibrary(Closure(EastSliding())...)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}

@@ -1,0 +1,31 @@
+package rules_test
+
+import (
+	"fmt"
+
+	"repro/internal/rules"
+)
+
+// ExampleDecodeXML parses the paper's Fig. 7 capability extract.
+func ExampleDecodeXML() {
+	lib, err := rules.DecodeXML([]byte(rules.PaperXMLExtract))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, r := range lib.Rules() {
+		fmt.Printf("%s: %d move(s), carrying=%t\n", r.Name, len(r.Moves), r.IsCarrying())
+	}
+	// Output:
+	// east1: 1 move(s), carrying=false
+	// carry_east1: 2 move(s), carrying=true
+}
+
+// ExampleClosure derives the full rule family from the two base rules "via
+// symmetry or rotation" (§IV).
+func ExampleClosure() {
+	family := rules.Closure(rules.BaseRules()...)
+	fmt.Println("capabilities:", len(family))
+	// Output:
+	// capabilities: 16
+}

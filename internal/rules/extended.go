@@ -1,0 +1,47 @@
+package rules
+
+import (
+	"repro/internal/geom"
+	"repro/internal/matrix"
+)
+
+// The paper notes that "in the general case, the size of the Presence
+// Matrix and Motion Matrix can be larger in order to take into account the
+// simultaneous motion of set of blocks" (§IV). This file realises that
+// general case: a 5x5 chain-carrying capability that shifts three adjacent
+// blocks at once. It is an extension beyond the two published rules and is
+// exercised by the ablation benches (does a richer family reduce moves?).
+
+// EastChainCarrying returns the 5x5 "carry_east2" capability: three
+// horizontally adjacent blocks shift one cell east together. The two
+// trailing cells hand over (code 5) exactly like the centre of the 2-block
+// carry; the single support sits under the centre block, and the row ahead
+// and above must be clear.
+func EastChainCarrying() *Rule {
+	return MustNew("carry_east2",
+		matrix.MustMotion([][]int{
+			{2, 2, 2, 2, 2},
+			{0, 0, 0, 0, 2},
+			{4, 5, 5, 3, 2},
+			{2, 2, 1, 2, 2},
+			{2, 2, 2, 2, 2},
+		}),
+		[]Move{
+			{Time: 0, From: geom.V(0, 0), To: geom.V(1, 0)},
+			{Time: 0, From: geom.V(-1, 0), To: geom.V(0, 0)},
+			{Time: 0, From: geom.V(-2, 0), To: geom.V(-1, 0)},
+		},
+	)
+}
+
+// ExtendedLibrary returns the standard 16-capability library augmented with
+// the chain-carrying family (8 more variants): the "larger matrices"
+// general case of §IV.
+func ExtendedLibrary() *Library {
+	all := append(Closure(BaseRules()...), Closure(EastChainCarrying())...)
+	l, err := NewLibrary(all...)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}

@@ -1,0 +1,123 @@
+package rules
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestEastChainCarryingValid: the 5x5 general-case capability of §IV
+// ("the size ... can be larger in order to take into account the
+// simultaneous motion of set of blocks") validates and moves three blocks.
+func TestEastChainCarryingValid(t *testing.T) {
+	r := EastChainCarrying()
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !r.IsCarrying() || len(r.Moves) != 3 {
+		t.Errorf("moves = %v", r.Moves)
+	}
+	if r.MM.Size() != 5 || r.MM.Radius() != 2 {
+		t.Errorf("size = %d", r.MM.Size())
+	}
+	for _, m := range r.Moves {
+		if m.Delta() != geom.V(1, 0) {
+			t.Errorf("move %v should displace east", m)
+		}
+	}
+	// Two handover cells: the defining feature of the chain.
+	n := 0
+	for _, v := range []geom.Vec{geom.V(-1, 0), geom.V(0, 0)} {
+		if r.MM.At(v) == 5 {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Errorf("want two handover cells, got %d", n)
+	}
+}
+
+// TestChainCarryApplication: a 3-block row with one support under the
+// middle front block shifts east as one application.
+func TestChainCarryApplication(t *testing.T) {
+	occ := occFrom(
+		geom.V(1, 1), geom.V(2, 1), geom.V(3, 1), // the chain
+		geom.V(3, 0), // the support under the chain's front
+	)
+	lib, err := NewLibrary(EastChainCarrying())
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps := lib.ApplicationsFor(geom.V(3, 1), occ)
+	if len(apps) != 1 {
+		t.Fatalf("applications = %v", apps)
+	}
+	moves := apps[0].AbsMoves()
+	if len(moves) != 3 {
+		t.Fatalf("moves = %v", moves)
+	}
+	wantFrom := map[geom.Vec]geom.Vec{
+		geom.V(3, 1): geom.V(4, 1),
+		geom.V(2, 1): geom.V(3, 1),
+		geom.V(1, 1): geom.V(2, 1),
+	}
+	for _, m := range moves {
+		if wantFrom[m.From] != m.To {
+			t.Errorf("move %v -> %v, want -> %v", m.From, m.To, wantFrom[m.From])
+		}
+	}
+}
+
+// TestChainCarryBlockedByObstacle: a block ahead of the chain or above it
+// invalidates the rule.
+func TestChainCarryBlockedByObstacle(t *testing.T) {
+	base := []geom.Vec{geom.V(1, 1), geom.V(2, 1), geom.V(3, 1), geom.V(3, 0)}
+	lib, _ := NewLibrary(EastChainCarrying())
+	for _, obstacle := range []geom.Vec{geom.V(4, 1), geom.V(2, 2), geom.V(4, 2)} {
+		occ := occFrom(append(append([]geom.Vec{}, base...), obstacle)...)
+		for _, a := range lib.ApplicationsFor(geom.V(3, 1), occ) {
+			if mv, ok := a.MoveOf(geom.V(3, 1)); ok && mv.To == geom.V(4, 1) {
+				t.Errorf("obstacle at %v should block the chain carry", obstacle)
+			}
+		}
+	}
+}
+
+// TestExtendedLibraryClosure: 16 standard + 8 chain variants.
+func TestExtendedLibraryClosure(t *testing.T) {
+	ext := ExtendedLibrary()
+	if ext.Len() != 24 {
+		t.Errorf("extended library = %d rules, want 24", ext.Len())
+	}
+	if ext.MaxRadius() != 2 {
+		t.Errorf("max radius = %d, want 2", ext.MaxRadius())
+	}
+	if _, ok := ext.Get("carry_east2"); !ok {
+		t.Error("carry_east2 missing")
+	}
+	if _, ok := ext.Get("east1"); !ok {
+		t.Error("standard rules missing from extended library")
+	}
+}
+
+// TestExtendedLibraryXMLRoundTrip: 5x5 capabilities survive the Fig. 7
+// codec too.
+func TestExtendedLibraryXMLRoundTrip(t *testing.T) {
+	ext := ExtendedLibrary()
+	data, err := EncodeXML(ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeXML(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != ext.Len() {
+		t.Fatalf("round trip %d -> %d", ext.Len(), back.Len())
+	}
+	want, _ := ext.Get("carry_east2")
+	got, ok := back.Get("carry_east2")
+	if !ok || !got.Equivalent(want) {
+		t.Error("carry_east2 changed in round trip")
+	}
+}

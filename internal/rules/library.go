@@ -1,0 +1,181 @@
+package rules
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/event"
+	"repro/internal/geom"
+	"repro/internal/matrix"
+)
+
+// Library is an ordered collection of uniquely named rules. Blocks consult
+// their library to enumerate the motions available in a given neighbourhood,
+// exactly as a VisibleSim BlockCode "can access the list of possible motions
+// that are stored in the XML code" (§V-E).
+type Library struct {
+	rules  []*Rule
+	byName map[string]*Rule
+}
+
+// NewLibrary builds a library from rules, rejecting duplicate names.
+func NewLibrary(rs ...*Rule) (*Library, error) {
+	l := &Library{byName: make(map[string]*Rule, len(rs))}
+	for _, r := range rs {
+		if err := l.Add(r); err != nil {
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+// Add appends a rule; the name must be unused and the rule valid.
+func (l *Library) Add(r *Rule) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	if _, dup := l.byName[r.Name]; dup {
+		return fmt.Errorf("rules: duplicate rule name %q", r.Name)
+	}
+	l.rules = append(l.rules, r)
+	l.byName[r.Name] = r
+	return nil
+}
+
+// Rules returns the rules in insertion order. The slice is shared; callers
+// must not modify it.
+func (l *Library) Rules() []*Rule { return l.rules }
+
+// Get returns the rule with the given name.
+func (l *Library) Get(name string) (*Rule, bool) {
+	r, ok := l.byName[name]
+	return r, ok
+}
+
+// Len returns the number of rules.
+func (l *Library) Len() int { return len(l.rules) }
+
+// MaxRadius returns the largest matrix radius across the library; the
+// sensing window a block needs to evaluate every rule.
+func (l *Library) MaxRadius() int {
+	max := 0
+	for _, r := range l.rules {
+		if r.MM.Radius() > max {
+			max = r.MM.Radius()
+		}
+	}
+	return max
+}
+
+// Names returns the sorted rule names.
+func (l *Library) Names() []string {
+	out := make([]string, 0, len(l.rules))
+	for _, r := range l.rules {
+		out = append(out, r.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Application is a concrete placement of a rule on the surface: the rule
+// plus the absolute cell its matrix centre is anchored on.
+type Application struct {
+	Rule   *Rule
+	Anchor geom.Vec
+}
+
+// AbsMove is an elementary move in absolute surface coordinates.
+type AbsMove struct {
+	Time     int
+	From, To geom.Vec
+}
+
+// AbsMoves returns the rule's elementary moves translated to the anchor.
+func (a Application) AbsMoves() []AbsMove {
+	out := make([]AbsMove, len(a.Rule.Moves))
+	for i, m := range a.Rule.Moves {
+		out[i] = AbsMove{Time: m.Time, From: a.Anchor.Add(m.From), To: a.Anchor.Add(m.To)}
+	}
+	return out
+}
+
+// Movers returns the absolute positions of the blocks that move.
+func (a Application) Movers() []geom.Vec {
+	rel := a.Rule.Movers()
+	out := make([]geom.Vec, len(rel))
+	for i, v := range rel {
+		out[i] = a.Anchor.Add(v)
+	}
+	return out
+}
+
+// MoveOf returns the absolute move of the block currently at pos, if that
+// block moves under this application.
+func (a Application) MoveOf(pos geom.Vec) (AbsMove, bool) {
+	m, ok := a.Rule.MoveOf(pos.Sub(a.Anchor))
+	if !ok {
+		return AbsMove{}, false
+	}
+	return AbsMove{Time: m.Time, From: a.Anchor.Add(m.From), To: a.Anchor.Add(m.To)}, true
+}
+
+// Footprint returns the absolute cells constrained by the rule (non-wildcard
+// codes), in deterministic order. The physics layer uses it for bounds
+// checking: every constrained cell must exist on the surface.
+func (a Application) Footprint() []geom.Vec {
+	var out []geom.Vec
+	r := a.Rule.MM.Radius()
+	for dy := r; dy >= -r; dy-- {
+		for dx := -r; dx <= r; dx++ {
+			if a.Rule.MM.At(geom.V(dx, dy)) != event.Any {
+				out = append(out, a.Anchor.Add(geom.V(dx, dy)))
+			}
+		}
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (a Application) String() string {
+	return fmt.Sprintf("%s@%s", a.Rule.Name, a.Anchor)
+}
+
+// PresenceAround samples the occupancy predicate into a Presence Matrix of
+// the given radius centred on anchor. occ must report whether an absolute
+// cell holds a block; cells outside the surface read as empty (a block can
+// never find support beyond the surface edge).
+func PresenceAround(anchor geom.Vec, radius int, occ func(geom.Vec) bool) *matrix.Presence {
+	mp, err := matrix.NewPresence(2*radius + 1)
+	if err != nil {
+		panic(err)
+	}
+	for dy := -radius; dy <= radius; dy++ {
+		for dx := -radius; dx <= radius; dx++ {
+			if occ(anchor.Add(geom.V(dx, dy))) {
+				mp.Set(geom.V(dx, dy), event.Occupied)
+			}
+		}
+	}
+	return mp
+}
+
+// ApplicationsFor returns every application of the library's rules in which
+// the block at pos is one of the movers, given the occupancy predicate.
+// Order is deterministic: library order, then mover offsets in move order.
+//
+// This is the local decision procedure of an elected block: anchor each rule
+// so that this block sits on one of the rule's origins, sample the
+// neighbourhood, and keep the placements where MM⊗MP validates.
+func (l *Library) ApplicationsFor(pos geom.Vec, occ func(geom.Vec) bool) []Application {
+	var out []Application
+	for _, r := range l.rules {
+		for _, mover := range r.Movers() {
+			anchor := pos.Sub(mover)
+			mp := PresenceAround(anchor, r.MM.Radius(), occ)
+			if r.AppliesTo(mp) {
+				out = append(out, Application{Rule: r, Anchor: anchor})
+			}
+		}
+	}
+	return out
+}

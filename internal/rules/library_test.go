@@ -1,0 +1,187 @@
+package rules
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// occFrom builds an occupancy predicate from a set of cells.
+func occFrom(cells ...geom.Vec) func(geom.Vec) bool {
+	set := map[geom.Vec]bool{}
+	for _, c := range cells {
+		set[c] = true
+	}
+	return func(v geom.Vec) bool { return set[v] }
+}
+
+func TestLibraryBasics(t *testing.T) {
+	lib, err := NewLibrary(BaseRules()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib.Len() != 2 {
+		t.Fatalf("Len = %d", lib.Len())
+	}
+	if _, ok := lib.Get("east1"); !ok {
+		t.Error("east1 missing")
+	}
+	if _, ok := lib.Get("nope"); ok {
+		t.Error("unexpected rule")
+	}
+	if lib.MaxRadius() != 1 {
+		t.Errorf("MaxRadius = %d, want 1", lib.MaxRadius())
+	}
+	if err := lib.Add(EastSliding()); err == nil {
+		t.Error("duplicate name must be rejected")
+	}
+	names := lib.Names()
+	if len(names) != 2 || names[0] != "carry_east1" || names[1] != "east1" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+// TestApplicationsForEastSliding: the exact situation of Fig. 3. A block at
+// (1,1) with supports south at (1,0) and (2,0), a western neighbour, and
+// free cells north and east can slide east.
+func TestApplicationsForEastSliding(t *testing.T) {
+	occ := occFrom(geom.V(0, 0), geom.V(1, 0), geom.V(2, 0), geom.V(0, 1), geom.V(1, 1))
+	lib, _ := NewLibrary(EastSliding())
+	apps := lib.ApplicationsFor(geom.V(1, 1), occ)
+	if len(apps) != 1 {
+		t.Fatalf("got %d applications, want 1: %v", len(apps), apps)
+	}
+	a := apps[0]
+	if a.Anchor != geom.V(1, 1) {
+		t.Errorf("anchor = %v", a.Anchor)
+	}
+	mv, ok := a.MoveOf(geom.V(1, 1))
+	if !ok || mv.To != geom.V(2, 1) {
+		t.Errorf("move = %v,%v, want to (2,1)", mv, ok)
+	}
+}
+
+// TestApplicationsForCornerCarry: the corner-crossing episode of Fig. 10
+// (block #5 carries block #9). A wall at x=2 (heights 0..2) and a climbing
+// pair at x=3 (heights 1..2). The upper climber sits level with the top of
+// the wall: sliding further north fails (no support west of the destination)
+// but the pair can shift north together as a carry, using the wall top as
+// the support of the carry's centre cell.
+func TestApplicationsForCornerCarry(t *testing.T) {
+	occ := occFrom(
+		geom.V(2, 0), geom.V(2, 1), geom.V(2, 2), // the wall
+		geom.V(3, 1), geom.V(3, 2), // the climbing pair, top level with wall top
+	)
+	std := StandardLibrary()
+
+	// The upper climber can move north only via a carrying rule.
+	apps := std.ApplicationsFor(geom.V(3, 2), occ)
+	var northCarry *Application
+	for i, a := range apps {
+		if mv, ok := a.MoveOf(geom.V(3, 2)); ok && mv.To == geom.V(3, 3) {
+			if a.Rule.IsCarrying() {
+				northCarry = &apps[i]
+			} else {
+				t.Errorf("sliding rule %s should not move (3,2) north here", a.Rule.Name)
+			}
+		}
+	}
+	if northCarry == nil {
+		t.Fatal("no carrying application moves the upper climber north")
+	}
+	// The helper moves with it: (3,1) -> (3,2), the handover of code 5.
+	moves := northCarry.AbsMoves()
+	if len(moves) != 2 {
+		t.Fatalf("carry moves = %v", moves)
+	}
+	foundHelper := false
+	for _, m := range moves {
+		if m.From == geom.V(3, 1) && m.To == geom.V(3, 2) {
+			foundHelper = true
+		}
+	}
+	if !foundHelper {
+		t.Errorf("helper move missing from %v", moves)
+	}
+
+	// With the sliding-only library (ablation A1) the climb is impossible.
+	slOnly := SlidingOnlyLibrary()
+	for _, a := range slOnly.ApplicationsFor(geom.V(3, 2), occ) {
+		if mv, ok := a.MoveOf(geom.V(3, 2)); ok && mv.To == geom.V(3, 3) {
+			t.Errorf("sliding-only library should not climb the corner, got %v", a)
+		}
+	}
+}
+
+// TestApplicationsDeterministic: repeated queries return identical slices.
+func TestApplicationsDeterministic(t *testing.T) {
+	occ := occFrom(geom.V(0, 0), geom.V(1, 0), geom.V(2, 0), geom.V(1, 1))
+	std := StandardLibrary()
+	a := std.ApplicationsFor(geom.V(1, 1), occ)
+	for i := 0; i < 5; i++ {
+		b := std.ApplicationsFor(geom.V(1, 1), occ)
+		if len(a) != len(b) {
+			t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+		}
+		for j := range a {
+			if a[j].Rule.Name != b[j].Rule.Name || a[j].Anchor != b[j].Anchor {
+				t.Fatalf("entry %d differs: %v vs %v", j, a[j], b[j])
+			}
+		}
+	}
+}
+
+// TestApplicationFootprint: the footprint covers exactly the non-wildcard
+// cells around the anchor.
+func TestApplicationFootprint(t *testing.T) {
+	a := Application{Rule: EastSliding(), Anchor: geom.V(10, 10)}
+	fp := a.Footprint()
+	want := map[geom.Vec]bool{
+		geom.V(10, 11): true, geom.V(11, 11): true, // north free cells
+		geom.V(10, 10): true, geom.V(11, 10): true, // mover, destination
+		geom.V(10, 9): true, geom.V(11, 9): true, // supports
+	}
+	if len(fp) != len(want) {
+		t.Fatalf("footprint = %v", fp)
+	}
+	for _, v := range fp {
+		if !want[v] {
+			t.Errorf("unexpected footprint cell %v", v)
+		}
+	}
+}
+
+// TestIsolatedBlockCannotMove: a lone block has no valid application in the
+// standard library — "a block can move only if it is in contact with
+// adjacent blocks" (§IV). This is the physical reason disconnection is fatal
+// (Remark 1).
+func TestIsolatedBlockCannotMove(t *testing.T) {
+	occ := occFrom(geom.V(5, 5))
+	if apps := StandardLibrary().ApplicationsFor(geom.V(5, 5), occ); len(apps) != 0 {
+		t.Errorf("isolated block has %d applications, want 0: %v", len(apps), apps)
+	}
+}
+
+// TestPairHasCarryOnly: two adjacent blocks alone cannot slide (no support
+// pair) but can carry-shift along their own axis... verify what the rule
+// family actually admits: for a horizontal pair with nothing else around, no
+// motion at all is possible, because carrying needs a third support block.
+func TestPairHasCarryOnly(t *testing.T) {
+	occ := occFrom(geom.V(0, 0), geom.V(1, 0))
+	for _, pos := range []geom.Vec{geom.V(0, 0), geom.V(1, 0)} {
+		if apps := StandardLibrary().ApplicationsFor(pos, occ); len(apps) != 0 {
+			t.Errorf("bare pair: block %v has applications %v, want none", pos, apps)
+		}
+	}
+}
+
+func TestPresenceAroundOutsideReadsEmpty(t *testing.T) {
+	mp := PresenceAround(geom.V(0, 0), 1, func(v geom.Vec) bool { return false })
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			if mp.At(geom.V(dx, dy)) != 0 {
+				t.Errorf("cell (%d,%d) should be empty", dx, dy)
+			}
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package rules
+
+import (
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/geom"
+	"repro/internal/matrix"
+)
+
+// TestBaseRulesValid: the two capabilities of Fig. 7 pass validation and
+// expose the structure the paper describes.
+func TestBaseRulesValid(t *testing.T) {
+	slide := EastSliding()
+	if slide.IsCarrying() {
+		t.Error("east sliding moves a single block")
+	}
+	if len(slide.Moves) != 1 || slide.Moves[0].Delta() != geom.V(1, 0) {
+		t.Errorf("east sliding moves = %v", slide.Moves)
+	}
+
+	carry := EastCarrying()
+	if !carry.IsCarrying() {
+		t.Error("east carrying moves two blocks")
+	}
+	if len(carry.Moves) != 2 {
+		t.Fatalf("east carrying has %d moves, want 2", len(carry.Moves))
+	}
+	for _, m := range carry.Moves {
+		if m.Delta() != geom.V(1, 0) {
+			t.Errorf("east carrying move %v should displace east", m)
+		}
+	}
+}
+
+// TestEastSlidingSemantics re-states the paper's prose: "This rule allows
+// the motion of a block from the central position (value 4) to the east
+// position (value 3) if it exists two support blocks in the south of initial
+// and final position of the moving block and free positions in the north."
+func TestEastSlidingSemantics(t *testing.T) {
+	mm := EastSliding().MM
+	if mm.At(geom.V(0, 0)) != event.BecomesEmpty {
+		t.Error("centre must be code 4")
+	}
+	if mm.At(geom.V(1, 0)) != event.BecomesOccupied {
+		t.Error("east must be code 3")
+	}
+	if mm.At(geom.V(0, -1)) != event.RemainsOccupied || mm.At(geom.V(1, -1)) != event.RemainsOccupied {
+		t.Error("south of initial and final positions must be support (code 1)")
+	}
+	if mm.At(geom.V(0, 1)) != event.RemainsEmpty || mm.At(geom.V(1, 1)) != event.RemainsEmpty {
+		t.Error("north positions must be free (code 0)")
+	}
+}
+
+// TestValidateRejectsInconsistencies covers the rule-consistency checker.
+func TestValidateRejectsInconsistencies(t *testing.T) {
+	mmSlide := EastSliding().MM.Clone()
+
+	cases := []struct {
+		name  string
+		rname string
+		mm    *matrix.Motion
+		moves []Move
+	}{
+		{"empty name", "", mmSlide, []Move{{0, geom.V(0, 0), geom.V(1, 0)}}},
+		{"no moves", "r", mmSlide, nil},
+		{"diagonal move", "r", mmSlide, []Move{{0, geom.V(0, 0), geom.V(1, 1)}}},
+		{"two-cell move", "r", mmSlide, []Move{{0, geom.V(-1, 0), geom.V(1, 0)}}},
+		{"negative time", "r", mmSlide, []Move{{-1, geom.V(0, 0), geom.V(1, 0)}}},
+		{"move not announced by matrix", "r", mmSlide, []Move{
+			{0, geom.V(0, 0), geom.V(1, 0)},
+			{0, geom.V(0, -1), geom.V(-1, -1)},
+		}},
+		{"wrong origin", "r", mmSlide, []Move{{0, geom.V(0, -1), geom.V(0, 0)}}},
+	}
+	for _, c := range cases {
+		if _, err := New(c.rname, c.mm, c.moves); err == nil {
+			t.Errorf("%s: New should fail", c.name)
+		}
+	}
+
+	// A handover cell must be both left and entered.
+	mmCarry := EastCarrying().MM.Clone()
+	if _, err := New("half-carry", mmCarry, []Move{{0, geom.V(0, 0), geom.V(1, 0)}}); err == nil {
+		t.Error("carry matrix with a single move must fail validation")
+	}
+}
+
+// TestTransformMovesWithMatrix: transforming a rule transforms its move list
+// coherently with its matrix, and transformed rules remain valid.
+func TestTransformMovesWithMatrix(t *testing.T) {
+	for _, base := range BaseRules() {
+		for _, tr := range geom.Transforms() {
+			r := base.Transform(tr, "x")
+			if err := r.Validate(); err != nil {
+				t.Errorf("%s under %v: %v", base.Name, tr, err)
+			}
+			for i, m := range base.Moves {
+				if r.Moves[i].From != tr.Apply(m.From) || r.Moves[i].To != tr.Apply(m.To) {
+					t.Errorf("%s under %v: move %d not transformed", base.Name, tr, i)
+				}
+			}
+		}
+	}
+}
+
+// TestVerticalSymmetryRule reproduces Fig. 4 at the rule level: the MirrorY
+// image of east sliding still slides east but takes support from the north.
+func TestVerticalSymmetryRule(t *testing.T) {
+	r := EastSliding().Transform(geom.MirrorY, "east2")
+	if r.Moves[0].Delta() != geom.V(1, 0) {
+		t.Error("mirrored rule must still move east")
+	}
+	if r.MM.At(geom.V(0, 1)) != event.RemainsOccupied || r.MM.At(geom.V(1, 1)) != event.RemainsOccupied {
+		t.Error("mirrored rule must take support from the north")
+	}
+	if r.MM.At(geom.V(0, -1)) != event.RemainsEmpty {
+		t.Error("mirrored rule must require the south free")
+	}
+}
+
+// TestClosureCounts: each base rule has trivial D4 stabiliser, so the
+// standard library holds 8 sliding + 8 carrying = 16 distinct capabilities.
+func TestClosureCounts(t *testing.T) {
+	if n := len(Closure(EastSliding())); n != 8 {
+		t.Errorf("sliding closure = %d rules, want 8", n)
+	}
+	if n := len(Closure(EastCarrying())); n != 8 {
+		t.Errorf("carrying closure = %d rules, want 8", n)
+	}
+	lib := StandardLibrary()
+	if lib.Len() != 16 {
+		t.Errorf("standard library = %d rules, want 16", lib.Len())
+	}
+	if SlidingOnlyLibrary().Len() != 8 {
+		t.Errorf("sliding-only library should have 8 rules")
+	}
+	// All four cardinal directions are covered by sliding movers.
+	dirs := map[geom.Vec]bool{}
+	for _, r := range Closure(EastSliding()) {
+		dirs[r.Moves[0].Delta()] = true
+	}
+	if len(dirs) != 4 {
+		t.Errorf("sliding closure covers %d directions, want 4", len(dirs))
+	}
+}
+
+// TestClosureDeduplicates: closing an already-closed set adds nothing.
+func TestClosureDeduplicates(t *testing.T) {
+	once := Closure(BaseRules()...)
+	twice := Closure(once...)
+	if len(twice) != len(once) {
+		t.Errorf("closure not idempotent: %d -> %d", len(once), len(twice))
+	}
+}
+
+// TestEquivalent covers the rule comparison used for deduplication.
+func TestEquivalent(t *testing.T) {
+	a := EastSliding()
+	b := EastSliding()
+	b.Name = "other-name"
+	if !a.Equivalent(b) {
+		t.Error("same matrices and moves must be equivalent regardless of name")
+	}
+	if a.Equivalent(EastCarrying()) {
+		t.Error("sliding and carrying must differ")
+	}
+	c := EastSliding().Transform(geom.MirrorY, "m")
+	if a.Equivalent(c) {
+		t.Error("mirrored rule must differ")
+	}
+}
+
+func TestMoversAndMoveOf(t *testing.T) {
+	carry := EastCarrying()
+	movers := carry.Movers()
+	if len(movers) != 2 || movers[0] != geom.V(0, 0) || movers[1] != geom.V(-1, 0) {
+		t.Errorf("carry movers = %v", movers)
+	}
+	if m, ok := carry.MoveOf(geom.V(-1, 0)); !ok || m.To != geom.V(0, 0) {
+		t.Errorf("MoveOf(west) = %v,%v", m, ok)
+	}
+	if _, ok := carry.MoveOf(geom.V(1, 0)); ok {
+		t.Error("east cell is a destination, not a mover")
+	}
+}

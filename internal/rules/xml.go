@@ -1,0 +1,202 @@
+package rules
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/matrix"
+)
+
+// The XML vocabulary of Fig. 7: a <capabilities> document whose
+// <capability> elements carry a name, a "W,H" size attribute, the Motion
+// Matrix as whitespace-separated codes inside <states> (display order, north
+// row first), and the elementary moves inside <motions> with "col,row"
+// display coordinates (row 0 at the top).
+
+type xmlCapabilities struct {
+	XMLName      xml.Name        `xml:"capabilities"`
+	Capabilities []xmlCapability `xml:"capability"`
+}
+
+type xmlCapability struct {
+	Name    string      `xml:"name,attr"`
+	Size    string      `xml:"size,attr"`
+	States  string      `xml:"states"`
+	Motions []xmlMotion `xml:"motions>motion"`
+}
+
+type xmlMotion struct {
+	Time int    `xml:"time,attr"`
+	From string `xml:"from,attr"`
+	To   string `xml:"to,attr"`
+}
+
+// EncodeXML serialises the library in the Fig. 7 vocabulary.
+func EncodeXML(l *Library) ([]byte, error) {
+	doc := xmlCapabilities{}
+	for _, r := range l.Rules() {
+		n := r.MM.Size()
+		var states strings.Builder
+		states.WriteByte('\n')
+		for _, row := range r.MM.Rows() {
+			for c, v := range row {
+				if c > 0 {
+					states.WriteByte(' ')
+				}
+				states.WriteString(strconv.Itoa(v))
+			}
+			states.WriteByte('\n')
+		}
+		cap := xmlCapability{
+			Name:   r.Name,
+			Size:   fmt.Sprintf("%d,%d", n, n),
+			States: states.String(),
+		}
+		for _, m := range r.Moves {
+			cap.Motions = append(cap.Motions, xmlMotion{
+				Time: m.Time,
+				From: formatDisplayCoord(m.From, r.MM.Radius()),
+				To:   formatDisplayCoord(m.To, r.MM.Radius()),
+			})
+		}
+		doc.Capabilities = append(doc.Capabilities, cap)
+	}
+	out, err := xml.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("rules: encoding XML: %w", err)
+	}
+	return append([]byte(xml.Header), out...), nil
+}
+
+// DecodeXML parses a Fig. 7 capabilities document into a library.
+func DecodeXML(data []byte) (*Library, error) {
+	var doc xmlCapabilities
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("rules: parsing XML: %w", err)
+	}
+	lib, err := NewLibrary()
+	if err != nil {
+		return nil, err
+	}
+	for _, cap := range doc.Capabilities {
+		r, err := decodeCapability(cap)
+		if err != nil {
+			return nil, err
+		}
+		if err := lib.Add(r); err != nil {
+			return nil, err
+		}
+	}
+	return lib, nil
+}
+
+func decodeCapability(cap xmlCapability) (*Rule, error) {
+	w, h, err := parsePair(cap.Size)
+	if err != nil {
+		return nil, fmt.Errorf("rules: capability %q: bad size %q: %w", cap.Name, cap.Size, err)
+	}
+	if w != h {
+		return nil, fmt.Errorf("rules: capability %q: non-square size %dx%d", cap.Name, w, h)
+	}
+	fields := strings.Fields(cap.States)
+	if len(fields) != w*h {
+		return nil, fmt.Errorf("rules: capability %q: %d state entries, want %d",
+			cap.Name, len(fields), w*h)
+	}
+	rows := make([][]int, h)
+	for r := 0; r < h; r++ {
+		rows[r] = make([]int, w)
+		for c := 0; c < w; c++ {
+			v, err := strconv.Atoi(fields[r*w+c])
+			if err != nil {
+				return nil, fmt.Errorf("rules: capability %q: bad state %q", cap.Name, fields[r*w+c])
+			}
+			rows[r][c] = v
+		}
+	}
+	mm, err := matrix.MotionFromRows(rows)
+	if err != nil {
+		return nil, fmt.Errorf("rules: capability %q: %w", cap.Name, err)
+	}
+	radius := mm.Radius()
+	moves := make([]Move, 0, len(cap.Motions))
+	for _, xm := range cap.Motions {
+		from, err := parseDisplayCoord(xm.From, radius, mm.Size())
+		if err != nil {
+			return nil, fmt.Errorf("rules: capability %q: bad from %q: %w", cap.Name, xm.From, err)
+		}
+		to, err := parseDisplayCoord(xm.To, radius, mm.Size())
+		if err != nil {
+			return nil, fmt.Errorf("rules: capability %q: bad to %q: %w", cap.Name, xm.To, err)
+		}
+		moves = append(moves, Move{Time: xm.Time, From: from, To: to})
+	}
+	return New(cap.Name, mm, moves)
+}
+
+// parseDisplayCoord converts a "col,row" attribute (row 0 at the top) into a
+// relative offset from the matrix centre.
+func parseDisplayCoord(s string, radius, size int) (geom.Vec, error) {
+	col, row, err := parsePair(s)
+	if err != nil {
+		return geom.Vec{}, err
+	}
+	if col < 0 || col >= size || row < 0 || row >= size {
+		return geom.Vec{}, fmt.Errorf("coordinate outside %dx%d matrix", size, size)
+	}
+	return geom.V(col-radius, radius-row), nil
+}
+
+// formatDisplayCoord converts a relative offset back to "col,row".
+func formatDisplayCoord(rel geom.Vec, radius int) string {
+	return fmt.Sprintf("%d,%d", radius+rel.X, radius-rel.Y)
+}
+
+func parsePair(s string) (int, int, error) {
+	parts := strings.Split(strings.TrimSpace(s), ",")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("want two comma-separated integers, got %q", s)
+	}
+	a, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return 0, 0, err
+	}
+	b, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return 0, 0, err
+	}
+	return a, b, nil
+}
+
+// PaperXMLExtract is the XML of the paper's Fig. 7 verbatim (modulo the
+// OCR ligature damage of the source: names restored to "east1" and
+// "carry_east1"). Parsing it must yield exactly the two base rules; see
+// TestXMLPaperExtractRoundTrip (experiment E7).
+const PaperXMLExtract = `<?xml version="1.0" encoding="utf-8"?>
+<capabilities>
+  <capability name="east1" size="3,3">
+    <states>
+      2 0 0
+      2 4 3
+      2 1 1
+    </states>
+    <motions>
+      <motion time="0" from="1,1" to="2,1" />
+    </motions>
+  </capability>
+  <capability name="carry_east1" size="3,3">
+    <states>
+      0 0 0
+      4 5 3
+      2 1 2
+    </states>
+    <motions>
+      <motion time="0" from="1,1" to="2,1" />
+      <motion time="0" from="0,1" to="1,1" />
+    </motions>
+  </capability>
+</capabilities>
+`

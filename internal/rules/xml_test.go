@@ -1,0 +1,121 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestXMLPaperExtractRoundTrip is experiment E7: parsing the paper's Fig. 7
+// XML yields exactly the two base capabilities.
+func TestXMLPaperExtractRoundTrip(t *testing.T) {
+	lib, err := DecodeXML([]byte(PaperXMLExtract))
+	if err != nil {
+		t.Fatalf("decoding paper XML: %v", err)
+	}
+	if lib.Len() != 2 {
+		t.Fatalf("decoded %d capabilities, want 2", lib.Len())
+	}
+	east, ok := lib.Get("east1")
+	if !ok {
+		t.Fatal("east1 missing")
+	}
+	if !east.Equivalent(EastSliding()) {
+		t.Errorf("decoded east1 differs from built-in:\n%v", east.MM)
+	}
+	carry, ok := lib.Get("carry_east1")
+	if !ok {
+		t.Fatal("carry_east1 missing")
+	}
+	if !carry.Equivalent(EastCarrying()) {
+		t.Errorf("decoded carry_east1 differs from built-in:\n%v", carry.MM)
+	}
+}
+
+// TestXMLEncodeDecodeStandardLibrary: the full 16-rule library survives an
+// encode/decode round trip.
+func TestXMLEncodeDecodeStandardLibrary(t *testing.T) {
+	std := StandardLibrary()
+	data, err := EncodeXML(std)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeXML(data)
+	if err != nil {
+		t.Fatalf("decoding own output: %v\n%s", err, data)
+	}
+	if back.Len() != std.Len() {
+		t.Fatalf("round trip %d -> %d rules", std.Len(), back.Len())
+	}
+	for _, r := range std.Rules() {
+		got, ok := back.Get(r.Name)
+		if !ok {
+			t.Errorf("rule %q lost in round trip", r.Name)
+			continue
+		}
+		if !got.Equivalent(r) {
+			t.Errorf("rule %q changed in round trip", r.Name)
+		}
+	}
+}
+
+// TestXMLHeaderAndVocabulary: the output uses the Fig. 7 element names.
+func TestXMLHeaderAndVocabulary(t *testing.T) {
+	lib, _ := NewLibrary(EastSliding())
+	data, err := EncodeXML(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{
+		"<capabilities>", "<capability", `name="east1"`, `size="3,3"`,
+		"<states>", "<motions>", `time="0"`, `from="1,1"`, `to="2,1"`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestXMLDecodeErrors covers malformed documents.
+func TestXMLDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"bad xml", `<capabilities><capability`},
+		{"bad size", `<capabilities><capability name="r" size="3x3"><states>0</states><motions><motion time="0" from="1,1" to="2,1"/></motions></capability></capabilities>`},
+		{"non-square", `<capabilities><capability name="r" size="3,5"><states>0</states><motions/></capability></capabilities>`},
+		{"state count", `<capabilities><capability name="r" size="3,3"><states>0 0 0</states><motions><motion time="0" from="1,1" to="2,1"/></motions></capability></capabilities>`},
+		{"bad state token", `<capabilities><capability name="r" size="3,3"><states>2 0 0 2 four 3 2 1 1</states><motions><motion time="0" from="1,1" to="2,1"/></motions></capability></capabilities>`},
+		{"bad coord", `<capabilities><capability name="r" size="3,3"><states>2 0 0 2 4 3 2 1 1</states><motions><motion time="0" from="9,9" to="2,1"/></motions></capability></capabilities>`},
+		{"inconsistent moves", `<capabilities><capability name="r" size="3,3"><states>2 0 0 2 4 3 2 1 1</states><motions><motion time="0" from="1,1" to="1,0"/></motions></capability></capabilities>`},
+		{"duplicate names", `<capabilities>` + twoSameName + `</capabilities>`},
+	}
+	for _, c := range cases {
+		if _, err := DecodeXML([]byte(c.doc)); err == nil {
+			t.Errorf("%s: decode should fail", c.name)
+		}
+	}
+}
+
+const twoSameName = `<capability name="r" size="3,3"><states>2 0 0 2 4 3 2 1 1</states><motions><motion time="0" from="1,1" to="2,1"/></motions></capability><capability name="r" size="3,3"><states>2 0 0 2 4 3 2 1 1</states><motions><motion time="0" from="1,1" to="2,1"/></motions></capability>`
+
+// TestDisplayCoordConversion pins the "col,row" convention of Fig. 7:
+// from="1,1" is the matrix centre and to="2,1" is one cell east.
+func TestDisplayCoordConversion(t *testing.T) {
+	v, err := parseDisplayCoord("1,1", 1, 3)
+	if err != nil || v.X != 0 || v.Y != 0 {
+		t.Errorf("centre = %v, %v", v, err)
+	}
+	v, err = parseDisplayCoord("2,1", 1, 3)
+	if err != nil || v.X != 1 || v.Y != 0 {
+		t.Errorf("east = %v, %v", v, err)
+	}
+	v, err = parseDisplayCoord("1,0", 1, 3)
+	if err != nil || v.X != 0 || v.Y != 1 {
+		t.Errorf("north = %v, %v", v, err)
+	}
+	if got := formatDisplayCoord(v, 1); got != "1,0" {
+		t.Errorf("format north = %q", got)
+	}
+}

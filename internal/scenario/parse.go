@@ -1,0 +1,48 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse builds a scenario from a command-line specification:
+//
+//	fig10            the paper's §V-D example
+//	tower:N          a 2-column tower of N blocks (N even, >= 6)
+//	stair:H1,H2,...  a staircase with the given lane heights
+//
+// rise overrides the output height for stair specs; 0 derives the default
+// (total blocks - 2, the Lemma 1 limit).
+func Parse(spec string, rise int) (*Scenario, error) {
+	switch {
+	case spec == "fig10":
+		return Fig10()
+	case strings.HasPrefix(spec, "tower:"):
+		n, err := strconv.Atoi(strings.TrimPrefix(spec, "tower:"))
+		if err != nil {
+			return nil, fmt.Errorf("scenario: bad tower size in %q: %w", spec, err)
+		}
+		scs, err := TowerSweep([]int{n})
+		if err != nil {
+			return nil, err
+		}
+		return scs[0], nil
+	case strings.HasPrefix(spec, "stair:"):
+		var heights []int
+		total := 0
+		for _, part := range strings.Split(strings.TrimPrefix(spec, "stair:"), ",") {
+			h, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return nil, fmt.Errorf("scenario: bad stair height %q: %w", part, err)
+			}
+			heights = append(heights, h)
+			total += h
+		}
+		if rise == 0 {
+			rise = total - 2
+		}
+		return Staircase("stair", heights, rise)
+	}
+	return nil, fmt.Errorf("scenario: unknown specification %q (want fig10, tower:N or stair:H1,H2,...)", spec)
+}

@@ -1,0 +1,208 @@
+// Package scenario builds the reconfiguration instances of the evaluation:
+// the 12-block example of the paper's §V-D (Figs. 10–11), parametric
+// rectangular blobs for the complexity sweeps of Remarks 2–4, and seeded
+// random connected blobs for the Lemma 1 property experiments.
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/lattice"
+)
+
+// Scenario is a ready-to-run instance: a populated surface plus the I/O
+// cells of the trajectory optimisation problem.
+type Scenario struct {
+	Name          string
+	Description   string
+	Surface       *lattice.Surface
+	Input, Output geom.Vec
+}
+
+// Config returns the default algorithm configuration for the instance.
+func (s *Scenario) Config() core.Config { return core.NewConfig(s.Input, s.Output) }
+
+// Validate checks the instance against the paper's assumptions.
+func (s *Scenario) Validate() error {
+	return core.ValidateInstance(s.Surface, core.Config{Input: s.Input, Output: s.Output})
+}
+
+// Clone returns a deep copy (fresh surface) so one scenario definition can
+// seed many runs.
+func (s *Scenario) Clone() *Scenario {
+	return &Scenario{
+		Name:        s.Name,
+		Description: s.Description,
+		Surface:     s.Surface.Clone(),
+		Input:       s.Input,
+		Output:      s.Output,
+	}
+}
+
+// New assembles a scenario from explicit block positions; ids are assigned
+// in slice order starting at 1 (matching the numbered blocks of Fig. 10).
+func New(name string, w, h int, blocks []geom.Vec, input, output geom.Vec) (*Scenario, error) {
+	surf, err := lattice.NewSurface(w, h)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range blocks {
+		if err := surf.PlaceWithID(lattice.BlockID(i+1), v); err != nil {
+			return nil, fmt.Errorf("scenario %q: block #%d: %w", name, i+1, err)
+		}
+	}
+	s := &Scenario{Name: name, Surface: surf, Input: input, Output: output}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", name, err)
+	}
+	return s, nil
+}
+
+// Fig10 is the reconfiguration example of §V-D (Figs. 10–11): twelve
+// numbered blocks, input and output in the same column, a shortest path of
+// eleven cells to build, block #2 among the bottom blocks next to I. The
+// exact pixel layout of the paper's figure is not published; this instance
+// reproduces every property stated in the text — N=12, same-column I/O,
+// path of 11 cells (the "shortest path distance ... equal to eleven" with
+// Lemma 1's N-blocks-build-a-path-of-N-1-cells accounting), corner
+// crossings that need the carrying rule, and one block ending off the path
+// as the stranded final support (the paper's "block #2 does not belong to
+// the shortest path from I to O but it is essential to the construction").
+// See DESIGN.md (substitutions) for why the layout is a staircase.
+func Fig10() (*Scenario, error) {
+	// A three-step staircase at the bottom of an 8x13 surface:
+	//
+	//   y4:  #10 #11
+	//   y3:   #8  #9
+	//   y2:   #6  #7
+	//   y1:   #3  #4  #5
+	//   y0:   #2  #1 #12
+	//         x2  x3  x4
+	//
+	// I=(2,0) under block #2 (the Root, as in the paper's figure);
+	// O=(2,10), ten rows above in the same column.
+	blocks := []geom.Vec{
+		geom.V(3, 0), geom.V(2, 0), // #1, #2 (the Root on I)
+		geom.V(2, 1), geom.V(3, 1), geom.V(4, 1), // #3 #4 #5
+		geom.V(2, 2), geom.V(3, 2), // #6 #7
+		geom.V(2, 3), geom.V(3, 3), // #8 #9
+		geom.V(2, 4), geom.V(3, 4), // #10 #11
+		geom.V(4, 0), // #12
+	}
+	s, err := New("fig10", 8, 13, blocks, geom.V(2, 0), geom.V(2, 10))
+	if err != nil {
+		return nil, err
+	}
+	s.Description = "Paper §V-D example: 12 blocks build the 11-cell column from I to O"
+	return s, nil
+}
+
+// Blob builds a w x h rectangular blob whose south-west corner sits at
+// origin, with I at the column `inputX` of the blob's bottom row and O
+// `rise` rows above I in the same column. It is the workload generator of
+// the complexity sweeps: N = w*h blocks, path length `rise`.
+func Blob(name string, w, h int, origin geom.Vec, inputX, rise int) (*Scenario, error) {
+	if w < 2 || h < 2 {
+		return nil, fmt.Errorf("scenario: blob must be at least 2x2 (Assumption 1), got %dx%d", w, h)
+	}
+	if inputX < 0 || inputX >= w {
+		return nil, fmt.Errorf("scenario: inputX %d outside blob width %d", inputX, w)
+	}
+	var blocks []geom.Vec
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			blocks = append(blocks, origin.Add(geom.V(x, y)))
+		}
+	}
+	input := origin.Add(geom.V(inputX, 0))
+	output := input.Add(geom.V(0, rise))
+	sw := origin.X + w + 2
+	sh := origin.Y + rise + 2
+	if sw < origin.X+inputX+3 {
+		sw = origin.X + inputX + 3
+	}
+	return New(name, sw, sh, blocks, input, output)
+}
+
+// TowerSweep returns the scaling family of the Remark 2–4 experiments:
+// for each requested block count N (which must be even), a 2-column tower
+// of N blocks that must rebuild into a column of height ~N-1 over I. The
+// family keeps the blob shape fixed while N and the path length grow
+// together, matching the remarks' asymptotic regime.
+func TowerSweep(ns []int) ([]*Scenario, error) {
+	var out []*Scenario
+	for _, n := range ns {
+		if n < 6 || n%2 != 0 {
+			return nil, fmt.Errorf("scenario: tower size %d must be even and >= 6", n)
+		}
+		h := n / 2
+		rise := n - 2 // path of N-1 cells: one block remains as final support
+		s, err := Blob(fmt.Sprintf("tower-%d", n), 2, h, geom.V(1, 0), 0, rise)
+		if err != nil {
+			return nil, err
+		}
+		s.Description = fmt.Sprintf("2x%d tower, N=%d, path %d hops", h, n, rise)
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Staircase builds a column-adjacent staircase: the path column of height
+// heights[0] with I at its base, plus lanes of the remaining heights
+// directly east of it. This is the family on which the greedy distributed
+// algorithm provably makes progress (see DESIGN.md, "solvable envelope"):
+// climbers ascend the face of the column, pairs carry each other over the
+// top corner, and blocks join the path where they align with O.
+func Staircase(name string, heights []int, rise int) (*Scenario, error) {
+	if len(heights) == 0 || heights[0] < 2 {
+		return nil, fmt.Errorf("scenario: staircase needs a column of height >= 2")
+	}
+	n := 0
+	var blocks []geom.Vec
+	for lane, h := range heights {
+		if h < 1 {
+			return nil, fmt.Errorf("scenario: staircase lane %d has height %d", lane, h)
+		}
+		for y := 0; y < h; y++ {
+			blocks = append(blocks, geom.V(2+lane, y))
+		}
+		n += h
+	}
+	input := geom.V(2, 0)
+	output := input.Add(geom.V(0, rise))
+	w := 2 + len(heights) + 3
+	h := rise + 3
+	if top := heights[0] + 2; h < top {
+		h = top
+	}
+	return New(name, w, h, blocks, input, output)
+}
+
+// RandomStaircase draws a seeded instance from the solvable staircase
+// family: a column plus one lane of random (not taller) height and an
+// optional short tail, with O sized so the Lemma 1 precondition holds
+// (N blocks build a path of at most N-1 cells). It is the workload of the
+// Lemma 1 property tests (experiment E12).
+func RandomStaircase(seed int64) (*Scenario, error) {
+	rng := rand.New(rand.NewSource(seed))
+	col := 3 + rng.Intn(6)      // column height 3..8
+	lane := 3 + rng.Intn(col-2) // lane height 3..col
+	heights := []int{col, lane}
+	if rng.Intn(2) == 0 {
+		heights = append(heights, 1+rng.Intn(2)) // optional tail of 1..2
+	}
+	n := 0
+	for _, h := range heights {
+		n += h
+	}
+	// Lemma 1 precondition: N blocks build a path of at most N-1 cells,
+	// i.e. rise <= n-2. The column itself must also be exceeded
+	// (rise >= col+1); lane >= 3 guarantees minRise <= maxRise.
+	maxRise := n - 2
+	minRise := col + 1
+	rise := minRise + rng.Intn(maxRise-minRise+1)
+	return Staircase(fmt.Sprintf("random-stair-%d", seed), heights, rise)
+}

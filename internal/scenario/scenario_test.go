@@ -1,0 +1,219 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/lattice"
+)
+
+// TestFig10Invariants pins every property the paper states for the §V-D
+// example (the figure's pixel layout is not published; these invariants
+// are; see DESIGN.md).
+func TestFig10Invariants(t *testing.T) {
+	s, err := Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Surface.NumBlocks() != 12 {
+		t.Errorf("blocks = %d, want 12", s.Surface.NumBlocks())
+	}
+	if s.Input.X != s.Output.X {
+		t.Error("I and O must share a column")
+	}
+	if got := s.Input.Manhattan(s.Output) + 1; got != 11 {
+		t.Errorf("path cells = %d, want 11 (\"shortest path distance ... equal to eleven\")", got)
+	}
+	// Block #2 occupies I, as in the paper's figure.
+	if id, ok := s.Surface.BlockAt(s.Input); !ok || id != 2 {
+		t.Errorf("block at I = %v, want #2", id)
+	}
+	if !s.Surface.Connected() {
+		t.Error("initial ensemble must be connected (Assumption 1)")
+	}
+	if s.Surface.Occupied(s.Output) {
+		t.Error("O must start free")
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("Fig10 fails validation: %v", err)
+	}
+	// Lemma 1 precondition: N blocks, path of at most N-1 cells.
+	if cells := s.Input.Manhattan(s.Output) + 1; cells > s.Surface.NumBlocks()-1 {
+		t.Errorf("precondition violated: %d cells for %d blocks", cells, s.Surface.NumBlocks())
+	}
+}
+
+func TestNewAssignsSequentialIDs(t *testing.T) {
+	blocks := []geom.Vec{geom.V(1, 0), geom.V(2, 0), geom.V(1, 1)}
+	s, err := New("ids", 5, 5, blocks, geom.V(1, 0), geom.V(1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range blocks {
+		id, ok := s.Surface.BlockAt(v)
+		if !ok || id != lattice.BlockID(i+1) {
+			t.Errorf("block at %v = %d, want %d", v, id, i+1)
+		}
+	}
+}
+
+func TestNewRejectsInvalidInstances(t *testing.T) {
+	cases := []struct {
+		name   string
+		blocks []geom.Vec
+		in     geom.Vec
+		out    geom.Vec
+	}{
+		{"duplicate cell", []geom.Vec{geom.V(1, 0), geom.V(1, 0)}, geom.V(1, 0), geom.V(1, 3)},
+		{"no root", []geom.Vec{geom.V(1, 0), geom.V(2, 0), geom.V(1, 1)}, geom.V(3, 3), geom.V(1, 3)},
+		{"disconnected", []geom.Vec{geom.V(1, 0), geom.V(3, 3), geom.V(1, 1)}, geom.V(1, 0), geom.V(1, 3)},
+		{"collinear", []geom.Vec{geom.V(1, 0), geom.V(2, 0), geom.V(3, 0)}, geom.V(1, 0), geom.V(1, 3)},
+	}
+	for _, c := range cases {
+		if _, err := New(c.name, 6, 6, c.blocks, c.in, c.out); err == nil {
+			t.Errorf("%s: New should fail", c.name)
+		}
+	}
+}
+
+func TestBlobGeometry(t *testing.T) {
+	s, err := Blob("b", 3, 2, geom.V(2, 0), 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Surface.NumBlocks() != 6 {
+		t.Errorf("blocks = %d, want 6", s.Surface.NumBlocks())
+	}
+	if s.Input != geom.V(3, 0) || s.Output != geom.V(3, 5) {
+		t.Errorf("I=%v O=%v", s.Input, s.Output)
+	}
+	if _, err := Blob("bad", 1, 2, geom.V(0, 0), 0, 3); err == nil {
+		t.Error("1-wide blob must be rejected (Assumption 1)")
+	}
+	if _, err := Blob("bad", 3, 2, geom.V(0, 0), 5, 3); err == nil {
+		t.Error("inputX outside blob must be rejected")
+	}
+}
+
+func TestTowerSweep(t *testing.T) {
+	scs, err := TowerSweep([]int{8, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 2 {
+		t.Fatalf("got %d scenarios", len(scs))
+	}
+	for _, s := range scs {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+		n := s.Surface.NumBlocks()
+		if got := s.Input.Manhattan(s.Output); got != n-2 {
+			t.Errorf("%s: rise = %d, want N-2 = %d", s.Name, got, n-2)
+		}
+	}
+	if _, err := TowerSweep([]int{7}); err == nil {
+		t.Error("odd tower size must be rejected")
+	}
+	if _, err := TowerSweep([]int{4}); err == nil {
+		t.Error("tiny tower must be rejected")
+	}
+}
+
+func TestStaircaseValidation(t *testing.T) {
+	if _, err := Staircase("s", nil, 5); err == nil {
+		t.Error("empty staircase must fail")
+	}
+	if _, err := Staircase("s", []int{1}, 5); err == nil {
+		t.Error("column of height 1 must fail")
+	}
+	if _, err := Staircase("s", []int{4, 0}, 5); err == nil {
+		t.Error("zero-height lane must fail")
+	}
+	s, err := Staircase("s", []int{4, 3, 1}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Surface.NumBlocks() != 8 {
+		t.Errorf("blocks = %d, want 8", s.Surface.NumBlocks())
+	}
+}
+
+// TestRandomStaircaseFamily: every seed yields a valid instance satisfying
+// the Lemma 1 precondition.
+func TestRandomStaircaseFamily(t *testing.T) {
+	for seed := int64(1); seed <= 100; seed++ {
+		s, err := RandomStaircase(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+		n := s.Surface.NumBlocks()
+		cells := s.Input.Manhattan(s.Output) + 1
+		if cells > n-1 {
+			t.Errorf("seed %d: %d path cells for %d blocks", seed, cells, n)
+		}
+		if !strings.HasPrefix(s.Name, "random-stair-") {
+			t.Errorf("seed %d: name %q", seed, s.Name)
+		}
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	s, err := Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.Clone()
+	if _, err := c.Surface.Place(geom.V(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Surface.NumBlocks() != 12 || c.Surface.NumBlocks() != 13 {
+		t.Error("Clone shares the surface")
+	}
+}
+
+func TestScenarioConfigDefaults(t *testing.T) {
+	s, err := Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := s.Config()
+	if cfg.Input != s.Input || cfg.Output != s.Output {
+		t.Error("config I/O mismatch")
+	}
+	if !cfg.AllowRetreat {
+		t.Error("default config should enable the escape tier")
+	}
+}
+
+// TestParse covers the command-line scenario specifications.
+func TestParse(t *testing.T) {
+	s, err := Parse("fig10", 0)
+	if err != nil || s.Surface.NumBlocks() != 12 {
+		t.Errorf("fig10: %v err=%v", s, err)
+	}
+	s, err = Parse("tower:10", 0)
+	if err != nil || s.Surface.NumBlocks() != 10 {
+		t.Errorf("tower: %v err=%v", s, err)
+	}
+	s, err = Parse("stair:4,3,2", 0)
+	if err != nil || s.Surface.NumBlocks() != 9 {
+		t.Errorf("stair: %v err=%v", s, err)
+	}
+	if s.Input.Manhattan(s.Output) != 7 { // default rise = total-2
+		t.Errorf("default stair rise = %d", s.Input.Manhattan(s.Output))
+	}
+	s, err = Parse("stair:4,3,2", 6)
+	if err != nil || s.Input.Manhattan(s.Output) != 6 {
+		t.Errorf("explicit rise: %v err=%v", s, err)
+	}
+	for _, bad := range []string{"", "nope", "tower:x", "tower:7", "stair:", "stair:4,x"} {
+		if _, err := Parse(bad, 0); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}

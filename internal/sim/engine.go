@@ -1,0 +1,310 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/exec"
+	"repro/internal/geom"
+	"repro/internal/lattice"
+	"repro/internal/msg"
+	"repro/internal/rules"
+)
+
+// Config parameterises a simulation run.
+type Config struct {
+	// Input and Output are the I and O cells of the trajectory problem.
+	Input, Output geom.Vec
+	// Seed drives every random source of the run (scheduler, per-block
+	// rngs, latency jitter); equal seeds give identical runs.
+	Seed int64
+	// Latency is the link latency model; nil defaults to FixedLatency(1000).
+	Latency LatencyModel
+	// BufferCap is the per-side reception buffer capacity; 0 defaults to
+	// msg.DefaultBufferCap.
+	BufferCap int
+	// Constraints are the physics-level checks applied to every motion
+	// (connectivity, frozen blocks, blocking veto); supplied by the
+	// algorithm layer.
+	Constraints lattice.Constraints
+	// OnApply, when non-nil, observes every executed rule application (the
+	// trace recorder and the statistics harness hook in here).
+	OnApply func(lattice.ApplyResult)
+	// Logf, when non-nil, receives per-block debug lines.
+	Logf func(format string, args ...any)
+}
+
+// Engine hosts BlockCodes on a surface and simulates their execution.
+type Engine struct {
+	sched *Scheduler
+	surf  *lattice.Surface
+	lib   *rules.Library
+	cfg   Config
+
+	hosts   map[lattice.BlockID]*host
+	radius  int
+	sent    uint64
+	deliver uint64
+	dropped uint64
+}
+
+// host adapts one block to exec.Env.
+type host struct {
+	eng  *Engine
+	id   lattice.BlockID
+	code exec.BlockCode
+	bufs *msg.Buffers
+	rng  *rand.Rand
+}
+
+// NewEngine builds an engine over the given surface and rule library. The
+// surface must already hold the initial block configuration.
+func NewEngine(surf *lattice.Surface, lib *rules.Library, factory exec.CodeFactory, cfg Config) (*Engine, error) {
+	if surf == nil || lib == nil || factory == nil {
+		return nil, fmt.Errorf("sim: surface, library and factory are required")
+	}
+	if cfg.Latency == nil {
+		cfg.Latency = FixedLatency(1000)
+	}
+	if cfg.BufferCap == 0 {
+		cfg.BufferCap = msg.DefaultBufferCap
+	}
+	e := &Engine{
+		sched:  NewScheduler(cfg.Seed),
+		surf:   surf,
+		lib:    lib,
+		cfg:    cfg,
+		hosts:  make(map[lattice.BlockID]*host, surf.NumBlocks()),
+		radius: 2 * lib.MaxRadius(),
+	}
+	for _, id := range surf.Blocks() {
+		bufs, err := msg.NewBuffers(cfg.BufferCap)
+		if err != nil {
+			return nil, err
+		}
+		e.hosts[id] = &host{
+			eng:  e,
+			id:   id,
+			code: factory(id),
+			bufs: bufs,
+			rng:  rand.New(rand.NewSource(cfg.Seed ^ int64(id)*0x7f4a7c15)),
+		}
+	}
+	return e, nil
+}
+
+// Boot schedules every block's OnStart at time zero, in ascending id order.
+func (e *Engine) Boot() {
+	ids := e.surf.Blocks()
+	for _, id := range ids {
+		h := e.hosts[id]
+		e.sched.After(0, func() { h.code.OnStart(h) })
+	}
+}
+
+// Run drives the simulation until quiescence or maxEvents (0 = unbounded).
+// It returns the number of events processed by this call.
+func (e *Engine) Run(maxEvents uint64) uint64 { return e.sched.Run(maxEvents) }
+
+// Scheduler exposes the event core (for tests and the harness).
+func (e *Engine) Scheduler() *Scheduler { return e.sched }
+
+// Surface exposes the physical surface (for verification and rendering).
+func (e *Engine) Surface() *lattice.Surface { return e.surf }
+
+// MessagesSent returns the number of Send calls accepted by ports.
+func (e *Engine) MessagesSent() uint64 { return e.sent }
+
+// MessagesDelivered returns the number of messages handed to BlockCodes.
+func (e *Engine) MessagesDelivered() uint64 { return e.deliver }
+
+// MessagesDropped returns messages lost to buffer overflow or to the
+// receiver moving away while the message was in flight.
+func (e *Engine) MessagesDropped() uint64 { return e.dropped }
+
+// --- exec.Env implementation -----------------------------------------------
+
+func (h *host) ID() lattice.BlockID { return h.id }
+
+func (h *host) Position() geom.Vec {
+	v, ok := h.eng.surf.PositionOf(h.id)
+	if !ok {
+		panic(fmt.Sprintf("sim: block %d vanished from the surface", h.id))
+	}
+	return v
+}
+
+func (h *host) Input() geom.Vec  { return h.eng.cfg.Input }
+func (h *host) Output() geom.Vec { return h.eng.cfg.Output }
+
+func (h *host) Neighbors() [geom.NumDirs]lattice.BlockID {
+	nt, err := h.eng.surf.Neighbors(h.id)
+	if err != nil {
+		panic(err)
+	}
+	return nt
+}
+
+func (h *host) Send(to lattice.BlockID, m msg.Message) error {
+	e := h.eng
+	side, err := portBetween(e.surf, h.id, to)
+	if err != nil {
+		return err
+	}
+	e.sent++
+	from := h.id
+	e.sched.After(e.cfg.Latency.Delay(e.sched.Rand()), func() {
+		e.deliverTo(from, to, side, m)
+	})
+	return nil
+}
+
+// deliverTo lands a message. Adjacency was validated at Send time: the
+// port transfers the bytes into the receiver while the blocks are in
+// contact, and the configured latency models the receiver-side queueing and
+// processing delay. A message therefore survives the sender moving away
+// after the send (e.g. the elected block's SelectAck racing its own hop).
+func (e *Engine) deliverTo(from, to lattice.BlockID, side geom.Dir, m msg.Message) {
+	h, ok := e.hosts[to]
+	if !ok {
+		e.dropped++
+		return
+	}
+	if !h.bufs.Push(msg.Inbound{From: from, Side: side, Msg: m}) {
+		e.dropped++
+		return
+	}
+	for {
+		in, ok := h.bufs.Pop()
+		if !ok {
+			return
+		}
+		e.deliver++
+		h.code.OnMessage(h, in.From, in.Msg)
+	}
+}
+
+// portBetween returns the side of `from` that faces `to`, or an error if
+// the blocks are not in lateral contact.
+func portBetween(surf *lattice.Surface, from, to lattice.BlockID) (geom.Dir, error) {
+	pf, ok := surf.PositionOf(from)
+	if !ok {
+		return 0, fmt.Errorf("sim: sender %d not on surface", from)
+	}
+	pt, ok := surf.PositionOf(to)
+	if !ok {
+		return 0, fmt.Errorf("sim: receiver %d not on surface", to)
+	}
+	// The side of the receiver on which the message arrives.
+	d, ok := geom.DirOf(pt, pf)
+	if !ok {
+		return 0, fmt.Errorf("sim: blocks %d and %d are not adjacent", from, to)
+	}
+	return d, nil
+}
+
+func (h *host) Sense(v geom.Vec) bool {
+	p := h.Position()
+	if cheb(v.Sub(p)) > h.eng.radius {
+		panic(fmt.Sprintf("sim: block %d sensing %v beyond radius %d from %v",
+			h.id, v, h.eng.radius, p))
+	}
+	return h.eng.surf.Occupied(v)
+}
+
+func (h *host) SensingRadius() int { return h.eng.radius }
+
+func (h *host) Library() *rules.Library { return h.eng.lib }
+
+func (h *host) Move(app rules.Application) error {
+	e := h.eng
+	pos := h.Position()
+	if _, ok := app.MoveOf(pos); !ok {
+		return fmt.Errorf("sim: block %d at %v is not a mover of %s", h.id, pos, app)
+	}
+	res, err := e.surf.Apply(app, e.cfg.Constraints)
+	if err != nil {
+		return err
+	}
+	if e.cfg.OnApply != nil {
+		e.cfg.OnApply(res)
+	}
+	e.notifyAfterMotion(res)
+	return nil
+}
+
+// notifyAfterMotion schedules OnMoved for every displaced block and
+// OnNeighborhoodChanged for every block whose sensing window saw a cell
+// change, preserving deterministic order.
+func (e *Engine) notifyAfterMotion(res lattice.ApplyResult) {
+	moved := map[lattice.BlockID]bool{}
+	for _, id := range res.Moved {
+		moved[id] = true
+	}
+	var changed []geom.Vec
+	for _, m := range res.App.AbsMoves() {
+		changed = append(changed, m.From, m.To)
+	}
+	for _, m := range res.App.AbsMoves() {
+		// After execution each destination holds exactly the block that
+		// moved onto it.
+		id, ok := e.surf.BlockAt(m.To)
+		if !ok {
+			continue
+		}
+		h := e.hosts[id]
+		from, to := m.From, m.To
+		e.sched.After(0, func() { h.code.OnMoved(h, from, to) })
+	}
+	for _, id := range affectedBlocks(e.surf, changed, e.radius, moved) {
+		h := e.hosts[id]
+		e.sched.After(0, func() { h.code.OnNeighborhoodChanged(h) })
+	}
+}
+
+// affectedBlocks lists blocks (excluding the movers) whose sensing window
+// covers one of the changed cells, in ascending id order.
+func affectedBlocks(surf *lattice.Surface, changed []geom.Vec, radius int, exclude map[lattice.BlockID]bool) []lattice.BlockID {
+	set := map[lattice.BlockID]bool{}
+	for _, c := range changed {
+		for dy := -radius; dy <= radius; dy++ {
+			for dx := -radius; dx <= radius; dx++ {
+				if id, ok := surf.BlockAt(c.Add(geom.V(dx, dy))); ok && !exclude[id] {
+					set[id] = true
+				}
+			}
+		}
+	}
+	out := make([]lattice.BlockID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (h *host) Rand() *rand.Rand { return h.rng }
+
+func (h *host) Logf(format string, args ...any) {
+	if h.eng.cfg.Logf != nil {
+		h.eng.cfg.Logf("[t=%d b=%d] "+format,
+			append([]any{h.eng.sched.Now(), h.id}, args...)...)
+	}
+}
+
+func cheb(v geom.Vec) int {
+	ax, ay := v.X, v.Y
+	if ax < 0 {
+		ax = -ax
+	}
+	if ay < 0 {
+		ay = -ay
+	}
+	if ax > ay {
+		return ax
+	}
+	return ay
+}
+
+var _ exec.Env = (*host)(nil)

@@ -1,0 +1,44 @@
+package sim
+
+// VisibleSim "mixes a discrete-event core simulator with discrete-time
+// functionalities" (§V-E): alongside arbitrary events, modules can run
+// fixed-rate periodic work (sensor polling, actuation periods). Ticker is
+// that facility for this engine.
+
+// Ticker schedules fn every period ticks until cancelled. fn receives the
+// firing time.
+type Ticker struct {
+	s         *Scheduler
+	period    Time
+	fn        func(Time)
+	cancelled bool
+	fired     uint64
+}
+
+// NewTicker starts a periodic activity on the scheduler; the first firing
+// happens one period from now. A non-positive period snaps to 1.
+func NewTicker(s *Scheduler, period Time, fn func(Time)) *Ticker {
+	if period <= 0 {
+		period = 1
+	}
+	t := &Ticker{s: s, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.s.After(t.period, func() {
+		if t.cancelled {
+			return
+		}
+		t.fired++
+		t.fn(t.s.Now())
+		t.arm()
+	})
+}
+
+// Stop cancels future firings (the already scheduled one becomes a no-op).
+func (t *Ticker) Stop() { t.cancelled = true }
+
+// Fired returns the number of completed firings.
+func (t *Ticker) Fired() uint64 { return t.fired }

@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Remark 4", "N", "hops", "bound")
+	tb.AddRow(8, 21, "O(N^2)")
+	tb.AddRow(16, 102, "O(N^2)")
+	out := tb.String()
+	for _, want := range []string{"Remark 4", "N", "hops", "bound", "16", "102"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("table has %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tb := NewTable("", "x")
+	tb.AddRow(3.14159)
+	if !strings.Contains(tb.String(), "3.14") {
+		t.Errorf("float row: %s", tb.String())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 6})
+	if s.N != 3 || s.Mean != 4 || s.Min != 2 || s.Max != 6 || s.Sum != 12 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.StdDev-2) > 1e-12 {
+		t.Errorf("stddev = %v, want 2", s.StdDev)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.Mean != 0 {
+		t.Errorf("empty summary = %+v", empty)
+	}
+	one := Summarize([]float64{7})
+	if one.StdDev != 0 || one.Mean != 7 {
+		t.Errorf("singleton summary = %+v", one)
+	}
+}
+
+// TestLogLogSlopeRecoversPolynomialOrder: for y = c * x^k the fitted slope
+// is k, the property the complexity experiments rely on.
+func TestLogLogSlopeRecoversPolynomialOrder(t *testing.T) {
+	for _, k := range []float64{1, 2, 3} {
+		var xs, ys []float64
+		for x := 4.0; x <= 64; x *= 2 {
+			xs = append(xs, x)
+			ys = append(ys, 5*math.Pow(x, k))
+		}
+		got := LogLogSlope(xs, ys)
+		if math.Abs(got-k) > 1e-9 {
+			t.Errorf("slope for x^%v = %v", k, got)
+		}
+	}
+}
+
+func TestLogLogSlopeNoisyData(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var xs, ys []float64
+	for x := 4.0; x <= 512; x *= 2 {
+		xs = append(xs, x)
+		noise := 0.9 + 0.2*rng.Float64()
+		ys = append(ys, 3*x*x*noise)
+	}
+	got := LogLogSlope(xs, ys)
+	if got < 1.8 || got > 2.2 {
+		t.Errorf("noisy quadratic slope = %v", got)
+	}
+}
+
+func TestLogLogSlopeEdgeCases(t *testing.T) {
+	if !math.IsNaN(LogLogSlope(nil, nil)) {
+		t.Error("empty data should give NaN")
+	}
+	if !math.IsNaN(LogLogSlope([]float64{1}, []float64{1})) {
+		t.Error("single point should give NaN")
+	}
+	// Non-positive points are skipped.
+	got := LogLogSlope([]float64{-1, 2, 4, 8}, []float64{5, 4, 16, 64})
+	if math.IsNaN(got) {
+		t.Error("slope with skipped points should be defined")
+	}
+	if !math.IsNaN(LogLogSlope([]float64{2, 2}, []float64{4, 8})) {
+		t.Error("degenerate x-range should give NaN")
+	}
+}

@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/lattice"
+)
+
+// SVG renders the surface as a standalone SVG image in the visual language
+// of the paper's Fig. 10/11: grey squares for blocks with their numbers,
+// a blue rounded square marking the input I, a magenta one marking the
+// output O, and highlighted cells for the built shortest path. The paper
+// produced its figures with an external renderer fed from exported
+// VisibleSim scenes; SVG plays that role here.
+func SVG(surf *lattice.Surface, input, output geom.Vec) string {
+	const cell = 28
+	const pad = 6
+	w := surf.Width()*cell + 2*pad
+	h := surf.Height()*cell + 2*pad
+
+	onPath := map[geom.Vec]bool{}
+	for _, v := range core.ShortestOccupiedPath(surf, input, output) {
+		onPath[v] = true
+	}
+	// y is flipped: SVG grows downwards, the surface grows north.
+	px := func(v geom.Vec) (int, int) {
+		return pad + v.X*cell, pad + (surf.Height()-1-v.Y)*cell
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", w, h, w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+
+	// Grid.
+	for y := 0; y < surf.Height(); y++ {
+		for x := 0; x < surf.Width(); x++ {
+			gx, gy := px(geom.V(x, y))
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#dddddd"/>`+"\n",
+				gx, gy, cell, cell)
+		}
+	}
+	// I and O markers (under the blocks, as rounded squares).
+	marker := func(v geom.Vec, color string) {
+		gx, gy := px(v)
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" rx="6" fill="none" stroke="%s" stroke-width="3"/>`+"\n",
+			gx+2, gy+2, cell-4, cell-4, color)
+	}
+	marker(input, "#2060d0")  // blue: the input of parts
+	marker(output, "#d020c0") // magenta: the output of parts
+
+	// Blocks.
+	for _, id := range surf.Blocks() {
+		v, _ := surf.PositionOf(id)
+		gx, gy := px(v)
+		fill := "#b8b8b8"
+		if onPath[v] {
+			fill = "#8fce8f"
+		}
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" rx="4" fill="%s" stroke="#444444"/>`+"\n",
+			gx+3, gy+3, cell-6, cell-6, fill)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%d</text>`+"\n",
+			gx+cell/2, gy+cell/2+4, id)
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// StoryboardSVG renders one SVG frame per recorded step plus the initial
+// state caption, concatenated as a self-contained HTML document — the
+// storyboard format of Figs. 10/11.
+func (r *Recorder) StoryboardSVG() string {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><title>reconfiguration storyboard</title></head><body>\n")
+	fmt.Fprintf(&b, "<h1>Reconfiguration I=%s &rarr; O=%s</h1>\n", r.in, r.out)
+	for _, st := range r.steps {
+		fmt.Fprintf(&b, "<h2>step %d — %s</h2>\n", st.Index, st.Rule)
+		for _, m := range st.Moves {
+			fmt.Fprintf(&b, "<p>block %d: %s &rarr; %s</p>\n", m.Block, m.From, m.To)
+		}
+	}
+	fmt.Fprintf(&b, "<h2>final state</h2>\n%s", SVG(r.surf, r.in, r.out))
+	b.WriteString("</body></html>\n")
+	return b.String()
+}

@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/lattice"
+)
+
+func TestSVGStructure(t *testing.T) {
+	s, err := lattice.NewSurface(5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []geom.Vec{geom.V(1, 0), geom.V(1, 1), geom.V(2, 0)} {
+		if _, err := s.Place(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := SVG(s, geom.V(1, 0), geom.V(1, 3))
+	for _, want := range []string{
+		"<svg", "</svg>",
+		`stroke="#2060d0"`,                    // input marker, blue
+		`stroke="#d020c0"`,                    // output marker, magenta
+		">1</text>", ">2</text>", ">3</text>", // block numbers
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// One block rect per block (rx=4 distinguishes them from grid cells and
+	// markers which use rx=6 / no rx).
+	if got := strings.Count(out, `rx="4"`); got != 3 {
+		t.Errorf("block rects = %d, want 3", got)
+	}
+	// Grid rect per cell.
+	if got := strings.Count(out, `stroke="#dddddd"`); got != 20 {
+		t.Errorf("grid rects = %d, want 20", got)
+	}
+}
+
+func TestSVGHighlightsPath(t *testing.T) {
+	s, err := lattice.NewSurface(4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []geom.Vec{geom.V(1, 0), geom.V(1, 1), geom.V(1, 2)} {
+		if _, err := s.Place(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := SVG(s, geom.V(1, 0), geom.V(1, 2))
+	if got := strings.Count(out, `fill="#8fce8f"`); got != 3 {
+		t.Errorf("highlighted path cells = %d, want 3", got)
+	}
+}
+
+func TestStoryboardSVG(t *testing.T) {
+	surf, app := slideSetup(t)
+	rec := NewRecorder(surf, geom.V(0, 0), geom.V(5, 0), false)
+	res, err := surf.Apply(app, lattice.Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Record(res)
+	doc := rec.StoryboardSVG()
+	for _, want := range []string{"<!DOCTYPE html>", "step 1", "east1", "<svg", "final state"} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("storyboard missing %q", want)
+		}
+	}
+}

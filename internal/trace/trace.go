@@ -1,0 +1,143 @@
+// Package trace records and renders reconfiguration runs: the storyboard of
+// the paper's Figs. 10–11. A Recorder hooks into the engine's OnApply
+// callback and captures every motion-rule application; frames render the
+// surface as ASCII art with numbered blocks (the paper tags blocks by
+// number "in order to follow their progression"), and runs export to JSON
+// for external rendering, as the paper did with VisibleSim scenes.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/lattice"
+)
+
+// Move is one elementary displacement in a recorded step.
+type Move struct {
+	Block lattice.BlockID `json:"block"`
+	From  geom.Vec        `json:"from"`
+	To    geom.Vec        `json:"to"`
+}
+
+// Step is one executed rule application.
+type Step struct {
+	Index    int    `json:"index"`
+	Rule     string `json:"rule"`
+	Carrying bool   `json:"carrying"`
+	Moves    []Move `json:"moves"`
+	// Frame is the rendered surface after the step (only when the recorder
+	// keeps frames).
+	Frame string `json:"frame,omitempty"`
+}
+
+// Recorder captures the steps of a run. Hook Record into sim.Config.OnApply
+// (or runtime.Config.OnApply).
+type Recorder struct {
+	surf       *lattice.Surface
+	in, out    geom.Vec
+	keepFrames bool
+	steps      []Step
+}
+
+// NewRecorder returns a recorder bound to the surface; when keepFrames is
+// true every step also stores a rendered frame.
+func NewRecorder(surf *lattice.Surface, input, output geom.Vec, keepFrames bool) *Recorder {
+	return &Recorder{surf: surf, in: input, out: output, keepFrames: keepFrames}
+}
+
+// Record implements the OnApply hook.
+func (r *Recorder) Record(res lattice.ApplyResult) {
+	st := Step{
+		Index:    len(r.steps) + 1,
+		Rule:     res.App.Rule.Name,
+		Carrying: res.IsCarrying,
+	}
+	moves := res.App.AbsMoves()
+	for i, m := range moves {
+		id := lattice.None
+		if i < len(res.Moved) {
+			id = res.Moved[i]
+		}
+		st.Moves = append(st.Moves, Move{Block: id, From: m.From, To: m.To})
+	}
+	if r.keepFrames {
+		st.Frame = Render(r.surf, r.in, r.out)
+	}
+	r.steps = append(r.steps, st)
+}
+
+// Steps returns the recorded steps in execution order.
+func (r *Recorder) Steps() []Step { return r.steps }
+
+// TotalHops returns the number of elementary block moves recorded.
+func (r *Recorder) TotalHops() int {
+	n := 0
+	for _, s := range r.steps {
+		n += len(s.Moves)
+	}
+	return n
+}
+
+// CarrySteps returns how many steps used a carrying rule.
+func (r *Recorder) CarrySteps() int {
+	n := 0
+	for _, s := range r.steps {
+		if s.Carrying {
+			n++
+		}
+	}
+	return n
+}
+
+// JSON exports the recorded run.
+func (r *Recorder) JSON() ([]byte, error) {
+	return json.MarshalIndent(struct {
+		Input  geom.Vec `json:"input"`
+		Output geom.Vec `json:"output"`
+		Steps  []Step   `json:"steps"`
+	}{r.in, r.out, r.steps}, "", "  ")
+}
+
+// Render draws the surface as ASCII art, north at the top, one 4-column
+// cell per grid node. Blocks show their id modulo 100 (the paper tags
+// blocks by number); cells of the built shortest path are bracketed; the
+// input and output cells (the blue and magenta rounded squares of Fig. 10)
+// are marked I and O when empty and in the legend always.
+func Render(surf *lattice.Surface, input, output geom.Vec) string {
+	onPath := map[geom.Vec]bool{}
+	for _, v := range core.ShortestOccupiedPath(surf, input, output) {
+		onPath[v] = true
+	}
+	var b strings.Builder
+	for y := surf.Height() - 1; y >= 0; y-- {
+		fmt.Fprintf(&b, "%3d |", y)
+		for x := 0; x < surf.Width(); x++ {
+			v := geom.V(x, y)
+			cell := "  . "
+			if id, ok := surf.BlockAt(v); ok {
+				if onPath[v] {
+					cell = fmt.Sprintf("[%02d]", int(id)%100)
+				} else {
+					cell = fmt.Sprintf(" %02d ", int(id)%100)
+				}
+			} else if v == output {
+				cell = "  O "
+			} else if v == input {
+				cell = "  I "
+			}
+			b.WriteString(cell)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("     ")
+	for x := 0; x < surf.Width(); x++ {
+		fmt.Fprintf(&b, "%3d ", x)
+	}
+	fmt.Fprintf(&b, "\n     I=%s  O=%s  blocks=%d  path-cells=%d\n",
+		input, output, surf.NumBlocks(), len(onPath))
+	return b.String()
+}

@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/lattice"
+	"repro/internal/rules"
+)
+
+func slideSetup(t *testing.T) (*lattice.Surface, rules.Application) {
+	t.Helper()
+	s, err := lattice.NewSurface(6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []geom.Vec{
+		geom.V(0, 0), geom.V(1, 0), geom.V(2, 0), geom.V(0, 1), geom.V(1, 1),
+	} {
+		if _, err := s.Place(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s, rules.Application{Rule: rules.EastSliding(), Anchor: geom.V(1, 1)}
+}
+
+func TestRecorderCapturesSteps(t *testing.T) {
+	surf, app := slideSetup(t)
+	rec := NewRecorder(surf, geom.V(0, 0), geom.V(5, 0), true)
+	res, err := surf.Apply(app, lattice.Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Record(res)
+
+	steps := rec.Steps()
+	if len(steps) != 1 {
+		t.Fatalf("steps = %d", len(steps))
+	}
+	st := steps[0]
+	if st.Index != 1 || st.Rule != "east1" || st.Carrying {
+		t.Errorf("step = %+v", st)
+	}
+	if len(st.Moves) != 1 || st.Moves[0].From != geom.V(1, 1) || st.Moves[0].To != geom.V(2, 1) {
+		t.Errorf("moves = %v", st.Moves)
+	}
+	if st.Moves[0].Block == lattice.None {
+		t.Error("mover id missing")
+	}
+	if st.Frame == "" {
+		t.Error("frame not captured with keepFrames=true")
+	}
+	if rec.TotalHops() != 1 || rec.CarrySteps() != 0 {
+		t.Errorf("hops=%d carries=%d", rec.TotalHops(), rec.CarrySteps())
+	}
+}
+
+func TestRecorderJSONExport(t *testing.T) {
+	surf, app := slideSetup(t)
+	rec := NewRecorder(surf, geom.V(0, 0), geom.V(5, 0), false)
+	res, err := surf.Apply(app, lattice.Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Record(res)
+	data, err := rec.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back struct {
+		Input  geom.Vec `json:"input"`
+		Output geom.Vec `json:"output"`
+		Steps  []Step   `json:"steps"`
+	}
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Input != geom.V(0, 0) || len(back.Steps) != 1 {
+		t.Errorf("export = %+v", back)
+	}
+	if back.Steps[0].Frame != "" {
+		t.Error("frame should be omitted with keepFrames=false")
+	}
+}
+
+func TestRenderLayout(t *testing.T) {
+	surf, _ := slideSetup(t)
+	out := Render(surf, geom.V(0, 0), geom.V(5, 5))
+	if !strings.Contains(out, "  O ") {
+		t.Errorf("output cell marker missing:\n%s", out)
+	}
+	// Block ids visible.
+	if !strings.Contains(out, " 01 ") && !strings.Contains(out, "[01]") {
+		t.Errorf("block 1 missing:\n%s", out)
+	}
+	// North at the top: the top rendered row is the highest y.
+	lines := strings.Split(out, "\n")
+	if !strings.HasPrefix(strings.TrimSpace(lines[0]), "5 |") {
+		t.Errorf("first line is not row 5: %q", lines[0])
+	}
+	if !strings.Contains(out, "blocks=5") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+}
+
+func TestRenderHighlightsBuiltPath(t *testing.T) {
+	s, err := lattice.NewSurface(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A straight occupied path from (1,0) to (1,2).
+	for _, v := range []geom.Vec{geom.V(1, 0), geom.V(1, 1), geom.V(1, 2)} {
+		if _, err := s.Place(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := Render(s, geom.V(1, 0), geom.V(1, 2))
+	if strings.Count(out, "[") != 3 {
+		t.Errorf("want 3 bracketed path cells:\n%s", out)
+	}
+	if !strings.Contains(out, "path-cells=3") {
+		t.Errorf("legend path count wrong:\n%s", out)
+	}
+}
+
+func TestRenderCarryStep(t *testing.T) {
+	s, err := lattice.NewSurface(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []geom.Vec{
+		geom.V(2, 0), geom.V(2, 1), geom.V(2, 2), geom.V(3, 1), geom.V(3, 2),
+	} {
+		if _, err := s.Place(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec := NewRecorder(s, geom.V(2, 0), geom.V(2, 6), false)
+	apps, err := s.ApplicationsFor(5, rules.StandardLibrary(), lattice.Constraints{RequireConnectivity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var carry *rules.Application
+	for i, a := range apps {
+		if a.Rule.IsCarrying() {
+			carry = &apps[i]
+			break
+		}
+	}
+	if carry == nil {
+		t.Fatal("no carry available")
+	}
+	res, err := s.Apply(*carry, lattice.Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Record(res)
+	if rec.CarrySteps() != 1 || rec.TotalHops() != 2 {
+		t.Errorf("carries=%d hops=%d", rec.CarrySteps(), rec.TotalHops())
+	}
+	if len(rec.Steps()[0].Moves) != 2 {
+		t.Errorf("carry step moves = %v", rec.Steps()[0].Moves)
+	}
+}

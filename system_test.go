@@ -1,0 +1,99 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/convey"
+	"repro/internal/core"
+	"repro/internal/rules"
+	"repro/internal/scenario"
+)
+
+// TestSystemEndToEnd is the integration test across every layer: parse the
+// rule library from its own XML serialisation (Fig. 7 format), build the
+// Fig. 10 scenario, run the distributed algorithm on the deterministic
+// engine, verify the path, and convey a batch of parts over it.
+func TestSystemEndToEnd(t *testing.T) {
+	// Rules through the XML codec: what a physical block would load.
+	xml, err := rules.EncodeXML(rules.StandardLibrary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := rules.DecodeXML(xml)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := scenario.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(s.Surface, lib, s.Config(), core.RunParams{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Success || !res.PathBuilt {
+		t.Fatalf("reconfiguration failed: %v", res)
+	}
+
+	// A run with the XML-round-tripped library matches the built-in one.
+	s2, err := scenario.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := core.Run(s2.Surface, rules.StandardLibrary(), s2.Config(), core.RunParams{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hops != res2.Hops || res.Rounds != res2.Rounds {
+		t.Errorf("XML-loaded library diverged: %v vs %v", res, res2)
+	}
+
+	// Convey parts over the built conveyor.
+	c, err := convey.New(s.Surface, s.Input, s.Output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batch = 20
+	injected, delivered := 0, 0
+	for tick := 0; delivered < batch && tick < 100*batch; tick++ {
+		if injected < batch {
+			if _, err := c.Inject(); err == nil {
+				injected++
+			}
+		}
+		delivered += len(c.Tick())
+	}
+	if delivered != batch {
+		t.Fatalf("delivered %d of %d parts", delivered, batch)
+	}
+}
+
+// TestSystemBothEngines: the DES and the goroutine runtime agree on the
+// tower family too (not only Fig. 10).
+func TestSystemBothEngines(t *testing.T) {
+	scs, err := scenario.TowerSweep([]int{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	des := scs[0]
+	desRes, err := core.Run(des.Surface, rules.StandardLibrary(), des.Config(), core.RunParams{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs2, err := scenario.TowerSweep([]int{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := scs2[0]
+	asRes, err := core.RunAsync(as.Surface, rules.StandardLibrary(), as.Config(), core.AsyncParams{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !desRes.Success || !asRes.Success {
+		t.Fatalf("engine failure: des=%v async=%v", desRes, asRes)
+	}
+	if desRes.Hops != asRes.Hops {
+		t.Errorf("hops differ across engines: %d vs %d", desRes.Hops, asRes.Hops)
+	}
+}
