@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/event"
 	"repro/internal/geom"
+	"repro/internal/lattice"
 	"repro/internal/matrix"
 	"repro/internal/rules"
 	"repro/internal/scenario"
@@ -264,4 +265,49 @@ func BenchmarkPlannerApplicationsFor(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = lib.ApplicationsFor(pos, s.Surface.Occupied)
 	}
+}
+
+// BenchmarkApplicationsFor measures the compiled motion-validation paths:
+// the predicate-sampled window matcher (what a distributed block runs over
+// its Sense hook), the bitboard window matcher extracting words straight
+// from the lattice row bitsets, and the physics-level boolean Validate,
+// which must stay allocation-free.
+func BenchmarkApplicationsFor(b *testing.B) {
+	scs, err := scenario.TowerSweep([]int{16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	surf := scs[0].Surface
+	lib := rules.StandardLibrary()
+	pos := geom.V(2, 7) // a lane block with several applicable rules
+
+	b.Run("predicate", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if apps := lib.ApplicationsFor(pos, surf.Occupied); len(apps) == 0 {
+				b.Fatal("lane block must have applications")
+			}
+		}
+	})
+	b.Run("bitboard", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if apps := lib.ApplicationsOn(pos, surf); len(apps) == 0 {
+				b.Fatal("lane block must have applications")
+			}
+		}
+	})
+	b.Run("validate", func(b *testing.B) {
+		apps := lib.ApplicationsOn(pos, surf)
+		if len(apps) == 0 {
+			b.Fatal("lane block must have applications")
+		}
+		app := apps[0]
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := surf.Validate(app, lattice.Constraints{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -9,6 +9,7 @@
 //	sbbench -list            list the experiments
 //	sbbench -exp fig10       run one experiment
 //	sbbench -exp all         run the full evaluation
+//	sbbench -json            measure the hot-path kernels, write BENCH_1.json
 package main
 
 import (
@@ -21,10 +22,26 @@ import (
 
 func main() {
 	var (
-		list = flag.Bool("list", false, "list the experiments")
-		exp  = flag.String("exp", "", "experiment id, or 'all'")
+		list     = flag.Bool("list", false, "list the experiments")
+		exp      = flag.String("exp", "", "experiment id, or 'all'")
+		jsonMode = flag.Bool("json", false, "emit a machine-readable bench record")
+		jsonOut  = flag.String("o", "BENCH_1.json", "output path for -json")
 	)
 	flag.Parse()
+
+	if *jsonMode {
+		data, err := experiments.RunBenchJSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sbbench: bench failed: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "sbbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+		return
+	}
 
 	if *list {
 		fmt.Printf("%-12s %s\n", "ID", "PAPER ARTEFACT")

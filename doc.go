@@ -18,6 +18,23 @@
 // (baseline), scenarios, tracing, statistics, the part-conveying simulation
 // (convey) and the evaluation harness (experiments).
 //
+// # Compiled motion validation
+//
+// The MM⊗MP overlap of §IV — the innermost kernel of every motion
+// validation — runs on a bitboard-compiled form of the rule system. Each
+// Motion Matrix carries two packed uint64 masks (cells Table II requires
+// occupied / empty, wildcards masked out), maintained in sync with the
+// code grid; the lattice keeps a row-bitset occupancy mirror of the id
+// grid, from which Surface.OccWindow extracts a block's sensing window
+// with a handful of word operations. A validation is then two AND/compare
+// instructions, and rule enumeration (Library.ApplicationsFor /
+// ApplicationsOn) allocates nothing until a match is found. The original
+// matrix objects remain the display, XML and teaching API; a differential
+// property test (internal/rules/compiled_test.go) pins the compiled
+// matcher to the reference entry-wise operator for every library rule
+// under all D4 transforms. Run `go run ./cmd/sbbench -json` for a
+// machine-readable snapshot of the hot-path kernel timings.
+//
 // Start with examples/quickstart, or run:
 //
 //	go run ./cmd/smartconvey           # build a conveyor, watch it work

@@ -116,22 +116,26 @@ func (p Presence) String() string {
 	return fmt.Sprintf("Presence(%d)", int8(p))
 }
 
-// Compatible implements the truth table of Table II: it reports whether
-// event code m may occur at a cell whose initial state is p. The motion
-// validation operator MM⊗MP applies Compatible entry-wise and requires all
-// entries to hold (paper eq. (3)).
+// compat is Table II as a presence-indexed pair of code bitmasks: bit m of
+// compat[p] is set iff code m may occur at a cell whose initial state is p.
 //
 //	Motion     0 1 2 3 4 5
 //	Presence 0 1 0 1 1 0 0
 //	Presence 1 0 1 1 0 1 1
+var compat = [2]uint8{
+	Empty:    1<<RemainsEmpty | 1<<Any | 1<<BecomesOccupied,
+	Occupied: 1<<RemainsOccupied | 1<<Any | 1<<BecomesEmpty | 1<<Handover,
+}
+
+// Compatible implements the truth table of Table II: it reports whether
+// event code m may occur at a cell whose initial state is p. The motion
+// validation operator MM⊗MP applies Compatible entry-wise and requires all
+// entries to hold (paper eq. (3)).
 func Compatible(m Code, p Presence) bool {
 	if !m.Valid() || !p.Valid() {
 		return false
 	}
-	if p == Empty {
-		return m == RemainsEmpty || m == Any || m == BecomesOccupied
-	}
-	return m == RemainsOccupied || m == Any || m == BecomesEmpty || m == Handover
+	return compat[p]&(1<<m) != 0
 }
 
 // TruthTable returns Table II as a 2x6 matrix of 0/1 entries; row index is

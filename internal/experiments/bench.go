@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/lattice"
+	"repro/internal/matrix"
+	"repro/internal/rules"
+	"repro/internal/scenario"
+)
+
+// BenchResult is one measured kernel in the machine-readable bench record.
+type BenchResult struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+	Ops     int     `json:"ops"`
+	// Metric carries a kernel-specific headline value (e.g. block moves of
+	// the Fig. 10 run); zero when the kernel has none.
+	Metric     float64 `json:"metric,omitempty"`
+	MetricName string  `json:"metric_name,omitempty"`
+}
+
+// BenchRecord is the document emitted by `sbbench -json`: a timestamped,
+// machine-readable snapshot of the hot-path kernels, so the performance
+// trajectory of the repository can be tracked across PRs.
+type BenchRecord struct {
+	Schema    string        `json:"schema"`
+	Timestamp string        `json:"timestamp"`
+	GoVersion string        `json:"go_version"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	Results   []BenchResult `json:"results"`
+}
+
+// timeKernel runs fn in batches until the total run time reaches ~50ms and
+// returns the per-op cost. It is a self-calibrating micro-timer: coarse next
+// to testing.B, but dependency-free and stable enough for trend tracking.
+func timeKernel(name string, fn func()) BenchResult {
+	const target = 50 * time.Millisecond
+	batch := 1
+	var elapsed time.Duration
+	ops := 0
+	for elapsed < target {
+		start := time.Now()
+		for i := 0; i < batch; i++ {
+			fn()
+		}
+		elapsed += time.Since(start)
+		ops += batch
+		if batch < 1<<20 {
+			batch *= 2
+		}
+	}
+	return BenchResult{
+		Name:    name,
+		NsPerOp: float64(elapsed.Nanoseconds()) / float64(ops),
+		Ops:     ops,
+	}
+}
+
+// RunBenchJSON measures the validation hot path and the headline end-to-end
+// run, and returns the record serialised as indented JSON.
+func RunBenchJSON() ([]byte, error) {
+	mm := rules.EastSliding().MM
+	mp := matrix.MustPresence([][]int{{0, 0, 0}, {1, 1, 0}, {1, 1, 1}})
+
+	scs, err := scenario.TowerSweep([]int{16})
+	if err != nil {
+		return nil, err
+	}
+	surf := scs[0].Surface
+	lib := rules.StandardLibrary()
+	pos := geom.V(2, 7)
+	apps := lib.ApplicationsOn(pos, surf)
+	if len(apps) == 0 {
+		return nil, fmt.Errorf("bench: lane block has no applications")
+	}
+	app := apps[0]
+
+	rec := BenchRecord{
+		Schema:    "sbbench/1",
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	rec.Results = append(rec.Results,
+		timeKernel("table2_overlap", func() {
+			if !matrix.Overlap(mm, mp) {
+				panic("east sliding must validate")
+			}
+		}),
+		timeKernel("applications_for_predicate", func() {
+			if len(lib.ApplicationsFor(pos, surf.Occupied)) == 0 {
+				panic("lane block must have applications")
+			}
+		}),
+		timeKernel("applications_for_bitboard", func() {
+			if len(lib.ApplicationsOn(pos, surf)) == 0 {
+				panic("lane block must have applications")
+			}
+		}),
+		timeKernel("surface_validate", func() {
+			if err := surf.Validate(app, lattice.Constraints{}); err != nil {
+				panic(err)
+			}
+		}),
+	)
+
+	// One Fig. 10 end-to-end run: the paper's §V-D reconfiguration.
+	s, err := scenario.Fig10()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res, err := core.Run(s.Surface, rules.StandardLibrary(), s.Config(), core.RunParams{Seed: 1})
+	if err != nil {
+		return nil, err
+	}
+	if !res.Success {
+		return nil, fmt.Errorf("bench: fig10 run failed: %+v", res)
+	}
+	rec.Results = append(rec.Results, BenchResult{
+		Name:       "fig10_reconfiguration",
+		NsPerOp:    float64(time.Since(start).Nanoseconds()),
+		Ops:        1,
+		Metric:     float64(res.Hops),
+		MetricName: "block_moves",
+	})
+
+	return json.MarshalIndent(rec, "", "  ")
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestRunBenchJSON checks the machine-readable bench record is well-formed:
+// valid JSON, schema-tagged, and covering every hot-path kernel.
+func TestRunBenchJSON(t *testing.T) {
+	data, err := RunBenchJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec BenchRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if rec.Schema != "sbbench/1" {
+		t.Errorf("schema = %q, want sbbench/1", rec.Schema)
+	}
+	want := map[string]bool{
+		"table2_overlap":             false,
+		"applications_for_predicate": false,
+		"applications_for_bitboard":  false,
+		"surface_validate":           false,
+		"fig10_reconfiguration":      false,
+	}
+	for _, r := range rec.Results {
+		if _, ok := want[r.Name]; ok {
+			want[r.Name] = true
+		}
+		if r.NsPerOp <= 0 || r.Ops <= 0 {
+			t.Errorf("%s: non-positive measurement %+v", r.Name, r)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("kernel %s missing from record", name)
+		}
+	}
+}

@@ -41,6 +41,21 @@ func (v Vec) Manhattan(o Vec) int {
 // Norm1 returns |v.X| + |v.Y|.
 func (v Vec) Norm1() int { return abs(v.X) + abs(v.Y) }
 
+// NormInf returns the Chebyshev (L∞) norm max(|v.X|, |v.Y|): the radius of
+// the smallest square sensing window centred on the origin that contains v.
+func (v Vec) NormInf() int {
+	ax, ay := abs(v.X), abs(v.Y)
+	if ax > ay {
+		return ax
+	}
+	return ay
+}
+
+// Chebyshev returns the L∞ distance max(|v.X-o.X|, |v.Y-o.Y|), the metric
+// of the square sensing windows (a cell is sensable iff its Chebyshev
+// distance from the block is at most the sensing radius).
+func (v Vec) Chebyshev(o Vec) int { return v.Sub(o).NormInf() }
+
 // IsUnitStep reports whether v is one of the four unit cardinal steps, i.e.
 // a legal single-hop displacement (only straight moves are allowed, §IV).
 func (v Vec) IsUnitStep() bool { return v.Norm1() == 1 }

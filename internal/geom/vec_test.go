@@ -43,6 +43,31 @@ func TestManhattan(t *testing.T) {
 	}
 }
 
+func TestChebyshev(t *testing.T) {
+	cases := []struct {
+		a, b Vec
+		want int
+	}{
+		{V(0, 0), V(0, 0), 0},
+		{V(0, 0), V(3, 4), 4},
+		{V(2, 0), V(2, 11), 11},
+		{V(-1, -1), V(1, 1), 2},
+		{V(5, 5), V(0, 0), 5},
+		{V(0, 0), V(-3, 2), 3},
+	}
+	for _, c := range cases {
+		if got := c.a.Chebyshev(c.b); got != c.want {
+			t.Errorf("Chebyshev(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Chebyshev(c.a); got != c.want {
+			t.Errorf("Chebyshev not symmetric for %v,%v", c.a, c.b)
+		}
+		if got := c.a.Sub(c.b).NormInf(); got != c.want {
+			t.Errorf("NormInf(%v-%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
 func TestManhattanProperties(t *testing.T) {
 	// Triangle inequality and identity of indiscernibles, via testing/quick.
 	tri := func(ax, ay, bx, by, cx, cy int8) bool {

@@ -38,23 +38,42 @@ type ApplyResult struct {
 // without modifying the surface. It returns nil when the motion is legal.
 func (s *Surface) Validate(app rules.Application, c Constraints) error {
 	// 1. Physics: the Motion Matrix must validate against the actual
-	//    occupancy (the MM⊗MP operator of §IV) ...
-	mp := rules.PresenceAround(app.Anchor, app.Rule.MM.Radius(), s.Occupied)
-	if !app.Rule.AppliesTo(mp) {
+	//    occupancy (the MM⊗MP operator of §IV). Compact matrices go through
+	//    the compiled path: the sensing window is extracted from the row
+	//    bitsets and matched against the rule masks, no allocation.
+	if mm := app.Rule.MM; mm.Compact() {
+		if !app.Rule.MatchesWindow(s.OccWindow(app.Anchor, mm.Radius())) {
+			return fmt.Errorf("%w: %s", ErrRuleInvalid, app)
+		}
+	} else if !app.Rule.AppliesTo(rules.PresenceAround(app.Anchor, mm.Radius(), s.Occupied)) {
 		return fmt.Errorf("%w: %s", ErrRuleInvalid, app)
 	}
-	// ... and no block may leave the surface.
-	for _, m := range app.AbsMoves() {
-		if !s.InBounds(m.To) {
-			return fmt.Errorf("%w: destination %v of %s", ErrOutOfBounds, m.To, app)
+	// ... and no block may leave the surface. The moves are read straight
+	// off the rule (not via AbsMoves) so the boolean path allocates nothing.
+	for _, m := range app.Rule.Moves {
+		if to := app.Anchor.Add(m.To); !s.InBounds(to) {
+			return fmt.Errorf("%w: destination %v of %s", ErrOutOfBounds, to, app)
 		}
-		if !s.InBounds(m.From) {
-			return fmt.Errorf("%w: origin %v of %s", ErrOutOfBounds, m.From, app)
+		if from := app.Anchor.Add(m.From); !s.InBounds(from) {
+			return fmt.Errorf("%w: origin %v of %s", ErrOutOfBounds, from, app)
 		}
 	}
-	// 2. Immobilised blocks (frozen path blocks, pinned Root).
+	// 2. Immobilised blocks (frozen path blocks, pinned Root). Moves that
+	//    share an origin (a block hopping twice) are deduplicated inline;
+	//    move lists are tiny, so the quadratic scan beats building a set.
 	if c.Immobile != nil {
-		for _, pos := range app.Movers() {
+		for i, m := range app.Rule.Moves {
+			seen := false
+			for _, p := range app.Rule.Moves[:i] {
+				if p.From == m.From {
+					seen = true
+					break
+				}
+			}
+			if seen {
+				continue
+			}
+			pos := app.Anchor.Add(m.From)
 			id, ok := s.BlockAt(pos)
 			if !ok {
 				return fmt.Errorf("%w: no block at mover cell %v", ErrVacant, pos)
@@ -130,6 +149,7 @@ func (s *Surface) executeTracked(app rules.Application) ([]BlockID, error) {
 			}
 			ids[i] = id
 			s.grid[s.idx(m.From)] = None
+			s.clearOcc(m.From)
 		}
 		// Phase 2: set every mover down on its destination.
 		for i, m := range group {
@@ -137,6 +157,7 @@ func (s *Surface) executeTracked(app rules.Application) ([]BlockID, error) {
 				return nil, fmt.Errorf("%w: %v during %s", ErrOccupied, m.To, app)
 			}
 			s.grid[s.idx(m.To)] = ids[i]
+			s.setOcc(m.To)
 			s.pos[ids[i]] = m.To
 		}
 		moved = append(moved, ids...)
@@ -154,7 +175,7 @@ func (s *Surface) ApplicationsFor(id BlockID, lib *rules.Library, c Constraints)
 		return nil, fmt.Errorf("%w: %d", ErrUnknownBlock, id)
 	}
 	var out []rules.Application
-	for _, app := range lib.ApplicationsFor(pos, s.Occupied) {
+	for _, app := range lib.ApplicationsOn(pos, s) {
 		if s.Validate(app, c) == nil {
 			out = append(out, app)
 		}
@@ -183,7 +204,9 @@ func (s *Surface) MoveTeleport(id BlockID, to geom.Vec, c Constraints) error {
 	}
 	doMove := func(t *Surface) {
 		t.grid[t.idx(from)] = None
+		t.clearOcc(from)
 		t.grid[t.idx(to)] = id
+		t.setOcc(to)
 		t.pos[id] = to
 	}
 	if c.RequireConnectivity || c.Veto != nil {

@@ -1,0 +1,148 @@
+package lattice
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rules"
+)
+
+// randomSurface fills a w x h surface with the given number of blocks.
+func randomSurface(t *testing.T, rng *rand.Rand, w, h, blocks int) *Surface {
+	t.Helper()
+	s, err := NewSurface(w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for placed := 0; placed < blocks; {
+		v := geom.V(rng.Intn(w), rng.Intn(h))
+		if s.Occupied(v) {
+			continue
+		}
+		if _, err := s.Place(v); err != nil {
+			t.Fatal(err)
+		}
+		placed++
+	}
+	return s
+}
+
+// TestOccWindowMatchesWindowAround pins the word-extraction window sampler
+// to the predicate-based reference, including anchors straddling and beyond
+// the surface edge and widths crossing the 64-bit word boundary.
+func TestOccWindowMatchesWindowAround(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, dims := range [][2]int{{3, 3}, {10, 7}, {64, 4}, {70, 5}, {130, 3}} {
+		w, h := dims[0], dims[1]
+		s := randomSurface(t, rng, w, h, w*h/3+1)
+		for radius := 1; radius <= 3; radius++ {
+			for i := 0; i < 500; i++ {
+				anchor := geom.V(rng.Intn(w+8)-4, rng.Intn(h+8)-4)
+				got := s.OccWindow(anchor, radius)
+				want := rules.WindowAround(anchor, radius, s.Occupied)
+				if got != want {
+					t.Fatalf("%dx%d radius %d anchor %v: OccWindow=%#x WindowAround=%#x",
+						w, h, radius, anchor, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestOccupiedBitsetStaysInSync mutates a surface through every occupancy
+// writer (place, remove, rule application, teleport, clone) and checks the
+// row bitset against the id grid after each step.
+func TestOccupiedBitsetStaysInSync(t *testing.T) {
+	check := func(t *testing.T, s *Surface, stage string) {
+		t.Helper()
+		for y := 0; y < s.Height(); y++ {
+			for x := 0; x < s.Width(); x++ {
+				v := geom.V(x, y)
+				id, hasBlock := s.BlockAt(v)
+				if s.Occupied(v) != hasBlock {
+					t.Fatalf("%s: cell %v: bitset says %t, grid says %t (id %d)",
+						stage, v, s.Occupied(v), hasBlock, id)
+				}
+			}
+		}
+	}
+
+	s, err := NewSurface(8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig. 3 neighbourhood: mover at (1,1) over a two-block support row.
+	var mover BlockID
+	for _, v := range []geom.Vec{geom.V(0, 0), geom.V(1, 0), geom.V(2, 0), geom.V(0, 1), geom.V(1, 1)} {
+		id, err := s.Place(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v == geom.V(1, 1) {
+			mover = id
+		}
+	}
+	check(t, s, "place")
+
+	lib := rules.StandardLibrary()
+	apps, err := s.ApplicationsFor(mover, lib, Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apps) == 0 {
+		t.Fatal("mover should have applications")
+	}
+	if _, err := s.Apply(apps[0], Constraints{}); err != nil {
+		t.Fatal(err)
+	}
+	check(t, s, "apply")
+
+	clone := s.Clone()
+	check(t, clone, "clone")
+
+	if err := s.MoveTeleport(mover, geom.V(7, 4), Constraints{}); err != nil {
+		t.Fatal(err)
+	}
+	check(t, s, "teleport")
+
+	if err := s.Remove(mover); err != nil {
+		t.Fatal(err)
+	}
+	check(t, s, "remove")
+}
+
+// TestValidateZeroAllocs asserts the boolean physics validation (compiled
+// window match + bounds + immobility) allocates nothing. Connectivity and
+// veto checks clone the surface and are exempt (see ROADMAP: incremental
+// connectivity is a follow-on).
+func TestValidateZeroAllocs(t *testing.T) {
+	s, err := NewSurface(8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mover BlockID
+	for _, v := range []geom.Vec{geom.V(0, 0), geom.V(1, 0), geom.V(2, 0), geom.V(0, 1), geom.V(1, 1)} {
+		id, err := s.Place(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v == geom.V(1, 1) {
+			mover = id
+		}
+	}
+	lib := rules.StandardLibrary()
+	apps, err := s.ApplicationsFor(mover, lib, Constraints{})
+	if err != nil || len(apps) == 0 {
+		t.Fatalf("need applications, got %d (err %v)", len(apps), err)
+	}
+	app := apps[0]
+	cons := Constraints{Immobile: func(BlockID) bool { return false }}
+	if n := testing.AllocsPerRun(200, func() {
+		if err := s.Validate(app, cons); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("Validate allocates %v/op, want 0", n)
+	}
+}

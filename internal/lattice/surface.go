@@ -39,9 +39,17 @@ var (
 // Surface is the modular surface state. It is not safe for concurrent use;
 // execution engines serialise access (the DES by construction, the goroutine
 // runtime through a mutex in its adapter).
+//
+// Occupancy is stored twice: the id grid (who is where) and a row bitset
+// (occ, one bit per cell, occW words per row). The bitset is the substrate
+// of the compiled motion validation: OccWindow extracts a block's sensing
+// window from it with a handful of word operations, and the rules engine
+// matches that window against precompiled rule masks without allocating.
 type Surface struct {
 	w, h int
 	grid []BlockID // y*w+x, None = empty
+	occ  []uint64  // row bitsets: bit x of words [y*occW, (y+1)*occW)
+	occW int       // words per row = ceil(w/64)
 	pos  map[BlockID]geom.Vec
 	next BlockID
 
@@ -54,13 +62,26 @@ func NewSurface(w, h int) (*Surface, error) {
 	if w < 1 || h < 1 {
 		return nil, fmt.Errorf("lattice: invalid dimensions %dx%d", w, h)
 	}
+	occW := (w + 63) / 64
 	return &Surface{
 		w:    w,
 		h:    h,
 		grid: make([]BlockID, w*h),
+		occ:  make([]uint64, occW*h),
+		occW: occW,
 		pos:  make(map[BlockID]geom.Vec),
 		next: 1,
 	}, nil
+}
+
+// setOcc marks cell v occupied in the row bitset.
+func (s *Surface) setOcc(v geom.Vec) {
+	s.occ[v.Y*s.occW+v.X>>6] |= 1 << (uint(v.X) & 63)
+}
+
+// clearOcc marks cell v empty in the row bitset.
+func (s *Surface) clearOcc(v geom.Vec) {
+	s.occ[v.Y*s.occW+v.X>>6] &^= 1 << (uint(v.X) & 63)
 }
 
 // Width returns the surface width W.
@@ -104,6 +125,7 @@ func (s *Surface) PlaceWithID(id BlockID, v geom.Vec) error {
 		return fmt.Errorf("lattice: block %d already placed", id)
 	}
 	s.grid[s.idx(v)] = id
+	s.setOcc(v)
 	s.pos[id] = v
 	if id >= s.next {
 		s.next = id + 1
@@ -118,6 +140,7 @@ func (s *Surface) Remove(id BlockID) error {
 		return fmt.Errorf("%w: %d", ErrUnknownBlock, id)
 	}
 	s.grid[s.idx(v)] = None
+	s.clearOcc(v)
 	delete(s.pos, id)
 	return nil
 }
@@ -125,7 +148,52 @@ func (s *Surface) Remove(id BlockID) error {
 // Occupied reports whether cell v holds a block. Cells outside the surface
 // read as empty: a block can never sense or lean on support beyond the edge.
 func (s *Surface) Occupied(v geom.Vec) bool {
-	return s.InBounds(v) && s.grid[s.idx(v)] != None
+	return s.InBounds(v) && s.occ[v.Y*s.occW+v.X>>6]>>(uint(v.X)&63)&1 != 0
+}
+
+// OccWindow returns the occupancy window bitboard of the given radius
+// centred on anchor: bit row*size+col in display order (row 0 = north),
+// the layout of matrix.Motion.Masks and rules.WindowAround. Cells beyond
+// the surface edge read as empty. Each window row is extracted from the
+// row bitsets with at most two word operations; only radii <= 3 (windows
+// of at most 64 cells) are representable. Surface thereby implements
+// rules.WindowSource.
+func (s *Surface) OccWindow(anchor geom.Vec, radius int) uint64 {
+	size := 2*radius + 1
+	x0 := anchor.X - radius
+	var out uint64
+	for row := 0; row < size; row++ {
+		y := anchor.Y + radius - row
+		if y < 0 || y >= s.h {
+			continue
+		}
+		out |= s.rowBits(y, x0, size) << uint(row*size)
+	}
+	return out
+}
+
+// rowBits returns size bits where bit i is the occupancy of cell (x0+i, y);
+// cells outside the row read as zero. y must be in bounds and size <= 8.
+func (s *Surface) rowBits(y, x0, size int) uint64 {
+	base := y * s.occW
+	if x0 >= 0 && x0+size <= s.w {
+		// Fully interior: one shift, spilling into the next word at most once.
+		off := uint(x0) & 63
+		bits := s.occ[base+x0>>6] >> off
+		if off+uint(size) > 64 {
+			bits |= s.occ[base+x0>>6+1] << (64 - off)
+		}
+		return bits & (1<<uint(size) - 1)
+	}
+	var bits uint64
+	for i := 0; i < size; i++ {
+		x := x0 + i
+		if x < 0 || x >= s.w {
+			continue
+		}
+		bits |= s.occ[base+x>>6] >> (uint(x) & 63) & 1 << uint(i)
+	}
+	return bits
 }
 
 // Occ returns the occupancy predicate used by the rules engine.
@@ -232,6 +300,8 @@ func (s *Surface) Clone() *Surface {
 	out := &Surface{
 		w: s.w, h: s.h,
 		grid:         append([]BlockID(nil), s.grid...),
+		occ:          append([]uint64(nil), s.occ...),
+		occW:         s.occW,
 		pos:          make(map[BlockID]geom.Vec, len(s.pos)),
 		next:         s.next,
 		hops:         s.hops,

@@ -21,10 +21,25 @@ import (
 
 // Motion is a square Motion Matrix: one event code per cell, describing the
 // events a motion rule requires around the moving block (paper §IV).
+//
+// Alongside the code grid, a Motion maintains a compiled bitboard form of
+// the Table II truth table: mustOcc/mustEmpty are packed masks (bit
+// row*size+col in display order) of the cells whose code requires the cell
+// to start occupied (codes 1, 4, 5) or empty (codes 0, 3); wildcards set no
+// bit. Overlap then collapses to two word operations against the Presence
+// bitboard. The masks are maintained incrementally by Set, so they are
+// always in sync with the codes; they exist only for Compact matrices
+// (size <= 8, i.e. at most 64 cells).
 type Motion struct {
 	size  int
 	codes []event.Code // row-major in display order
+
+	mustOcc   uint64 // cells that must start occupied (codes 1, 4, 5)
+	mustEmpty uint64 // cells that must start empty (codes 0, 3)
 }
+
+// maxCompactSize is the largest matrix dimension whose cells fit one uint64.
+const maxCompactSize = 8
 
 // NewMotion returns a size x size Motion Matrix filled with the wildcard
 // code (2, "every possible event can occur").
@@ -59,6 +74,7 @@ func MotionFromRows(rows [][]int) (*Motion, error) {
 				return nil, fmt.Errorf("matrix: invalid event code %d at row %d col %d", v, r, c)
 			}
 			m.codes[r*size+c] = code
+			m.compileCell(r*size+c, code)
 		}
 	}
 	return m, nil
@@ -92,11 +108,46 @@ func (m *Motion) At(rel geom.Vec) event.Code {
 	return m.codes[row*m.size+col]
 }
 
-// Set assigns the event code at relative offset rel.
+// Set assigns the event code at relative offset rel, keeping the compiled
+// bitboard masks in sync. Invalid codes panic (as out-of-range offsets do):
+// the compiled masks can only mirror Table II for representable codes.
 func (m *Motion) Set(rel geom.Vec, c event.Code) {
+	if !c.Valid() {
+		panic(fmt.Sprintf("matrix: invalid event code %d", int(c)))
+	}
 	row, col := m.rc(rel)
-	m.codes[row*m.size+col] = c
+	i := row*m.size + col
+	m.codes[i] = c
+	m.compileCell(i, c)
 }
+
+// compileCell folds the Table II requirement of code c at flat index i into
+// the packed masks. No-op for matrices too large for a 64-bit window.
+func (m *Motion) compileCell(i int, c event.Code) {
+	if m.size > maxCompactSize {
+		return
+	}
+	bit := uint64(1) << uint(i)
+	m.mustOcc &^= bit
+	m.mustEmpty &^= bit
+	if p, constrained := event.RequiredBefore(c); constrained {
+		if p == event.Occupied {
+			m.mustOcc |= bit
+		} else {
+			m.mustEmpty |= bit
+		}
+	}
+}
+
+// Compact reports whether the matrix fits a single 64-bit window, i.e.
+// whether the compiled masks and the bitboard Overlap fast path are usable.
+func (m *Motion) Compact() bool { return m.size <= maxCompactSize }
+
+// Masks returns the compiled Table II requirement masks: bit row*size+col
+// (display order) of mustOcc is set where the motion requires the cell to
+// start occupied, of mustEmpty where it must start empty. Only meaningful
+// when Compact reports true.
+func (m *Motion) Masks() (mustOcc, mustEmpty uint64) { return m.mustOcc, m.mustEmpty }
 
 // AtRC returns the code at display coordinates (row 0 = north).
 func (m *Motion) AtRC(row, col int) event.Code { return m.codes[row*m.size+col] }
@@ -143,7 +194,8 @@ func (m *Motion) Equal(o *Motion) bool {
 
 // Clone returns a deep copy of m.
 func (m *Motion) Clone() *Motion {
-	out := &Motion{size: m.size, codes: make([]event.Code, len(m.codes))}
+	out := &Motion{size: m.size, codes: make([]event.Code, len(m.codes)),
+		mustOcc: m.mustOcc, mustEmpty: m.mustEmpty}
 	copy(out.codes, m.codes)
 	return out
 }

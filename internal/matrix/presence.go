@@ -11,9 +11,14 @@ import (
 // Presence is a square Presence Matrix: the initial occupancy of the cells
 // around a block that is supposed to move, with the block itself at the
 // centre (paper §IV).
+//
+// For Compact sizes (<= 8) the matrix also maintains its occupancy as a
+// packed bitboard (bit row*size+col in display order), kept in sync by Set;
+// Overlap matches it against the Motion masks in two word operations.
 type Presence struct {
 	size  int
 	cells []event.Presence // row-major in display order
+	bits  uint64           // occupancy bitboard, valid when size <= maxCompactSize
 }
 
 // NewPresence returns a size x size Presence Matrix with all cells empty.
@@ -41,6 +46,9 @@ func PresenceFromRows(rows [][]int) (*Presence, error) {
 				return nil, fmt.Errorf("matrix: invalid presence %d at row %d col %d", v, r, c)
 			}
 			p.cells[r*size+c] = event.Presence(v)
+			if v == 1 && size <= maxCompactSize {
+				p.bits |= 1 << uint(r*size+c)
+			}
 		}
 	}
 	return p, nil
@@ -61,17 +69,44 @@ func (p *Presence) Size() int { return p.size }
 // Radius returns n/2.
 func (p *Presence) Radius() int { return p.size / 2 }
 
+// InRange reports whether the relative offset lies inside the matrix,
+// mirroring Motion.InRange.
+func (p *Presence) InRange(rel geom.Vec) bool {
+	r := p.Radius()
+	return rel.X >= -r && rel.X <= r && rel.Y >= -r && rel.Y <= r
+}
+
 // At returns the occupancy at relative offset rel from the centre.
 func (p *Presence) At(rel geom.Vec) event.Presence {
 	row, col := p.rc(rel)
 	return p.cells[row*p.size+col]
 }
 
-// Set assigns the occupancy at relative offset rel.
+// Set assigns the occupancy at relative offset rel, keeping the bitboard in
+// sync. Invalid presence values panic (as out-of-range offsets do): the
+// bitboard can only mirror occupancy for representable values.
 func (p *Presence) Set(rel geom.Vec, v event.Presence) {
+	if !v.Valid() {
+		panic(fmt.Sprintf("matrix: invalid presence %d", int(v)))
+	}
 	row, col := p.rc(rel)
-	p.cells[row*p.size+col] = v
+	i := row*p.size + col
+	p.cells[i] = v
+	if p.size <= maxCompactSize {
+		if v == event.Occupied {
+			p.bits |= 1 << uint(i)
+		} else {
+			p.bits &^= 1 << uint(i)
+		}
+	}
 }
+
+// Compact reports whether the matrix fits a single 64-bit bitboard.
+func (p *Presence) Compact() bool { return p.size <= maxCompactSize }
+
+// Bits returns the occupancy bitboard (bit row*size+col in display order).
+// Only meaningful when Compact reports true.
+func (p *Presence) Bits() uint64 { return p.bits }
 
 // AtRC returns the occupancy at display coordinates (row 0 = north).
 func (p *Presence) AtRC(row, col int) event.Presence { return p.cells[row*p.size+col] }
@@ -131,7 +166,7 @@ func (p *Presence) String() string {
 
 func (p *Presence) rc(rel geom.Vec) (row, col int) {
 	r := p.Radius()
-	if rel.X < -r || rel.X > r || rel.Y < -r || rel.Y > r {
+	if !p.InRange(rel) {
 		panic(fmt.Sprintf("matrix: offset %v out of range for size %d", rel, p.size))
 	}
 	return r - rel.Y, r + rel.X
@@ -141,9 +176,33 @@ func (p *Presence) rc(rel geom.Vec) (row, col int) {
 // applied to corresponding entries of the Motion and Presence matrices, and
 // the motion is valid iff the result is true everywhere (the all-ones matrix
 // of eq. (3)). It returns whether the motion is valid.
+//
+// For Compact matrices this is the compiled fast path: the Presence bitboard
+// is matched against the Motion's precompiled requirement masks in two word
+// operations, with no allocation. Larger matrices fall back to the
+// entry-wise scan (still allocation-free); OverlapResult remains the
+// reference implementation and materialises the eq. (3) result matrix.
 func Overlap(mm *Motion, mp *Presence) bool {
-	ok, _ := OverlapResult(mm, mp)
-	return ok
+	if mm.size != mp.size {
+		return false
+	}
+	if mm.size <= maxCompactSize {
+		return mp.bits&mm.mustOcc == mm.mustOcc && mp.bits&mm.mustEmpty == 0
+	}
+	for i, c := range mm.codes {
+		if !event.Compatible(c, mp.cells[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// MatchWindow reports whether an occupancy window bitboard (bit
+// row*size+col in display order, as produced by rules.WindowAround or
+// lattice.Surface.OccWindow) satisfies the Motion's compiled Table II
+// masks. Only meaningful when mm.Compact() holds.
+func MatchWindow(mm *Motion, window uint64) bool {
+	return window&mm.mustOcc == mm.mustOcc && window&mm.mustEmpty == 0
 }
 
 // OverlapResult is Overlap returning also the entry-wise result matrix in

@@ -1,0 +1,186 @@
+package rules
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/geom"
+	"repro/internal/matrix"
+)
+
+// allLibraryRules returns every rule of the standard and extended libraries.
+func allLibraryRules(t testing.TB) []*Rule {
+	t.Helper()
+	var out []*Rule
+	seen := map[string]bool{}
+	for _, lib := range []*Library{StandardLibrary(), ExtendedLibrary()} {
+		for _, r := range lib.Rules() {
+			if !seen[r.Name] {
+				seen[r.Name] = true
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}
+
+// presenceFromWindow expands a window bitboard into a reference Presence
+// Matrix of the given size (inverse of matrix.Presence.Bits).
+func presenceFromWindow(t testing.TB, size int, w uint64) *matrix.Presence {
+	t.Helper()
+	mp, err := matrix.NewPresence(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := size / 2
+	for row := 0; row < size; row++ {
+		for col := 0; col < size; col++ {
+			if w>>(uint(row*size+col))&1 == 1 {
+				mp.Set(geom.V(col-r, r-row), event.Occupied)
+			}
+		}
+	}
+	return mp
+}
+
+// TestCompiledMatcherAgreesWithReference is the differential property test
+// pinning the bitboard matcher to the reference MM⊗MP operator: for every
+// rule of the standard and extended libraries, under every D4 transform,
+// across 1000 random occupancy windows, Rule.MatchesWindow must agree with
+// matrix.OverlapResult (and matrix.Overlap must agree with both).
+func TestCompiledMatcherAgreesWithReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260729))
+	for _, base := range allLibraryRules(t) {
+		for _, tr := range geom.Transforms() {
+			r := base.Transform(tr, base.Name+"/"+tr.String())
+			size := r.MM.Size()
+			if !r.MM.Compact() {
+				t.Fatalf("%s: library rule not compact (size %d)", r.Name, size)
+			}
+			cells := uint(size * size)
+			for i := 0; i < 1000; i++ {
+				w := rng.Uint64()
+				if cells < 64 {
+					w &= 1<<cells - 1
+				}
+				mp := presenceFromWindow(t, size, w)
+				wantOK, res := matrix.OverlapResult(r.MM, mp)
+				if got := r.MatchesWindow(w); got != wantOK {
+					t.Fatalf("%s window %#x: MatchesWindow=%t, reference OverlapResult=%t\nMM:\n%s\nMP:\n%s",
+						r.Name, w, got, wantOK, r.MM, mp)
+				}
+				if got := matrix.Overlap(r.MM, mp); got != wantOK {
+					t.Fatalf("%s window %#x: Overlap=%t, reference OverlapResult=%t",
+						r.Name, w, got, wantOK)
+				}
+				// Sanity: the result matrix is all-ones exactly when valid.
+				all := true
+				for _, row := range res {
+					for _, v := range row {
+						if v != 1 {
+							all = false
+						}
+					}
+				}
+				if all != wantOK {
+					t.Fatalf("%s window %#x: result matrix all-ones=%t, valid=%t", r.Name, w, all, wantOK)
+				}
+			}
+		}
+	}
+}
+
+// TestWindowAroundMatchesPresenceAround checks that the allocation-free
+// window sampler produces exactly the bitboard of the Presence Matrix the
+// reference sampler builds, over random occupancy predicates and anchors.
+func TestWindowAroundMatchesPresenceAround(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for radius := 1; radius <= 3; radius++ {
+		for i := 0; i < 200; i++ {
+			occupied := map[geom.Vec]bool{}
+			for n := 0; n < 30; n++ {
+				occupied[geom.V(rng.Intn(11)-5, rng.Intn(11)-5)] = true
+			}
+			occ := func(v geom.Vec) bool { return occupied[v] }
+			anchor := geom.V(rng.Intn(7)-3, rng.Intn(7)-3)
+			w := WindowAround(anchor, radius, occ)
+			mp := PresenceAround(anchor, radius, occ)
+			if w != mp.Bits() {
+				t.Fatalf("radius %d anchor %v: WindowAround=%#x PresenceAround bits=%#x",
+					radius, anchor, w, mp.Bits())
+			}
+		}
+	}
+}
+
+// TestApplicationsForMatchesSeedSemantics replays the matcher rewrite
+// against the straightforward per-rule reference: anchor every rule on
+// every mover, sample a Presence Matrix, keep the MM⊗MP-valid placements.
+func TestApplicationsForMatchesSeedSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, lib := range []*Library{StandardLibrary(), ExtendedLibrary()} {
+		for i := 0; i < 100; i++ {
+			occupied := map[geom.Vec]bool{}
+			for n := 0; n < 25; n++ {
+				occupied[geom.V(rng.Intn(9)-4, rng.Intn(9)-4)] = true
+			}
+			pos := geom.V(rng.Intn(5)-2, rng.Intn(5)-2)
+			occupied[pos] = true
+			occ := func(v geom.Vec) bool { return occupied[v] }
+
+			var want []Application
+			for _, r := range lib.Rules() {
+				for _, mover := range r.Movers() {
+					anchor := pos.Sub(mover)
+					if r.AppliesTo(PresenceAround(anchor, r.MM.Radius(), occ)) {
+						want = append(want, Application{Rule: r, Anchor: anchor})
+					}
+				}
+			}
+			got := lib.ApplicationsFor(pos, occ)
+			if len(got) != len(want) {
+				t.Fatalf("run %d: got %d applications, want %d\ngot:  %v\nwant: %v",
+					i, len(got), len(want), got, want)
+			}
+			for j := range got {
+				if got[j].Rule != want[j].Rule || got[j].Anchor != want[j].Anchor {
+					t.Fatalf("run %d entry %d: got %v, want %v", i, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestValidationPathZeroAllocs asserts the boolean validation path performs
+// no heap allocations: the compiled overlap, the window sampler + matcher,
+// and a full ApplicationsFor sweep that finds no match.
+func TestValidationPathZeroAllocs(t *testing.T) {
+	rule := EastSliding()
+	mp := matrix.MustPresence([][]int{{0, 0, 0}, {1, 1, 0}, {1, 1, 1}})
+	if n := testing.AllocsPerRun(200, func() {
+		if !matrix.Overlap(rule.MM, mp) {
+			t.Fatal("east sliding must validate")
+		}
+	}); n != 0 {
+		t.Errorf("matrix.Overlap allocates %v/op, want 0", n)
+	}
+
+	occ := func(v geom.Vec) bool { return v.Y < 0 }
+	if n := testing.AllocsPerRun(200, func() {
+		w := WindowAround(geom.V(0, 0), 1, occ)
+		_ = rule.MatchesWindow(w)
+	}); n != 0 {
+		t.Errorf("WindowAround+MatchesWindow allocates %v/op, want 0", n)
+	}
+
+	lib := StandardLibrary()
+	empty := func(geom.Vec) bool { return false }
+	if n := testing.AllocsPerRun(200, func() {
+		if apps := lib.ApplicationsFor(geom.V(0, 0), empty); apps != nil {
+			t.Fatalf("no applications expected on an empty surface, got %v", apps)
+		}
+	}); n != 0 {
+		t.Errorf("ApplicationsFor (no match) allocates %v/op, want 0", n)
+	}
+}

@@ -13,9 +13,29 @@ import (
 // their library to enumerate the motions available in a given neighbourhood,
 // exactly as a VisibleSim BlockCode "can access the list of possible motions
 // that are stored in the XML code" (§V-E).
+//
+// At Add time every rule is compiled into a matcher record: its radius and
+// mover offsets are precomputed (so a rule's move list must not change
+// after Add), and matching reads the rule's live Motion Matrix requirement
+// masks (see matrix.Motion.Masks). ApplicationsFor thereby validates each
+// candidate anchor with a window bitboard and two word operations instead
+// of materialising Presence matrices — zero heap allocations until a match
+// is found.
 type Library struct {
-	rules  []*Rule
-	byName map[string]*Rule
+	rules    []*Rule
+	compiled []compiledRule
+	byName   map[string]*Rule
+}
+
+// compiledRule is the packed matcher form of one rule: the radius and mover
+// offsets are snapshotted at Add time (a rule's move list must not change
+// after Add); the Motion Matrix masks are read live from the rule, which
+// keeps them in sync with any Motion.Set mutation.
+type compiledRule struct {
+	rule    *Rule
+	radius  int
+	movers  []geom.Vec
+	compact bool // matrix fits a 64-bit window, masks usable
 }
 
 // NewLibrary builds a library from rules, rejecting duplicate names.
@@ -38,6 +58,12 @@ func (l *Library) Add(r *Rule) error {
 		return fmt.Errorf("rules: duplicate rule name %q", r.Name)
 	}
 	l.rules = append(l.rules, r)
+	l.compiled = append(l.compiled, compiledRule{
+		rule:    r,
+		radius:  r.MM.Radius(),
+		movers:  r.Movers(),
+		compact: r.MM.Compact(),
+	})
 	l.byName[r.Name] = r
 	return nil
 }
@@ -159,23 +185,93 @@ func PresenceAround(anchor geom.Vec, radius int, occ func(geom.Vec) bool) *matri
 	return mp
 }
 
+// WindowAround samples the occupancy predicate into a window bitboard of
+// the given radius centred on anchor: bit row*size+col in display order
+// (row 0 = north), matching the layout of matrix.Motion.Masks. It is the
+// allocation-free counterpart of PresenceAround for radii <= 3 (windows of
+// at most 64 cells); larger windows must use PresenceAround.
+func WindowAround(anchor geom.Vec, radius int, occ func(geom.Vec) bool) uint64 {
+	size := 2*radius + 1
+	var w uint64
+	bit := uint(0)
+	for row := 0; row < size; row++ {
+		y := anchor.Y + radius - row
+		for col := 0; col < size; col++ {
+			if occ(geom.V(anchor.X+col-radius, y)) {
+				w |= 1 << bit
+			}
+			bit++
+		}
+	}
+	return w
+}
+
+// WindowSource supplies occupancy windows directly from a physical
+// occupancy store. lattice.Surface implements it with word extractions from
+// its row bitsets, bypassing the per-cell predicate entirely.
+type WindowSource interface {
+	// OccWindow returns the occupancy window bitboard of the given radius
+	// centred on anchor, in WindowAround's bit layout. Cells outside the
+	// store read as empty.
+	OccWindow(anchor geom.Vec, radius int) uint64
+	// Occupied reports single-cell occupancy (the fallback for rules whose
+	// matrices exceed a 64-bit window).
+	Occupied(v geom.Vec) bool
+}
+
 // ApplicationsFor returns every application of the library's rules in which
 // the block at pos is one of the movers, given the occupancy predicate.
 // Order is deterministic: library order, then mover offsets in move order.
 //
 // This is the local decision procedure of an elected block: anchor each rule
 // so that this block sits on one of the rule's origins, sample the
-// neighbourhood, and keep the placements where MM⊗MP validates.
+// neighbourhood, and keep the placements where MM⊗MP validates. The
+// validation runs on the compiled bitboard matchers and performs no heap
+// allocation until a matching application is found.
 func (l *Library) ApplicationsFor(pos geom.Vec, occ func(geom.Vec) bool) []Application {
 	var out []Application
-	for _, r := range l.rules {
-		for _, mover := range r.Movers() {
+	for i := range l.compiled {
+		c := &l.compiled[i]
+		for _, mover := range c.movers {
 			anchor := pos.Sub(mover)
-			mp := PresenceAround(anchor, r.MM.Radius(), occ)
-			if r.AppliesTo(mp) {
-				out = append(out, Application{Rule: r, Anchor: anchor})
+			if c.matches(anchor, occ) {
+				out = append(out, Application{Rule: c.rule, Anchor: anchor})
 			}
 		}
 	}
 	return out
+}
+
+// ApplicationsOn is ApplicationsFor over a WindowSource: the sensing window
+// of each candidate anchor is extracted with word operations from the
+// source's occupancy bitsets instead of per-cell predicate calls.
+func (l *Library) ApplicationsOn(pos geom.Vec, src WindowSource) []Application {
+	var out []Application
+	for i := range l.compiled {
+		c := &l.compiled[i]
+		for _, mover := range c.movers {
+			anchor := pos.Sub(mover)
+			if c.matchesOn(anchor, src) {
+				out = append(out, Application{Rule: c.rule, Anchor: anchor})
+			}
+		}
+	}
+	return out
+}
+
+// matches validates one anchored placement of the compiled rule against an
+// occupancy predicate.
+func (c *compiledRule) matches(anchor geom.Vec, occ func(geom.Vec) bool) bool {
+	if c.compact {
+		return c.rule.MatchesWindow(WindowAround(anchor, c.radius, occ))
+	}
+	return c.rule.AppliesTo(PresenceAround(anchor, c.radius, occ))
+}
+
+// matchesOn is matches against a WindowSource's word-extracted windows.
+func (c *compiledRule) matchesOn(anchor geom.Vec, src WindowSource) bool {
+	if c.compact {
+		return c.rule.MatchesWindow(src.OccWindow(anchor, c.radius))
+	}
+	return c.rule.AppliesTo(PresenceAround(anchor, c.radius, src.Occupied))
 }

@@ -4,6 +4,23 @@
 // closure under the symmetries and rotations the paper invokes, the XML
 // serialisation of Fig. 7, and the matching machinery that finds every rule
 // application available to a block given its sensed neighbourhood.
+//
+// # Compiled matching
+//
+// The Motion/Presence objects of internal/matrix are the display, XML and
+// teaching API; the hot validation path never touches them. Each Motion
+// Matrix carries a compiled form of the Table II truth table — a pair of
+// uint64 masks of the cells that must start occupied / must start empty,
+// wildcards masked out, maintained in sync with the code grid — and
+// Library.Add snapshots the rule's radius and mover offsets into a packed
+// matcher record alongside it.
+// Validating a candidate placement is then: build a window bitboard of the
+// sensed neighbourhood (WindowAround over an occupancy predicate, or
+// Surface.OccWindow extracting words from the lattice row bitsets) and test
+// it with two AND/compare word operations (Rule.MatchesWindow). Rules whose
+// matrices exceed 64 cells fall back to the reference entry-wise operator,
+// which stays pinned to the compiled matcher by a differential property
+// test.
 package rules
 
 import (
@@ -145,6 +162,12 @@ func (r *Rule) IsCarrying() bool { return len(r.Moves) > 1 }
 // AppliesTo reports whether the rule validates against the given Presence
 // Matrix (the MM⊗MP operator of the paper).
 func (r *Rule) AppliesTo(mp *matrix.Presence) bool { return matrix.Overlap(r.MM, mp) }
+
+// MatchesWindow reports whether the rule validates against an occupancy
+// window bitboard (as produced by WindowAround or a WindowSource) — the
+// compiled MM⊗MP: two word operations, no allocation. Only meaningful when
+// r.MM.Compact() holds; every built-in rule is compact.
+func (r *Rule) MatchesWindow(window uint64) bool { return matrix.MatchWindow(r.MM, window) }
 
 // Transform returns the rule moved through the D4 element t, renamed to
 // newName. This is how the paper obtains rule variants "via symmetry or

@@ -290,15 +290,7 @@ func (h *host) Sense(v geom.Vec) bool {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	p, _ := e.surf.PositionOf(h.id)
-	d := v.Sub(p)
-	cx, cy := d.X, d.Y
-	if cx < 0 {
-		cx = -cx
-	}
-	if cy < 0 {
-		cy = -cy
-	}
-	if cx > e.radius || cy > e.radius {
+	if v.Chebyshev(p) > e.radius {
 		panic(fmt.Sprintf("runtime: block %d sensing %v beyond radius %d", h.id, v, e.radius))
 	}
 	return e.surf.Occupied(v)

@@ -3,7 +3,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"repro/internal/exec"
 	"repro/internal/geom"
@@ -47,6 +47,16 @@ type Engine struct {
 	sent    uint64
 	deliver uint64
 	dropped uint64
+
+	// Per-motion notification scratch, reused across notifyAfterMotion
+	// calls so the hot path performs no map or slice allocations. seen is
+	// an epoch-stamped dense array indexed by BlockID (surface ids are
+	// small and dense); a block is marked in the current motion iff
+	// seen[id] == epoch.
+	seen       []uint32
+	epoch      uint32
+	changedBuf []geom.Vec
+	idBuf      []lattice.BlockID
 }
 
 // host adapts one block to exec.Env.
@@ -78,7 +88,13 @@ func NewEngine(surf *lattice.Surface, lib *rules.Library, factory exec.CodeFacto
 		hosts:  make(map[lattice.BlockID]*host, surf.NumBlocks()),
 		radius: 2 * lib.MaxRadius(),
 	}
-	for _, id := range surf.Blocks() {
+	ids := surf.Blocks()
+	if len(ids) > 0 {
+		// Pre-size the notification scratch for every block already placed
+		// (ids ascend, so the last is the max).
+		e.seen = make([]uint32, int(ids[len(ids)-1])+1)
+	}
+	for _, id := range ids {
 		bufs, err := msg.NewBuffers(cfg.BufferCap)
 		if err != nil {
 			return nil, err
@@ -206,7 +222,7 @@ func portBetween(surf *lattice.Surface, from, to lattice.BlockID) (geom.Dir, err
 
 func (h *host) Sense(v geom.Vec) bool {
 	p := h.Position()
-	if cheb(v.Sub(p)) > h.eng.radius {
+	if v.Chebyshev(p) > h.eng.radius {
 		panic(fmt.Sprintf("sim: block %d sensing %v beyond radius %d from %v",
 			h.id, v, h.eng.radius, p))
 	}
@@ -236,52 +252,83 @@ func (h *host) Move(app rules.Application) error {
 
 // notifyAfterMotion schedules OnMoved for every displaced block and
 // OnNeighborhoodChanged for every block whose sensing window saw a cell
-// change, preserving deterministic order.
+// change, preserving deterministic order. The block-set bookkeeping runs on
+// the engine's reusable scratch buffers (an epoch-stamped dense id array
+// instead of a per-motion map), so no transient allocations occur beyond
+// the scheduled closures themselves.
 func (e *Engine) notifyAfterMotion(res lattice.ApplyResult) {
-	moved := map[lattice.BlockID]bool{}
+	e.nextEpoch()
 	for _, id := range res.Moved {
-		moved[id] = true
+		e.mark(id) // movers are excluded from the observer scan
 	}
-	var changed []geom.Vec
-	for _, m := range res.App.AbsMoves() {
-		changed = append(changed, m.From, m.To)
-	}
-	for _, m := range res.App.AbsMoves() {
+	anchor := res.App.Anchor
+	e.changedBuf = e.changedBuf[:0]
+	for _, m := range res.App.Rule.Moves {
+		from, to := anchor.Add(m.From), anchor.Add(m.To)
+		e.changedBuf = append(e.changedBuf, from, to)
 		// After execution each destination holds exactly the block that
 		// moved onto it.
-		id, ok := e.surf.BlockAt(m.To)
+		id, ok := e.surf.BlockAt(to)
 		if !ok {
 			continue
 		}
 		h := e.hosts[id]
-		from, to := m.From, m.To
 		e.sched.After(0, func() { h.code.OnMoved(h, from, to) })
 	}
-	for _, id := range affectedBlocks(e.surf, changed, e.radius, moved) {
+	for _, id := range e.affectedBlocks(e.changedBuf) {
 		h := e.hosts[id]
 		e.sched.After(0, func() { h.code.OnNeighborhoodChanged(h) })
 	}
 }
 
-// affectedBlocks lists blocks (excluding the movers) whose sensing window
-// covers one of the changed cells, in ascending id order.
-func affectedBlocks(surf *lattice.Surface, changed []geom.Vec, radius int, exclude map[lattice.BlockID]bool) []lattice.BlockID {
-	set := map[lattice.BlockID]bool{}
+// affectedBlocks lists blocks whose sensing window covers one of the
+// changed cells and that are not already marked in the current epoch
+// (the movers), in ascending id order. The returned slice is the engine's
+// scratch buffer, valid until the next call.
+func (e *Engine) affectedBlocks(changed []geom.Vec) []lattice.BlockID {
+	e.idBuf = e.idBuf[:0]
 	for _, c := range changed {
-		for dy := -radius; dy <= radius; dy++ {
-			for dx := -radius; dx <= radius; dx++ {
-				if id, ok := surf.BlockAt(c.Add(geom.V(dx, dy))); ok && !exclude[id] {
-					set[id] = true
+		for dy := -e.radius; dy <= e.radius; dy++ {
+			for dx := -e.radius; dx <= e.radius; dx++ {
+				if id, ok := e.surf.BlockAt(c.Add(geom.V(dx, dy))); ok && e.mark(id) {
+					e.idBuf = append(e.idBuf, id)
 				}
 			}
 		}
 	}
-	out := make([]lattice.BlockID, 0, len(set))
-	for id := range set {
-		out = append(out, id)
+	slices.Sort(e.idBuf)
+	return e.idBuf
+}
+
+// nextEpoch starts a new scratch generation; on wrap-around the stamp array
+// is zeroed so stale marks can never alias the new epoch.
+func (e *Engine) nextEpoch() {
+	e.epoch++
+	if e.epoch == 0 {
+		clear(e.seen)
+		e.epoch = 1
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+}
+
+// mark stamps id in the current epoch; it reports whether the id was not
+// yet marked (i.e. this call claimed it). The stamp array is pre-sized in
+// NewEngine; growth (ids placed after construction) doubles so repeated
+// ascending ids stay amortised O(1).
+func (e *Engine) mark(id lattice.BlockID) bool {
+	if int(id) >= len(e.seen) {
+		n := 2 * len(e.seen)
+		if n <= int(id) {
+			n = int(id) + 1
+		}
+		grown := make([]uint32, n)
+		copy(grown, e.seen)
+		e.seen = grown
+	}
+	if e.seen[id] == e.epoch {
+		return false
+	}
+	e.seen[id] = e.epoch
+	return true
 }
 
 func (h *host) Rand() *rand.Rand { return h.rng }
@@ -291,20 +338,6 @@ func (h *host) Logf(format string, args ...any) {
 		h.eng.cfg.Logf("[t=%d b=%d] "+format,
 			append([]any{h.eng.sched.Now(), h.id}, args...)...)
 	}
-}
-
-func cheb(v geom.Vec) int {
-	ax, ay := v.X, v.Y
-	if ax < 0 {
-		ax = -ax
-	}
-	if ay < 0 {
-		ay = -ay
-	}
-	if ax > ay {
-		return ax
-	}
-	return ay
 }
 
 var _ exec.Env = (*host)(nil)
