@@ -9,7 +9,7 @@
 //	sbbench -list            list the experiments
 //	sbbench -exp fig10       run one experiment
 //	sbbench -exp all         run the full evaluation
-//	sbbench -json            measure the hot-path kernels, write BENCH_1.json
+//	sbbench -json            measure the hot-path kernels, write BENCH_2.json
 package main
 
 import (
@@ -25,7 +25,9 @@ func main() {
 		list     = flag.Bool("list", false, "list the experiments")
 		exp      = flag.String("exp", "", "experiment id, or 'all'")
 		jsonMode = flag.Bool("json", false, "emit a machine-readable bench record")
-		jsonOut  = flag.String("o", "BENCH_1.json", "output path for -json")
+		// The default tracks the current PR number (BENCH_<N>.json is the
+		// per-PR trajectory convention CI's bench gate diffs against).
+		jsonOut = flag.String("o", "BENCH_2.json", "output path for -json")
 	)
 	flag.Parse()
 

@@ -33,7 +33,25 @@
 // property test (internal/rules/compiled_test.go) pins the compiled
 // matcher to the reference entry-wise operator for every library rule
 // under all D4 transforms. Run `go run ./cmd/sbbench -json` for a
-// machine-readable snapshot of the hot-path kernel timings.
+// machine-readable snapshot of the hot-path kernel timings; CI diffs that
+// record against the previous PR's artifact (cmd/benchdiff) and fails on
+// >10% hot-path regressions.
+//
+// # Incremental connectivity and atomic application
+//
+// The other half of motion validation is the Remark 1 invariant: no motion
+// may disconnect the ensemble. The lattice answers it from an incrementally
+// maintained articulation-point cache over its occupancy bitsets
+// (internal/lattice/connectivity.go) rather than by cloning the surface and
+// rerunning a DFS per candidate: a connectivity-constrained verdict is
+// O(window) for single-displacement motions (every slide, carry and
+// teleport), allocation-free, and falls back to a scratch-buffer DFS with
+// the move overlaid for the exotic shapes. Connected() remains the
+// reference oracle, with a differential property test pinning the cache to
+// it across randomized motion/fault sequences. Surface.Apply is atomic
+// under failure: Validate replays multi-step move schedules against the
+// evolving occupancy before anything mutates, and the executor keeps an
+// undo log, so a rejected application leaves no partial state behind.
 //
 // Start with examples/quickstart, or run:
 //

@@ -14,7 +14,9 @@ import (
 // every motion of this instance:
 //
 //   - connectivity preservation (Remark 1: a separated block can never move
-//     again, so disconnecting motions are prohibited),
+//     again, so disconnecting motions are prohibited) — answered by the
+//     lattice's incremental articulation-point cache, so per-candidate
+//     validation neither clones the surface nor reruns a DFS,
 //   - immobility of frozen blocks and of the Root (Lemma 1(b): positions on
 //     the path remain occupied),
 //   - the Remark 1 blocking veto in the configured mode.
@@ -96,7 +98,10 @@ func lookaheadVeto(cfg Config, lib *rules.Library, after *lattice.Surface) error
 	noCount := cfg
 	noCount.Counters = &Counters{} // do not pollute the run's metrics
 	for _, pos := range mobiles {
-		if len(planCandidates(noCount, lib, pos, after.Occupied, tier, nil)) > 0 {
+		// The scratch clone is a full surface, so the lookahead senses each
+		// candidate window straight from the row bitsets (planCandidatesOn)
+		// rather than cell by cell.
+		if len(planCandidatesOn(noCount, lib, pos, after, tier, nil)) > 0 {
 			return nil
 		}
 	}

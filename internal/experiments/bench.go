@@ -81,6 +81,10 @@ func RunBenchJSON() ([]byte, error) {
 		return nil, fmt.Errorf("bench: lane block has no applications")
 	}
 	app := apps[0]
+	laneID, ok := surf.BlockAt(pos)
+	if !ok {
+		return nil, fmt.Errorf("bench: no block on the lane cell %v", pos)
+	}
 
 	rec := BenchRecord{
 		Schema:    "sbbench/1",
@@ -108,6 +112,34 @@ func RunBenchJSON() ([]byte, error) {
 		timeKernel("surface_validate", func() {
 			if err := surf.Validate(app, lattice.Constraints{}); err != nil {
 				panic(err)
+			}
+		}),
+		timeKernel("validate_connectivity", func() {
+			// The Remark 1 guard on the incremental articulation cache: the
+			// verdict the planner pays for every candidate motion.
+			if err := surf.Validate(app, lattice.Constraints{RequireConnectivity: true}); err != nil {
+				panic(err)
+			}
+		}),
+		timeKernel("validate_connectivity_clone_dfs", func() {
+			// The seed-era reference for the same verdict: deep-copy the
+			// surface, apply the candidate, rerun the DFS oracle. Kept in
+			// the record so the incremental speedup stays visible across PRs.
+			after := surf.Clone()
+			if _, err := after.Apply(app, lattice.Constraints{}); err != nil {
+				panic(err)
+			}
+			if !after.Connected() {
+				panic("bench: tower scenario must stay connected")
+			}
+		}),
+		timeKernel("applications_for_connectivity", func() {
+			// Constrained enumeration (the elected block's decision
+			// procedure under the Remark 1 guard); target within ~2x of
+			// applications_for_bitboard.
+			apps, err := surf.ApplicationsFor(laneID, lib, lattice.Constraints{RequireConnectivity: true})
+			if err != nil || len(apps) == 0 {
+				panic(fmt.Sprintf("bench: lane block constrained apps=%d err=%v", len(apps), err))
 			}
 		}),
 	)

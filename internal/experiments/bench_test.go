@@ -20,11 +20,14 @@ func TestRunBenchJSON(t *testing.T) {
 		t.Errorf("schema = %q, want sbbench/1", rec.Schema)
 	}
 	want := map[string]bool{
-		"table2_overlap":             false,
-		"applications_for_predicate": false,
-		"applications_for_bitboard":  false,
-		"surface_validate":           false,
-		"fig10_reconfiguration":      false,
+		"table2_overlap":                  false,
+		"applications_for_predicate":      false,
+		"applications_for_bitboard":       false,
+		"surface_validate":                false,
+		"validate_connectivity":           false,
+		"validate_connectivity_clone_dfs": false,
+		"applications_for_connectivity":   false,
+		"fig10_reconfiguration":           false,
 	}
 	for _, r := range rec.Results {
 		if _, ok := want[r.Name]; ok {

@@ -1,0 +1,155 @@
+package lattice
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/geom"
+	"repro/internal/matrix"
+	"repro/internal/rules"
+)
+
+// badOrderShunt builds a rule that is perfectly well-formed (it passes
+// rules.Rule.Validate and its Motion Matrix validates against the initial
+// occupancy) but whose move schedule collides mid-execution: the trailing
+// block enters the handover cell at t=0, one step BEFORE the leading block
+// vacates it at t=1. The initial sensing window cannot express this — Table
+// II constrains only the pre-motion state, under which the handover cell is
+// legitimately occupied — so before this PR the collision was only
+// discovered halfway through executeTracked, leaving the surface corrupted
+// (the trailing block lifted off the grid, its position register stale).
+func badOrderShunt(t testing.TB) *rules.Rule {
+	t.Helper()
+	mm, err := matrix.NewMotion(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm.Set(geom.V(-1, 0), event.BecomesEmpty)
+	mm.Set(geom.V(0, 0), event.Handover)
+	mm.Set(geom.V(1, 0), event.BecomesOccupied)
+	r, err := rules.New("bad-order-shunt", mm, []rules.Move{
+		{Time: 0, From: geom.V(-1, 0), To: geom.V(0, 0)},
+		{Time: 1, From: geom.V(0, 0), To: geom.V(1, 0)},
+	})
+	if err != nil {
+		t.Fatalf("the shunt must be a well-formed rule (the bug is in its schedule): %v", err)
+	}
+	return r
+}
+
+// snapshotEquals verifies s and the reference clone agree cell-for-cell,
+// position-for-position, counter-for-counter.
+func snapshotEquals(t *testing.T, s, want *Surface, stage string) {
+	t.Helper()
+	for y := 0; y < s.Height(); y++ {
+		for x := 0; x < s.Width(); x++ {
+			v := geom.V(x, y)
+			got, _ := s.BlockAt(v)
+			exp, _ := want.BlockAt(v)
+			if got != exp {
+				t.Fatalf("%s: cell %v: block %d, want %d", stage, v, got, exp)
+			}
+			if s.Occupied(v) != want.Occupied(v) {
+				t.Fatalf("%s: cell %v: bitset desynchronised", stage, v)
+			}
+		}
+	}
+	for _, id := range want.Blocks() {
+		gotPos, ok := s.PositionOf(id)
+		wantPos, _ := want.PositionOf(id)
+		if !ok || gotPos != wantPos {
+			t.Fatalf("%s: block %d at %v (ok=%t), want %v", stage, id, gotPos, ok, wantPos)
+		}
+	}
+	if s.NumBlocks() != want.NumBlocks() {
+		t.Fatalf("%s: %d blocks, want %d", stage, s.NumBlocks(), want.NumBlocks())
+	}
+	if s.Hops() != want.Hops() || s.Applications() != want.Applications() {
+		t.Fatalf("%s: counters hops=%d apps=%d, want %d/%d",
+			stage, s.Hops(), s.Applications(), want.Hops(), want.Applications())
+	}
+}
+
+// TestApplyAtomicUnderScheduleCollision is the regression test for the
+// mid-application failure: Apply of the bad-order shunt must reject the
+// motion (ErrOccupied at the handover cell) and leave the surface exactly
+// as it was — grid, bitsets, position registers and counters. Before the
+// fix, Validate passed (the initial window matches) and executeTracked
+// bailed out after lifting the trailing block, losing it from the grid.
+func TestApplyAtomicUnderScheduleCollision(t *testing.T) {
+	s := mustSurface(t, 6, 6, geom.V(1, 1), geom.V(2, 1), geom.V(1, 0), geom.V(2, 0), geom.V(3, 0))
+	before := s.Clone()
+	app := rules.Application{Rule: badOrderShunt(t), Anchor: geom.V(2, 1)}
+
+	// The initial sensing window genuinely validates: the physics check
+	// alone cannot catch this rule.
+	if !app.Rule.AppliesTo(rules.PresenceAround(app.Anchor, 1, s.Occupied)) {
+		t.Fatal("precondition: the shunt's matrix must validate against the initial state")
+	}
+
+	if _, err := s.Apply(app, Constraints{}); !errors.Is(err, ErrOccupied) {
+		t.Fatalf("Apply of the mis-scheduled rule: got %v, want ErrOccupied", err)
+	}
+	snapshotEquals(t, s, before, "after rejected Apply")
+
+	// Validate alone must reject it too (the replay precheck), under every
+	// constraint level, without touching the surface.
+	if err := s.Validate(app, Constraints{}); !errors.Is(err, ErrOccupied) {
+		t.Errorf("Validate: got %v, want ErrOccupied", err)
+	}
+	if err := s.Validate(app, Constraints{RequireConnectivity: true}); !errors.Is(err, ErrOccupied) {
+		t.Errorf("constrained Validate: got %v, want ErrOccupied", err)
+	}
+	snapshotEquals(t, s, before, "after Validate")
+}
+
+// TestExecuteRollsBackOnFailure drives the raw executor (no Validate in
+// front) into the mid-schedule collision and checks the undo log restores
+// everything: execution must be atomic even for callers that skip
+// validation.
+func TestExecuteRollsBackOnFailure(t *testing.T) {
+	s := mustSurface(t, 6, 6, geom.V(1, 1), geom.V(2, 1), geom.V(1, 0), geom.V(2, 0), geom.V(3, 0))
+	before := s.Clone()
+	app := rules.Application{Rule: badOrderShunt(t), Anchor: geom.V(2, 1)}
+	if _, err := s.executeTracked(app); !errors.Is(err, ErrOccupied) {
+		t.Fatalf("executeTracked: got %v, want ErrOccupied", err)
+	}
+	snapshotEquals(t, s, before, "after rolled-back execute")
+
+	// Sanity: the same shape with the handover cell initially free (the
+	// mover hops through it over two time steps) executes fine, so the
+	// undo machinery does not over-reject multi-group schedules. Each
+	// elementary move counts once: two hops for the double hop.
+	s2 := mustSurface(t, 6, 6, geom.V(0, 1), geom.V(1, 0), geom.V(2, 0))
+	okApp := rules.Application{Rule: badOrderShunt(t), Anchor: geom.V(1, 1)}
+	moved, err := s2.executeTracked(okApp)
+	if err != nil {
+		t.Fatalf("free-cell double hop must execute: %v", err)
+	}
+	if len(moved) != 2 || moved[0] != moved[1] {
+		t.Fatalf("moved = %v, want the same block recorded for both hops", moved)
+	}
+	if got, _ := s2.BlockAt(geom.V(2, 1)); got != moved[0] {
+		t.Errorf("shunted block should end at (2,1)")
+	}
+}
+
+// TestValidateZeroMoveRule: a move-less rule is only constructible by
+// bypassing rules.New, but Validate must still degrade to the pre-PR
+// behaviour (a no-op motion validates) rather than panic in the schedule
+// analysis.
+func TestValidateZeroMoveRule(t *testing.T) {
+	s := mustSurface(t, 4, 4, geom.V(0, 0), geom.V(1, 0))
+	mm, err := matrix.NewMotion(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := rules.Application{Rule: &rules.Rule{Name: "noop", MM: mm}, Anchor: geom.V(1, 0)}
+	if err := s.Validate(app, Constraints{}); err != nil {
+		t.Errorf("zero-move rule: %v, want nil", err)
+	}
+	if err := s.Validate(app, Constraints{RequireConnectivity: true}); err != nil {
+		t.Errorf("constrained zero-move rule: %v, want nil", err)
+	}
+}

@@ -1,0 +1,334 @@
+package lattice
+
+import (
+	"math/bits"
+
+	"repro/internal/geom"
+)
+
+// Incremental connectivity (Remark 1 fast path).
+//
+// The reconfiguration algorithm validates every candidate motion against the
+// connectivity invariant: a separated block "cannot move anymore ... and thus
+// cannot participate anymore to the distributed application" (Remark 1), so
+// motions after which the ensemble is no longer one 4-connected component are
+// prohibited. The reference oracle for that question is Clone() + execute +
+// Connected() — a full surface copy and a map-based DFS per candidate, the
+// one remaining O(N)+allocation cost on the validation hot path after the
+// bitboard compilation of the matrix overlap.
+//
+// This file replaces the oracle on the hot path with an incrementally
+// maintained structure over the existing row bitsets:
+//
+//   - connState caches the number of 4-connected components and an
+//     articulation-point bitset (one bit per cell, the occ layout) for the
+//     *current* occupancy. It is rebuilt lazily by one iterative Tarjan
+//     DFS — O(N) with flat int32 scratch arrays, no per-node allocation —
+//     and invalidated by every setOcc/clearOcc. Because a round of the
+//     algorithm validates many candidates between consecutive surface
+//     mutations, the rebuild amortises to a small constant per validation.
+//
+//   - connectedAfterMove answers "is the occupancy still one component after
+//     simultaneously clearing `removed` and filling `added` cells?" For the
+//     common single-displacement case (every slide, every carry and every
+//     teleport nets one cell removed and one added) the answer is O(window):
+//     if the vacated cell is not an articulation point the remainder is
+//     connected, and the destination only needs any remaining 4-neighbour.
+//     Every other shape — articulation movers, multi-cell deltas,
+//     fault-injected already-disconnected surfaces — falls back to a DFS
+//     over the row bitsets with the delta overlaid, run entirely on reusable
+//     scratch (no Clone, no map, zero allocations once warm).
+//
+// Connected() in surface.go stays as the reference oracle; the differential
+// property test in connectivity_test.go pins this subsystem to it across
+// randomized place/remove/apply/teleport sequences.
+
+// connState is the lazily maintained connectivity cache of a Surface. The
+// zero value is an invalid (empty) cache; Clone intentionally does not copy
+// it, so clones rebuild on first use.
+type connState struct {
+	valid bool
+	comps int      // number of 4-connected components of the occupancy
+	artic []uint64 // articulation-point bitset, same word layout as Surface.occ
+
+	// Rebuild scratch (iterative Tarjan), sized w*h on first use.
+	disc   []int32
+	low    []int32
+	frames []apFrame
+
+	// Query scratch (overlay DFS), sized like occ / w*h on first use.
+	visited []uint64
+	stack   []int32
+}
+
+// apFrame is one explicit-stack frame of the iterative articulation-point
+// DFS: the cell, its DFS parent cell (-1 at a component root), the next
+// neighbour direction to examine, and the number of DFS children found.
+type apFrame struct {
+	cell     int32
+	parent   int32
+	nextDir  int8
+	children int16
+}
+
+// invalidateConn drops the cached connectivity state; called by every
+// occupancy mutation (setOcc/clearOcc).
+func (s *Surface) invalidateConn() { s.conn.valid = false }
+
+// WarmConnectivity builds the connectivity cache now instead of lazily on
+// the first constrained validation. Harnesses call it once after loading a
+// scenario so the O(N) rebuild happens at boot, not inside the first
+// measured election round.
+func (s *Surface) WarmConnectivity() { s.ensureConn() }
+
+// ensureConn rebuilds the component count and articulation bitset if any
+// occupancy mutation invalidated them.
+func (s *Surface) ensureConn() {
+	if s.conn.valid {
+		return
+	}
+	s.rebuildConn()
+	s.conn.valid = true
+}
+
+// rebuildConn runs one iterative Tarjan articulation-point pass over the
+// occupied cells. All state lives in flat reusable arrays; the only
+// allocations are the one-time scratch growths.
+func (s *Surface) rebuildConn() {
+	c := &s.conn
+	cells := s.w * s.h
+	words := s.occW * s.h
+	if cap(c.disc) < cells {
+		c.disc = make([]int32, cells)
+		c.low = make([]int32, cells)
+	} else {
+		c.disc = c.disc[:cells]
+		c.low = c.low[:cells]
+		for i := range c.disc {
+			c.disc[i] = 0
+		}
+	}
+	if cap(c.artic) < words {
+		c.artic = make([]uint64, words)
+	} else {
+		c.artic = c.artic[:words]
+		for i := range c.artic {
+			c.artic[i] = 0
+		}
+	}
+	c.comps = 0
+	c.frames = c.frames[:0]
+	timer := int32(1)
+
+	for start := 0; start < cells; start++ {
+		if s.grid[start] == None || c.disc[start] != 0 {
+			continue
+		}
+		c.comps++
+		c.disc[start] = timer
+		c.low[start] = timer
+		timer++
+		c.frames = append(c.frames, apFrame{cell: int32(start), parent: -1})
+		for len(c.frames) > 0 {
+			f := &c.frames[len(c.frames)-1]
+			if f.nextDir < 4 {
+				d := f.nextDir
+				f.nextDir++
+				nb := s.neighborCell(f.cell, d)
+				if nb < 0 || s.grid[nb] == None || nb == f.parent {
+					continue
+				}
+				if c.disc[nb] != 0 {
+					// Back edge (or an already-finished descendant, whose
+					// disc can never lower low below the proper back-edge
+					// value): update the low link.
+					if c.disc[nb] < c.low[f.cell] {
+						c.low[f.cell] = c.disc[nb]
+					}
+					continue
+				}
+				c.disc[nb] = timer
+				c.low[nb] = timer
+				timer++
+				c.frames = append(c.frames, apFrame{cell: nb, parent: f.cell})
+				continue
+			}
+			// Cell fully explored: pop and fold its low link into the parent.
+			cell, parent, children := f.cell, f.parent, f.children
+			c.frames = c.frames[:len(c.frames)-1]
+			if parent < 0 {
+				// Component root: articulation iff it has >= 2 DFS children.
+				if children >= 2 {
+					s.setArtic(cell)
+				}
+				continue
+			}
+			pf := &c.frames[len(c.frames)-1] // stack discipline: parent frame is below
+			pf.children++
+			if c.low[cell] < c.low[parent] {
+				c.low[parent] = c.low[cell]
+			}
+			if pf.parent >= 0 && c.low[cell] >= c.disc[parent] {
+				// No back edge from cell's subtree climbs above parent:
+				// removing parent separates that subtree.
+				s.setArtic(parent)
+			}
+		}
+	}
+}
+
+// neighborCell returns the flat index of the d-th 4-neighbour of cell, or -1
+// when it lies beyond the surface edge. Direction order matches geom.Dirs
+// (E, N, W, S); only locality matters here.
+func (s *Surface) neighborCell(cell int32, d int8) int32 {
+	x := int(cell) % s.w
+	y := int(cell) / s.w
+	switch d {
+	case 0:
+		x++
+	case 1:
+		y++
+	case 2:
+		x--
+	default:
+		y--
+	}
+	if x < 0 || x >= s.w || y < 0 || y >= s.h {
+		return -1
+	}
+	return int32(y*s.w + x)
+}
+
+func (s *Surface) setArtic(cell int32) {
+	x := int(cell) % s.w
+	y := int(cell) / s.w
+	s.conn.artic[y*s.occW+x>>6] |= 1 << (uint(x) & 63)
+}
+
+// isArtic reports whether v is a cached articulation point of its component.
+// Only meaningful for occupied cells after ensureConn.
+func (s *Surface) isArtic(v geom.Vec) bool {
+	return s.conn.artic[v.Y*s.occW+v.X>>6]>>(uint(v.X)&63)&1 != 0
+}
+
+// connectedAfterMove reports whether the occupancy forms one 4-connected
+// component after simultaneously clearing the removed cells and filling the
+// added cells. removed must be currently occupied cells, added currently
+// empty ones, and the two sets disjoint — exactly the net delta a validated
+// motion produces (see netDelta in apply.go). The semantics match
+// Connected() evaluated on the post-move surface, including degenerate
+// inputs: <= 1 block after the move counts as connected, and moves applied
+// to an already-disconnected surface (fault injection) may reconnect it.
+func (s *Surface) connectedAfterMove(removed, added []geom.Vec) bool {
+	n := len(s.pos) - len(removed) + len(added)
+	if n <= 1 {
+		return true
+	}
+	if len(removed) == 0 && len(added) == 0 {
+		// Pure rotation of occupancy (e.g. a handover cycle): the occupancy,
+		// and with it connectivity, is unchanged.
+		s.ensureConn()
+		return s.conn.comps <= 1
+	}
+	if len(removed) == 1 && len(added) == 1 {
+		s.ensureConn()
+		if s.conn.comps == 1 && !s.isArtic(removed[0]) {
+			// The remainder is connected and non-empty; the ensemble stays
+			// connected iff the destination touches any remaining block.
+			u, v := removed[0], added[0]
+			for _, nb := range geom.Neighbors4(v) {
+				if nb != u && s.Occupied(nb) {
+					return true
+				}
+			}
+			return false
+		}
+		// Articulation mover or already-fragmented surface: the move may
+		// still be legal (a corner hop can bridge the pieces it creates),
+		// so fall through to the exact overlay DFS.
+	}
+	return s.connectedAfterDFS(removed, added, n)
+}
+
+// occAfter is the post-move occupancy: the row bitsets with the delta
+// overlaid. The delta slices are tiny (rule move lists), so linear scans
+// beat any indexed structure.
+func (s *Surface) occAfter(v geom.Vec, removed, added []geom.Vec) bool {
+	for _, r := range removed {
+		if r == v {
+			return false
+		}
+	}
+	for _, a := range added {
+		if a == v {
+			return true
+		}
+	}
+	return s.Occupied(v)
+}
+
+// connectedAfterDFS is the exact fallback: a DFS over the row bitsets with
+// the delta overlaid, entirely on reusable scratch — no Clone, no map, no
+// allocation once the scratch is warm. n is the post-move block count (>= 2).
+func (s *Surface) connectedAfterDFS(removed, added []geom.Vec, n int) bool {
+	c := &s.conn
+	words := s.occW * s.h
+	if cap(c.visited) < words {
+		c.visited = make([]uint64, words)
+	} else {
+		c.visited = c.visited[:words]
+		for i := range c.visited {
+			c.visited[i] = 0
+		}
+	}
+	c.stack = c.stack[:0]
+
+	// Pick a start cell of the post-move occupancy.
+	start := geom.Vec{X: -1}
+	if len(added) > 0 {
+		start = added[0]
+	} else {
+	scan:
+		for y := 0; y < s.h; y++ {
+			for w := 0; w < s.occW; w++ {
+				word := s.occ[y*s.occW+w]
+				for word != 0 {
+					x := w<<6 + bits.TrailingZeros64(word)
+					word &= word - 1
+					v := geom.V(x, y)
+					if s.occAfter(v, removed, added) {
+						start = v
+						break scan
+					}
+				}
+			}
+		}
+	}
+	if start.X < 0 {
+		return true // no occupied cell survives; n <= 1 was handled earlier
+	}
+
+	c.visited[start.Y*s.occW+start.X>>6] |= 1 << (uint(start.X) & 63)
+	c.stack = append(c.stack, int32(start.Y*s.w+start.X))
+	count := 0
+	for len(c.stack) > 0 {
+		cell := c.stack[len(c.stack)-1]
+		c.stack = c.stack[:len(c.stack)-1]
+		count++
+		v := geom.V(int(cell)%s.w, int(cell)/s.w)
+		for _, nb := range geom.Neighbors4(v) {
+			if !s.InBounds(nb) {
+				continue
+			}
+			if c.visited[nb.Y*s.occW+nb.X>>6]>>(uint(nb.X)&63)&1 != 0 {
+				continue
+			}
+			if !s.occAfter(nb, removed, added) {
+				continue
+			}
+			c.visited[nb.Y*s.occW+nb.X>>6] |= 1 << (uint(nb.X) & 63)
+			c.stack = append(c.stack, int32(nb.Y*s.w+nb.X))
+		}
+	}
+	return count == n
+}

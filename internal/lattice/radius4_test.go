@@ -1,0 +1,110 @@
+package lattice
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/geom"
+	"repro/internal/matrix"
+	"repro/internal/rules"
+)
+
+// radius4EastSliding embeds the paper's eq. (1) east-sliding pattern at the
+// centre of a 9x9 (radius 4) matrix, everything else wildcard. Its window
+// has 81 cells — beyond what a uint64 bitboard can hold — so it must take
+// the reference Presence-matrix path end to end.
+func radius4EastSliding(t testing.TB) *rules.Rule {
+	t.Helper()
+	mm, err := matrix.NewMotion(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm.Set(geom.V(0, 1), event.RemainsEmpty)
+	mm.Set(geom.V(1, 1), event.RemainsEmpty)
+	mm.Set(geom.V(0, 0), event.BecomesEmpty)
+	mm.Set(geom.V(1, 0), event.BecomesOccupied)
+	mm.Set(geom.V(0, -1), event.RemainsOccupied)
+	mm.Set(geom.V(1, -1), event.RemainsOccupied)
+	r, err := rules.New("east1-r4", mm, []rules.Move{{Time: 0, From: geom.V(0, 0), To: geom.V(1, 0)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestRadius4RuleUsesReferencePath: before this PR, a radius-4 window
+// silently corrupted the compiled machinery (OccWindow's row shifts wrap at
+// bit 64, a non-compact matrix's zero masks validate anything). Now the
+// guards refuse the compiled path outright and rule matching falls back to
+// PresenceAround — so a radius-4 rule behaves exactly like its radius-1
+// original.
+func TestRadius4RuleUsesReferencePath(t *testing.T) {
+	r4 := radius4EastSliding(t)
+	if r4.MM.Compact() {
+		t.Fatal("a 9x9 matrix must not report Compact")
+	}
+	lib4, err := rules.NewLibrary(r4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib4.MaxRadius() != 4 {
+		t.Fatalf("MaxRadius = %d, want 4", lib4.MaxRadius())
+	}
+
+	// Fig. 3 neighbourhood, wide enough that the 9x9 footprint stays on
+	// the surface: mover with south support and a free destination.
+	s := mustSurface(t, 12, 10,
+		geom.V(3, 4), geom.V(4, 4), geom.V(5, 4), geom.V(3, 5), geom.V(4, 5))
+	mover, _ := s.BlockAt(geom.V(4, 5))
+
+	apps, err := s.ApplicationsFor(mover, lib4, Constraints{RequireConnectivity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apps) != 1 || apps[0].Anchor != geom.V(4, 5) {
+		t.Fatalf("radius-4 east sliding: apps = %v, want one at (4,5)", apps)
+	}
+	if _, err := s.Apply(apps[0], Constraints{RequireConnectivity: true}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.BlockAt(geom.V(5, 5)); got != mover {
+		t.Error("mover did not slide east under the radius-4 rule")
+	}
+	if !s.Connected() {
+		t.Error("ensemble disconnected")
+	}
+}
+
+// mustPanic asserts fn panics with a message containing want.
+func mustPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q, got none", want)
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %v (%T), want string", r, r)
+		}
+		if !strings.Contains(msg, want) {
+			t.Fatalf("panic %q does not mention %q", msg, want)
+		}
+	}()
+	fn()
+}
+
+// TestWindowGuardsRefuseRadius4: the 64-bit window extractors and the
+// compiled-mask accessors fail loudly instead of wrapping silently.
+func TestWindowGuardsRefuseRadius4(t *testing.T) {
+	s := mustSurface(t, 12, 10, geom.V(4, 4))
+	// Radius 3 is the documented maximum and stays fine.
+	_ = s.OccWindow(geom.V(4, 4), rules.MaxWindowRadius)
+	mustPanic(t, "radius 4", func() { s.OccWindow(geom.V(4, 4), 4) })
+	mustPanic(t, "radius 4", func() { rules.WindowAround(geom.V(4, 4), 4, s.Occupied) })
+
+	mm9 := radius4EastSliding(t).MM
+	mustPanic(t, "9x9", func() { matrix.MatchWindow(mm9, 0) })
+	mustPanic(t, "9x9", func() { mm9.Masks() })
+}

@@ -7,6 +7,16 @@
 // occupancy, never off the surface, and never in a way that disconnects the
 // ensemble (a separated block "cannot move anymore ... and thus cannot
 // participate anymore to the distributed application", Remark 1).
+//
+// Two guarantees back those invariants. The connectivity guard runs on an
+// incrementally maintained articulation-point cache over the row bitsets
+// (connectivity.go): the boolean verdict of a connectivity-constrained
+// Validate is allocation-free and O(window) for single-displacement motions,
+// with Connected() kept as the reference DFS oracle. And Apply is atomic
+// under failure: Validate replays the full move schedule against the
+// evolving occupancy before anything mutates, and execution keeps an undo
+// log, so a rejected or failed application leaves grid, bitsets, positions
+// and counters exactly as they were.
 package lattice
 
 import (
@@ -15,6 +25,7 @@ import (
 	"sort"
 
 	"repro/internal/geom"
+	"repro/internal/rules"
 )
 
 // BlockID identifies a block, like the numbers that tag blocks in the
@@ -55,6 +66,14 @@ type Surface struct {
 
 	hops         int // elementary block moves executed (Remark 4 metric)
 	applications int // rule applications executed
+
+	// conn is the lazily maintained connectivity cache (connectivity.go):
+	// component count and articulation-point bitset, invalidated by every
+	// occupancy mutation. Clone deliberately leaves it zero.
+	conn connState
+	// scratch holds the reusable buffers of the validation and execution
+	// paths (apply.go), so the boolean Validate verdict allocates nothing.
+	scratch applyScratch
 }
 
 // NewSurface returns an empty surface of the given dimensions.
@@ -74,14 +93,18 @@ func NewSurface(w, h int) (*Surface, error) {
 	}, nil
 }
 
-// setOcc marks cell v occupied in the row bitset.
+// setOcc marks cell v occupied in the row bitset and invalidates the
+// connectivity cache.
 func (s *Surface) setOcc(v geom.Vec) {
 	s.occ[v.Y*s.occW+v.X>>6] |= 1 << (uint(v.X) & 63)
+	s.invalidateConn()
 }
 
-// clearOcc marks cell v empty in the row bitset.
+// clearOcc marks cell v empty in the row bitset and invalidates the
+// connectivity cache.
 func (s *Surface) clearOcc(v geom.Vec) {
 	s.occ[v.Y*s.occW+v.X>>6] &^= 1 << (uint(v.X) & 63)
+	s.invalidateConn()
 }
 
 // Width returns the surface width W.
@@ -155,10 +178,15 @@ func (s *Surface) Occupied(v geom.Vec) bool {
 // centred on anchor: bit row*size+col in display order (row 0 = north),
 // the layout of matrix.Motion.Masks and rules.WindowAround. Cells beyond
 // the surface edge read as empty. Each window row is extracted from the
-// row bitsets with at most two word operations; only radii <= 3 (windows
-// of at most 64 cells) are representable. Surface thereby implements
-// rules.WindowSource.
+// row bitsets with at most two word operations; only radii <=
+// rules.MaxWindowRadius (3, a 49-cell window) are representable in the
+// uint64 — larger radii panic rather than silently wrap the row shifts,
+// and matching for such rules goes through the rules.PresenceAround
+// reference path instead. Surface thereby implements rules.WindowSource.
 func (s *Surface) OccWindow(anchor geom.Vec, radius int) uint64 {
+	if radius > rules.MaxWindowRadius {
+		panic(fmt.Sprintf("lattice: OccWindow radius %d exceeds the 64-bit window (max %d); use the PresenceAround fallback", radius, rules.MaxWindowRadius))
+	}
 	size := 2*radius + 1
 	x0 := anchor.X - radius
 	var out uint64

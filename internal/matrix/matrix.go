@@ -38,8 +38,15 @@ type Motion struct {
 	mustEmpty uint64 // cells that must start empty (codes 0, 3)
 }
 
-// maxCompactSize is the largest matrix dimension whose cells fit one uint64.
-const maxCompactSize = 8
+// maxCompactSize is the largest matrix dimension eligible for the compiled
+// bitboard form. It is 7 (radius 3, 49 cells), not the 8 that would still
+// fit 64 bits: matrix sizes are odd, and the window extractors
+// (rules.WindowAround, lattice.Surface.OccWindow) support at most radius-3
+// windows. Matrices beyond this size refuse to compile masks — compileCell
+// is a no-op, Compact reports false, and Masks/MatchWindow panic instead of
+// returning silently-permissive zero masks — so matching falls back to the
+// entry-wise reference operator.
+const maxCompactSize = 7
 
 // NewMotion returns a size x size Motion Matrix filled with the wildcard
 // code (2, "every possible event can occur").
@@ -145,9 +152,15 @@ func (m *Motion) Compact() bool { return m.size <= maxCompactSize }
 
 // Masks returns the compiled Table II requirement masks: bit row*size+col
 // (display order) of mustOcc is set where the motion requires the cell to
-// start occupied, of mustEmpty where it must start empty. Only meaningful
-// when Compact reports true.
-func (m *Motion) Masks() (mustOcc, mustEmpty uint64) { return m.mustOcc, m.mustEmpty }
+// start occupied, of mustEmpty where it must start empty. Non-compact
+// matrices have no compiled form — their zero masks would validate any
+// window — so Masks panics rather than hand them out.
+func (m *Motion) Masks() (mustOcc, mustEmpty uint64) {
+	if m.size > maxCompactSize {
+		panic(fmt.Sprintf("matrix: Masks on a %dx%d matrix: windows beyond %dx%d cannot be compiled to 64-bit masks", m.size, m.size, maxCompactSize, maxCompactSize))
+	}
+	return m.mustOcc, m.mustEmpty
+}
 
 // AtRC returns the code at display coordinates (row 0 = north).
 func (m *Motion) AtRC(row, col int) event.Code { return m.codes[row*m.size+col] }

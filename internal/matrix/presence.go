@@ -12,9 +12,10 @@ import (
 // around a block that is supposed to move, with the block itself at the
 // centre (paper §IV).
 //
-// For Compact sizes (<= 8) the matrix also maintains its occupancy as a
-// packed bitboard (bit row*size+col in display order), kept in sync by Set;
-// Overlap matches it against the Motion masks in two word operations.
+// For Compact sizes (<= maxCompactSize, i.e. up to 7x7) the matrix also
+// maintains its occupancy as a packed bitboard (bit row*size+col in display
+// order), kept in sync by Set; Overlap matches it against the Motion masks
+// in two word operations.
 type Presence struct {
 	size  int
 	cells []event.Presence // row-major in display order
@@ -200,8 +201,13 @@ func Overlap(mm *Motion, mp *Presence) bool {
 // MatchWindow reports whether an occupancy window bitboard (bit
 // row*size+col in display order, as produced by rules.WindowAround or
 // lattice.Surface.OccWindow) satisfies the Motion's compiled Table II
-// masks. Only meaningful when mm.Compact() holds.
+// masks. Non-compact matrices panic: their masks were never compiled, and
+// the zero masks would silently validate every window — callers must branch
+// on Compact and use the Overlap reference path instead.
 func MatchWindow(mm *Motion, window uint64) bool {
+	if mm.size > maxCompactSize {
+		panic(fmt.Sprintf("matrix: MatchWindow on a %dx%d matrix: no compiled masks beyond %dx%d; use Overlap", mm.size, mm.size, maxCompactSize, maxCompactSize))
+	}
 	return window&mm.mustOcc == mm.mustOcc && window&mm.mustEmpty == 0
 }
 

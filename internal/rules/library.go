@@ -185,12 +185,24 @@ func PresenceAround(anchor geom.Vec, radius int, occ func(geom.Vec) bool) *matri
 	return mp
 }
 
+// MaxWindowRadius is the largest sensing radius whose occupancy window fits
+// one uint64 bitboard: a radius-3 window has 7x7 = 49 cells, a radius-4
+// window 9x9 = 81. WindowAround and lattice.Surface.OccWindow refuse larger
+// radii (the bit shifts would silently wrap); matching for such rules goes
+// through the PresenceAround reference path, which compiledRule.matches and
+// matchesOn select automatically because the matrix is not Compact.
+const MaxWindowRadius = 3
+
 // WindowAround samples the occupancy predicate into a window bitboard of
 // the given radius centred on anchor: bit row*size+col in display order
 // (row 0 = north), matching the layout of matrix.Motion.Masks. It is the
-// allocation-free counterpart of PresenceAround for radii <= 3 (windows of
-// at most 64 cells); larger windows must use PresenceAround.
+// allocation-free counterpart of PresenceAround for radii <=
+// MaxWindowRadius; larger radii panic — their windows cannot be packed in
+// 64 bits and must use PresenceAround.
 func WindowAround(anchor geom.Vec, radius int, occ func(geom.Vec) bool) uint64 {
+	if radius > MaxWindowRadius {
+		panic(fmt.Sprintf("rules: WindowAround radius %d exceeds the 64-bit window (max %d); use PresenceAround", radius, MaxWindowRadius))
+	}
 	size := 2*radius + 1
 	var w uint64
 	bit := uint(0)
