@@ -10,6 +10,7 @@ package repro
 // the headline metric of each experiment via b.ReportMetric.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -98,13 +99,14 @@ func BenchmarkFig7XMLRoundTrip(b *testing.B) {
 // distributed elections, motion planning and physics of the 12-block run.
 // block-moves/run reports the Remark-4 metric next to the paper's 55.
 func BenchmarkFig10Reconfiguration(b *testing.B) {
+	eng := core.NewEngine(rules.StandardLibrary(), core.WithSeed(1))
 	var hops, rounds int
 	for i := 0; i < b.N; i++ {
 		s, err := scenario.Fig10()
 		if err != nil {
 			b.Fatal(err)
 		}
-		res, err := core.Run(s.Surface, rules.StandardLibrary(), s.Config(), core.RunParams{Seed: 1})
+		res, err := eng.Run(context.Background(), s.Surface, s.Config())
 		if err != nil || !res.Success {
 			b.Fatalf("%v err=%v", res, err)
 		}
@@ -116,6 +118,7 @@ func BenchmarkFig10Reconfiguration(b *testing.B) {
 
 // benchSweep parameterises the Remark 2-4 benchmarks over N.
 func benchSweep(b *testing.B, metric string, pick func(core.Result) float64) {
+	eng := core.NewEngine(rules.StandardLibrary(), core.WithSeed(1))
 	for _, n := range []int{8, 16, 32} {
 		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
 			var last float64
@@ -125,7 +128,7 @@ func benchSweep(b *testing.B, metric string, pick func(core.Result) float64) {
 					b.Fatal(err)
 				}
 				s := scs[0]
-				res, err := core.Run(s.Surface, rules.StandardLibrary(), s.Config(), core.RunParams{Seed: 1})
+				res, err := eng.Run(context.Background(), s.Surface, s.Config())
 				if err != nil || !res.Success {
 					b.Fatalf("%v err=%v", res, err)
 				}
@@ -159,44 +162,57 @@ func BenchmarkRemark4Hops(b *testing.B) {
 
 // BenchmarkLemma1RandomInstance measures a randomized staircase solve.
 func BenchmarkLemma1RandomInstance(b *testing.B) {
+	eng := core.NewEngine(rules.StandardLibrary(), core.WithSeed(1))
 	for i := 0; i < b.N; i++ {
 		s, err := scenario.RandomStaircase(int64(i%50) + 1)
 		if err != nil {
 			b.Fatal(err)
 		}
-		res, err := core.Run(s.Surface, rules.StandardLibrary(), s.Config(), core.RunParams{Seed: 1})
+		res, err := eng.Run(context.Background(), s.Surface, s.Config())
 		if err != nil || !res.Success {
 			b.Fatalf("seed %d: %v err=%v", i%50+1, res, err)
 		}
 	}
 }
 
+// timerEvent is the typed self-rescheduling module timer of the throughput
+// benchmark: the scheduler's event ring carries it without any per-event
+// closure, so steady-state scheduling allocates nothing
+// (TestSchedulerTypedEventAllocs in internal/sim pins that to zero).
+type timerEvent struct {
+	s         *sim.Scheduler
+	id        int
+	remaining int
+}
+
+// Fire implements sim.Event.
+func (t *timerEvent) Fire() {
+	if t.remaining <= 0 {
+		return
+	}
+	t.remaining--
+	t.s.Schedule(sim.Time(1+t.id%7), t)
+}
+
 // BenchmarkSimThroughput is experiment E13: raw event throughput of the
 // discrete-event core (the paper reports ~650k events/s for VisibleSim with
-// 2e6 modules). events/sec is the headline metric.
+// 2e6 modules). events/sec is the headline metric; allocs/op is the typed
+// event ring's guard — the per-event cost must stay flat.
 func BenchmarkSimThroughput(b *testing.B) {
 	for _, modules := range []int{1_000, 100_000, 1_000_000} {
 		b.Run(fmt.Sprintf("modules=%d", modules), func(b *testing.B) {
+			b.ReportAllocs()
 			var processed uint64
 			for i := 0; i < b.N; i++ {
 				s := sim.NewScheduler(1)
-				remaining := make([]int, modules)
 				perModule := 2_000_000 / modules
 				if perModule < 2 {
 					perModule = 2
 				}
-				var tick func(i int)
-				tick = func(i int) {
-					if remaining[i] <= 0 {
-						return
-					}
-					remaining[i]--
-					s.After(sim.Time(1+i%7), func() { tick(i) })
-				}
+				timers := make([]timerEvent, modules)
 				for m := 0; m < modules; m++ {
-					remaining[m] = perModule
-					m := m
-					s.After(sim.Time(m%13), func() { tick(m) })
+					timers[m] = timerEvent{s: s, id: m, remaining: perModule}
+					s.Schedule(sim.Time(m%13), &timers[m])
 				}
 				processed = s.Run(0)
 			}
@@ -237,14 +253,15 @@ func BenchmarkHungarianOracle(b *testing.B) {
 	}
 }
 
-// BenchmarkAsyncRuntime is experiment A3: the goroutine engine on Fig. 10.
+// BenchmarkAsyncRuntime is experiment A3: the goroutine backend on Fig. 10.
 func BenchmarkAsyncRuntime(b *testing.B) {
+	eng := core.NewEngine(rules.StandardLibrary(), core.WithBackend(core.Async), core.WithSeed(1))
 	for i := 0; i < b.N; i++ {
 		s, err := scenario.Fig10()
 		if err != nil {
 			b.Fatal(err)
 		}
-		res, err := core.RunAsync(s.Surface, rules.StandardLibrary(), s.Config(), core.AsyncParams{Seed: 1})
+		res, err := eng.Run(context.Background(), s.Surface, s.Config())
 		if err != nil || !res.Success {
 			b.Fatalf("%v err=%v", res, err)
 		}

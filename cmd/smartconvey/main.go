@@ -9,8 +9,10 @@
 //
 //	-scenario fig10|tower:N|stair:H1,H2,...  instance to run (default fig10)
 //	-rise N                                  path rise for stair scenarios
-//	-engine des|async                        execution engine (default des)
+//	-engine des|async                        execution backend (default des)
 //	-seed N                                  random seed (default 1)
+//	-timeout D                               wall-clock bound (e.g. 30s; 0 = backend
+//	                                         default: none for des, 60s for async)
 //	-frames                                  print a frame after every motion
 //	-json FILE                               write the recorded run as JSON
 //	-parts N                                 convey N parts after building
@@ -18,9 +20,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+
 	"repro/internal/convey"
 	"repro/internal/core"
 	"repro/internal/rules"
@@ -30,15 +34,16 @@ import (
 
 func main() {
 	var (
-		scen   = flag.String("scenario", "fig10", "fig10 | tower:N | stair:H1,H2,...")
-		rise   = flag.Int("rise", 0, "path rise for stair scenarios (default: blocks-2)")
-		engine = flag.String("engine", "des", "des (deterministic) | async (goroutines)")
-		seed   = flag.Int64("seed", 1, "random seed")
-		frames = flag.Bool("frames", false, "print a frame after every motion")
-		jsonF  = flag.String("json", "", "write the recorded run to this file")
-		svgF   = flag.String("svg", "", "write the final state as SVG to this file")
-		parts  = flag.Int("parts", 0, "convey N parts along the built path")
-		quiet  = flag.Bool("quiet", false, "result line only")
+		scen    = flag.String("scenario", "fig10", "fig10 | tower:N | stair:H1,H2,...")
+		rise    = flag.Int("rise", 0, "path rise for stair scenarios (default: blocks-2)")
+		engine  = flag.String("engine", "des", "des (deterministic) | async (goroutines)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		timeout = flag.Duration("timeout", 0, "wall-clock bound (0 = backend default: none for des, 60s for async)")
+		frames  = flag.Bool("frames", false, "print a frame after every motion")
+		jsonF   = flag.String("json", "", "write the recorded run to this file")
+		svgF    = flag.String("svg", "", "write the final state as SVG to this file")
+		parts   = flag.Int("parts", 0, "convey N parts along the built path")
+		quiet   = flag.Bool("quiet", false, "result line only")
 	)
 	flag.Parse()
 
@@ -54,16 +59,24 @@ func main() {
 	}
 
 	rec := trace.NewRecorder(s.Surface, s.Input, s.Output, *frames)
-	lib := rules.StandardLibrary()
-	var res core.Result
+	opts := []core.Option{core.WithSeed(*seed), core.WithObserver(rec)}
 	switch *engine {
 	case "des":
-		res, err = core.Run(s.Surface, lib, s.Config(), core.RunParams{Seed: *seed, OnApply: rec.Record})
+		// DES is the default backend.
 	case "async":
-		res, err = core.RunAsync(s.Surface, lib, s.Config(), core.AsyncParams{Seed: *seed, OnApply: rec.Record})
+		opts = append(opts, core.WithBackend(core.Async))
 	default:
 		fail(fmt.Errorf("unknown engine %q", *engine))
 	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+		opts = append(opts, core.WithTimeout(*timeout))
+	}
+	eng := core.NewEngine(rules.StandardLibrary(), opts...)
+	res, err := eng.Run(ctx, s.Surface, s.Config())
 	if err != nil {
 		fail(err)
 	}

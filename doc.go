@@ -37,6 +37,39 @@
 // record against the previous PR's artifact (cmd/benchdiff) and fails on
 // >10% hot-path regressions.
 //
+// # The run layer: core.Engine sessions
+//
+// One session API drives both execution backends. core.NewEngine(lib,
+// opts...) builds an immutable, reusable engine over a rule library;
+// functional options select the backend (core.DES, the deterministic
+// discrete-event simulator, or core.Async, the goroutine runtime),
+// the seed, the DES latency model, a fault-injection factory wrap, a round
+// cap, and an Observer. Engine.Run(ctx, surf, cfg) executes Algorithm 1
+// under a context — cancellation and deadlines stop the backend between
+// events, so the surface always comes back connected and fully rolled back
+// — and returns the unified Result with the backend's virtual-time and
+// event metrics filled in (virtual ticks on the DES, wall-clock
+// nanoseconds and dispatched events on the runtime). Both backends
+// implement the same three-method Backend seam (Boot, Drive, Metrics);
+// nothing outside their own packages constructs sim.Engine or
+// runtime.Engine directly.
+//
+// Instead of ad-hoc OnApply/Logf callbacks, a session streams structured
+// events — round started, election decided, motion applied, termination,
+// message totals — to a core.Observer. trace.Recorder records storyboards
+// from the stream, stats.SessionSummary aggregates it, faults.Monitor
+// watches fault studies through it, and convey.Builder bridges a
+// successful session straight into the part-conveying phase. Delivery is
+// serialised by the session, so observers need no locking even on the
+// goroutine backend.
+//
+// Engine.RunBatch(ctx, instances) fans independent scenarios across a
+// worker pool (WithWorkers), reusing per-worker scratch and delivering
+// each instance's events contiguously with Event.Instance stamped; results
+// come back in input order with per-instance seeds honoured, so sweeps are
+// reproducible regardless of placement. The legacy core.Run/core.RunAsync
+// entry points remain as deprecated shims over the session API.
+//
 // # Incremental connectivity and atomic application
 //
 // The other half of motion validation is the Remark 1 invariant: no motion

@@ -1,11 +1,13 @@
 // Asyncrt: the same BlockCode on real concurrency. The deterministic
 // discrete-event simulator (the VisibleSim substitute) and the goroutine
 // runtime — one goroutine per block, channels as the lateral ports of
-// Fig. 8 — execute the identical program; election winners are timing-
-// independent by construction, so the two engines agree move for move.
+// Fig. 8 — execute the identical program behind the same core.Engine
+// session API; election winners are timing-independent by construction, so
+// the two backends agree move for move.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,29 +19,31 @@ import (
 
 func main() {
 	lib := rules.StandardLibrary()
+	ctx := context.Background()
 
 	des, err := scenario.Fig10()
 	if err != nil {
 		log.Fatal(err)
 	}
-	desRes, err := core.Run(des.Surface, lib, des.Config(), core.RunParams{Seed: 1})
+	desRes, err := core.NewEngine(lib, core.WithSeed(1)).Run(ctx, des.Surface, des.Config())
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("discrete-event engine: %v\n", desRes)
+	fmt.Printf("discrete-event backend: %v\n", desRes)
 
 	async, err := scenario.Fig10()
 	if err != nil {
 		log.Fatal(err)
 	}
-	asyncRes, err := core.RunAsync(async.Surface, lib, async.Config(), core.AsyncParams{Seed: 1})
+	asyncRes, err := core.NewEngine(lib, core.WithBackend(core.Async), core.WithSeed(1)).
+		Run(ctx, async.Surface, async.Config())
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("goroutine runtime:     %v\n", asyncRes)
+	fmt.Printf("goroutine backend:      %v\n", asyncRes)
 
 	if desRes.Hops != asyncRes.Hops || desRes.Rounds != asyncRes.Rounds {
-		log.Fatal("engines disagree; timing leaked into the algorithm")
+		log.Fatal("backends disagree; timing leaked into the algorithm")
 	}
 	same := true
 	for y := 0; y < des.Surface.Height(); y++ {
@@ -52,7 +56,7 @@ func main() {
 	if !same {
 		log.Fatal("final configurations differ")
 	}
-	fmt.Println("\nboth engines produced the identical move sequence and final surface:")
+	fmt.Println("\nboth backends produced the identical move sequence and final surface:")
 	fmt.Println("the algorithm's outcome is independent of message timing (Assumption 3")
 	fmt.Println("only requires finite delays)")
 }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,19 +27,24 @@ func main() {
 	fmt.Printf("production line: parts enter at %s, leave at %s (%d cells)\n\n",
 		s.Input, s.Output, s.Input.Manhattan(s.Output)+1)
 
-	// Phase 1 — the blocks build the conveyor.
-	res, err := core.Run(s.Surface, rules.StandardLibrary(), s.Config(), core.RunParams{Seed: 1})
+	// Phase 1 — the blocks build the conveyor. The convey.Builder observes
+	// the session's event stream and hands over to the conveying phase once
+	// the Root reports success.
+	builder := convey.NewBuilder(s.Surface, s.Input, s.Output)
+	eng := core.NewEngine(rules.StandardLibrary(), core.WithSeed(1), core.WithObserver(builder))
+	res, err := eng.Run(context.Background(), s.Surface, s.Config())
 	if err != nil {
 		log.Fatal(err)
 	}
 	if !res.Success {
 		log.Fatalf("reconfiguration failed: %v", res)
 	}
-	fmt.Printf("conveyor built: %d elections, %d block moves\n", res.Rounds, res.Hops)
+	fmt.Printf("conveyor built: %d elections, %d block moves (%d rule applications observed)\n",
+		res.Rounds, res.Hops, builder.Motions())
 	fmt.Println(trace.Render(s.Surface, s.Input, s.Output))
 
 	// Phase 2 — convey a batch of parts.
-	c, err := convey.New(s.Surface, s.Input, s.Output)
+	c, err := builder.Conveyor()
 	if err != nil {
 		log.Fatal(err)
 	}

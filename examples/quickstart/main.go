@@ -1,10 +1,11 @@
 // Quickstart: build the paper's Fig. 10 instance, run the distributed
-// reconfiguration on the deterministic simulator, and print the before and
+// reconfiguration through the unified session API, and print the before and
 // after states. This is the smallest complete use of the public packages:
-// scenario -> rules -> core.Run -> trace.
+// scenario -> rules -> core.Engine -> trace.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,9 +29,26 @@ func main() {
 	// under symmetry and rotation (16 capabilities).
 	lib := rules.StandardLibrary()
 
+	// A session engine over that library. The default backend is the
+	// deterministic discrete-event simulator; core.WithBackend(core.Async)
+	// would select the goroutine runtime instead, and core.WithObserver
+	// attaches the structured event stream (rounds, elections, motions,
+	// termination, message totals).
+	elections := 0
+	eng := core.NewEngine(lib,
+		core.WithSeed(1),
+		core.WithObserver(core.ObserverFunc(func(ev core.Event) {
+			if ev.Kind == core.EventElectionDecided {
+				elections++
+			}
+		})),
+	)
+
 	// Run Algorithm 1: iterated Dijkstra-Scholten elections; each elected
-	// block hops once towards O until a block occupies O.
-	res, err := core.Run(s.Surface, lib, s.Config(), core.RunParams{Seed: 1})
+	// block hops once towards O until a block occupies O. The context can
+	// cancel or deadline the session cleanly: the surface is always left
+	// connected and fully rolled back.
+	res, err := eng.Run(context.Background(), s.Surface, s.Config())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,6 +59,6 @@ func main() {
 	if !res.Success {
 		log.Fatal("reconfiguration failed")
 	}
-	fmt.Printf("\nthe %d-cell shortest path stands after %d elections and %d block moves\n",
-		res.PathLength+1, res.Rounds, res.Hops)
+	fmt.Printf("\nthe %d-cell shortest path stands after %d elections (%d observed) and %d block moves\n",
+		res.PathLength+1, res.Rounds, elections, res.Hops)
 }

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,7 +23,8 @@ import (
 )
 
 func main() {
-	lib := rules.StandardLibrary()
+	// One session engine serves every deployment of the day.
+	eng := core.NewEngine(rules.StandardLibrary(), core.WithSeed(1))
 
 	deploy := func(shift string, rise int) {
 		// The same 12-block staircase blob each time.
@@ -32,7 +34,7 @@ func main() {
 		}
 		fmt.Printf("=== %s: output at %s (%d cells above the input) ===\n",
 			shift, s.Output, rise)
-		res, err := core.Run(s.Surface, lib, s.Config(), core.RunParams{Seed: 1})
+		res, err := eng.Run(context.Background(), s.Surface, s.Config())
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -199,5 +200,6 @@ func TestFreeMotionVsConstrained(t *testing.T) {
 }
 
 func coreRun(s *scenario.Scenario) (core.Result, error) {
-	return core.Run(s.Surface, rules.StandardLibrary(), s.Config(), core.RunParams{Seed: 1})
+	return core.NewEngine(rules.StandardLibrary(), core.WithSeed(1)).
+		Run(context.Background(), s.Surface, s.Config())
 }

@@ -1,0 +1,57 @@
+package convey
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/lattice"
+)
+
+// Builder bridges a reconfiguration session to the conveying phase: attach
+// it to the session with core.WithObserver and call Conveyor once the run
+// returns. It watches the structured event stream for the Root's
+// termination verdict, so the failure path is reported as "the session did
+// not succeed" instead of a bare ErrNoPath probe on the surface.
+type Builder struct {
+	surf    *lattice.Surface
+	in, out geom.Vec
+
+	terminated bool
+	success    bool
+	motions    int
+}
+
+// NewBuilder returns a Builder over the session's surface and I/O cells.
+func NewBuilder(surf *lattice.Surface, input, output geom.Vec) *Builder {
+	return &Builder{surf: surf, in: input, out: output}
+}
+
+// OnEvent implements core.Observer.
+func (b *Builder) OnEvent(ev core.Event) {
+	switch ev.Kind {
+	case core.EventMotionApplied:
+		b.motions++
+	case core.EventTerminated:
+		b.terminated = true
+		b.success = ev.Success
+	}
+}
+
+// Motions returns the number of rule applications the stream carried.
+func (b *Builder) Motions() int { return b.motions }
+
+// Conveyor builds the conveyor over the reconfigured surface. It fails when
+// the session never terminated, terminated unsuccessfully, or (defensively)
+// when the built path does not verify.
+func (b *Builder) Conveyor() (*Conveyor, error) {
+	if !b.terminated {
+		return nil, fmt.Errorf("convey: session did not terminate; nothing to convey on")
+	}
+	if !b.success {
+		return nil, fmt.Errorf("convey: session terminated unsuccessfully: %w", ErrNoPath)
+	}
+	return New(b.surf, b.in, b.out)
+}
+
+var _ core.Observer = (*Builder)(nil)

@@ -12,11 +12,13 @@ import (
 )
 
 // shared is the run-wide state all BlockCodes of one run point at: the
-// configuration plus the completion report sink. It carries no algorithm
-// state — every protocol decision lives in per-block state or in messages.
+// configuration, the completion report sink and the session's observer
+// emitter (nil when nobody listens). It carries no algorithm state — every
+// protocol decision lives in per-block state or in messages.
 type shared struct {
 	cfg      Config
 	term     exec.Termination
+	emit     *emitter
 	finished atomic.Bool
 }
 
@@ -90,7 +92,13 @@ func (b *BlockCode) avoidCell(tier msg.Tier) *geom.Vec {
 // NewFactory returns the exec.CodeFactory for one run of the algorithm.
 // term receives the Root's completion report (may be nil).
 func NewFactory(cfg Config, term exec.Termination) exec.CodeFactory {
-	sh := &shared{cfg: cfg.WithDefaults(), term: term}
+	return newObservedFactory(cfg, term, nil)
+}
+
+// newObservedFactory is NewFactory with the session's observer emitter
+// attached: the Root's election milestones stream through it.
+func newObservedFactory(cfg Config, term exec.Termination, em *emitter) exec.CodeFactory {
+	sh := &shared{cfg: cfg.WithDefaults(), term: term, emit: em}
 	return func(id lattice.BlockID) exec.BlockCode {
 		b := &BlockCode{sh: sh, id: id, electionsLeft: -1}
 		if sh.cfg.MaxRounds > 0 {
@@ -135,6 +143,7 @@ func (b *BlockCode) startElection(env exec.Env, tier msg.Tier) {
 	if tier == msg.TierRetreat {
 		b.sh.cfg.Counters.EscapeElections.Add(1)
 	}
+	b.sh.emit.emit(Event{Kind: EventRoundStarted, Round: int(b.round), Tier: tier})
 	if err := b.ds.BeginRoot(b.round); err != nil {
 		env.Logf("BeginRoot: %v", err)
 		b.finish(env, false)
@@ -270,6 +279,14 @@ func (b *BlockCode) onElectionComplete(env exec.Env) {
 	b.sh.cfg.Counters.Elections.Add(1)
 	b.roundsRun++
 	best := b.agg.Best()
+	if em := b.sh.emit; em != nil {
+		winner := best.ID
+		if best.IsNeutral() {
+			winner = lattice.None
+		}
+		em.emit(Event{Kind: EventElectionDecided, Round: int(b.round),
+			Tier: b.tier, Winner: winner, Distance: best.Distance})
+	}
 	if best.IsNeutral() {
 		// Nobody can move at this tier; escalate, retry the ladder, or
 		// declare a blocking.
@@ -423,8 +440,11 @@ func (b *BlockCode) finish(env exec.Env, success bool) {
 	b.sendToNeighbors(env, msg.Message{
 		Type: msg.TypeFinished, Round: b.round, Success: success,
 	}, lattice.None)
-	if b.sh.finished.CompareAndSwap(false, true) && b.sh.term != nil {
-		b.sh.term.Finish(success, b.roundsRun)
+	if b.sh.finished.CompareAndSwap(false, true) {
+		b.sh.emit.emit(Event{Kind: EventTerminated, Success: success, Rounds: b.roundsRun})
+		if b.sh.term != nil {
+			b.sh.term.Finish(success, b.roundsRun)
+		}
 	}
 }
 

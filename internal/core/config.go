@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/election"
 	"repro/internal/geom"
+	"repro/internal/lattice"
 )
 
 // VetoMode selects how the Remark 1 "line or column between I and O"
@@ -90,6 +91,24 @@ type Config struct {
 func (c Config) WithDefaults() Config {
 	if c.Counters == nil {
 		c.Counters = &Counters{}
+	}
+	return c
+}
+
+// WithRunDefaults fills the instance-dependent defaults on top of
+// WithDefaults: the MaxRounds election cap derived from the instance size.
+// Every session entry point (Engine.Run and the deprecated Run/RunAsync
+// shims) shares this one derivation; it used to live as divergent copies in
+// the two legacy runners.
+func (c Config) WithRunDefaults(surf *lattice.Surface) Config {
+	c = c.WithDefaults()
+	if c.MaxRounds == 0 {
+		n := surf.NumBlocks()
+		d := c.Input.Manhattan(c.Output)
+		// Each productive round moves one block one hop towards its final
+		// cell; total work is O(N*d) with escape rounds interleaved. The
+		// cap is a safety net, far above any healthy run.
+		c.MaxRounds = 64 + 8*n*(d+2)
 	}
 	return c
 }

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/lattice"
+	"repro/internal/msg"
+)
+
+// EventKind discriminates the entries of the Observer stream.
+type EventKind uint8
+
+const (
+	// EventRoundStarted fires when the Root opens an election (one entry
+	// per tier attempt; the paper's Algorithm 1 iteration counter advances
+	// on EventElectionDecided).
+	EventRoundStarted EventKind = iota
+	// EventElectionDecided fires when the Root's Dijkstra-Scholten deficit
+	// clears: Winner is the elected block, or lattice.None when the tier
+	// found nobody electable (the Root then escalates or declares a
+	// blocking).
+	EventElectionDecided
+	// EventMotionApplied fires after every executed rule application, with
+	// the full physical-layer result (movers, carried helpers, rule).
+	EventMotionApplied
+	// EventTerminated fires when the Root reports completion (success or
+	// give-up) — at most once per run.
+	EventTerminated
+	// EventMessageStats fires once when the backend drains, carrying the
+	// engine-level message and event totals of the run.
+	EventMessageStats
+	// EventLog carries a formatted per-block debug line (the Logf channel
+	// of the legacy API). Only emitted when the session was built with
+	// debug logging enabled.
+	EventLog
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventRoundStarted:
+		return "round-started"
+	case EventElectionDecided:
+		return "election-decided"
+	case EventMotionApplied:
+		return "motion-applied"
+	case EventTerminated:
+		return "terminated"
+	case EventMessageStats:
+		return "message-stats"
+	case EventLog:
+		return "log"
+	}
+	return "unknown"
+}
+
+// Event is one entry of a run's observer stream. Kind selects which fields
+// are meaningful; unrelated fields are zero.
+type Event struct {
+	Kind EventKind
+	// Instance is the index of the originating instance in a RunBatch
+	// (-1 for single Engine.Run sessions).
+	Instance int
+
+	// Round is the election counter (RoundStarted, ElectionDecided).
+	Round int
+	// Tier is the admission tier of the election (RoundStarted).
+	Tier msg.Tier
+
+	// Winner is the elected block, or lattice.None for an empty election
+	// (ElectionDecided).
+	Winner lattice.BlockID
+	// Distance is the winner's bid: its hop count to O (ElectionDecided).
+	Distance int32
+
+	// Apply is the physical-layer result (MotionApplied).
+	Apply lattice.ApplyResult
+
+	// Success is the Root's verdict (Terminated).
+	Success bool
+	// Rounds is the number of completed elections (Terminated).
+	Rounds int
+
+	// Sent, Delivered, Dropped and Events are the engine totals
+	// (MessageStats).
+	Sent, Delivered, Dropped, Events uint64
+	// VirtualTime is the backend clock at drain: virtual ticks on the DES,
+	// elapsed wall-clock nanoseconds on the goroutine runtime
+	// (MessageStats).
+	VirtualTime int64
+
+	// Text is the formatted debug line (Log).
+	Text string
+}
+
+// Observer consumes the structured event stream of a session. It replaces
+// the legacy OnApply/Logf callback pair: trace recording, statistics,
+// fault monitoring and the experiment harness all hook in through this one
+// interface.
+//
+// Events of one DES run arrive strictly ordered. Under the Async backend,
+// events originate on several goroutines; the session serialises delivery,
+// so an Observer still never needs internal locking, but cross-goroutine
+// ordering is only causal, not total.
+type Observer interface {
+	OnEvent(Event)
+}
+
+// ObserverFunc adapts a plain function to Observer.
+type ObserverFunc func(Event)
+
+// OnEvent implements Observer.
+func (f ObserverFunc) OnEvent(ev Event) { f(ev) }
+
+// MultiObserver fans one stream out to several observers, in order.
+func MultiObserver(obs ...Observer) Observer {
+	flat := make([]Observer, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			flat = append(flat, o)
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return nil
+	case 1:
+		return flat[0]
+	}
+	return multiObserver(flat)
+}
+
+type multiObserver []Observer
+
+// OnEvent implements Observer.
+func (m multiObserver) OnEvent(ev Event) {
+	for _, o := range m {
+		o.OnEvent(ev)
+	}
+}
+
+// CallbackObserver adapts the legacy OnApply/Logf callback pair to the
+// Observer stream; either callback may be nil. It backs the deprecated
+// Run/RunAsync shims.
+func CallbackObserver(onApply func(lattice.ApplyResult), logf func(string, ...any)) Observer {
+	if onApply == nil && logf == nil {
+		return nil
+	}
+	return ObserverFunc(func(ev Event) {
+		switch ev.Kind {
+		case EventMotionApplied:
+			if onApply != nil {
+				onApply(ev.Apply)
+			}
+		case EventLog:
+			if logf != nil {
+				logf("%s", ev.Text)
+			}
+		}
+	})
+}
+
+// emitter serialises event delivery to one observer. The DES never
+// contends within a run, but under the Async backend the Root's hooks and
+// the surface-locked Move path race, and concurrent sessions of one Engine
+// share the engine's observer — the mutex (shared across every emitter
+// that targets the same observer) is what lets a plain slice buffer or
+// recorder be used as an Observer unchanged.
+type emitter struct {
+	mu       *sync.Mutex
+	obs      Observer
+	instance int
+}
+
+// newEmitter returns an emitter, or nil when there is nobody to notify
+// (callers skip event construction entirely on a nil emitter). mu is the
+// delivery lock to share with other emitters targeting the same observer;
+// nil allocates a private one.
+func newEmitter(obs Observer, instance int, mu *sync.Mutex) *emitter {
+	if obs == nil {
+		return nil
+	}
+	if mu == nil {
+		mu = &sync.Mutex{}
+	}
+	return &emitter{mu: mu, obs: obs, instance: instance}
+}
+
+// emit stamps the instance index and delivers the event.
+func (e *emitter) emit(ev Event) {
+	if e == nil {
+		return
+	}
+	ev.Instance = e.instance
+	e.mu.Lock()
+	e.obs.OnEvent(ev)
+	e.mu.Unlock()
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/exec"
@@ -36,9 +37,13 @@ type Result struct {
 	Blocks int
 	// PathLength is the Manhattan distance (hops) between I and O.
 	PathLength int
-	// VirtualTime is the simulated completion time.
+	// VirtualTime is the run's completion time in the backend's clock:
+	// virtual ticks on the DES backend, elapsed wall-clock nanoseconds on
+	// the goroutine runtime.
 	VirtualTime sim.Time
-	// Events is the number of simulator events processed.
+	// Events is the number of engine events processed: scheduler events on
+	// the DES backend, dispatched per-block events on the goroutine
+	// runtime.
 	Events uint64
 }
 
@@ -50,6 +55,11 @@ func (r Result) String() string {
 }
 
 // RunParams tunes the simulation side of a run; the zero value works.
+//
+// Deprecated: RunParams only parameterises the legacy Run shim. New code
+// builds a session engine with NewEngine(lib, opts...) and the matching
+// functional options (WithSeed, WithLatency, WithMaxEvents, WithFaultWrap,
+// WithObserver).
 type RunParams struct {
 	// Seed drives all randomness (default 1 so the zero value is usable
 	// and reproducible).
@@ -68,20 +78,6 @@ type RunParams struct {
 	// engine boots; the fault-injection layer (internal/faults) hooks in
 	// here.
 	Wrap func(exec.CodeFactory) exec.CodeFactory
-}
-
-// termRecorder captures the Root's Finish call.
-type termRecorder struct {
-	fired   bool
-	success bool
-	rounds  int
-}
-
-// Finish implements exec.Termination.
-func (t *termRecorder) Finish(success bool, rounds int) {
-	t.fired = true
-	t.success = success
-	t.rounds = rounds
 }
 
 // ValidateInstance checks the preconditions of Assumption 2 on a surface:
@@ -122,67 +118,27 @@ func ValidateInstance(surf *lattice.Surface, cfg Config) error {
 
 // Run executes Algorithm 1 on the DES engine until termination and returns
 // the full result. The surface is mutated in place (final configuration).
+//
+// Deprecated: Run is a thin shim over the session API. New code uses
+//
+//	eng := core.NewEngine(lib, core.WithSeed(seed), ...)
+//	res, err := eng.Run(ctx, surf, cfg)
+//
+// which adds context cancellation, backend selection and the structured
+// Observer stream.
 func Run(surf *lattice.Surface, lib *rules.Library, cfg Config, p RunParams) (Result, error) {
-	cfg = cfg.WithDefaults()
-	if err := ValidateInstance(surf, cfg); err != nil {
-		return Result{}, err
+	opts := []Option{WithSeed(p.Seed), WithMaxEvents(p.MaxEvents)}
+	if p.Latency != nil {
+		opts = append(opts, WithLatency(p.Latency))
 	}
-	if cfg.MaxRounds == 0 {
-		n := surf.NumBlocks()
-		d := cfg.Input.Manhattan(cfg.Output)
-		// Each productive round moves one block one hop towards its final
-		// cell; total work is O(N*d) with escape rounds interleaved. The
-		// cap is a safety net, far above any healthy run.
-		cfg.MaxRounds = 64 + 8*n*(d+2)
-	}
-	if p.Seed == 0 {
-		p.Seed = 1
-	}
-	if p.Latency == nil {
-		p.Latency = sim.UniformLatency{Min: 500, Max: 1500}
-	}
-
-	rec := &termRecorder{}
-	constraints := BuildConstraints(cfg, surf, lib)
-	// Build the connectivity cache at boot: the first constrained Validate
-	// of every round then runs on warm articulation state instead of paying
-	// the O(N) rebuild inside the measured run.
-	surf.WarmConnectivity()
-	factory := NewFactory(cfg, rec)
 	if p.Wrap != nil {
-		factory = p.Wrap(factory)
+		opts = append(opts, WithFaultWrap(p.Wrap))
 	}
-	eng, err := sim.NewEngine(surf, lib, factory, sim.Config{
-		Input:       cfg.Input,
-		Output:      cfg.Output,
-		Seed:        p.Seed,
-		Latency:     p.Latency,
-		Constraints: constraints,
-		OnApply:     p.OnApply,
-		Logf:        p.Logf,
-	})
-	if err != nil {
-		return Result{}, err
+	if obs := CallbackObserver(p.OnApply, p.Logf); obs != nil {
+		opts = append(opts, WithObserver(obs))
+		if p.Logf != nil {
+			opts = append(opts, WithDebugLog())
+		}
 	}
-	eng.Boot()
-	events := eng.Run(p.MaxEvents)
-
-	res := Result{
-		Success:         rec.fired && rec.success,
-		PathBuilt:       PathBuilt(surf, cfg.Input, cfg.Output),
-		Rounds:          rec.rounds,
-		Hops:            surf.Hops(),
-		Applications:    surf.Applications(),
-		MessagesSent:    eng.MessagesSent(),
-		MessagesDropped: eng.MessagesDropped(),
-		Counters:        cfg.Counters.Snapshot(),
-		Blocks:          surf.NumBlocks(),
-		PathLength:      cfg.Input.Manhattan(cfg.Output),
-		VirtualTime:     eng.Scheduler().Now(),
-		Events:          events,
-	}
-	if !rec.fired {
-		return res, fmt.Errorf("core: simulation quiesced without termination report (%d events)", events)
-	}
-	return res, nil
+	return NewEngine(lib, opts...).Run(context.Background(), surf, cfg)
 }

@@ -1,14 +1,18 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/lattice"
 	"repro/internal/rules"
-	"repro/internal/runtime"
 )
 
 // AsyncParams tunes the goroutine-runtime side of an asynchronous run.
+//
+// Deprecated: AsyncParams only parameterises the legacy RunAsync shim. New
+// code builds a session engine with NewEngine(lib, WithBackend(Async), ...)
+// and the matching functional options.
 type AsyncParams struct {
 	// Seed drives per-block randomness (default 1).
 	Seed int64
@@ -22,60 +26,23 @@ type AsyncParams struct {
 
 // RunAsync executes Algorithm 1 on the goroutine runtime (one goroutine per
 // block, channels as ports) until the Root reports termination. The surface
-// is mutated in place. Metrics that depend on event counting (virtual time,
-// events) are zero; message counts come from the engine.
+// is mutated in place. Virtual time reports elapsed wall-clock nanoseconds
+// and events the number of per-block events dispatched.
+//
+// Deprecated: RunAsync is a thin shim over the session API. New code uses
+//
+//	eng := core.NewEngine(lib, core.WithBackend(core.Async), ...)
+//	res, err := eng.Run(ctx, surf, cfg)
 func RunAsync(surf *lattice.Surface, lib *rules.Library, cfg Config, p AsyncParams) (Result, error) {
-	cfg = cfg.WithDefaults()
-	if err := ValidateInstance(surf, cfg); err != nil {
-		return Result{}, err
+	opts := []Option{WithBackend(Async), WithSeed(p.Seed)}
+	if p.Timeout > 0 {
+		opts = append(opts, WithTimeout(p.Timeout))
 	}
-	if cfg.MaxRounds == 0 {
-		n := surf.NumBlocks()
-		d := cfg.Input.Manhattan(cfg.Output)
-		cfg.MaxRounds = 64 + 8*n*(d+2)
+	if obs := CallbackObserver(p.OnApply, p.Logf); obs != nil {
+		opts = append(opts, WithObserver(obs))
+		if p.Logf != nil {
+			opts = append(opts, WithDebugLog())
+		}
 	}
-	if p.Seed == 0 {
-		p.Seed = 1
-	}
-	constraints := BuildConstraints(cfg, surf, lib)
-	// NewEngine needs the factory, and the factory needs the engine as the
-	// Termination sink; break the cycle with a forwarding recorder.
-	rec := &asyncTerm{}
-	e, err := runtime.NewEngine(surf, lib, NewFactory(cfg, rec), runtime.Config{
-		Input:       cfg.Input,
-		Output:      cfg.Output,
-		Seed:        p.Seed,
-		Constraints: constraints,
-		OnApply:     p.OnApply,
-		Logf:        p.Logf,
-		Timeout:     p.Timeout,
-	})
-	if err != nil {
-		return Result{}, err
-	}
-	rec.eng = e
-	success, rounds, err := e.Run()
-	res := Result{
-		Success:         success,
-		PathBuilt:       PathBuilt(surf, cfg.Input, cfg.Output),
-		Rounds:          rounds,
-		Hops:            surf.Hops(),
-		Applications:    surf.Applications(),
-		MessagesSent:    e.MessagesSent(),
-		MessagesDropped: e.MessagesDropped(),
-		Counters:        cfg.Counters.Snapshot(),
-		Blocks:          surf.NumBlocks(),
-		PathLength:      cfg.Input.Manhattan(cfg.Output),
-	}
-	return res, err
-}
-
-// asyncTerm forwards the Root's Finish to the engine once it exists.
-type asyncTerm struct{ eng *runtime.Engine }
-
-// Finish implements exec.Termination.
-func (t *asyncTerm) Finish(success bool, rounds int) {
-	if t.eng != nil {
-		t.eng.Finish(success, rounds)
-	}
+	return NewEngine(lib, opts...).Run(context.Background(), surf, cfg)
 }

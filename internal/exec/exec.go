@@ -100,3 +100,25 @@ type Termination interface {
 	// rounds.
 	Finish(success bool, rounds int)
 }
+
+// Metrics is the engine-level measurement snapshot every execution backend
+// reports after a run. It is the common denominator of the discrete-event
+// simulator and the goroutine runtime, so the session layer (core.Engine)
+// can fill the unified Result without knowing which backend ran.
+type Metrics struct {
+	// MessagesSent counts Send calls accepted by ports.
+	MessagesSent uint64
+	// MessagesDelivered counts messages handed to BlockCodes.
+	MessagesDelivered uint64
+	// MessagesDropped counts messages lost to buffer or channel overflow,
+	// or to a receiver that left the surface while the message was in flight.
+	MessagesDropped uint64
+	// Events counts executed engine events: scheduler events on the DES,
+	// per-block dispatched events (start, message, moved, neighborhood) on
+	// the goroutine runtime.
+	Events uint64
+	// VirtualTime is the run's completion time in the backend's own clock:
+	// virtual ticks for the DES, elapsed wall-clock nanoseconds for the
+	// goroutine runtime.
+	VirtualTime int64
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"runtime"
@@ -150,7 +151,7 @@ func RunBenchJSON() ([]byte, error) {
 		return nil, err
 	}
 	start := time.Now()
-	res, err := core.Run(s.Surface, rules.StandardLibrary(), s.Config(), core.RunParams{Seed: 1})
+	res, err := core.NewEngine(rules.StandardLibrary()).Run(context.Background(), s.Surface, s.Config())
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -52,14 +53,15 @@ func Envelope() (string, error) {
 	}
 	t := stats.NewTable("solvable envelope of the greedy election (characterisation)",
 		"family", "N", "solved", "expected", "note")
+	// One session engine, a WithRoundCap budget instead of per-config
+	// mutation: the livelocking families stop at the cap.
+	eng := core.NewEngine(rules.StandardLibrary(), core.WithRoundCap(700))
 	for _, f := range families {
 		s, err := f.mk()
 		if err != nil {
 			return "", fmt.Errorf("envelope %s: %w", f.name, err)
 		}
-		cfg := s.Config()
-		cfg.MaxRounds = 700
-		res, err := core.Run(s.Surface, rules.StandardLibrary(), cfg, core.RunParams{Seed: 1})
+		res, err := eng.Run(context.Background(), s.Surface, s.Config())
 		if err != nil {
 			return "", fmt.Errorf("envelope %s: %w", f.name, err)
 		}

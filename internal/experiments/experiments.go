@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -196,9 +197,12 @@ func Fig10() (string, error) {
 		return "", err
 	}
 	initial := trace.Render(s.Surface, s.Input, s.Output)
+	// One observer stream, two consumers: the storyboard recorder and the
+	// session summary.
 	rec := trace.NewRecorder(s.Surface, s.Input, s.Output, false)
-	res, err := core.Run(s.Surface, rules.StandardLibrary(), s.Config(),
-		core.RunParams{Seed: 1, OnApply: rec.Record})
+	sum := &stats.SessionSummary{}
+	eng := core.NewEngine(rules.StandardLibrary(), core.WithObserver(core.MultiObserver(rec, sum)))
+	res, err := eng.Run(context.Background(), s.Surface, s.Config())
 	if err != nil {
 		return "", err
 	}
@@ -214,7 +218,8 @@ func Fig10() (string, error) {
 	t.AddRow("elections", "-", res.Rounds)
 	t.AddRow("messages", "-", res.MessagesSent)
 	b.WriteString(t.String())
-	b.WriteString("\nnote: the paper's exact initial layout is unpublished; the measured move\n" +
+	fmt.Fprintf(&b, "\nsession stream: %s\n", sum)
+	b.WriteString("note: the paper's exact initial layout is unpublished; the measured move\n" +
 		"count shares the paper's order of magnitude (tens of moves), see EXPERIMENTS.md.\n")
 	if !res.Success || !res.PathBuilt {
 		return b.String(), fmt.Errorf("fig10: reconfiguration failed: %v", res)
@@ -232,19 +237,30 @@ type SweepResult struct {
 }
 
 // Sweep runs the tower family at the given sizes (shared by Remarks 2-4).
+// The points are independent scenarios, so they fan out across the session
+// engine's worker pool; results come back in input order.
 func Sweep(ns []int) ([]SweepResult, error) {
 	scs, err := scenario.TowerSweep(ns)
 	if err != nil {
 		return nil, err
 	}
+	insts := make([]core.Instance, len(scs))
+	for i, s := range scs {
+		insts[i] = core.Instance{Name: s.Name, Surface: s.Surface, Config: s.Config(), Seed: 1}
+	}
+	eng := core.NewEngine(rules.StandardLibrary())
+	brs, err := eng.RunBatch(context.Background(), insts)
+	if err != nil {
+		return nil, err
+	}
 	var out []SweepResult
-	for _, s := range scs {
-		res, err := core.Run(s.Surface, rules.StandardLibrary(), s.Config(), core.RunParams{Seed: 1})
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", s.Name, err)
+	for _, br := range brs {
+		if br.Err != nil {
+			return nil, fmt.Errorf("%s: %w", br.Name, br.Err)
 		}
+		res := br.Result
 		if !res.Success {
-			return nil, fmt.Errorf("%s: reconfiguration failed: %v", s.Name, res)
+			return nil, fmt.Errorf("%s: reconfiguration failed: %v", br.Name, res)
 		}
 		out = append(out, SweepResult{
 			N:        res.Blocks,
@@ -315,15 +331,26 @@ func Lemma1() (string, error) {
 		"seeds", "solved", "path built", "mean rounds", "mean hops")
 	solved, built := 0, 0
 	var rounds, hops []float64
+	insts := make([]core.Instance, 0, seeds)
 	for seed := int64(1); seed <= seeds; seed++ {
 		s, err := scenario.RandomStaircase(seed)
 		if err != nil {
 			return "", err
 		}
-		res, err := core.Run(s.Surface, rules.StandardLibrary(), s.Config(), core.RunParams{Seed: seed})
-		if err != nil {
-			return "", fmt.Errorf("seed %d: %w", seed, err)
+		insts = append(insts, core.Instance{
+			Name: fmt.Sprintf("seed-%d", seed), Surface: s.Surface, Config: s.Config(), Seed: seed,
+		})
+	}
+	eng := core.NewEngine(rules.StandardLibrary())
+	brs, err := eng.RunBatch(context.Background(), insts)
+	if err != nil {
+		return "", err
+	}
+	for _, br := range brs {
+		if br.Err != nil {
+			return "", fmt.Errorf("%s: %w", br.Name, br.Err)
 		}
+		res := br.Result
 		if res.Success {
 			solved++
 		}
@@ -360,23 +387,31 @@ func VisibleSim() (string, error) {
 	return t.String(), nil
 }
 
+// stormTimer is a typed self-rescheduling module timer: the scheduler's
+// event ring carries it with no per-event closure allocation.
+type stormTimer struct {
+	s         *sim.Scheduler
+	id        int
+	remaining int
+}
+
+// Fire implements sim.Event.
+func (t *stormTimer) Fire() {
+	if t.remaining <= 0 {
+		return
+	}
+	t.remaining--
+	t.s.Schedule(sim.Time(1+t.id%7), t)
+}
+
 // eventStorm schedules `modules` self-rescheduling timers for `rounds`
 // firings each and measures the wall time to drain them.
 func eventStorm(modules, rounds int) (uint64, time.Duration) {
 	s := sim.NewScheduler(1)
-	remaining := make([]int, modules)
-	var tick func(i int)
-	tick = func(i int) {
-		if remaining[i] <= 0 {
-			return
-		}
-		remaining[i]--
-		s.After(sim.Time(1+i%7), func() { tick(i) })
-	}
+	timers := make([]stormTimer, modules)
 	for i := 0; i < modules; i++ {
-		remaining[i] = rounds
-		i := i
-		s.After(sim.Time(i%13), func() { tick(i) })
+		timers[i] = stormTimer{s: s, id: i, remaining: rounds}
+		s.Schedule(sim.Time(i%13), &timers[i])
 	}
 	start := time.Now()
 	n := s.Run(0)
@@ -412,7 +447,7 @@ func Baseline() (string, error) {
 			return "", err
 		}
 		sf := sc.Clone()
-		cons, err := core.Run(sc.Surface, rules.StandardLibrary(), sc.Config(), core.RunParams{Seed: 1})
+		cons, err := core.NewEngine(rules.StandardLibrary()).Run(context.Background(), sc.Surface, sc.Config())
 		if err != nil {
 			return "", fmt.Errorf("%s constrained: %w", in.name, err)
 		}
@@ -464,7 +499,7 @@ func Ablations() (string, error) {
 		if v.mod != nil {
 			v.mod(&cfg)
 		}
-		res, err := core.Run(s.Surface, v.lib, cfg, core.RunParams{Seed: 1})
+		res, err := core.NewEngine(v.lib).Run(context.Background(), s.Surface, cfg)
 		if err != nil {
 			return "", fmt.Errorf("%s: %w", v.name, err)
 		}

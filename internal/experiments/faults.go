@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -26,7 +27,7 @@ func Faults() (string, error) {
 	t := stats.NewTable("Fig. 10 under injected faults",
 		"fault", "runs", "solved", "mean rounds", "mean hops")
 
-	clean, err := runFig10(nil)
+	clean, _, err := runFig10(nil)
 	if err != nil {
 		return "", err
 	}
@@ -37,13 +38,13 @@ func Faults() (string, error) {
 		solved := 0
 		var rounds, hops []float64
 		for seed := int64(1); seed <= runs; seed++ {
-			res, err := runFig10(func(inner exec.CodeFactory) exec.CodeFactory {
+			res, mon, err := runFig10(func(inner exec.CodeFactory) exec.CodeFactory {
 				return faults.FlakySensors(inner, p, seed)
 			})
 			if err != nil {
 				continue // a wedged run counts as unsolved
 			}
-			if res.Success && res.PathBuilt {
+			if res.Success && res.PathBuilt && mon.Terminated && mon.Success {
 				solved++
 				rounds = append(rounds, float64(res.Rounds))
 				hops = append(hops, float64(res.Hops))
@@ -53,25 +54,31 @@ func Faults() (string, error) {
 			stats.Summarize(rounds).Mean, stats.Summarize(hops).Mean)
 	}
 
-	// One crashed block: the election wedges (no termination report).
-	_, err = runFig10(func(inner exec.CodeFactory) exec.CodeFactory {
+	// One crashed block: the election wedges (no termination report, and
+	// the monitor confirms the stream never carried a Terminated event).
+	_, mon, err := runFig10(func(inner exec.CodeFactory) exec.CodeFactory {
 		return faults.DeadBlocks(inner, 11)
 	})
 	crashed := "wedges the election (as expected: detection is future work)"
-	if err == nil {
+	if err == nil || mon.Terminated {
 		return t.String(), fmt.Errorf("faults: a crashed block should wedge the election")
 	}
 	out := t.String() + "block crash (#11 silent): " + crashed + "\n"
 	return out, nil
 }
 
-func runFig10(wrap func(exec.CodeFactory) exec.CodeFactory) (core.Result, error) {
+// runFig10 runs the §V-D instance under the given fault wrap, with a
+// faults.Monitor attached to the session's observer stream.
+func runFig10(wrap func(exec.CodeFactory) exec.CodeFactory) (core.Result, *faults.Monitor, error) {
+	mon := &faults.Monitor{}
 	s, err := scenario.Fig10()
 	if err != nil {
-		return core.Result{}, err
+		return core.Result{}, mon, err
 	}
-	return core.Run(s.Surface, rules.StandardLibrary(), s.Config(), core.RunParams{
-		Seed: 1,
-		Wrap: wrap,
-	})
+	opts := []core.Option{core.WithObserver(mon)}
+	if wrap != nil {
+		opts = append(opts, core.WithFaultWrap(wrap))
+	}
+	res, err := core.NewEngine(rules.StandardLibrary(), opts...).Run(context.Background(), s.Surface, s.Config())
+	return res, mon, err
 }

@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -26,12 +27,12 @@ func TestFlakySensorsToleratedAtLowRates(t *testing.T) {
 				t.Fatal(err)
 			}
 			tally := &Tally{}
-			res, err := core.Run(s.Surface, rules.StandardLibrary(), s.Config(), core.RunParams{
-				Seed: seed,
-				Wrap: func(inner exec.CodeFactory) exec.CodeFactory {
+			eng := core.NewEngine(rules.StandardLibrary(),
+				core.WithSeed(seed),
+				core.WithFaultWrap(func(inner exec.CodeFactory) exec.CodeFactory {
 					return CountingFlakySensors(inner, p, seed, tally)
-				},
-			})
+				}))
+			res, err := eng.Run(context.Background(), s.Surface, s.Config())
 			if err != nil {
 				continue
 			}
@@ -56,7 +57,8 @@ func TestFlakySensorsCostRounds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cleanRes, err := core.Run(clean.Surface, rules.StandardLibrary(), clean.Config(), core.RunParams{Seed: 1})
+	cleanRes, err := core.NewEngine(rules.StandardLibrary(), core.WithSeed(1)).
+		Run(context.Background(), clean.Surface, clean.Config())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,12 +66,12 @@ func TestFlakySensorsCostRounds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := core.Run(s.Surface, rules.StandardLibrary(), s.Config(), core.RunParams{
-		Seed: 1,
-		Wrap: func(inner exec.CodeFactory) exec.CodeFactory {
+	eng := core.NewEngine(rules.StandardLibrary(),
+		core.WithSeed(1),
+		core.WithFaultWrap(func(inner exec.CodeFactory) exec.CodeFactory {
 			return FlakySensors(inner, 0.02, 7)
-		},
-	})
+		}))
+	res, err := eng.Run(context.Background(), s.Surface, s.Config())
 	if err != nil {
 		t.Skipf("this seed's fault pattern wedged the run: %v", err)
 	}
@@ -89,15 +91,25 @@ func TestDeadBlockWedgesElection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Kill block #11 (top of the lane; not the Root).
-	_, err = core.Run(s.Surface, rules.StandardLibrary(), s.Config(), core.RunParams{
-		Seed: 1,
-		Wrap: func(inner exec.CodeFactory) exec.CodeFactory {
+	// Kill block #11 (top of the lane; not the Root). The Monitor watches
+	// the session's event stream: elections open but termination never
+	// arrives.
+	mon := &Monitor{}
+	eng := core.NewEngine(rules.StandardLibrary(),
+		core.WithSeed(1),
+		core.WithObserver(mon),
+		core.WithFaultWrap(func(inner exec.CodeFactory) exec.CodeFactory {
 			return DeadBlocks(inner, 11)
-		},
-	})
+		}))
+	_, err = eng.Run(context.Background(), s.Surface, s.Config())
 	if err == nil {
 		t.Fatal("run with a crashed block should not report termination")
+	}
+	if mon.RoundsOpened == 0 {
+		t.Error("observer saw no election open; the Root never started")
+	}
+	if mon.Terminated {
+		t.Error("observer saw a Terminated event from a wedged run")
 	}
 }
 

@@ -1,0 +1,39 @@
+package faults
+
+import (
+	"repro/internal/core"
+	"repro/internal/lattice"
+)
+
+// Monitor is the fault-study's Observer: while the fault layer perturbs the
+// blocks' inputs (WithFaultWrap), the monitor watches the session's event
+// stream for the behaviour the perturbation is supposed to provoke —
+// re-elections after rejected moves, empty election ladders, and whether
+// the Root still terminates. It needs no locking: the session serialises
+// event delivery even on the goroutine backend.
+type Monitor struct {
+	RoundsOpened   int // elections the Root opened
+	EmptyElections int // ladders that found nobody electable
+	Motions        int // rule applications that survived validation
+	Terminated     bool
+	Success        bool
+}
+
+// OnEvent implements core.Observer.
+func (m *Monitor) OnEvent(ev core.Event) {
+	switch ev.Kind {
+	case core.EventRoundStarted:
+		m.RoundsOpened++
+	case core.EventElectionDecided:
+		if ev.Winner == lattice.None {
+			m.EmptyElections++
+		}
+	case core.EventMotionApplied:
+		m.Motions++
+	case core.EventTerminated:
+		m.Terminated = true
+		m.Success = ev.Success
+	}
+}
+
+var _ core.Observer = (*Monitor)(nil)

@@ -8,6 +8,7 @@
 package runtime
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -76,11 +77,16 @@ type Engine struct {
 	sent      atomic.Uint64
 	delivered atomic.Uint64
 	dropped   atomic.Uint64
+	events    atomic.Uint64
 
 	done chan struct{} // closed by Finish
-	stop chan struct{} // closed by Run at shutdown
+	stop chan struct{} // closed by Drive at shutdown
 	once sync.Once
 	wg   sync.WaitGroup
+
+	booted  bool
+	started time.Time
+	wall    atomic.Int64 // elapsed ns, frozen when Drive returns
 
 	success atomic.Bool
 	rounds  atomic.Int64
@@ -147,6 +153,24 @@ func (e *Engine) Finish(success bool, rounds int) {
 // Run boots every block and waits for the Root's termination report (or
 // the wall-clock timeout). It returns the Root's verdict.
 func (e *Engine) Run() (success bool, rounds int, err error) {
+	if err := e.Boot(); err != nil {
+		return false, 0, err
+	}
+	if err := e.Drive(context.Background()); err != nil {
+		return false, int(e.rounds.Load()), err
+	}
+	return e.success.Load(), int(e.rounds.Load()), nil
+}
+
+// Boot starts one goroutine per block, in ascending id order, and posts the
+// OnStart event to each. It implements the Boot half of the core.Backend
+// seam.
+func (e *Engine) Boot() error {
+	if e.booted {
+		return fmt.Errorf("runtime: engine booted twice")
+	}
+	e.booted = true
+	e.started = time.Now()
 	ids := make([]lattice.BlockID, 0, len(e.hosts))
 	for id := range e.hosts {
 		ids = append(ids, id)
@@ -158,24 +182,62 @@ func (e *Engine) Run() (success bool, rounds int, err error) {
 		go h.loop()
 		h.ch <- event{kind: evStart}
 	}
+	return nil
+}
+
+// Drive waits for the Root's termination report, the wall-clock timeout, or
+// context cancellation, then stops every block goroutine and waits for them
+// to exit. A Move in flight always completes under the surface lock, so on
+// any exit path the surface is physically consistent (connected, fully
+// rolled back). Channels are never closed: late posts simply land in buffers
+// nobody drains.
+func (e *Engine) Drive(ctx context.Context) error {
+	if !e.booted {
+		return fmt.Errorf("runtime: Drive before Boot")
+	}
 	timer := time.NewTimer(e.cfg.Timeout)
 	defer timer.Stop()
+	var err error
 	select {
 	case <-e.done:
+	case <-ctx.Done():
+		err = ctx.Err()
 	case <-timer.C:
 		err = fmt.Errorf("runtime: timeout after %v", e.cfg.Timeout)
 	}
-	// Stop all hosts and wait for them to exit. Channels are never closed:
-	// late posts simply land in buffers nobody drains.
 	close(e.stop)
 	e.wg.Wait()
+	e.wall.Store(time.Since(e.started).Nanoseconds())
 	if err != nil {
-		return false, int(e.rounds.Load()), err
+		return err
 	}
 	if !e.fired.Load() {
-		return false, 0, fmt.Errorf("runtime: stopped without termination report")
+		return fmt.Errorf("runtime: stopped without termination report")
 	}
-	return e.success.Load(), int(e.rounds.Load()), nil
+	return nil
+}
+
+// Result returns the Root's verdict after Drive returned.
+func (e *Engine) Result() (success bool, rounds int) {
+	return e.success.Load(), int(e.rounds.Load())
+}
+
+// Metrics implements the measurement half of the core.Backend seam. The
+// goroutine runtime has no virtual clock, so VirtualTime reports elapsed
+// wall-clock nanoseconds since Boot and Events the number of per-block
+// events dispatched.
+func (e *Engine) Metrics() exec.Metrics {
+	elapsed := e.wall.Load()
+	if elapsed == 0 && e.booted {
+		elapsed = time.Since(e.started).Nanoseconds()
+	}
+	return exec.Metrics{
+		MessagesSent:      e.sent.Load(),
+		MessagesDelivered: e.delivered.Load(),
+		MessagesDropped:   e.dropped.Load(),
+		Events:            e.events.Load(),
+		VirtualTime:       elapsed,
+	}
 }
 
 // MessagesSent returns accepted Send calls.
@@ -199,6 +261,7 @@ func (h *host) loop() {
 		case <-h.eng.stop:
 			return
 		case ev := <-h.ch:
+			h.eng.events.Add(1)
 			switch ev.kind {
 			case evStart:
 				h.code.OnStart(h)

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"slices"
@@ -33,6 +34,9 @@ type Config struct {
 	OnApply func(lattice.ApplyResult)
 	// Logf, when non-nil, receives per-block debug lines.
 	Logf func(format string, args ...any)
+	// MaxEvents bounds a Drive call (0 = unbounded; the algorithm layer's
+	// round cap guarantees termination).
+	MaxEvents uint64
 }
 
 // Engine hosts BlockCodes on a surface and simulates their execution.
@@ -57,6 +61,62 @@ type Engine struct {
 	epoch      uint32
 	changedBuf []geom.Vec
 	idBuf      []lattice.BlockID
+
+	// pool is the typed event arena: fired engEvents return here, so the
+	// deliver/moved/neighborhood hot paths schedule without allocating once
+	// the pool has warmed to the peak queue depth.
+	pool []*engEvent
+}
+
+// evKind discriminates the engine's typed scheduler events.
+type evKind uint8
+
+const (
+	evStart evKind = iota
+	evDeliver
+	evMoved
+	evNeighborhood
+)
+
+// engEvent is one pooled scheduler event of the engine.
+type engEvent struct {
+	eng      *Engine
+	kind     evKind
+	h        *host // start / moved / neighborhood target
+	from, to lattice.BlockID
+	side     geom.Dir
+	m        msg.Message
+	vFrom    geom.Vec
+	vTo      geom.Vec
+}
+
+// Fire implements Event: dispatch, then return to the arena.
+func (ev *engEvent) Fire() {
+	e := ev.eng
+	switch ev.kind {
+	case evStart:
+		ev.h.code.OnStart(ev.h)
+	case evDeliver:
+		e.deliverTo(ev.from, ev.to, ev.side, ev.m)
+	case evMoved:
+		ev.h.code.OnMoved(ev.h, ev.vFrom, ev.vTo)
+	case evNeighborhood:
+		ev.h.code.OnNeighborhoodChanged(ev.h)
+	}
+	ev.h = nil
+	ev.m = msg.Message{}
+	e.pool = append(e.pool, ev)
+}
+
+// newEvent takes an event from the arena (or grows it).
+func (e *Engine) newEvent(kind evKind) *engEvent {
+	if n := len(e.pool); n > 0 {
+		ev := e.pool[n-1]
+		e.pool = e.pool[:n-1]
+		ev.kind = kind
+		return ev
+	}
+	return &engEvent{eng: e, kind: kind}
 }
 
 // host adapts one block to exec.Env.
@@ -111,17 +171,64 @@ func NewEngine(surf *lattice.Surface, lib *rules.Library, factory exec.CodeFacto
 }
 
 // Boot schedules every block's OnStart at time zero, in ascending id order.
-func (e *Engine) Boot() {
+// It implements the Boot half of the core.Backend seam (the error return is
+// for symmetry with backends whose boot can fail).
+func (e *Engine) Boot() error {
 	ids := e.surf.Blocks()
 	for _, id := range ids {
-		h := e.hosts[id]
-		e.sched.After(0, func() { h.code.OnStart(h) })
+		ev := e.newEvent(evStart)
+		ev.h = e.hosts[id]
+		e.sched.Schedule(0, ev)
 	}
+	return nil
 }
 
 // Run drives the simulation until quiescence or maxEvents (0 = unbounded).
 // It returns the number of events processed by this call.
 func (e *Engine) Run(maxEvents uint64) uint64 { return e.sched.Run(maxEvents) }
+
+// driveChunk is how many events Drive executes between context checks: large
+// enough that the ctx.Err() poll vanishes next to the event work, small
+// enough that cancellation lands promptly.
+const driveChunk = 4096
+
+// Drive runs the simulation until quiescence, the configured MaxEvents
+// bound, or context cancellation. Cancellation is checked between events
+// only — an Apply in flight always completes — so the surface is left in a
+// physically consistent (connected, fully rolled-back) state.
+func (e *Engine) Drive(ctx context.Context) error {
+	var total uint64
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		chunk := uint64(driveChunk)
+		if max := e.cfg.MaxEvents; max > 0 {
+			if total >= max {
+				return nil
+			}
+			if left := max - total; left < chunk {
+				chunk = left
+			}
+		}
+		n := e.sched.Run(chunk)
+		total += n
+		if n < chunk {
+			return nil // quiesced
+		}
+	}
+}
+
+// Metrics implements the measurement half of the core.Backend seam.
+func (e *Engine) Metrics() exec.Metrics {
+	return exec.Metrics{
+		MessagesSent:      e.sent,
+		MessagesDelivered: e.deliver,
+		MessagesDropped:   e.dropped,
+		Events:            e.sched.Processed(),
+		VirtualTime:       int64(e.sched.Now()),
+	}
+}
 
 // Scheduler exposes the event core (for tests and the harness).
 func (e *Engine) Scheduler() *Scheduler { return e.sched }
@@ -169,10 +276,9 @@ func (h *host) Send(to lattice.BlockID, m msg.Message) error {
 		return err
 	}
 	e.sent++
-	from := h.id
-	e.sched.After(e.cfg.Latency.Delay(e.sched.Rand()), func() {
-		e.deliverTo(from, to, side, m)
-	})
+	ev := e.newEvent(evDeliver)
+	ev.from, ev.to, ev.side, ev.m = h.id, to, side, m
+	e.sched.Schedule(e.cfg.Latency.Delay(e.sched.Rand()), ev)
 	return nil
 }
 
@@ -254,8 +360,8 @@ func (h *host) Move(app rules.Application) error {
 // OnNeighborhoodChanged for every block whose sensing window saw a cell
 // change, preserving deterministic order. The block-set bookkeeping runs on
 // the engine's reusable scratch buffers (an epoch-stamped dense id array
-// instead of a per-motion map), so no transient allocations occur beyond
-// the scheduled closures themselves.
+// instead of a per-motion map) and the notifications on pooled typed events,
+// so the whole path performs no transient allocations.
 func (e *Engine) notifyAfterMotion(res lattice.ApplyResult) {
 	e.nextEpoch()
 	for _, id := range res.Moved {
@@ -272,12 +378,14 @@ func (e *Engine) notifyAfterMotion(res lattice.ApplyResult) {
 		if !ok {
 			continue
 		}
-		h := e.hosts[id]
-		e.sched.After(0, func() { h.code.OnMoved(h, from, to) })
+		ev := e.newEvent(evMoved)
+		ev.h, ev.vFrom, ev.vTo = e.hosts[id], from, to
+		e.sched.Schedule(0, ev)
 	}
 	for _, id := range e.affectedBlocks(e.changedBuf) {
-		h := e.hosts[id]
-		e.sched.After(0, func() { h.code.OnNeighborhoodChanged(h) })
+		ev := e.newEvent(evNeighborhood)
+		ev.h = e.hosts[id]
+		e.sched.Schedule(0, ev)
 	}
 }
 

@@ -16,12 +16,38 @@ import (
 // default latency model uses 1000 ticks per microsecond-like link hop).
 type Time int64
 
+// Event is a typed scheduled occurrence: the scheduler invokes Fire at its
+// due time. Implementations that pool themselves (the engine's event arena,
+// the scheduler's own funcEvent wrappers) make steady-state scheduling
+// allocation-free, which is what lets the core sustain the §V-E event rates
+// without GC pressure.
+type Event interface {
+	Fire()
+}
+
 // item is a scheduled event. seq breaks ties so that events scheduled at the
 // same instant run in scheduling order, which keeps runs reproducible.
 type item struct {
 	t   Time
 	seq uint64
-	fn  func()
+	ev  Event
+}
+
+// funcEvent adapts a plain closure to Event; instances are recycled through
+// the scheduler's free list so the legacy At/After API costs one wrapper
+// allocation only until the pool warms up.
+type funcEvent struct {
+	s  *Scheduler
+	fn func()
+}
+
+// Fire implements Event: it releases the wrapper before running the closure
+// so a callback that schedules again can reuse it immediately.
+func (e *funcEvent) Fire() {
+	fn := e.fn
+	e.fn = nil
+	e.s.fpool = append(e.s.fpool, e)
+	fn()
 }
 
 // Scheduler is a deterministic discrete-event core: a binary min-heap of
@@ -34,6 +60,7 @@ type Scheduler struct {
 	seq       uint64
 	processed uint64
 	rng       *rand.Rand
+	fpool     []*funcEvent
 }
 
 // NewScheduler returns a scheduler whose randomness derives from seed;
@@ -54,23 +81,46 @@ func (s *Scheduler) Processed() uint64 { return s.processed }
 // Pending returns the number of events waiting in the queue.
 func (s *Scheduler) Pending() int { return len(s.heap) }
 
-// At schedules fn at absolute time t; scheduling in the past is an error.
-func (s *Scheduler) At(t Time, fn func()) error {
+// ScheduleAt schedules a typed event at absolute time t; scheduling in the
+// past is an error. Pooled events make this path allocation-free.
+func (s *Scheduler) ScheduleAt(t Time, ev Event) error {
 	if t < s.now {
 		return fmt.Errorf("sim: scheduling at %d before now %d", t, s.now)
 	}
-	s.push(item{t: t, seq: s.seq, fn: fn})
+	s.push(item{t: t, seq: s.seq, ev: ev})
 	s.seq++
 	return nil
 }
 
-// After schedules fn d ticks from now; negative d clamps to now.
-func (s *Scheduler) After(d Time, fn func()) {
+// Schedule schedules a typed event d ticks from now; negative d clamps to
+// now.
+func (s *Scheduler) Schedule(d Time, ev Event) {
 	if d < 0 {
 		d = 0
 	}
-	// At cannot fail for t >= now.
-	_ = s.At(s.now+d, fn)
+	// ScheduleAt cannot fail for t >= now.
+	_ = s.ScheduleAt(s.now+d, ev)
+}
+
+// At schedules fn at absolute time t; scheduling in the past is an error.
+func (s *Scheduler) At(t Time, fn func()) error {
+	return s.ScheduleAt(t, s.wrap(fn))
+}
+
+// After schedules fn d ticks from now; negative d clamps to now.
+func (s *Scheduler) After(d Time, fn func()) {
+	s.Schedule(d, s.wrap(fn))
+}
+
+// wrap recycles a funcEvent wrapper around fn.
+func (s *Scheduler) wrap(fn func()) *funcEvent {
+	if n := len(s.fpool); n > 0 {
+		e := s.fpool[n-1]
+		s.fpool = s.fpool[:n-1]
+		e.fn = fn
+		return e
+	}
+	return &funcEvent{s: s, fn: fn}
 }
 
 // Step executes the earliest pending event; it reports false when the queue
@@ -82,7 +132,7 @@ func (s *Scheduler) Step() bool {
 	ev := s.pop()
 	s.now = ev.t
 	s.processed++
-	ev.fn()
+	ev.ev.Fire()
 	return true
 }
 
@@ -129,6 +179,7 @@ func (s *Scheduler) pop() item {
 	top := s.heap[0]
 	last := len(s.heap) - 1
 	s.heap[0] = s.heap[last]
+	s.heap[last] = item{} // drop the Event reference behind the shrunk slice
 	s.heap = s.heap[:last]
 	i := 0
 	for {

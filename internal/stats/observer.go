@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/lattice"
+	"repro/internal/msg"
+)
+
+// SessionSummary aggregates a session's Observer stream into the headline
+// counts the report tables print: elections by tier, empty elections,
+// motions (with carries split out), and the engine's final message totals.
+// Attach with core.WithObserver; one summary may absorb a whole RunBatch
+// (events arrive per instance, contiguously).
+type SessionSummary struct {
+	Rounds         int // elections opened (EventRoundStarted)
+	EscapeRounds   int // opened above TierDecreasing
+	Decided        int // elections that elected a block
+	Empty          int // elections that found nobody electable
+	Motions        int // rule applications executed
+	Carries        int // of which carrying rules
+	Terminations   int // Root completion reports seen (one per instance)
+	Successes      int // of which successful
+	MessagesSent   uint64
+	MessagesDrop   uint64
+	EngineEvents   uint64
+	LastVirtualsNS int64 // last backend clock seen (ticks or ns)
+}
+
+// OnEvent implements core.Observer.
+func (s *SessionSummary) OnEvent(ev core.Event) {
+	switch ev.Kind {
+	case core.EventRoundStarted:
+		s.Rounds++
+		if ev.Tier > msg.TierDecreasing {
+			s.EscapeRounds++
+		}
+	case core.EventElectionDecided:
+		if ev.Winner == lattice.None {
+			s.Empty++
+		} else {
+			s.Decided++
+		}
+	case core.EventMotionApplied:
+		s.Motions++
+		if ev.Apply.IsCarrying {
+			s.Carries++
+		}
+	case core.EventTerminated:
+		s.Terminations++
+		if ev.Success {
+			s.Successes++
+		}
+	case core.EventMessageStats:
+		s.MessagesSent += ev.Sent
+		s.MessagesDrop += ev.Dropped
+		s.EngineEvents += ev.Events
+		s.LastVirtualsNS = ev.VirtualTime
+	}
+}
+
+// String renders a one-line digest.
+func (s *SessionSummary) String() string {
+	return fmt.Sprintf("rounds=%d (escape %d, empty %d) motions=%d (carries %d) msgs=%d done=%d/%d",
+		s.Rounds, s.EscapeRounds, s.Empty, s.Motions, s.Carries,
+		s.MessagesSent, s.Successes, s.Terminations)
+}
+
+var _ core.Observer = (*SessionSummary)(nil)

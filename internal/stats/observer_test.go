@@ -1,0 +1,48 @@
+package stats
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lattice"
+	"repro/internal/msg"
+)
+
+// TestSessionSummaryCounts feeds a hand-built stream and checks every
+// aggregate.
+func TestSessionSummaryCounts(t *testing.T) {
+	s := &SessionSummary{}
+	events := []core.Event{
+		{Kind: core.EventRoundStarted, Round: 1, Tier: msg.TierDecreasing},
+		{Kind: core.EventElectionDecided, Round: 1, Winner: 5, Distance: 3},
+		{Kind: core.EventMotionApplied, Apply: lattice.ApplyResult{IsCarrying: true}},
+		{Kind: core.EventRoundStarted, Round: 2, Tier: msg.TierRetreat},
+		{Kind: core.EventElectionDecided, Round: 2, Winner: lattice.None},
+		{Kind: core.EventRoundStarted, Round: 3, Tier: msg.TierDecreasing},
+		{Kind: core.EventElectionDecided, Round: 3, Winner: 7, Distance: 2},
+		{Kind: core.EventMotionApplied, Apply: lattice.ApplyResult{}},
+		{Kind: core.EventTerminated, Success: true, Rounds: 3},
+		{Kind: core.EventMessageStats, Sent: 100, Dropped: 2, Events: 400, VirtualTime: 9000},
+	}
+	for _, ev := range events {
+		s.OnEvent(ev)
+	}
+	if s.Rounds != 3 || s.EscapeRounds != 1 {
+		t.Errorf("rounds=%d escape=%d, want 3/1", s.Rounds, s.EscapeRounds)
+	}
+	if s.Decided != 2 || s.Empty != 1 {
+		t.Errorf("decided=%d empty=%d, want 2/1", s.Decided, s.Empty)
+	}
+	if s.Motions != 2 || s.Carries != 1 {
+		t.Errorf("motions=%d carries=%d, want 2/1", s.Motions, s.Carries)
+	}
+	if s.Terminations != 1 || s.Successes != 1 {
+		t.Errorf("terminations=%d successes=%d, want 1/1", s.Terminations, s.Successes)
+	}
+	if s.MessagesSent != 100 || s.MessagesDrop != 2 || s.EngineEvents != 400 || s.LastVirtualsNS != 9000 {
+		t.Errorf("engine totals wrong: %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty digest")
+	}
+}

@@ -34,8 +34,9 @@ type Step struct {
 	Frame string `json:"frame,omitempty"`
 }
 
-// Recorder captures the steps of a run. Hook Record into sim.Config.OnApply
-// (or runtime.Config.OnApply).
+// Recorder captures the steps of a run. It implements core.Observer, so it
+// attaches to a session with core.WithObserver(rec); the legacy Record
+// callback remains for direct OnApply wiring.
 type Recorder struct {
 	surf       *lattice.Surface
 	in, out    geom.Vec
@@ -47,6 +48,14 @@ type Recorder struct {
 // true every step also stores a rendered frame.
 func NewRecorder(surf *lattice.Surface, input, output geom.Vec, keepFrames bool) *Recorder {
 	return &Recorder{surf: surf, in: input, out: output, keepFrames: keepFrames}
+}
+
+// OnEvent implements core.Observer: motion events append a step, every
+// other kind is ignored.
+func (r *Recorder) OnEvent(ev core.Event) {
+	if ev.Kind == core.EventMotionApplied {
+		r.Record(ev.Apply)
+	}
 }
 
 // Record implements the OnApply hook.
@@ -69,6 +78,8 @@ func (r *Recorder) Record(res lattice.ApplyResult) {
 	}
 	r.steps = append(r.steps, st)
 }
+
+var _ core.Observer = (*Recorder)(nil)
 
 // Steps returns the recorded steps in execution order.
 func (r *Recorder) Steps() []Step { return r.steps }

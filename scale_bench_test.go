@@ -1,0 +1,155 @@
+//go:build scale
+
+package repro
+
+// Large-N smoke benchmarks at the paper's §VI scale (~2e6 modules), kept
+// behind the `scale` build tag so the default CI benchmark smoke stays
+// fast. Run with:
+//
+//	go test -tags scale -bench LargeSurface -benchtime 1x -run xxx .
+//
+// They exercise the two paths the ROADMAP flags at this size: the lazy
+// connectivity rebuild (rebuildConn's iterative Tarjan pass over the row
+// bitsets) and the session layer's batch runner.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/lattice"
+	"repro/internal/rules"
+	"repro/internal/scenario"
+)
+
+// largeSurfaceDims: 1500 x 1334 filled cells ≈ 2.0e6 modules on a surface
+// with free headroom above (so motions have somewhere to go).
+const (
+	largeW      = 1500
+	largeFillH  = 1334
+	largeBlocks = largeW * largeFillH
+)
+
+var (
+	largeOnce sync.Once
+	largeSurf *lattice.Surface
+	largeErr  error
+)
+
+// largeSurface builds the ~2e6-module surface once per process.
+func largeSurface() (*lattice.Surface, error) {
+	largeOnce.Do(func() {
+		surf, err := lattice.NewSurface(largeW, largeFillH+6)
+		if err != nil {
+			largeErr = err
+			return
+		}
+		for y := 0; y < largeFillH; y++ {
+			for x := 0; x < largeW; x++ {
+				if _, err := surf.Place(geom.V(x, y)); err != nil {
+					largeErr = fmt.Errorf("place (%d,%d): %w", x, y, err)
+					return
+				}
+			}
+		}
+		largeSurf = surf
+	})
+	return largeSurf, largeErr
+}
+
+// BenchmarkLargeSurfaceRebuildConn measures one full connectivity rebuild
+// (component count + articulation bitset) over ~2e6 modules: the cost the
+// lazy cache pays after an occupancy mutation invalidates it.
+func BenchmarkLargeSurfaceRebuildConn(b *testing.B) {
+	surf, err := largeSurface()
+	if err != nil {
+		b.Fatal(err)
+	}
+	top := geom.V(0, largeFillH) // a free cell laterally adjacent to the fill
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Mutate to invalidate the cache, then force the rebuild.
+		id, err := surf.Place(top)
+		if err != nil {
+			b.Fatal(err)
+		}
+		surf.WarmConnectivity()
+		b.StopTimer()
+		if err := surf.Remove(id); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(surf.NumBlocks()), "modules")
+}
+
+// BenchmarkLargeSurfaceValidate measures the per-candidate constrained
+// verdict on the warmed 2e6-module cache: the number the incremental design
+// must keep O(window) regardless of N.
+func BenchmarkLargeSurfaceValidate(b *testing.B) {
+	surf, err := largeSurface()
+	if err != nil {
+		b.Fatal(err)
+	}
+	lib := rules.StandardLibrary()
+	// A rider block on the flat top of the fill can slide along it (support
+	// everywhere below): the canonical mobile block of the rule system.
+	pos := geom.V(largeW/2, largeFillH)
+	id, err := surf.Place(pos)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		if err := surf.Remove(id); err != nil {
+			b.Fatal(err)
+		}
+	}()
+	surf.WarmConnectivity()
+	cons := lattice.Constraints{RequireConnectivity: true}
+	apps, err := surf.ApplicationsFor(id, lib, cons)
+	if err != nil || len(apps) == 0 {
+		b.Fatalf("edge block has no constrained applications (err=%v)", err)
+	}
+	app := apps[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := surf.Validate(app, cons); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLargeSurfaceBatch measures the session layer's batch runner on a
+// §VI-style ensemble sweep: 16 independent tower instances fanned across
+// the worker pool by one engine.
+func BenchmarkLargeSurfaceBatch(b *testing.B) {
+	eng := core.NewEngine(rules.StandardLibrary())
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		insts := make([]core.Instance, 16)
+		for j := range insts {
+			scs, err := scenario.TowerSweep([]int{48})
+			if err != nil {
+				b.Fatal(err)
+			}
+			insts[j] = core.Instance{
+				Name: fmt.Sprintf("tower-48-%d", j), Surface: scs[0].Surface,
+				Config: scs[0].Config(), Seed: int64(j + 1),
+			}
+		}
+		b.StartTimer()
+		brs, err := eng.RunBatch(context.Background(), insts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, br := range brs {
+			if br.Err != nil || !br.Result.Success {
+				b.Fatalf("%s: err=%v res=%v", br.Name, br.Err, br.Result)
+			}
+		}
+	}
+}

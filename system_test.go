@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/convey"
@@ -28,7 +29,7 @@ func TestSystemEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := core.Run(s.Surface, lib, s.Config(), core.RunParams{Seed: 1})
+	res, err := core.NewEngine(lib, core.WithSeed(1)).Run(context.Background(), s.Surface, s.Config())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +42,8 @@ func TestSystemEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res2, err := core.Run(s2.Surface, rules.StandardLibrary(), s2.Config(), core.RunParams{Seed: 1})
+	res2, err := core.NewEngine(rules.StandardLibrary(), core.WithSeed(1)).
+		Run(context.Background(), s2.Surface, s2.Config())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +79,8 @@ func TestSystemBothEngines(t *testing.T) {
 		t.Fatal(err)
 	}
 	des := scs[0]
-	desRes, err := core.Run(des.Surface, rules.StandardLibrary(), des.Config(), core.RunParams{Seed: 1})
+	desRes, err := core.NewEngine(rules.StandardLibrary(), core.WithSeed(1)).
+		Run(context.Background(), des.Surface, des.Config())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +89,8 @@ func TestSystemBothEngines(t *testing.T) {
 		t.Fatal(err)
 	}
 	as := scs2[0]
-	asRes, err := core.RunAsync(as.Surface, rules.StandardLibrary(), as.Config(), core.AsyncParams{Seed: 2})
+	asRes, err := core.NewEngine(rules.StandardLibrary(), core.WithBackend(core.Async), core.WithSeed(2)).
+		Run(context.Background(), as.Surface, as.Config())
 	if err != nil {
 		t.Fatal(err)
 	}
