@@ -10,9 +10,15 @@
 //
 // Kernels are matched by name; kernels present in only one record are
 // reported but never fail the gate (new kernels appear, old ones retire).
-// End-to-end kernels listed in -skip (default fig10_reconfiguration) are
-// reported without gating: single-shot wall-clock times are too noisy for
-// a percentage threshold on shared CI runners.
+// End-to-end kernels listed in -skip (default: the reconfiguration runs)
+// are reported without ns/op gating: single-shot wall-clock times are too
+// noisy for a percentage threshold on shared CI runners.
+//
+// Kernels carrying a Metric (block moves, rounds-to-completion,
+// moves-per-round) are additionally gated on the metric itself — metrics
+// are deterministic DES counts, immune to runner noise, so they are gated
+// even for -skip kernels. Metrics regress by growing, except those listed
+// in -metric-asc (e.g. moves_per_round_k4), which regress by shrinking.
 package main
 
 import (
@@ -48,7 +54,11 @@ func main() {
 		oldPath    = flag.String("old", "", "previous bench record (baseline)")
 		newPath    = flag.String("new", "", "current bench record")
 		maxRegress = flag.Float64("max-regress", 10, "tolerated slowdown of a gated kernel, percent")
-		skip       = flag.String("skip", "fig10_reconfiguration", "comma-separated kernels reported but not gated")
+		skip       = flag.String("skip",
+			"fig10_reconfiguration,rounds_to_completion_serial,rounds_to_completion_k4,moves_per_round_k4,ridge_rounds_to_completion_k4,ridge_serial_rounds_budget",
+			"comma-separated kernels whose ns/op is reported but not gated (metrics still gate)")
+		metricAsc = flag.String("metric-asc", "moves_per_round_k4",
+			"comma-separated kernels whose metric regresses by shrinking instead of growing")
 	)
 	flag.Parse()
 	if *oldPath == "" || *newPath == "" {
@@ -71,6 +81,12 @@ func main() {
 			ungated[n] = true
 		}
 	}
+	asc := map[string]bool{}
+	for _, n := range strings.Split(*metricAsc, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			asc[n] = true
+		}
+	}
 
 	failed := 0
 	fmt.Printf("%-36s %14s %14s %9s\n", "KERNEL", "OLD ns/op", "NEW ns/op", "DELTA")
@@ -91,6 +107,22 @@ func main() {
 			failed++
 		}
 		fmt.Printf("%-36s %14.1f %14.1f %+8.1f%% %s\n", name, ol.NsPerOp, nw.NsPerOp, delta, verdict)
+		// Deterministic metric gate: both records must carry the metric.
+		if ol.Metric != 0 && nw.Metric != 0 {
+			mDelta := (nw.Metric - ol.Metric) / ol.Metric * 100
+			mVerdict := ""
+			if asc[name] {
+				if mDelta < -*maxRegress {
+					mVerdict = "METRIC REGRESSED"
+					failed++
+				}
+			} else if mDelta > *maxRegress {
+				mVerdict = "METRIC REGRESSED"
+				failed++
+			}
+			fmt.Printf("%-36s %14.2f %14.2f %+8.1f%% %s\n",
+				"  metric:"+nw.MetricName, ol.Metric, nw.Metric, mDelta, mVerdict)
+		}
 	}
 	for name := range oldRes {
 		if _, ok := newRes[name]; !ok {

@@ -9,7 +9,7 @@
 //	sbbench -list            list the experiments
 //	sbbench -exp fig10       run one experiment
 //	sbbench -exp all         run the full evaluation
-//	sbbench -json            measure the hot-path kernels, write BENCH_2.json
+//	sbbench -json            measure the hot-path kernels, write BENCH_4.json
 package main
 
 import (
@@ -27,7 +27,7 @@ func main() {
 		jsonMode = flag.Bool("json", false, "emit a machine-readable bench record")
 		// The default tracks the current PR number (BENCH_<N>.json is the
 		// per-PR trajectory convention CI's bench gate diffs against).
-		jsonOut = flag.String("o", "BENCH_2.json", "output path for -json")
+		jsonOut = flag.String("o", "BENCH_4.json", "output path for -json")
 	)
 	flag.Parse()
 

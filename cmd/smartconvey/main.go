@@ -7,9 +7,13 @@
 //
 //	smartconvey [flags]
 //
-//	-scenario fig10|tower:N|stair:H1,H2,...  instance to run (default fig10)
-//	-rise N                                  path rise for stair scenarios
+//	-scenario fig10|tower:N|stair:H1,H2,...|slope:TOP|ridge
+//	                                         instance to run (default fig10)
+//	-rise N                                  path rise for stair/slope scenarios
 //	-engine des|async                        execution backend (default des)
+//	-parallel K                              elect up to K non-interfering blocks
+//	                                         per round (default 1 = the paper's
+//	                                         serial protocol)
 //	-seed N                                  random seed (default 1)
 //	-timeout D                               wall-clock bound (e.g. 30s; 0 = backend
 //	                                         default: none for des, 60s for async)
@@ -34,10 +38,11 @@ import (
 
 func main() {
 	var (
-		scen    = flag.String("scenario", "fig10", "fig10 | tower:N | stair:H1,H2,...")
-		rise    = flag.Int("rise", 0, "path rise for stair scenarios (default: blocks-2)")
-		engine  = flag.String("engine", "des", "des (deterministic) | async (goroutines)")
-		seed    = flag.Int64("seed", 1, "random seed")
+		scen     = flag.String("scenario", "fig10", "fig10 | tower:N | stair:H1,H2,... | slope:TOP | ridge")
+		rise     = flag.Int("rise", 0, "path rise for stair/slope scenarios (default: blocks-2 / TOP+6)")
+		engine   = flag.String("engine", "des", "des (deterministic) | async (goroutines)")
+		parallel = flag.Int("parallel", 1, "election batch width K (1 = serial paper protocol)")
+		seed     = flag.Int64("seed", 1, "random seed")
 		timeout = flag.Duration("timeout", 0, "wall-clock bound (0 = backend default: none for des, 60s for async)")
 		frames  = flag.Bool("frames", false, "print a frame after every motion")
 		jsonF   = flag.String("json", "", "write the recorded run to this file")
@@ -60,6 +65,9 @@ func main() {
 
 	rec := trace.NewRecorder(s.Surface, s.Input, s.Output, *frames)
 	opts := []core.Option{core.WithSeed(*seed), core.WithObserver(rec)}
+	if *parallel > 1 {
+		opts = append(opts, core.WithParallelMoves(*parallel))
+	}
 	switch *engine {
 	case "des":
 		// DES is the default backend.

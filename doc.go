@@ -68,7 +68,39 @@
 // each instance's events contiguously with Event.Instance stamped; results
 // come back in input order with per-instance seeds honoured, so sweeps are
 // reproducible regardless of placement. The legacy core.Run/core.RunAsync
-// entry points remain as deprecated shims over the session API.
+// shims are gone; the session API is the only entry point.
+//
+// # Parallel moves: batch election rounds
+//
+// The paper's protocol elects exactly one block per round, so
+// reconfiguration time is Θ(n) rounds even when far-apart blocks could
+// move simultaneously. core.WithParallelMoves(k) (or Config.ParallelMoves)
+// turns each election into a batch: the Dijkstra-Scholten fold carries a
+// top-K candidate list instead of a single (distance, id) maximum — each
+// ack's candidates record the bidder's position and whether it is a cut
+// vertex of the ensemble (exec.Env.CutVertex, answered by the lattice's
+// articulation cache) — and the Root greedily admits up to k winners whose
+// sensing windows are pairwise disjoint (Chebyshev distance > 2 x the
+// sensing radius, so no winner's motion can invalidate a cell another
+// winner sensed when planning) and, beyond the first, are not cut vertices
+// (so the departures cannot interact through the connectivity guard). The
+// admitted move-set is flooded as one GO message — a same-batch motion can
+// sever the father/son tree mid-round, so batch rounds replace tree-routed
+// Selects with a flood, and every block re-pushes the round's floods to
+// its neighbours whenever its local topology changes — and the Root opens
+// the next round once every winner's MoveDone flood arrived.
+//
+// The default k = 1 is the paper-faithful serial protocol: a golden
+// differential test (internal/core/testdata/serial_golden.json, recorded
+// on the pre-refactor commit) pins winner sequences, round/hop totals and
+// final surfaces across seeds, scenarios and both backends. At k = 4 on
+// wide surfaces the batch pipeline multiplies moves-per-round (the
+// Observer's ElectionDecided events carry the move-set; stats, trace and
+// Result report the realised parallelism) and cuts rounds-to-completion —
+// on the 71-column ridge benchmark the serial protocol livelocks between
+// the two symmetric flanks while k = 4 completes outright (BENCH_4.json
+// records both). Every batch round preserves connectivity: each hop is
+// still validated against the live surface by the physical layer.
 //
 // # Incremental connectivity and atomic application
 //
@@ -78,13 +110,20 @@
 // (internal/lattice/connectivity.go) rather than by cloning the surface and
 // rerunning a DFS per candidate: a connectivity-constrained verdict is
 // O(window) for single-displacement motions (every slide, carry and
-// teleport), allocation-free, and falls back to a scratch-buffer DFS with
-// the move overlaid for the exotic shapes. Connected() remains the
-// reference oracle, with a differential property test pinning the cache to
-// it across randomized motion/fault sequences. Surface.Apply is atomic
-// under failure: Validate replays multi-step move schedules against the
-// evolving occupancy before anything mutates, and the executor keeps an
-// undo log, so a rejected application leaves no partial state behind.
+// teleport) — including cut-vertex movers, which are classified against the
+// DFS piece labels (parent, subtree size) retained from the Tarjan pass
+// instead of rerunning the overlay DFS — allocation-free, with a
+// scratch-buffer DFS fallback only for multi-cell deltas and fault-injected
+// fragmented surfaces. Connected() remains the reference oracle, with a
+// differential property test pinning the cache to it across randomized
+// motion/fault sequences. Surface.Apply is atomic under failure: Validate
+// replays multi-step move schedules against the evolving occupancy before
+// anything mutates, and the executor keeps an undo log, so a rejected
+// application leaves no partial state behind. The same undo log now backs
+// the Remark 1 blocking veto: a candidate motion is applied in place,
+// inspected, and rolled back — the clone-and-enumerate lookahead is gone,
+// and the per-candidate veto is allocation-free steady-state
+// (TestLookaheadVetoZeroAllocs pins it at 0 allocs).
 //
 // Start with examples/quickstart, or run:
 //

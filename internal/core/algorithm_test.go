@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -28,10 +29,8 @@ func fig10(t *testing.T) *scenario.Scenario {
 func TestFig10Reconfiguration(t *testing.T) {
 	s := fig10(t)
 	rec := trace.NewRecorder(s.Surface, s.Input, s.Output, false)
-	res, err := core.Run(s.Surface, rules.StandardLibrary(), s.Config(), core.RunParams{
-		Seed:    1,
-		OnApply: rec.Record,
-	})
+	res, err := core.NewEngine(rules.StandardLibrary(), core.WithSeed(1), core.WithObserver(rec)).
+		Run(context.Background(), s.Surface, s.Config())
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -70,7 +69,7 @@ func TestFig10Reconfiguration(t *testing.T) {
 func TestFig10Deterministic(t *testing.T) {
 	run := func(seed int64) core.Result {
 		s := fig10(t)
-		res, err := core.Run(s.Surface, rules.StandardLibrary(), s.Config(), core.RunParams{Seed: seed})
+		res, err := core.NewEngine(rules.StandardLibrary(), core.WithSeed(seed)).Run(context.Background(), s.Surface, s.Config())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -93,7 +92,7 @@ func TestFig10TieBreakModes(t *testing.T) {
 		s := fig10(t)
 		cfg := s.Config()
 		cfg.TieBreak = mode
-		res, err := core.Run(s.Surface, rules.StandardLibrary(), cfg, core.RunParams{Seed: 1})
+		res, err := core.NewEngine(rules.StandardLibrary(), core.WithSeed(1)).Run(context.Background(), s.Surface, cfg)
 		if err != nil || !res.Success || !res.PathBuilt {
 			t.Errorf("tie-break %v failed: %v err=%v", mode, res, err)
 		}
@@ -106,12 +105,12 @@ func TestFig10TieBreakModes(t *testing.T) {
 // engines must agree move for move.
 func TestFig10AsyncEquivalence(t *testing.T) {
 	des := fig10(t)
-	desRes, err := core.Run(des.Surface, rules.StandardLibrary(), des.Config(), core.RunParams{Seed: 1})
+	desRes, err := core.NewEngine(rules.StandardLibrary(), core.WithSeed(1)).Run(context.Background(), des.Surface, des.Config())
 	if err != nil {
 		t.Fatal(err)
 	}
 	async := fig10(t)
-	asyncRes, err := core.RunAsync(async.Surface, rules.StandardLibrary(), async.Config(), core.AsyncParams{Seed: 1})
+	asyncRes, err := core.NewEngine(rules.StandardLibrary(), core.WithBackend(core.Async), core.WithSeed(1)).Run(context.Background(), async.Surface, async.Config())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +137,7 @@ func TestAblationCarryingRequired(t *testing.T) {
 	s := fig10(t)
 	cfg := s.Config()
 	cfg.MaxRounds = 400 // fail fast: the instance needs carries early
-	res, err := core.Run(s.Surface, rules.SlidingOnlyLibrary(), cfg, core.RunParams{Seed: 1})
+	res, err := core.NewEngine(rules.SlidingOnlyLibrary(), core.WithSeed(1)).Run(context.Background(), s.Surface, cfg)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -154,7 +153,7 @@ func TestAblationStrictEq8(t *testing.T) {
 	s := fig10(t)
 	cfg := s.Config()
 	cfg.StrictEq8 = true
-	res, err := core.Run(s.Surface, rules.StandardLibrary(), cfg, core.RunParams{Seed: 1})
+	res, err := core.NewEngine(rules.StandardLibrary(), core.WithSeed(1)).Run(context.Background(), s.Surface, cfg)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -169,7 +168,7 @@ func TestAblationRetreatRequired(t *testing.T) {
 	s := fig10(t)
 	cfg := s.Config()
 	cfg.AllowRetreat = false
-	res, err := core.Run(s.Surface, rules.StandardLibrary(), cfg, core.RunParams{Seed: 1})
+	res, err := core.NewEngine(rules.StandardLibrary(), core.WithSeed(1)).Run(context.Background(), s.Surface, cfg)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -185,7 +184,7 @@ func TestAblationVetoRequired(t *testing.T) {
 		s := fig10(t)
 		cfg := s.Config()
 		cfg.Veto = mode
-		res, err := core.Run(s.Surface, rules.StandardLibrary(), cfg, core.RunParams{Seed: 1})
+		res, err := core.NewEngine(rules.StandardLibrary(), core.WithSeed(1)).Run(context.Background(), s.Surface, cfg)
 		if err != nil {
 			t.Fatalf("run: %v", err)
 		}
@@ -202,7 +201,7 @@ func TestDegenerateSingleCellInstance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := core.Run(s.Surface, rules.StandardLibrary(), s.Config(), core.RunParams{Seed: 1})
+	res, err := core.NewEngine(rules.StandardLibrary(), core.WithSeed(1)).Run(context.Background(), s.Surface, s.Config())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +218,7 @@ func TestTowerScales(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, s := range scs {
-		res, err := core.Run(s.Surface, rules.StandardLibrary(), s.Config(), core.RunParams{Seed: 1})
+		res, err := core.NewEngine(rules.StandardLibrary(), core.WithSeed(1)).Run(context.Background(), s.Surface, s.Config())
 		if err != nil || !res.Success || !res.PathBuilt {
 			t.Errorf("%s: %v err=%v", s.Name, res, err)
 		}
@@ -250,7 +249,7 @@ func TestGreedyEnvelopeCharacterization(t *testing.T) {
 	}
 	cfg := s.Config()
 	cfg.MaxRounds = 600
-	res, err := core.Run(s.Surface, rules.StandardLibrary(), cfg, core.RunParams{Seed: 1})
+	res, err := core.NewEngine(rules.StandardLibrary(), core.WithSeed(1)).Run(context.Background(), s.Surface, cfg)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}

@@ -44,17 +44,37 @@ type BlockCode struct {
 	isRoot        bool
 	roundsRun     int
 	gotSelectAck  bool
-	gotMoveDone   bool
-	lastMoveMsg   msg.Message
 	electionsLeft int // MaxRounds budget; <0 means unlimited
+	// moveSet is the round's admitted winners in admission order (the
+	// paper's single GO generalised to a batch); movesReported counts the
+	// distinct in-set movers whose MoveDone flood arrived, and
+	// batchReachedO remembers whether any of them landed on O.
+	moveSet       []lattice.BlockID
+	movesReported int
+	batchReachedO bool
 	// emptyStreak counts consecutive all-tier election ladders that found
 	// nobody electable. The Root only declares a blocking after several
 	// empty ladders: a single empty sweep can be transient (suppression
 	// backoff in flight, sensor faults), and retrying re-reads the world.
 	emptyStreak int
 
-	// Flood deduplication (round numbers strictly increase).
-	lastMoveDoneSeen uint32
+	// Flood deduplication: with up to K movers per round a block forwards
+	// one flood per (round, mover). Round numbers strictly increase, so the
+	// mover list resets whenever a younger round's flood arrives. The seen
+	// messages themselves are retained for the round (moveDoneMsgs), because
+	// batch rounds re-push them on topology changes (see repushFloods).
+	moveDoneRound  uint32
+	moveDoneMovers []lattice.BlockID
+	moveDoneMsgs   []msg.Message
+
+	// Batch-round GO flood state: in parallel-moves rounds the Root floods
+	// the move-set (one Select message carrying all winners) instead of
+	// routing one Select down the father/son tree — a same-batch motion can
+	// sever the tree mid-round, and a flood survives any topology change of
+	// a still-connected ensemble. seenSelect dedups the flood per round.
+	selectRound uint32
+	seenSelect  bool
+	goMsg       msg.Message
 
 	// suppressedFor marks a block whose elected move attempt was entirely
 	// rejected by the physical layer: it bids neutral for that many
@@ -139,18 +159,21 @@ func (b *BlockCode) startElection(env exec.Env, tier msg.Tier) {
 	b.round++
 	b.tier = tier
 	b.gotSelectAck = false
-	b.gotMoveDone = false
+	b.moveSet = b.moveSet[:0]
+	b.movesReported = 0
+	b.batchReachedO = false
 	if tier == msg.TierRetreat {
 		b.sh.cfg.Counters.EscapeElections.Add(1)
 	}
-	b.sh.emit.emit(Event{Kind: EventRoundStarted, Round: int(b.round), Tier: tier})
+	b.sh.emit.emit(Event{Kind: EventRoundStarted, Round: int(b.round), Tier: tier,
+		Batch: b.sh.cfg.parallelK()})
 	if err := b.ds.BeginRoot(b.round); err != nil {
 		env.Logf("BeginRoot: %v", err)
 		b.finish(env, false)
 		return
 	}
 	// The Root is pinned on I (Lemma 1(b)) and never a candidate.
-	b.agg = election.NewAggregator(election.Neutral())
+	b.agg = election.NewAggregator(election.Neutral(), b.foldWidth())
 
 	init := msg.Message{
 		Type:   msg.TypeActivate,
@@ -208,7 +231,7 @@ func (b *BlockCode) onActivate(env exec.Env, from lattice.BlockID, m msg.Message
 		b.tier = m.Tier
 		b.father = from
 		own := b.ownCandidate(env, m.Round, m.Tier)
-		b.agg = election.NewAggregator(own)
+		b.agg = election.NewAggregator(own, b.foldWidth())
 
 		fwd := m
 		fwd.Father = b.id
@@ -235,21 +258,47 @@ func (b *BlockCode) onActivate(env exec.Env, from lattice.BlockID, m msg.Message
 	}
 }
 
+// foldWidth is how many candidates this node's aggregator keeps: the serial
+// protocol folds the single max; parallel-moves runs fold the full wire
+// width so the Root's interference filter has msg.MaxBatch candidates to
+// choose its <= K winners from.
+func (b *BlockCode) foldWidth() int {
+	if b.sh.cfg.parallelK() <= 1 {
+		return 1
+	}
+	return msg.MaxBatch
+}
+
 // onAck folds a child's report and propagates the subtree result when the
 // deficit clears (§V-C: "active blocks that have received acknowledgments
 // from all their sons become inactive and send an acknowledgment message to
-// their father").
+// their father"). A parallel-moves ack carries the child subtree's top-K
+// candidate list; a serial or neutral ack degenerates to the legacy
+// (ShortestDistance, IDshortest) pair. Priorities are recomputed from the
+// public (round, id) pair, so the wire never carries them.
 func (b *BlockCode) onAck(env exec.Env, from lattice.BlockID, m msg.Message) {
 	done, err := b.ds.OnAck(m.Round)
 	if err != nil {
 		env.Logf("ack: %v", err)
 		return
 	}
-	b.agg.Fold(election.Candidate{
-		Distance: m.ShortestDistance,
-		Priority: election.PriorityFor(b.sh.cfg.TieBreak, m.Round, m.IDShortest),
-		ID:       m.IDShortest,
-	}, from)
+	if m.NumCands > 0 {
+		for _, c := range m.Cands[:m.NumCands] {
+			b.agg.Fold(election.Candidate{
+				Distance: c.Distance,
+				Priority: election.PriorityFor(b.sh.cfg.TieBreak, m.Round, c.ID),
+				ID:       c.ID,
+				Pos:      c.Pos,
+				Cut:      c.Cut,
+			}, from)
+		}
+	} else {
+		b.agg.Fold(election.Candidate{
+			Distance: m.ShortestDistance,
+			Priority: election.PriorityFor(b.sh.cfg.TieBreak, m.Round, m.IDShortest),
+			ID:       m.IDShortest,
+		}, from)
+	}
 	if !done {
 		return
 	}
@@ -260,34 +309,40 @@ func (b *BlockCode) onAck(env exec.Env, from lattice.BlockID, m msg.Message) {
 	b.ackFather(env)
 }
 
-// ackFather reports the subtree best to the father and disengages.
+// ackFather reports the subtree's kept candidates to the father and
+// disengages. The legacy header pair always mirrors the best entry, so the
+// message degrades gracefully to the serial protocol.
 func (b *BlockCode) ackFather(env exec.Env) {
 	best := b.agg.Best()
-	_ = env.Send(b.father, msg.Message{
+	m := msg.Message{
 		Type: msg.TypeAck, Round: b.round, Tier: b.tier,
 		Father: b.father, Son: b.id,
 		ShortestDistance: best.Distance, IDShortest: best.ID,
-	})
+	}
+	if b.sh.cfg.parallelK() > 1 {
+		n := b.agg.Len()
+		for i := 0; i < n; i++ {
+			c := b.agg.At(i)
+			m.Cands[i] = msg.Cand{ID: c.ID, Distance: c.Distance, Pos: c.Pos, Cut: c.Cut}
+		}
+		m.NumCands = uint8(n)
+	}
+	_ = env.Send(b.father, m)
 	b.ds.Disengage()
 }
 
 // onElectionComplete runs at the Root when its deficit clears: the first
 // phase is over, every block has been activated and acknowledged, and the
-// Root holds the global minimum. It selects the winner or escalates.
+// Root holds the global top-K. It admits a batch of non-interfering winners
+// and broadcasts the move-set (one routed Select per winner), or escalates.
 func (b *BlockCode) onElectionComplete(env exec.Env) {
 	b.ds.Disengage()
 	b.sh.cfg.Counters.Elections.Add(1)
 	b.roundsRun++
 	best := b.agg.Best()
-	if em := b.sh.emit; em != nil {
-		winner := best.ID
-		if best.IsNeutral() {
-			winner = lattice.None
-		}
-		em.emit(Event{Kind: EventElectionDecided, Round: int(b.round),
-			Tier: b.tier, Winner: winner, Distance: best.Distance})
-	}
 	if best.IsNeutral() {
+		b.sh.emit.emit(Event{Kind: EventElectionDecided, Round: int(b.round),
+			Tier: b.tier, Winner: lattice.None, Distance: best.Distance})
 		// Nobody can move at this tier; escalate, retry the ladder, or
 		// declare a blocking.
 		if b.sh.cfg.AllowRetreat && b.tier < msg.TierDesperate {
@@ -305,28 +360,109 @@ func (b *BlockCode) onElectionComplete(env exec.Env) {
 		return
 	}
 	b.emptyStreak = 0
-	via := b.agg.Via()
-	if via == lattice.None {
-		// The Root itself won — impossible, it always bids Neutral.
-		env.Logf("root won its own election; protocol error")
-		b.finish(env, false)
+	b.moveSet = b.admitWinners(env, b.moveSet[:0])
+	if em := b.sh.emit; em != nil {
+		winners := make([]lattice.BlockID, len(b.moveSet))
+		copy(winners, b.moveSet)
+		em.emit(Event{Kind: EventElectionDecided, Round: int(b.round),
+			Tier: b.tier, Winner: best.ID, Distance: best.Distance,
+			Winners: winners, Batch: len(winners)})
+	}
+	b.sh.cfg.Counters.MovesElected.Add(int64(len(b.moveSet)))
+	if b.sh.cfg.parallelK() == 1 {
+		// Serial protocol: route the single Select down the father/son tree,
+		// exactly as the paper specifies. No concurrent motion can sever the
+		// tree before it arrives.
+		id := b.moveSet[0]
+		via, ok := b.agg.ViaFor(id)
+		if !ok || via == lattice.None {
+			// The Root itself won — impossible, it always bids Neutral.
+			env.Logf("root won its own election; protocol error")
+			b.finish(env, false)
+			return
+		}
+		_ = env.Send(via, msg.Message{
+			Type: msg.TypeSelect, Round: b.round, Tier: b.tier, IDShortest: id,
+		})
 		return
 	}
-	_ = env.Send(via, msg.Message{
-		Type: msg.TypeSelect, Round: b.round, Tier: b.tier, IDShortest: best.ID,
-	})
+	// Batch round: flood the move-set. Tree routing is not safe here — the
+	// first winner's hop can sever the father/son tree while the other
+	// Selects are still travelling, and a lost Select would stall the round
+	// forever. The flood (plus re-pushing on topology changes, repushFloods)
+	// reaches every block of an always-connected ensemble.
+	goMsg := msg.Message{
+		Type: msg.TypeSelect, Round: b.round, Tier: b.tier,
+		IDShortest: best.ID, NumCands: uint8(len(b.moveSet)),
+	}
+	for i, id := range b.moveSet {
+		goMsg.Cands[i] = msg.Cand{ID: id}
+	}
+	b.selectRound, b.seenSelect, b.goMsg = b.round, true, goMsg
+	b.sendToNeighbors(env, goMsg, lattice.None)
 }
 
-// onSelect routes the Select message down the father/son tree, or performs
-// the elected hop when it reaches the winner.
+// admitWinners greedily filters the aggregated top-K candidates into the
+// round's move-set: the best candidate is always admitted (so a batch round
+// makes at least the serial protocol's progress, and K = 1 degenerates to
+// it exactly); every further candidate is admitted only when
+//
+//   - its sensing window is disjoint from every admitted winner's window —
+//     Chebyshev distance > 2 x the sensing radius — so no admitted winner's
+//     motion (footprint ⊆ window) can overlap a cell another winner sensed
+//     when planning, and the moves commute physically, and
+//
+//   - it is not a cut vertex of the ensemble (Cand.Cut, sampled from the
+//     articulation cache at bid time): a non-articulation departure leaves
+//     the remainder connected regardless of what the other winners do, so
+//     the admitted moves cannot interact through the connectivity guard.
+//
+// Both checks are O(1) per pair against at most msg.MaxBatch candidates.
+func (b *BlockCode) admitWinners(env exec.Env, dst []lattice.BlockID) []lattice.BlockID {
+	k := b.sh.cfg.parallelK()
+	sep := 2 * env.SensingRadius()
+	var cells [msg.MaxBatch]geom.Vec
+	n := 0
+	for i := 0; i < b.agg.Len() && n < k; i++ {
+		c := b.agg.At(i)
+		if n > 0 {
+			if c.Cut {
+				continue
+			}
+			clash := false
+			for j := 0; j < n; j++ {
+				if c.Pos.Chebyshev(cells[j]) <= sep {
+					clash = true
+					break
+				}
+			}
+			if clash {
+				continue
+			}
+		}
+		cells[n] = c.Pos
+		n++
+		dst = append(dst, c.ID)
+	}
+	return dst
+}
+
+// onSelect handles the second election phase. A serial Select (no candidate
+// list) is routed down the father/son tree exactly as the paper specifies.
+// A batch GO (NumCands > 0) is a flood: forward once per round, and hop if
+// this block is in the move-set.
 func (b *BlockCode) onSelect(env exec.Env, from lattice.BlockID, m msg.Message) {
+	if m.NumCands > 0 {
+		b.onGoFlood(env, from, m)
+		return
+	}
 	if m.Round != b.round {
 		env.Logf("select for round %d during %d", m.Round, b.round)
 		return
 	}
 	if m.IDShortest != b.id {
-		via := b.agg.Via()
-		if via == lattice.None {
+		via, ok := b.agg.ViaFor(m.IDShortest)
+		if !ok || via == lattice.None {
 			env.Logf("select for %d but no route", m.IDShortest)
 			return
 		}
@@ -339,6 +475,52 @@ func (b *BlockCode) onSelect(env exec.Env, from lattice.BlockID, m msg.Message) 
 		Type: msg.TypeSelectAck, Round: m.Round, Tier: m.Tier, IDShortest: b.id,
 	})
 	b.performHop(env, m.Tier)
+}
+
+// onGoFlood handles a batch round's move-set broadcast: forward the flood
+// once per round, remember it for re-pushing on topology changes, and if
+// this block is one of the winners, acknowledge the Root and hop.
+func (b *BlockCode) onGoFlood(env exec.Env, from lattice.BlockID, m msg.Message) {
+	if m.Round < b.selectRound || (m.Round == b.selectRound && b.seenSelect) {
+		return // stale round or already forwarded
+	}
+	b.selectRound, b.seenSelect, b.goMsg = m.Round, true, m
+	b.sendToNeighbors(env, m, from)
+	if m.Round != b.round {
+		env.Logf("go flood for round %d during %d", m.Round, b.round)
+		return
+	}
+	for _, c := range m.Cands[:m.NumCands] {
+		if c.ID != b.id {
+			continue
+		}
+		_ = env.Send(b.father, msg.Message{
+			Type: msg.TypeSelectAck, Round: m.Round, Tier: m.Tier, IDShortest: b.id,
+		})
+		b.performHop(env, m.Tier)
+		return
+	}
+}
+
+// repushFloods re-sends the current round's remembered GO and MoveDone
+// floods to every present neighbour. Batch rounds call it whenever the
+// local topology changed (this block moved, or a sensed cell changed):
+// concurrent motion can put a block next to a neighbour that never received
+// a flood — the tree/flood frontier passed before the adjacency existed —
+// and without the re-push the Root could wait forever for a MoveDone that
+// died in a severed region. Receivers deduplicate, so re-pushing is
+// idempotent; the serial protocol (one mover, sequenced) never needs it and
+// never calls it.
+func (b *BlockCode) repushFloods(env exec.Env) {
+	if b.done {
+		return
+	}
+	if b.seenSelect {
+		b.sendToNeighbors(env, b.goMsg, lattice.None)
+	}
+	for _, m := range b.moveDoneMsgs {
+		b.sendToNeighbors(env, m, lattice.None)
+	}
 }
 
 // onSelectAck forwards the elected block's acknowledgement up to the Root.
@@ -384,19 +566,42 @@ func (b *BlockCode) floodMoveDone(env exec.Env, from, to geom.Vec, success bool)
 		Type: msg.TypeMoveDone, Round: b.round, Tier: b.tier,
 		Mover: b.id, From: from, To: to, Success: success,
 	}
-	b.lastMoveDoneSeen = b.round
+	b.markMoveDone(m)
 	b.sendToNeighbors(env, m, lattice.None)
 	// A mover that is its own only witness (no Root elsewhere) cannot
 	// happen: the Root exists and the graph is connected.
 }
 
-// onMoveDoneFlood forwards the flood once per round and lets the Root
-// sequence the next iteration of Algorithm 1.
-func (b *BlockCode) onMoveDoneFlood(env exec.Env, from lattice.BlockID, m msg.Message) {
-	if m.Round <= b.lastMoveDoneSeen {
-		return // already seen (rounds strictly increase)
+// markMoveDone records that this block has seen (and will not re-forward)
+// the given mover's flood of the given round; it reports whether the flood
+// was new. Round numbers strictly increase, so a younger round resets the
+// per-round mover list. The message itself is retained for repushFloods.
+func (b *BlockCode) markMoveDone(m msg.Message) bool {
+	if m.Round > b.moveDoneRound {
+		b.moveDoneRound = m.Round
+		b.moveDoneMovers = b.moveDoneMovers[:0]
+		b.moveDoneMsgs = b.moveDoneMsgs[:0]
 	}
-	b.lastMoveDoneSeen = m.Round
+	for _, seen := range b.moveDoneMovers {
+		if seen == m.Mover {
+			return false
+		}
+	}
+	b.moveDoneMovers = append(b.moveDoneMovers, m.Mover)
+	b.moveDoneMsgs = append(b.moveDoneMsgs, m)
+	return true
+}
+
+// onMoveDoneFlood forwards each (round, mover) flood once and lets the Root
+// sequence the next iteration of Algorithm 1 when the round's whole
+// move-set has reported.
+func (b *BlockCode) onMoveDoneFlood(env exec.Env, from lattice.BlockID, m msg.Message) {
+	if m.Round < b.moveDoneRound {
+		return // stale round (rounds strictly increase)
+	}
+	if !b.markMoveDone(m) {
+		return // already forwarded this mover's flood
+	}
 	if m.Success {
 		// Global progress: any previously impossible move may have become
 		// possible, so suppressed blocks bid again.
@@ -404,26 +609,33 @@ func (b *BlockCode) onMoveDoneFlood(env exec.Env, from lattice.BlockID, m msg.Me
 	}
 	b.sendToNeighbors(env, m, from)
 	if b.isRoot && m.Round == b.round {
-		b.gotMoveDone = true
-		b.lastMoveMsg = m
-		b.maybeAdvance(env)
+		for _, id := range b.moveSet {
+			if id == m.Mover {
+				b.movesReported++
+				if m.Success && m.To == b.sh.cfg.Output {
+					b.batchReachedO = true
+				}
+				b.maybeAdvance(env)
+				break
+			}
+		}
 	}
 }
 
-// maybeAdvance moves the Root to the next round once the move outcome
-// arrived. The paper has the Root turn inactive on the elected block's
-// acknowledgement; that ack climbs the father/son tree, and the tree can be
-// severed by the very motion the election triggered (a carried helper may
-// be a relay). Sequencing therefore keys on the MoveDone flood, which
-// survives any topology change of a still-connected ensemble; the
-// SelectAck remains the paper's election-termination signal and is
-// tracked on a best-effort basis (see DESIGN.md).
+// maybeAdvance moves the Root to the next round once every winner of the
+// round's move-set reported its outcome. The paper has the Root turn
+// inactive on the elected block's acknowledgement; that ack climbs the
+// father/son tree, and the tree can be severed by the very motion the
+// election triggered (a carried helper may be a relay). Sequencing
+// therefore keys on the MoveDone floods, which survive any topology change
+// of a still-connected ensemble; the SelectAck remains the paper's
+// election-termination signal and is tracked on a best-effort basis (see
+// DESIGN.md).
 func (b *BlockCode) maybeAdvance(env exec.Env) {
-	if !b.gotMoveDone {
+	if b.movesReported < len(b.moveSet) {
 		return
 	}
-	m := b.lastMoveMsg
-	if m.Success && m.To == b.sh.cfg.Output {
+	if b.batchReachedO {
 		// Algorithm 1's loop condition: a block occupies O.
 		b.finish(env, true)
 		return
@@ -457,8 +669,13 @@ func (b *BlockCode) onFinishedFlood(env exec.Env, from lattice.BlockID, m msg.Me
 // OnMoved implements exec.BlockCode: the block was displaced. For a hop the
 // block itself initiated, the fresh no-return memory must survive; for a
 // passive carry displacement the memory refers to a stale origin and clears.
+// In batch rounds a displacement also re-pushes the round's floods: the
+// block's port adjacencies just changed.
 func (b *BlockCode) OnMoved(env exec.Env, from, to geom.Vec) {
 	b.suppressedFor = 0
+	if b.sh.cfg.parallelK() > 1 {
+		b.repushFloods(env)
+	}
 	if b.pendingOwnMove {
 		b.pendingOwnMove = false
 		return
@@ -468,10 +685,15 @@ func (b *BlockCode) OnMoved(env exec.Env, from, to geom.Vec) {
 
 // OnNeighborhoodChanged implements exec.BlockCode: a sensed cell changed
 // through someone else's motion, so every cached conclusion — immobility
-// and the no-return memory — is stale.
+// and the no-return memory — is stale. In batch rounds the change may also
+// mean a new adjacency, so the round's floods are re-pushed (see
+// repushFloods).
 func (b *BlockCode) OnNeighborhoodChanged(env exec.Env) {
 	b.suppressedFor = 0
 	b.hasNoReturn = false
+	if b.sh.cfg.parallelK() > 1 {
+		b.repushFloods(env)
+	}
 }
 
 // suppressionRounds is the retry backoff after a fully rejected hop: the
@@ -484,7 +706,10 @@ const suppressionRounds = 3
 const emptyLadderRetries = 4
 
 // ownCandidate evaluates this block's bid per eqs. (8)-(10): neutral when
-// frozen, suppressed or moveless; otherwise its hop count to O.
+// frozen, suppressed or moveless; otherwise its hop count to O, stamped
+// with the position and cut-vertex bit the Root's parallel-moves
+// interference filter consumes (the latter only sampled when a batch run
+// can use it — the serial protocol never reads it).
 func (b *BlockCode) ownCandidate(env exec.Env, round uint32, tier msg.Tier) election.Candidate {
 	cfg := b.sh.cfg
 	cfg.Counters.DistanceComputations.Add(1)
@@ -501,10 +726,16 @@ func (b *BlockCode) ownCandidate(env exec.Env, round uint32, tier msg.Tier) elec
 	if d == msg.InfiniteDistance {
 		return election.Neutral()
 	}
+	cut := false
+	if cfg.parallelK() > 1 {
+		cut = env.CutVertex()
+	}
 	return election.Candidate{
 		Distance: d,
 		Priority: election.PriorityFor(cfg.TieBreak, round, b.id),
 		ID:       b.id,
+		Pos:      pos,
+		Cut:      cut,
 	}
 }
 

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -18,7 +19,7 @@ func sweep(t *testing.T, ns []int) (xs []float64, dist, msgs, hops []float64) {
 		t.Fatal(err)
 	}
 	for _, s := range scs {
-		res, err := core.Run(s.Surface, rules.StandardLibrary(), s.Config(), core.RunParams{Seed: 1})
+		res, err := core.NewEngine(rules.StandardLibrary(), core.WithSeed(1)).Run(context.Background(), s.Surface, s.Config())
 		if err != nil || !res.Success {
 			t.Fatalf("%s: %v err=%v", s.Name, res, err)
 		}

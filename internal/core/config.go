@@ -19,6 +19,7 @@ import (
 	"repro/internal/election"
 	"repro/internal/geom"
 	"repro/internal/lattice"
+	"repro/internal/msg"
 )
 
 // VetoMode selects how the Remark 1 "line or column between I and O"
@@ -79,6 +80,19 @@ type Config struct {
 	// Veto selects the Remark 1 blocking guard.
 	Veto VetoMode
 
+	// ParallelMoves is the election batch width K: each round the Root may
+	// admit up to K non-interfering winners that all hop in the same round
+	// (the O(log n) parallel-moves direction of arXiv:0908.2440). 0 or 1 is
+	// the paper-faithful serial protocol — exactly one winner per round,
+	// with the legacy election semantics preserved bit for bit. Values are
+	// capped at msg.MaxBatch (the wire format's candidate-list bound).
+	// Beyond the serial winner, a candidate is admitted only when its
+	// sensing window is disjoint from every admitted winner's (so no
+	// winner's planned move can invalidate another's) and it is not a cut
+	// vertex of the ensemble (so its departure cannot interact with another
+	// winner's through connectivity).
+	ParallelMoves int
+
 	// MaxRounds caps the number of elections as a safety net; 0 derives
 	// a generous bound from the instance size at Run time.
 	MaxRounds int
@@ -88,18 +102,36 @@ type Config struct {
 }
 
 // WithDefaults fills unset fields with the documented defaults.
+// ParallelMoves deliberately keeps its zero value here ("unset"), so the
+// engine-level WithParallelMoves option can still apply; the protocol reads
+// the width through parallelK.
 func (c Config) WithDefaults() Config {
 	if c.Counters == nil {
 		c.Counters = &Counters{}
 	}
+	if c.ParallelMoves > msg.MaxBatch {
+		c.ParallelMoves = msg.MaxBatch
+	}
 	return c
+}
+
+// parallelK is the effective election batch width: unset (0) and 1 are both
+// the serial protocol, larger values cap at msg.MaxBatch.
+func (c Config) parallelK() int {
+	switch {
+	case c.ParallelMoves < 1:
+		return 1
+	case c.ParallelMoves > msg.MaxBatch:
+		return msg.MaxBatch
+	default:
+		return c.ParallelMoves
+	}
 }
 
 // WithRunDefaults fills the instance-dependent defaults on top of
 // WithDefaults: the MaxRounds election cap derived from the instance size.
-// Every session entry point (Engine.Run and the deprecated Run/RunAsync
-// shims) shares this one derivation; it used to live as divergent copies in
-// the two legacy runners.
+// Engine.Run (single sessions and RunBatch instances alike) funnels every
+// run through this one derivation.
 func (c Config) WithRunDefaults(surf *lattice.Surface) Config {
 	c = c.WithDefaults()
 	if c.MaxRounds == 0 {
@@ -137,6 +169,10 @@ type Counters struct {
 	Elections atomic.Int64
 	// EscapeElections counts rounds run at the distance-preserving tier.
 	EscapeElections atomic.Int64
+	// MovesElected counts admitted election winners across all rounds; with
+	// ParallelMoves > 1 a round admits up to K, so MovesElected/Elections
+	// is the realised moves-per-round parallelism.
+	MovesElected atomic.Int64
 	// MoveFailures counts elected blocks whose every candidate motion was
 	// rejected by the physical layer (they self-suppress until the
 	// neighbourhood changes).
@@ -151,6 +187,7 @@ func (c *Counters) Snapshot() CounterValues {
 		DistanceComputations:  c.DistanceComputations.Load(),
 		Elections:             c.Elections.Load(),
 		EscapeElections:       c.EscapeElections.Load(),
+		MovesElected:          c.MovesElected.Load(),
 		MoveFailures:          c.MoveFailures.Load(),
 		CandidateEnumerations: c.CandidateEnumerations.Load(),
 	}
@@ -161,6 +198,7 @@ type CounterValues struct {
 	DistanceComputations  int64
 	Elections             int64
 	EscapeElections       int64
+	MovesElected          int64
 	MoveFailures          int64
 	CandidateEnumerations int64
 }

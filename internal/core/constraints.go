@@ -38,7 +38,11 @@ func BuildConstraints(cfg Config, surf *lattice.Surface, lib *rules.Library) lat
 var errBlocking = errors.New("core: motion leads to a blocking (Remark 1)")
 
 // blockingVeto returns the post-state guard for the configured VetoMode.
-// The veto runs on a scratch copy of the surface after the candidate motion.
+// The physical layer applies the candidate motion to the live surface
+// through its undo log, hands it to the veto, and rolls it back afterwards
+// (see lattice.Constraints.Veto) — no surface clone. Each closure carries
+// its own reusable scratch, so the per-candidate veto is allocation-free
+// once warm.
 func blockingVeto(cfg Config, lib *rules.Library) func(after *lattice.Surface) error {
 	switch cfg.Veto {
 	case VetoNone:
@@ -46,8 +50,17 @@ func blockingVeto(cfg Config, lib *rules.Library) func(after *lattice.Surface) e
 	case VetoLine:
 		return func(after *lattice.Surface) error { return lineVeto(cfg, after) }
 	default:
-		return func(after *lattice.Surface) error { return lookaheadVeto(cfg, lib, after) }
+		sc := &vetoScratch{}
+		return func(after *lattice.Surface) error { return lookaheadVeto(cfg, lib, after, sc) }
 	}
+}
+
+// vetoScratch holds the reusable buffers of one lookahead veto closure: the
+// occupied-cell scan and the per-block application probe reuse them across
+// every candidate the veto inspects.
+type vetoScratch struct {
+	cells []geom.Vec
+	apps  []rules.Application
 }
 
 // lineVeto is the literal Remark 1 prohibition: after the motion, the
@@ -79,8 +92,12 @@ func lineVeto(cfg Config, after *lattice.Surface) error {
 // lookaheadVeto generalises Remark 1: the motion must not leave the system
 // in a state where O is unoccupied and yet no unfrozen block has any
 // admissible move (at the most permissive tier the configuration allows).
-// It short-circuits on the first mobile block found.
-func lookaheadVeto(cfg Config, lib *rules.Library, after *lattice.Surface) error {
+// It short-circuits on the first mobile block found. The surface it inspects
+// is the live one with the candidate motion applied via the undo log (the
+// clone-and-enumerate pass this replaces was the dominant per-round cost);
+// the whole probe runs on the closure's reusable scratch — zero allocations
+// steady-state, with an AllocsPerRun guard pinning it.
+func lookaheadVeto(cfg Config, lib *rules.Library, after *lattice.Surface, sc *vetoScratch) error {
 	if after.Occupied(cfg.Output) {
 		return nil
 	}
@@ -88,24 +105,25 @@ func lookaheadVeto(cfg Config, lib *rules.Library, after *lattice.Surface) error
 	if cfg.AllowRetreat {
 		tier = msg.TierRetreat
 	}
-	mobiles := unfrozenPositions(cfg, after)
-	if len(mobiles) == 0 {
-		return fmt.Errorf("%w: no unfrozen blocks remain, O unoccupied", errBlocking)
-	}
 	// The veto itself must not recurse into vetoes: candidates here are
 	// checked for local validity only, which is exactly the mobility notion
-	// of eq. (9).
-	noCount := cfg
-	noCount.Counters = &Counters{} // do not pollute the run's metrics
-	for _, pos := range mobiles {
-		// The scratch clone is a full surface, so the lookahead senses each
-		// candidate window straight from the row bitsets (planCandidatesOn)
-		// rather than cell by cell.
-		if len(planCandidatesOn(noCount, lib, pos, after, tier, nil)) > 0 {
+	// of eq. (9). The surface is real, so each block's sensing window comes
+	// straight off the row bitsets.
+	sc.cells = after.AppendPositions(sc.cells[:0])
+	unfrozen := 0
+	for _, pos := range sc.cells {
+		if cfg.Frozen(pos) {
+			continue
+		}
+		unfrozen++
+		if hasAdmissibleOn(cfg, lib, pos, after, tier, &sc.apps) {
 			return nil
 		}
 	}
-	return fmt.Errorf("%w: none of %d unfrozen blocks can move", errBlocking, len(mobiles))
+	if unfrozen == 0 {
+		return fmt.Errorf("%w: no unfrozen blocks remain, O unoccupied", errBlocking)
+	}
+	return fmt.Errorf("%w: none of %d unfrozen blocks can move", errBlocking, unfrozen)
 }
 
 // unfrozenPositions lists positions of blocks not frozen by eq. (8) and not

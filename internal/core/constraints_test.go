@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -67,19 +68,20 @@ func TestLookaheadVeto(t *testing.T) {
 	cfg := NewConfig(geom.V(1, 0), geom.V(1, 5))
 	lib := rules.StandardLibrary()
 	// A healthy tower: lane blocks can climb.
+	sc := &vetoScratch{}
 	healthy := surfaceWith(t, 6, 8,
 		geom.V(1, 0), geom.V(1, 1), geom.V(2, 0), geom.V(2, 1))
-	if err := lookaheadVeto(cfg, lib, healthy); err != nil {
+	if err := lookaheadVeto(cfg, lib, healthy, sc); err != nil {
 		t.Errorf("healthy state vetoed: %v", err)
 	}
 	// All blocks frozen, O unoccupied: dead.
 	dead := surfaceWith(t, 6, 8, geom.V(1, 0), geom.V(1, 1), geom.V(1, 2))
-	if err := lookaheadVeto(cfg, lib, dead); err == nil {
+	if err := lookaheadVeto(cfg, lib, dead, sc); err == nil {
 		t.Error("state with no unfrozen blocks and free O must be vetoed")
 	}
 	// O occupied: always fine.
 	done := surfaceWith(t, 6, 8, geom.V(1, 0), geom.V(1, 5))
-	if err := lookaheadVeto(cfg, lib, done); err != nil {
+	if err := lookaheadVeto(cfg, lib, done, sc); err != nil {
 		t.Errorf("terminal state vetoed: %v", err)
 	}
 	// An isolated pair beside the column with no possible motion: dead.
@@ -88,7 +90,7 @@ func TestLookaheadVeto(t *testing.T) {
 		geom.V(1, 0), geom.V(1, 1), geom.V(1, 2), geom.V(2, 5), geom.V(2, 6))
 	// (2,5),(2,6) hang beside the frozen column above its top; check the
 	// veto's verdict matches a direct mobility scan.
-	err := lookaheadVeto(cfg, lib, stuck)
+	err := lookaheadVeto(cfg, lib, stuck, sc)
 	anyMobile := false
 	for _, pos := range unfrozenPositions(cfg, stuck) {
 		if len(planCandidates(cfg, lib, pos, stuck.Occupied, 1, nil)) > 0 {
@@ -160,11 +162,64 @@ func TestValidateInstanceErrors(t *testing.T) {
 	}
 }
 
-// TestRunRejectsInvalidInstance: Run surfaces validation errors.
+// TestRunRejectsInvalidInstance: Engine.Run surfaces validation errors.
 func TestRunRejectsInvalidInstance(t *testing.T) {
 	surf := surfaceWith(t, 6, 6, geom.V(1, 1), geom.V(3, 3))
-	_, err := Run(surf, rules.StandardLibrary(), NewConfig(geom.V(1, 1), geom.V(1, 4)), RunParams{})
+	_, err := NewEngine(rules.StandardLibrary()).
+		Run(context.Background(), surf, NewConfig(geom.V(1, 1), geom.V(1, 4)))
 	if err == nil {
-		t.Fatal("Run must reject a disconnected instance")
+		t.Fatal("Engine.Run must reject a disconnected instance")
+	}
+}
+
+// TestLookaheadVetoZeroAllocs pins the undo-based veto at zero allocations
+// steady-state: a vetoed candidate is applied to the live surface through
+// the executor's undo log, the lookahead probes mobility on reused
+// buffers, and the rollback restores the exact pre-move state — no Clone,
+// no per-candidate garbage. This is the guard behind deleting the old
+// clone-and-enumerate veto path.
+func TestLookaheadVetoZeroAllocs(t *testing.T) {
+	cfg := NewConfig(geom.V(1, 0), geom.V(1, 5))
+	lib := rules.StandardLibrary()
+	surf := surfaceWith(t, 8, 8,
+		geom.V(1, 0), geom.V(2, 0), geom.V(3, 0), geom.V(1, 1), geom.V(2, 1))
+	cons := BuildConstraints(cfg, surf, lib)
+
+	// A mover with a valid, veto-passing candidate.
+	id, ok := surf.BlockAt(geom.V(2, 1))
+	if !ok {
+		t.Fatal("no block on the lane cell")
+	}
+	apps, err := surf.ApplicationsFor(id, lib, cons)
+	if err != nil || len(apps) == 0 {
+		t.Fatalf("lane block has no constrained applications (err=%v)", err)
+	}
+	app := apps[0]
+	before := surf.Positions()
+
+	// Warm-up: grows every scratch buffer once.
+	if err := surf.Validate(app, cons); err != nil {
+		t.Fatalf("warm-up validate: %v", err)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if err := surf.Validate(app, cons); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("undo-based veto validate allocates %v/op, want 0", n)
+	}
+
+	// The apply-inspect-rollback pass must leave the surface bit-identical.
+	after := surf.Positions()
+	if len(before) != len(after) {
+		t.Fatalf("veto pass changed the block count: %d -> %d", len(before), len(after))
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("veto pass moved a block: %v -> %v", before[i], after[i])
+		}
+	}
+	if !surf.Connected() {
+		t.Fatal("veto pass left the surface disconnected")
 	}
 }

@@ -98,6 +98,7 @@ type options struct {
 	observer  Observer
 	debugLog  bool
 	workers   int
+	parallel  int
 }
 
 // Option tunes an Engine at construction.
@@ -135,6 +136,14 @@ func WithFaultWrap(w func(exec.CodeFactory) exec.CodeFactory) Option {
 // WithRoundCap caps the number of elections when the run's Config leaves
 // MaxRounds zero (which otherwise derives a generous instance-size bound).
 func WithRoundCap(n int) Option { return func(o *options) { o.roundCap = n } }
+
+// WithParallelMoves sets the election batch width K for runs whose Config
+// leaves ParallelMoves zero: each round the Root admits up to K
+// non-interfering winners (disjoint sensing windows, no cut vertices beyond
+// the serial winner) that all hop in the same round. K = 1 (the default) is
+// the paper-faithful serial protocol; K is capped at msg.MaxBatch. An
+// explicit Config.ParallelMoves still wins, mirroring WithRoundCap.
+func WithParallelMoves(k int) Option { return func(o *options) { o.parallel = k } }
 
 // WithObserver attaches the structured event stream consumer: round starts,
 // election outcomes, applied motions, termination, message totals. The
@@ -231,6 +240,9 @@ func (e *Engine) runInstance(ctx context.Context, surf *lattice.Surface, cfg Con
 	}
 	if cfg.MaxRounds == 0 && e.opts.roundCap > 0 {
 		cfg.MaxRounds = e.opts.roundCap
+	}
+	if cfg.ParallelMoves == 0 && e.opts.parallel > 0 {
+		cfg.ParallelMoves = e.opts.parallel
 	}
 	cfg = cfg.WithRunDefaults(surf)
 

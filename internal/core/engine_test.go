@@ -37,14 +37,17 @@ func checkSurfaceIntegrity(t *testing.T, surf *lattice.Surface, wantBlocks int) 
 	}
 }
 
-// TestEngineRunMatchesLegacyRun: the session API and the deprecated shim
-// are the same computation — identical results on identical seeds.
-func TestEngineRunMatchesLegacyRun(t *testing.T) {
+// TestEngineSerialWidthIsDefault: WithParallelMoves(1) is the same
+// computation as the default (unset) width — identical results, messages
+// and virtual time on identical seeds. The full differential against the
+// recorded pre-refactor protocol lives in parallel_test.go.
+func TestEngineSerialWidthIsDefault(t *testing.T) {
 	s1, err := scenario.Fig10()
 	if err != nil {
 		t.Fatal(err)
 	}
-	legacy, err := core.Run(s1.Surface, rules.StandardLibrary(), s1.Config(), core.RunParams{Seed: 1})
+	plain, err := core.NewEngine(rules.StandardLibrary(), core.WithSeed(1)).
+		Run(context.Background(), s1.Surface, s1.Config())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,15 +55,15 @@ func TestEngineRunMatchesLegacyRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng := core.NewEngine(rules.StandardLibrary(), core.WithSeed(1))
+	eng := core.NewEngine(rules.StandardLibrary(), core.WithSeed(1), core.WithParallelMoves(1))
 	res, err := eng.Run(context.Background(), s2.Surface, s2.Config())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if legacy.Hops != res.Hops || legacy.Rounds != res.Rounds ||
-		legacy.MessagesSent != res.MessagesSent || legacy.VirtualTime != res.VirtualTime ||
-		legacy.Events != res.Events {
-		t.Errorf("session diverged from legacy shim:\nlegacy  %+v\nsession %+v", legacy, res)
+	if plain.Hops != res.Hops || plain.Rounds != res.Rounds ||
+		plain.MessagesSent != res.MessagesSent || plain.VirtualTime != res.VirtualTime ||
+		plain.Events != res.Events {
+		t.Errorf("k=1 diverged from the default serial protocol:\ndefault %+v\nk=1     %+v", plain, res)
 	}
 }
 

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -8,15 +9,15 @@ import (
 	"repro/internal/scenario"
 )
 
-// ExampleRun executes Algorithm 1 on the smallest sensible instance: a 2x2
-// blob raising a three-cell column over the input.
-func ExampleRun() {
+// ExampleEngine_Run executes Algorithm 1 on the smallest sensible instance:
+// a 2x2 blob raising a three-cell column over the input.
+func ExampleEngine_Run() {
 	s, err := scenario.Staircase("tiny", []int{2, 2}, 2)
 	if err != nil {
 		fmt.Println("error:", err)
 		return
 	}
-	res, err := core.Run(s.Surface, rules.StandardLibrary(), s.Config(), core.RunParams{Seed: 1})
+	res, err := core.NewEngine(rules.StandardLibrary(), core.WithSeed(1)).Run(context.Background(), s.Surface, s.Config())
 	if err != nil {
 		fmt.Println("error:", err)
 		return

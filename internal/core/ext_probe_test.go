@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -22,7 +23,7 @@ func TestExtendedLibraryCompatibility(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := core.Run(s.Surface, lib.l, s.Config(), core.RunParams{Seed: 1})
+		res, err := core.NewEngine(lib.l, core.WithSeed(1)).Run(context.Background(), s.Surface, s.Config())
 		if err != nil || !res.Success || !res.PathBuilt {
 			t.Fatalf("%s: %v err=%v", lib.name, res, err)
 		}

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -29,7 +30,7 @@ func TestLemma1Property(t *testing.T) {
 			t.Fatalf("seed %d: generator violated the Lemma precondition: %d cells, %d blocks",
 				seed, pathCells, n)
 		}
-		res, err := core.Run(s.Surface, rules.StandardLibrary(), s.Config(), core.RunParams{Seed: seed})
+		res, err := core.NewEngine(rules.StandardLibrary(), core.WithSeed(seed)).Run(context.Background(), s.Surface, s.Config())
 		if err != nil {
 			t.Errorf("seed %d (%s): %v", seed, s.Name, err)
 			continue
@@ -60,7 +61,7 @@ func TestLemma1FiniteTime(t *testing.T) {
 		n := s.Surface.NumBlocks()
 		d := s.Input.Manhattan(s.Output)
 		cap := 64 + 8*n*(d+2)
-		res, err := core.Run(s.Surface, rules.StandardLibrary(), s.Config(), core.RunParams{Seed: seed})
+		res, err := core.NewEngine(rules.StandardLibrary(), core.WithSeed(seed)).Run(context.Background(), s.Surface, s.Config())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -47,7 +48,7 @@ func TestGeneralPositionCharacterization(t *testing.T) {
 		}
 		cfg := s2.Config()
 		cfg.MaxRounds = 600
-		res, err := core.Run(s2.Surface, rules.StandardLibrary(), cfg, core.RunParams{Seed: 1})
+		res, err := core.NewEngine(rules.StandardLibrary(), core.WithSeed(1)).Run(context.Background(), s2.Surface, cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", c.name, err)
 		}

@@ -67,11 +67,20 @@ type Event struct {
 	// Tier is the admission tier of the election (RoundStarted).
 	Tier msg.Tier
 
-	// Winner is the elected block, or lattice.None for an empty election
-	// (ElectionDecided).
+	// Winner is the elected block — the best candidate, identical to the
+	// serial protocol's single winner — or lattice.None for an empty
+	// election (ElectionDecided).
 	Winner lattice.BlockID
 	// Distance is the winner's bid: its hop count to O (ElectionDecided).
 	Distance int32
+	// Winners is the admitted move-set of the round in admission order:
+	// Winners[0] == Winner, followed by the extra non-interfering winners of
+	// a parallel-moves batch. Nil for an empty election (ElectionDecided).
+	Winners []lattice.BlockID
+	// Batch is len(Winners) on ElectionDecided — the round's admitted
+	// winner count — and the configured parallel-moves width K on
+	// RoundStarted.
+	Batch int
 
 	// Apply is the physical-layer result (MotionApplied).
 	Apply lattice.ApplyResult
@@ -136,27 +145,6 @@ func (m multiObserver) OnEvent(ev Event) {
 	for _, o := range m {
 		o.OnEvent(ev)
 	}
-}
-
-// CallbackObserver adapts the legacy OnApply/Logf callback pair to the
-// Observer stream; either callback may be nil. It backs the deprecated
-// Run/RunAsync shims.
-func CallbackObserver(onApply func(lattice.ApplyResult), logf func(string, ...any)) Observer {
-	if onApply == nil && logf == nil {
-		return nil
-	}
-	return ObserverFunc(func(ev Event) {
-		switch ev.Kind {
-		case EventMotionApplied:
-			if onApply != nil {
-				onApply(ev.Apply)
-			}
-		case EventLog:
-			if logf != nil {
-				logf("%s", ev.Text)
-			}
-		}
-	})
 }
 
 // emitter serialises event delivery to one observer. The DES never

@@ -43,56 +43,63 @@ func planCandidates(cfg Config, lib *rules.Library, pos geom.Vec, sense func(geo
 	return filterCandidates(cfg, lib.ApplicationsFor(pos, sense), pos, tier, avoid)
 }
 
-// planCandidatesOn is planCandidates over a rules.WindowSource: callers
-// holding a full surface (the planner veto's lookahead over its scratch
-// clone) extract each candidate's sensing window from the row bitsets
-// instead of issuing per-cell predicate calls. Same admissibility rules,
-// same ordering, just the compiled fast path end to end.
-func planCandidatesOn(cfg Config, lib *rules.Library, pos geom.Vec, src rules.WindowSource, tier msg.Tier, avoid *geom.Vec) []CandidateMove {
-	cfg.Counters.CandidateEnumerations.Add(1)
-	return filterCandidates(cfg, lib.ApplicationsOn(pos, src), pos, tier, avoid)
+// admissibleMove applies the tier/freeze/avoid admissibility rules of
+// eq. (9) to one physics-valid application, without allocating: the moves
+// are read straight off the rule rather than through AbsMoves.
+func admissibleMove(cfg Config, app rules.Application, pos geom.Vec, tier msg.Tier, avoid *geom.Vec) (CandidateMove, bool) {
+	mv, ok := app.MoveOf(pos)
+	if !ok {
+		return CandidateMove{}, false
+	}
+	d0 := pos.Manhattan(cfg.Output)
+	d1 := mv.To.Manhattan(cfg.Output)
+	if tier == msg.TierDecreasing && d1 >= d0 {
+		return CandidateMove{}, false
+	}
+	if avoid != nil && mv.To == *avoid {
+		return CandidateMove{}, false
+	}
+	for _, m := range app.Rule.Moves {
+		from, to := app.Anchor.Add(m.From), app.Anchor.Add(m.To)
+		if cfg.Frozen(from) {
+			// Frozen path blocks keep their cells; the Root never moves,
+			// not even carried.
+			return CandidateMove{}, false
+		}
+		if from != pos && to.Manhattan(cfg.Output) >= from.Manhattan(cfg.Output) {
+			// A carried helper must strictly approach O too. Without this, a
+			// block can "shove" a neighbour backwards as an unwilling
+			// helper, and two blocks shoving each other over a contested
+			// cell livelock the system (each sees its own distance decrease
+			// while undoing the other's hop).
+			return CandidateMove{}, false
+		}
+	}
+	return CandidateMove{App: app, To: mv.To}, true
 }
 
-// filterCandidates applies the tier/freeze/avoid admissibility rules of
-// eq. (9) to the physics-valid applications and orders the survivors
-// best-first.
+// hasAdmissibleOn reports whether the block at pos has any admissible move
+// at the given tier, streaming the physics-valid applications into a reused
+// buffer: the blocking veto asks this once per mobile block per vetoed
+// candidate, so the probe must not allocate once the buffer is warm.
+func hasAdmissibleOn(cfg Config, lib *rules.Library, pos geom.Vec, src rules.WindowSource, tier msg.Tier, buf *[]rules.Application) bool {
+	*buf = lib.AppendApplicationsOn((*buf)[:0], pos, src)
+	for _, app := range *buf {
+		if _, ok := admissibleMove(cfg, app, pos, tier, nil); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// filterCandidates applies the admissibility rules of eq. (9) to the
+// physics-valid applications and orders the survivors best-first.
 func filterCandidates(cfg Config, apps []rules.Application, pos geom.Vec, tier msg.Tier, avoid *geom.Vec) []CandidateMove {
-	d0 := pos.Manhattan(cfg.Output)
 	var out []CandidateMove
 	for _, app := range apps {
-		mv, ok := app.MoveOf(pos)
-		if !ok {
-			continue
+		if mv, ok := admissibleMove(cfg, app, pos, tier, avoid); ok {
+			out = append(out, mv)
 		}
-		d1 := mv.To.Manhattan(cfg.Output)
-		if tier == msg.TierDecreasing && d1 >= d0 {
-			continue
-		}
-		if avoid != nil && mv.To == *avoid {
-			continue
-		}
-		badMover := false
-		for _, am := range app.AbsMoves() {
-			if cfg.Frozen(am.From) {
-				// Frozen path blocks keep their cells; the Root never
-				// moves, not even carried.
-				badMover = true
-				break
-			}
-			if am.From != pos && am.To.Manhattan(cfg.Output) >= am.From.Manhattan(cfg.Output) {
-				// A carried helper must strictly approach O too. Without
-				// this, a block can "shove" a neighbour backwards as an
-				// unwilling helper, and two blocks shoving each other over
-				// a contested cell livelock the system (each sees its own
-				// distance decrease while undoing the other's hop).
-				badMover = true
-				break
-			}
-		}
-		if badMover {
-			continue
-		}
-		out = append(out, CandidateMove{App: app, To: mv.To})
 	}
 	sort.SliceStable(out, func(i, j int) bool {
 		// 1. Joining the path beats everything: a block that freezes onto

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -18,7 +19,7 @@ func TestElectionActivatesEveryBlock(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := core.Run(s.Surface, rules.StandardLibrary(), s.Config(), core.RunParams{Seed: 1})
+	res, err := core.NewEngine(rules.StandardLibrary(), core.WithSeed(1)).Run(context.Background(), s.Surface, s.Config())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +39,7 @@ func TestMessageConservation(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := scs[0]
-	res, err := core.Run(s.Surface, rules.StandardLibrary(), s.Config(), core.RunParams{Seed: 3})
+	res, err := core.NewEngine(rules.StandardLibrary(), core.WithSeed(3)).Run(context.Background(), s.Surface, s.Config())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestEscapeRoundsAreCounted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := core.Run(s.Surface, rules.StandardLibrary(), s.Config(), core.RunParams{Seed: 1})
+	res, err := core.NewEngine(rules.StandardLibrary(), core.WithSeed(1)).Run(context.Background(), s.Surface, s.Config())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestVirtualTimeAdvances(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := core.Run(s.Surface, rules.StandardLibrary(), s.Config(), core.RunParams{Seed: 1})
+	res, err := core.NewEngine(rules.StandardLibrary(), core.WithSeed(1)).Run(context.Background(), s.Surface, s.Config())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestMaxRoundsCapRespected(t *testing.T) {
 	}
 	cfg := s.Config()
 	cfg.MaxRounds = 5
-	res, err := core.Run(s.Surface, rules.StandardLibrary(), cfg, core.RunParams{Seed: 1})
+	res, err := core.NewEngine(rules.StandardLibrary(), core.WithSeed(1)).Run(context.Background(), s.Surface, cfg)
 	if err != nil {
 		t.Fatalf("capped run must still terminate cleanly: %v", err)
 	}
@@ -120,10 +121,8 @@ func TestOutcomeIndependentOfLatencyModel(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := core.Run(s.Surface, rules.StandardLibrary(), s.Config(), core.RunParams{
-			Seed:    9,
-			Latency: lat,
-		})
+		res, err := core.NewEngine(rules.StandardLibrary(), core.WithSeed(9), core.WithLatency(lat)).
+			Run(context.Background(), s.Surface, s.Config())
 		if err != nil {
 			t.Fatal(err)
 		}

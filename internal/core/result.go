@@ -1,12 +1,9 @@
 package core
 
 import (
-	"context"
 	"fmt"
 
-	"repro/internal/exec"
 	"repro/internal/lattice"
-	"repro/internal/rules"
 	"repro/internal/sim"
 )
 
@@ -47,37 +44,20 @@ type Result struct {
 	Events uint64
 }
 
-// String renders a one-line summary.
-func (r Result) String() string {
-	return fmt.Sprintf("success=%t path=%t N=%d d=%d rounds=%d hops=%d apps=%d msgs=%d dist-comps=%d",
-		r.Success, r.PathBuilt, r.Blocks, r.PathLength, r.Rounds, r.Hops,
-		r.Applications, r.MessagesSent, r.Counters.DistanceComputations)
+// MovesPerRound is the realised batch parallelism of the run: admitted
+// election winners per completed election (1.0 under the serial protocol).
+func (r Result) MovesPerRound() float64 {
+	if r.Counters.Elections == 0 {
+		return 0
+	}
+	return float64(r.Counters.MovesElected) / float64(r.Counters.Elections)
 }
 
-// RunParams tunes the simulation side of a run; the zero value works.
-//
-// Deprecated: RunParams only parameterises the legacy Run shim. New code
-// builds a session engine with NewEngine(lib, opts...) and the matching
-// functional options (WithSeed, WithLatency, WithMaxEvents, WithFaultWrap,
-// WithObserver).
-type RunParams struct {
-	// Seed drives all randomness (default 1 so the zero value is usable
-	// and reproducible).
-	Seed int64
-	// Latency is the link latency model (default: uniform 500..1500 ticks,
-	// the asynchronous regime of Assumption 3).
-	Latency sim.LatencyModel
-	// MaxEvents bounds the simulation (0 = no bound; termination is
-	// guaranteed by the election round cap).
-	MaxEvents uint64
-	// OnApply observes every executed motion (trace recording).
-	OnApply func(lattice.ApplyResult)
-	// Logf receives per-block debug lines.
-	Logf func(string, ...any)
-	// Wrap, when non-nil, decorates the BlockCode factory before the
-	// engine boots; the fault-injection layer (internal/faults) hooks in
-	// here.
-	Wrap func(exec.CodeFactory) exec.CodeFactory
+// String renders a one-line summary.
+func (r Result) String() string {
+	return fmt.Sprintf("success=%t path=%t N=%d d=%d rounds=%d hops=%d apps=%d moves/round=%.2f msgs=%d dist-comps=%d",
+		r.Success, r.PathBuilt, r.Blocks, r.PathLength, r.Rounds, r.Hops,
+		r.Applications, r.MovesPerRound(), r.MessagesSent, r.Counters.DistanceComputations)
 }
 
 // ValidateInstance checks the preconditions of Assumption 2 on a surface:
@@ -114,31 +94,4 @@ func ValidateInstance(surf *lattice.Surface, cfg Config) error {
 		}
 	}
 	return nil
-}
-
-// Run executes Algorithm 1 on the DES engine until termination and returns
-// the full result. The surface is mutated in place (final configuration).
-//
-// Deprecated: Run is a thin shim over the session API. New code uses
-//
-//	eng := core.NewEngine(lib, core.WithSeed(seed), ...)
-//	res, err := eng.Run(ctx, surf, cfg)
-//
-// which adds context cancellation, backend selection and the structured
-// Observer stream.
-func Run(surf *lattice.Surface, lib *rules.Library, cfg Config, p RunParams) (Result, error) {
-	opts := []Option{WithSeed(p.Seed), WithMaxEvents(p.MaxEvents)}
-	if p.Latency != nil {
-		opts = append(opts, WithLatency(p.Latency))
-	}
-	if p.Wrap != nil {
-		opts = append(opts, WithFaultWrap(p.Wrap))
-	}
-	if obs := CallbackObserver(p.OnApply, p.Logf); obs != nil {
-		opts = append(opts, WithObserver(obs))
-		if p.Logf != nil {
-			opts = append(opts, WithDebugLog())
-		}
-	}
-	return NewEngine(lib, opts...).Run(context.Background(), surf, cfg)
 }

@@ -17,6 +17,7 @@ package election
 import (
 	"fmt"
 
+	"repro/internal/geom"
 	"repro/internal/lattice"
 	"repro/internal/msg"
 )
@@ -43,11 +44,18 @@ func (t TieBreak) String() string {
 	return fmt.Sprintf("TieBreak(%d)", int(t))
 }
 
-// Candidate is a block's bid in one election.
+// Candidate is a block's bid in one election. Beyond the paper's
+// (ShortestDistance, IDshortest) pair it carries what the Root's
+// parallel-moves interference filter consumes: the bidder's position (for
+// sensing-window disjointness) and whether the bidder is currently a cut
+// vertex of the ensemble (exec.Env.CutVertex). Neither extra field
+// participates in the election order.
 type Candidate struct {
 	Distance int32 // hops to the output O, or msg.InfiniteDistance
 	Priority uint64
 	ID       lattice.BlockID
+	Pos      geom.Vec // bidder's cell at bid time
+	Cut      bool     // bidder is an articulation point of the ensemble
 }
 
 // Neutral returns the identity element of Merge: an infinitely distant
@@ -106,29 +114,96 @@ func PriorityFor(mode TieBreak, round uint32, id lattice.BlockID) uint64 {
 }
 
 // Aggregator folds the candidates a node learns during one election round
-// (its own bid plus one per child ack) and remembers which neighbour
-// reported the running best, so Select can be routed later.
+// (its own bid plus the list carried by each child ack) into a bounded
+// top-K set ordered by Better, and remembers per entry which neighbour
+// reported it, so the Root's Select messages can be routed down the
+// father/son tree to every winner of a batch.
+//
+// Keeping a top-K set instead of a single max preserves the fold's
+// order-insensitivity: Better is a total order (ids are unique), so the kept
+// set is the K smallest elements of the multiset union no matter how the
+// child acks interleave. K = 1 degenerates to the paper's serial max-fold,
+// including the tie-break semantics per slot.
 type Aggregator struct {
-	best Candidate
-	via  lattice.BlockID // neighbour that reported best; lattice.None = self
+	k       int
+	entries []slot
 }
 
-// NewAggregator starts an aggregation with the node's own bid.
-func NewAggregator(own Candidate) *Aggregator {
-	return &Aggregator{best: own, via: lattice.None}
+// slot is one kept candidate plus its routing pointer.
+type slot struct {
+	c   Candidate
+	via lattice.BlockID // neighbour that reported c; lattice.None = self
 }
 
-// Fold merges a candidate reported by neighbour `from`.
-func (a *Aggregator) Fold(c Candidate, from lattice.BlockID) {
-	if c.Better(a.best) {
-		a.best = c
-		a.via = from
+// NewAggregator starts an aggregation with the node's own bid, keeping the
+// best k candidates (k < 1 is treated as 1; k is capped at msg.MaxBatch,
+// the wire format's candidate-list bound).
+func NewAggregator(own Candidate, k int) *Aggregator {
+	if k < 1 {
+		k = 1
 	}
+	if k > msg.MaxBatch {
+		k = msg.MaxBatch
+	}
+	a := &Aggregator{k: k, entries: make([]slot, 0, k)}
+	a.Fold(own, lattice.None)
+	return a
 }
 
-// Best returns the current best candidate.
-func (a *Aggregator) Best() Candidate { return a.best }
+// Fold merges a candidate reported by neighbour `from` into the top-K set.
+// Neutral candidates are the fold identity and are never kept.
+func (a *Aggregator) Fold(c Candidate, from lattice.BlockID) {
+	if c.IsNeutral() {
+		return
+	}
+	// Find the insertion point in the Better order (entries are tiny: k <=
+	// msg.MaxBatch, so a linear scan beats anything clever). c goes after
+	// every kept entry it does not strictly beat, so on an exact duplicate
+	// the first-reported entry keeps its slot, like the serial max-fold.
+	i := 0
+	for i < len(a.entries) && !c.Better(a.entries[i].c) {
+		i++
+	}
+	if i == a.k {
+		return // worse than every kept candidate
+	}
+	if len(a.entries) < a.k {
+		a.entries = append(a.entries, slot{})
+	}
+	copy(a.entries[i+1:], a.entries[i:])
+	a.entries[i] = slot{c: c, via: from}
+}
+
+// Best returns the best kept candidate, or Neutral when nothing was kept.
+func (a *Aggregator) Best() Candidate {
+	if len(a.entries) == 0 {
+		return Neutral()
+	}
+	return a.entries[0].c
+}
 
 // Via returns the neighbour whose subtree holds Best, or lattice.None when
 // the node's own bid is best.
-func (a *Aggregator) Via() lattice.BlockID { return a.via }
+func (a *Aggregator) Via() lattice.BlockID {
+	if len(a.entries) == 0 {
+		return lattice.None
+	}
+	return a.entries[0].via
+}
+
+// ViaFor returns the neighbour whose subtree reported candidate id (the hop
+// a Select for that winner must take), or false when id was not kept.
+func (a *Aggregator) ViaFor(id lattice.BlockID) (lattice.BlockID, bool) {
+	for _, e := range a.entries {
+		if e.c.ID == id {
+			return e.via, true
+		}
+	}
+	return lattice.None, false
+}
+
+// Len returns the number of kept candidates.
+func (a *Aggregator) Len() int { return len(a.entries) }
+
+// At returns the i-th kept candidate in Better order.
+func (a *Aggregator) At(i int) Candidate { return a.entries[i].c }

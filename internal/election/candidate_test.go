@@ -84,7 +84,7 @@ func TestFoldMatchesLinearScan(t *testing.T) {
 		for i := range reports {
 			reports[i] = report{randCandidate(rng), lattice.BlockID(100 + i)}
 		}
-		agg := NewAggregator(own)
+		agg := NewAggregator(own, 1)
 		for _, i := range rng.Perm(n) {
 			agg.Fold(reports[i].c, reports[i].from)
 		}
@@ -100,6 +100,67 @@ func TestFoldMatchesLinearScan(t *testing.T) {
 		}
 		if agg.Via() != via {
 			t.Fatalf("trial %d: Via = %v, want %v", trial, agg.Via(), via)
+		}
+	}
+}
+
+// TestTopKFoldOrderInsensitive: with k > 1 the kept set is the k smallest
+// elements of the multiset union in Better order, no matter the fold order,
+// and every kept candidate routes via the neighbour that reported it.
+func TestTopKFoldOrderInsensitive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		k := 1 + rng.Intn(4)
+		n := rng.Intn(10)
+		type report struct {
+			c    Candidate
+			from lattice.BlockID
+		}
+		reports := make([]report, n)
+		used := map[lattice.BlockID]bool{}
+		for i := range reports {
+			c := randCandidate(rng)
+			// Protocol invariant: each block bids once per round, so kept
+			// ids are unique. Drop duplicate ids to neutral.
+			if used[c.ID] {
+				c = Neutral()
+			}
+			used[c.ID] = true
+			reports[i] = report{c, lattice.BlockID(100 + i)}
+		}
+		agg := NewAggregator(Neutral(), k)
+		for _, i := range rng.Perm(n) {
+			agg.Fold(reports[i].c, reports[i].from)
+		}
+		// Reference: sort the non-neutral reports by Better, take k.
+		var ref []report
+		for _, r := range reports {
+			if r.c.IsNeutral() {
+				continue
+			}
+			i := 0
+			for i < len(ref) && ref[i].c.Better(r.c) {
+				i++
+			}
+			ref = append(ref[:i], append([]report{r}, ref[i:]...)...)
+		}
+		if len(ref) > k {
+			ref = ref[:k]
+		}
+		if agg.Len() != len(ref) {
+			t.Fatalf("trial %d: kept %d candidates, want %d", trial, agg.Len(), len(ref))
+		}
+		for i, r := range ref {
+			if agg.At(i) != r.c {
+				t.Fatalf("trial %d: At(%d) = %v, want %v", trial, i, agg.At(i), r.c)
+			}
+			via, ok := agg.ViaFor(r.c.ID)
+			if !ok || via != r.from {
+				t.Fatalf("trial %d: ViaFor(%d) = %v,%v, want %v", trial, r.c.ID, via, ok, r.from)
+			}
+		}
+		if _, ok := agg.ViaFor(lattice.BlockID(9999)); ok {
+			t.Fatalf("trial %d: ViaFor found an unkept id", trial)
 		}
 	}
 }

@@ -53,6 +53,17 @@ type Env interface {
 	// SensingRadius returns the window radius (2 x the max rule radius).
 	SensingRadius() int
 
+	// CutVertex reports whether this block is currently an articulation
+	// point of the ensemble: whether its lone departure would split the
+	// surface into disconnected pieces. In hardware this is the
+	// electro-permanent latching interlock's "load-bearing" signal — the
+	// same layer that refuses disconnecting motions (Remark 1) can tell a
+	// block it is one. In the reproduction both engines answer it from the
+	// lattice's incremental articulation cache. Blocks include the bit in
+	// their election bids so the Root's parallel-moves interference filter
+	// can admit extra winners without risking a connectivity interaction.
+	CutVertex() bool
+
 	// Library returns the motion capabilities stored in the block.
 	Library() *rules.Library
 	// Move asks the actuators to execute a rule application in which this

@@ -145,6 +145,21 @@ func RunBenchJSON() ([]byte, error) {
 		}),
 	)
 
+	// The articulation-mover connectivity verdict: retained piece labels
+	// against the overlay-DFS fallback the same query used to take (the
+	// "articulation fallback labelling" ROADMAP item).
+	artic, err := articFixture()
+	if err != nil {
+		return nil, err
+	}
+	rec.Results = append(rec.Results,
+		timeKernel("artic_fastpath", func() {
+			if !artic.surf.ConnectedAfterDisplacement(artic.from, artic.to) {
+				panic("bench: bridging displacement must stay connected")
+			}
+		}),
+	)
+
 	// One Fig. 10 end-to-end run: the paper's §V-D reconfiguration.
 	s, err := scenario.Fig10()
 	if err != nil {
@@ -166,5 +181,104 @@ func RunBenchJSON() ([]byte, error) {
 		MetricName: "block_moves",
 	})
 
+	// Batch-election kernels (parallel-moves round pipeline). Two regimes on
+	// wide surfaces, both deterministic on the DES (metric-gated by
+	// benchdiff — rounds are exact counts, not timings):
+	//
+	//   - the 65-column slope-1 staircase, where both protocols complete:
+	//     rounds-to-completion serial vs WithParallelMoves(4), plus the
+	//     realised moves-per-round of the batch run;
+	//   - the 71-column symmetric ridge, where the serial protocol livelocks
+	//     between the two flanks and only the batch pipeline completes: its
+	//     rounds-to-completion is the headline, and the serial run's metric
+	//     records the budget it exhausted without completing.
+	runWide := func(name string, build func() (*scenario.Scenario, error), k, cap int, mustComplete bool) (core.Result, time.Duration, error) {
+		ws, err := build()
+		if err != nil {
+			return core.Result{}, 0, err
+		}
+		opts := []core.Option{core.WithSeed(1), core.WithRoundCap(cap)}
+		if k > 1 {
+			opts = append(opts, core.WithParallelMoves(k))
+		}
+		t0 := time.Now()
+		res, err := core.NewEngine(rules.StandardLibrary(), opts...).
+			Run(context.Background(), ws.Surface, ws.Config())
+		if err != nil {
+			return core.Result{}, 0, fmt.Errorf("bench: %s: %w", name, err)
+		}
+		if mustComplete && !res.Success {
+			return core.Result{}, 0, fmt.Errorf("bench: %s did not complete: %v", name, res)
+		}
+		return res, time.Since(t0), nil
+	}
+
+	stairSerial, dt1, err := runWide("stair_serial", func() (*scenario.Scenario, error) { return scenario.SlopeStaircase(60, 66) }, 1, 3000, true)
+	if err != nil {
+		return nil, err
+	}
+	stairK4, dt2, err := runWide("stair_k4", func() (*scenario.Scenario, error) { return scenario.SlopeStaircase(60, 66) }, 4, 3000, true)
+	if err != nil {
+		return nil, err
+	}
+	ridgeK4, dt3, err := runWide("ridge_k4", scenario.WideRidge, 4, 2000, true)
+	if err != nil {
+		return nil, err
+	}
+	ridgeSerial, dt4, err := runWide("ridge_serial", scenario.WideRidge, 1, 4*ridgeK4.Rounds, false)
+	if err != nil {
+		return nil, err
+	}
+	rec.Results = append(rec.Results,
+		BenchResult{Name: "rounds_to_completion_serial", NsPerOp: float64(dt1.Nanoseconds()), Ops: 1,
+			Metric: float64(stairSerial.Rounds), MetricName: "rounds"},
+		BenchResult{Name: "rounds_to_completion_k4", NsPerOp: float64(dt2.Nanoseconds()), Ops: 1,
+			Metric: float64(stairK4.Rounds), MetricName: "rounds"},
+		BenchResult{Name: "moves_per_round_k4", NsPerOp: float64(dt2.Nanoseconds()), Ops: 1,
+			Metric: stairK4.MovesPerRound(), MetricName: "moves_per_round"},
+		BenchResult{Name: "ridge_rounds_to_completion_k4", NsPerOp: float64(dt3.Nanoseconds()), Ops: 1,
+			Metric: float64(ridgeK4.Rounds), MetricName: "rounds"},
+		BenchResult{Name: "ridge_serial_rounds_budget", NsPerOp: float64(dt4.Nanoseconds()), Ops: 1,
+			Metric: float64(ridgeSerial.Rounds), MetricName: "rounds_budget_exhausted"},
+	)
+	if stairK4.Rounds >= stairSerial.Rounds {
+		return nil, fmt.Errorf("bench: batch rounds %d did not improve on serial %d", stairK4.Rounds, stairSerial.Rounds)
+	}
+	if ridgeSerial.Success && ridgeSerial.Rounds < 2*ridgeK4.Rounds {
+		return nil, fmt.Errorf("bench: ridge serial completed in %d rounds, batch %d — the 2x reduction no longer holds",
+			ridgeSerial.Rounds, ridgeK4.Rounds)
+	}
+
 	return json.MarshalIndent(rec, "", "  ")
+}
+
+// articFixture builds the cut-vertex mover workload of the artic_fastpath
+// kernel: a long 1-high chain (every interior cell an articulation point)
+// with a bridging destination above, so the verdict exercises the retained
+// piece labels rather than the non-articulation fast path.
+type articWorkload struct {
+	surf     *lattice.Surface
+	from, to geom.Vec
+}
+
+func articFixture() (*articWorkload, error) {
+	surf, err := lattice.NewSurface(64, 4)
+	if err != nil {
+		return nil, err
+	}
+	for x := 0; x < 64; x++ {
+		if _, err := surf.Place(geom.V(x, 0)); err != nil {
+			return nil, err
+		}
+	}
+	for _, v := range []geom.Vec{geom.V(30, 1), geom.V(32, 1)} {
+		if _, err := surf.Place(v); err != nil {
+			return nil, err
+		}
+	}
+	surf.WarmConnectivity()
+	if !surf.IsArticulation(geom.V(31, 0)) {
+		return nil, fmt.Errorf("bench: artic fixture mover is not an articulation point")
+	}
+	return &articWorkload{surf: surf, from: geom.V(31, 0), to: geom.V(31, 1)}, nil
 }

@@ -18,6 +18,7 @@
 package faults
 
 import (
+	"errors"
 	"math/rand"
 	"sync"
 
@@ -25,6 +26,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/lattice"
 	"repro/internal/msg"
+	"repro/internal/rules"
 )
 
 // FlakySensors wraps a CodeFactory so every block's Sense readings flip
@@ -121,6 +123,65 @@ func (silentCode) OnMessage(exec.Env, lattice.BlockID, msg.Message) {}
 func (silentCode) OnMoved(exec.Env, geom.Vec, geom.Vec)             {}
 func (silentCode) OnNeighborhoodChanged(exec.Env)                   {}
 
+// ErrActuatorDead is what a broken actuator reports for every motion
+// attempt.
+var ErrActuatorDead = errors.New("faults: actuator dead, motion refused")
+
+// DeadActuators wraps a CodeFactory so the listed blocks' motion actuators
+// are broken: the blocks sense, communicate and win elections normally, but
+// every Move attempt fails without touching the surface — the
+// electro-permanent latching never engages. This is the "killed mid-batch"
+// fault of the parallel-moves studies: an elected block that cannot execute
+// its hop floods a failed MoveDone and self-suppresses, and the batch
+// round's accounting must absorb the loss without stalling or leaving a
+// half-applied motion behind (Surface.Apply's undo-log atomicity).
+func DeadActuators(inner exec.CodeFactory, dead ...lattice.BlockID) exec.CodeFactory {
+	set := make(map[lattice.BlockID]bool, len(dead))
+	for _, id := range dead {
+		set[id] = true
+	}
+	return func(id lattice.BlockID) exec.BlockCode {
+		code := inner(id)
+		if set[id] {
+			return &deadActuatorCode{inner: code}
+		}
+		return code
+	}
+}
+
+// deadActuatorCode delegates every hook, wrapping the Env so Move fails.
+type deadActuatorCode struct {
+	inner exec.BlockCode
+}
+
+func (d *deadActuatorCode) env(e exec.Env) exec.Env { return &deadActuatorEnv{Env: e} }
+
+// OnStart implements exec.BlockCode.
+func (d *deadActuatorCode) OnStart(e exec.Env) { d.inner.OnStart(d.env(e)) }
+
+// OnMessage implements exec.BlockCode.
+func (d *deadActuatorCode) OnMessage(e exec.Env, from lattice.BlockID, m msg.Message) {
+	d.inner.OnMessage(d.env(e), from, m)
+}
+
+// OnMoved implements exec.BlockCode.
+func (d *deadActuatorCode) OnMoved(e exec.Env, from, to geom.Vec) {
+	d.inner.OnMoved(d.env(e), from, to)
+}
+
+// OnNeighborhoodChanged implements exec.BlockCode.
+func (d *deadActuatorCode) OnNeighborhoodChanged(e exec.Env) {
+	d.inner.OnNeighborhoodChanged(d.env(e))
+}
+
+// deadActuatorEnv refuses every motion.
+type deadActuatorEnv struct {
+	exec.Env
+}
+
+// Move implements exec.Env: the actuator never engages.
+func (e *deadActuatorEnv) Move(app rules.Application) error { return ErrActuatorDead }
+
 // Tally counts fault-layer observations across a run; safe for concurrent
 // use (the goroutine engine shares it).
 type Tally struct {
@@ -156,5 +217,7 @@ func (t *Tally) Reads() int {
 var (
 	_ exec.BlockCode = (*flakyCode)(nil)
 	_ exec.BlockCode = silentCode{}
+	_ exec.BlockCode = (*deadActuatorCode)(nil)
 	_ exec.Env       = (*flakyEnv)(nil)
+	_ exec.Env       = (*deadActuatorEnv)(nil)
 )

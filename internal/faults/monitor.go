@@ -14,9 +14,15 @@ import (
 type Monitor struct {
 	RoundsOpened   int // elections the Root opened
 	EmptyElections int // ladders that found nobody electable
+	WinnersElected int // admitted winners across all move-sets (batch rounds count each)
 	Motions        int // rule applications that survived validation
 	Terminated     bool
 	Success        bool
+
+	// Winners records every decided election's move-set in order; the
+	// batch fault studies assert that a block which died mid-batch stops
+	// being elected while its suppression backoff lasts.
+	Winners [][]lattice.BlockID
 }
 
 // OnEvent implements core.Observer.
@@ -27,6 +33,9 @@ func (m *Monitor) OnEvent(ev core.Event) {
 	case core.EventElectionDecided:
 		if ev.Winner == lattice.None {
 			m.EmptyElections++
+		} else {
+			m.WinnersElected += ev.Batch
+			m.Winners = append(m.Winners, ev.Winners)
 		}
 	case core.EventMotionApplied:
 		m.Motions++

@@ -2,7 +2,6 @@ package lattice
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/geom"
 	"repro/internal/rules"
@@ -24,7 +23,10 @@ type Constraints struct {
 	Immobile func(BlockID) bool
 	// Veto inspects the would-be post-move surface and may reject it; the
 	// planner uses it for the Remark 1 "line or column between I and O"
-	// blocking guard. Veto runs on a scratch copy of the surface.
+	// blocking guard. The candidate motion is applied to the live surface
+	// through the executor's undo log, the veto inspects it in place, and
+	// the caller rolls the motion back — no surface clone. The veto must
+	// only read the surface it is handed.
 	Veto func(after *Surface) error
 }
 
@@ -41,11 +43,12 @@ type ApplyResult struct {
 // a handful of entries) and are then reused forever, so the boolean
 // validation verdict performs no heap allocation.
 type applyScratch struct {
-	moves   []rules.Move  // time-sorted copy of the rule's move list (replay)
+	moves   []rules.Move  // time-sorted copy of the rule's move list (replay + execution)
 	overlay []overlayCell // occupancy overrides while replaying the schedule
 	removed []geom.Vec    // net vacated cells of the candidate motion
 	added   []geom.Vec    // net filled cells of the candidate motion
-	undo    []cellSave    // execution rollback log (Apply atomicity)
+	undo    []cellSave    // execution rollback log (Apply atomicity, veto rollback)
+	ids     []BlockID     // lifted movers of the executing time step
 }
 
 // overlayCell is one occupancy override: during the schedule replay the
@@ -176,15 +179,28 @@ func (s *Surface) validate(app rules.Application, c Constraints) (violation, geo
 	if c.RequireConnectivity && !s.connectedAfterMove(s.scratch.removed, s.scratch.added) {
 		return vDisconnects, geom.Vec{}, nil
 	}
-	// 5. Veto on the post-move state; the only check that still needs a
-	//    scratch clone, because vetoes inspect a full *Surface.
+	// 5. Veto on the post-move state: apply the motion to the live surface
+	//    through the undo log, let the veto inspect it in place, roll back.
+	//    No clone — the veto pass reuses the same scratch-backed execution
+	//    the real Apply uses, so a vetoed candidate allocates nothing.
 	if c.Veto != nil {
-		after := s.Clone()
-		if err := after.execute(app); err != nil {
-			// Unreachable after the replay above; degrade to a collision.
-			return vCollision, app.Anchor, nil
+		wasValid := s.conn.valid
+		if v, at := s.executeCore(app, nil); v != vOK {
+			// Unreachable after the physics checks above; roll back and
+			// degrade to the underlying violation.
+			s.rollbackCells()
+			return v, at, nil
 		}
-		if err := c.Veto(after); err != nil {
+		err := c.Veto(s)
+		rebuilt := s.conn.valid // a veto that rebuilt saw post-move state
+		s.rollbackCells()
+		if wasValid && !rebuilt {
+			// The rollback restored the exact pre-move occupancy, so the
+			// cache contents are still correct; only the valid flag was
+			// cleared by the temporary mutations.
+			s.conn.valid = true
+		}
+		if err != nil {
 			return vVetoed, geom.Vec{}, err
 		}
 	}
@@ -341,8 +357,9 @@ func (s *Surface) Apply(app rules.Application, c Constraints) (ApplyResult, erro
 	}, nil
 }
 
-// execute performs the moves without validation or counter updates; used on
-// scratch clones during Validate.
+// execute performs the moves without validation or counter updates; the
+// connectivity property tests use it to build their post-move oracle on a
+// clone.
 func (s *Surface) execute(app rules.Application) error {
 	_, err := s.executeTracked(app)
 	return err
@@ -355,45 +372,75 @@ func (s *Surface) execute(app rules.Application) error {
 // pre-application state before returning the error — execution is atomic
 // even when called without a prior Validate.
 func (s *Surface) executeTracked(app rules.Application) ([]BlockID, error) {
-	moves := app.AbsMoves()
-	// Group by time step; each group executes atomically.
-	sort.SliceStable(moves, func(i, j int) bool { return moves[i].Time < moves[j].Time })
-	s.scratch.undo = s.scratch.undo[:0]
-	var moved []BlockID
-	for lo := 0; lo < len(moves); {
+	moved := make([]BlockID, 0, len(app.Rule.Moves))
+	if v, at := s.executeCore(app, &moved); v != vOK {
+		s.rollbackCells()
+		if v == vVacant {
+			return nil, fmt.Errorf("%w: %v during %s", ErrVacant, at, app)
+		}
+		return nil, fmt.Errorf("%w: %v during %s", ErrOccupied, at, app)
+	}
+	return moved, nil
+}
+
+// executeCore is the execution engine shared by Apply (via executeTracked)
+// and the in-place veto pass of validate: it performs the application's
+// moves grouped by time step against the live surface, recording every
+// touched cell in the undo log, entirely on the reusable scratch — no heap
+// allocation. moved, when non-nil, receives the displaced ids in move order.
+// On a mid-schedule failure it returns the violation without rolling back;
+// the caller owns the rollbackCells call (so the veto path can share the
+// same log for its unconditional rollback).
+func (s *Surface) executeCore(app rules.Application, moved *[]BlockID) (violation, geom.Vec) {
+	sc := &s.scratch
+	sc.moves = append(sc.moves[:0], app.Rule.Moves...)
+	// Stable insertion sort by time: move lists are tiny and sort.Slice
+	// would allocate its closure on every call.
+	for i := 1; i < len(sc.moves); i++ {
+		for j := i; j > 0 && sc.moves[j].Time < sc.moves[j-1].Time; j-- {
+			sc.moves[j], sc.moves[j-1] = sc.moves[j-1], sc.moves[j]
+		}
+	}
+	sc.undo = sc.undo[:0]
+	if cap(sc.ids) < len(sc.moves) {
+		sc.ids = make([]BlockID, len(sc.moves))
+	}
+	for lo := 0; lo < len(sc.moves); {
 		hi := lo
-		for hi < len(moves) && moves[hi].Time == moves[lo].Time {
+		for hi < len(sc.moves) && sc.moves[hi].Time == sc.moves[lo].Time {
 			hi++
 		}
-		group := moves[lo:hi]
-		ids := make([]BlockID, len(group))
+		group := sc.moves[lo:hi]
+		ids := sc.ids[:len(group)]
 		// Phase 1: lift every mover of the step off the grid.
 		for i, m := range group {
-			id := s.grid[s.idx(m.From)]
+			from := app.Anchor.Add(m.From)
+			id := s.grid[s.idx(from)]
 			if id == None {
-				s.rollbackCells()
-				return nil, fmt.Errorf("%w: %v during %s", ErrVacant, m.From, app)
+				return vVacant, from
 			}
 			ids[i] = id
-			s.saveCell(m.From)
-			s.grid[s.idx(m.From)] = None
-			s.clearOcc(m.From)
+			s.saveCell(from)
+			s.grid[s.idx(from)] = None
+			s.clearOcc(from)
 		}
 		// Phase 2: set every mover down on its destination.
 		for i, m := range group {
-			if s.grid[s.idx(m.To)] != None {
-				s.rollbackCells()
-				return nil, fmt.Errorf("%w: %v during %s", ErrOccupied, m.To, app)
+			to := app.Anchor.Add(m.To)
+			if s.grid[s.idx(to)] != None {
+				return vCollision, to
 			}
-			s.saveCell(m.To)
-			s.grid[s.idx(m.To)] = ids[i]
-			s.setOcc(m.To)
-			s.pos[ids[i]] = m.To
+			s.saveCell(to)
+			s.grid[s.idx(to)] = ids[i]
+			s.setOcc(to)
+			s.pos[ids[i]] = to
 		}
-		moved = append(moved, ids...)
+		if moved != nil {
+			*moved = append(*moved, ids...)
+		}
 		lo = hi
 	}
-	return moved, nil
+	return vOK, geom.Vec{}
 }
 
 // saveCell records the original occupant of v in the undo log, once: the
@@ -474,9 +521,18 @@ func (s *Surface) MoveTeleport(id BlockID, to geom.Vec, c Constraints) error {
 		}
 	}
 	if c.Veto != nil {
-		after := s.Clone()
-		after.teleport(id, from, to)
-		if err := c.Veto(after); err != nil {
+		// Same undo discipline as the rule-application veto: move in place,
+		// inspect, move back, and keep the connectivity cache warm (the
+		// teleport there and back restores the exact occupancy).
+		wasValid := s.conn.valid
+		s.teleport(id, from, to)
+		err := c.Veto(s)
+		rebuilt := s.conn.valid
+		s.teleport(id, to, from)
+		if wasValid && !rebuilt {
+			s.conn.valid = true
+		}
+		if err != nil {
 			return fmt.Errorf("%w: %v", ErrVetoed, err)
 		}
 	}

@@ -34,10 +34,18 @@ import (
 //     teleport nets one cell removed and one added) the answer is O(window):
 //     if the vacated cell is not an articulation point the remainder is
 //     connected, and the destination only needs any remaining 4-neighbour.
-//     Every other shape — articulation movers, multi-cell deltas,
-//     fault-injected already-disconnected surfaces — falls back to a DFS
-//     over the row bitsets with the delta overlaid, run entirely on reusable
-//     scratch (no Clone, no map, zero allocations once warm).
+//
+//   - when the vacated cell IS an articulation point, the piece labels
+//     retained from the Tarjan pass (DFS parent and subtree size per cell)
+//     answer the question in O(window) too: removing the cell splits its
+//     component into the subtrees of its separating DFS children plus (for a
+//     non-root) the rest; the move preserves connectivity iff the
+//     destination's remaining neighbours cover every piece, and membership
+//     of a neighbour in a child subtree is one disc-interval test. Only
+//     multi-cell deltas and fault-injected already-disconnected surfaces
+//     still fall back to a DFS over the row bitsets with the delta
+//     overlaid, run entirely on reusable scratch (no Clone, no map, zero
+//     allocations once warm).
 //
 // Connected() in surface.go stays as the reference oracle; the differential
 // property test in connectivity_test.go pins this subsystem to it across
@@ -51,9 +59,15 @@ type connState struct {
 	comps int      // number of 4-connected components of the occupancy
 	artic []uint64 // articulation-point bitset, same word layout as Surface.occ
 
-	// Rebuild scratch (iterative Tarjan), sized w*h on first use.
+	// Rebuild scratch (iterative Tarjan), sized w*h on first use. disc, low,
+	// parent and size stay valid between rebuilds (piece labels): parent is
+	// the DFS tree parent cell (-1 at a component root) and size the DFS
+	// subtree size, which together classify any cell against the pieces an
+	// articulation point's removal creates (see articMoveFast).
 	disc   []int32
 	low    []int32
+	parent []int32
+	size   []int32
 	frames []apFrame
 
 	// Query scratch (overlay DFS), sized like occ / w*h on first use.
@@ -101,9 +115,13 @@ func (s *Surface) rebuildConn() {
 	if cap(c.disc) < cells {
 		c.disc = make([]int32, cells)
 		c.low = make([]int32, cells)
+		c.parent = make([]int32, cells)
+		c.size = make([]int32, cells)
 	} else {
 		c.disc = c.disc[:cells]
 		c.low = c.low[:cells]
+		c.parent = c.parent[:cells]
+		c.size = c.size[:cells]
 		for i := range c.disc {
 			c.disc[i] = 0
 		}
@@ -127,6 +145,8 @@ func (s *Surface) rebuildConn() {
 		c.comps++
 		c.disc[start] = timer
 		c.low[start] = timer
+		c.parent[start] = -1
+		c.size[start] = 1
 		timer++
 		c.frames = append(c.frames, apFrame{cell: int32(start), parent: -1})
 		for len(c.frames) > 0 {
@@ -149,6 +169,8 @@ func (s *Surface) rebuildConn() {
 				}
 				c.disc[nb] = timer
 				c.low[nb] = timer
+				c.parent[nb] = f.cell
+				c.size[nb] = 1
 				timer++
 				c.frames = append(c.frames, apFrame{cell: nb, parent: f.cell})
 				continue
@@ -165,6 +187,7 @@ func (s *Surface) rebuildConn() {
 			}
 			pf := &c.frames[len(c.frames)-1] // stack discipline: parent frame is below
 			pf.children++
+			c.size[parent] += c.size[cell]
 			if c.low[cell] < c.low[parent] {
 				c.low[parent] = c.low[cell]
 			}
@@ -211,6 +234,24 @@ func (s *Surface) isArtic(v geom.Vec) bool {
 	return s.conn.artic[v.Y*s.occW+v.X>>6]>>(uint(v.X)&63)&1 != 0
 }
 
+// ConnectedAfterDisplacement reports whether the ensemble remains one
+// 4-connected component after moving the occupant of `from` onto the empty
+// in-bounds cell `to`, without mutating the surface. It is the exported
+// form of the planner's single-displacement connectivity query: O(window)
+// for non-articulation movers, and — via the piece labels retained from the
+// Tarjan pass — O(window) for articulation movers too. Inputs violating the
+// contract (vacant origin, occupied or out-of-bounds destination) report
+// false.
+func (s *Surface) ConnectedAfterDisplacement(from, to geom.Vec) bool {
+	if !s.Occupied(from) || s.Occupied(to) || !s.InBounds(to) {
+		return false
+	}
+	sc := &s.scratch
+	sc.removed = append(sc.removed[:0], from)
+	sc.added = append(sc.added[:0], to)
+	return s.connectedAfterMove(sc.removed, sc.added)
+}
+
 // connectedAfterMove reports whether the occupancy forms one 4-connected
 // component after simultaneously clearing the removed cells and filling the
 // added cells. removed must be currently occupied cells, added currently
@@ -232,22 +273,86 @@ func (s *Surface) connectedAfterMove(removed, added []geom.Vec) bool {
 	}
 	if len(removed) == 1 && len(added) == 1 {
 		s.ensureConn()
-		if s.conn.comps == 1 && !s.isArtic(removed[0]) {
-			// The remainder is connected and non-empty; the ensemble stays
-			// connected iff the destination touches any remaining block.
-			u, v := removed[0], added[0]
-			for _, nb := range geom.Neighbors4(v) {
-				if nb != u && s.Occupied(nb) {
-					return true
+		if s.conn.comps == 1 {
+			if !s.isArtic(removed[0]) {
+				// The remainder is connected and non-empty; the ensemble stays
+				// connected iff the destination touches any remaining block.
+				u, v := removed[0], added[0]
+				for _, nb := range geom.Neighbors4(v) {
+					if nb != u && s.Occupied(nb) {
+						return true
+					}
 				}
+				return false
 			}
-			return false
+			// Articulation mover: the move may still be legal (a corner hop
+			// can bridge the pieces it creates). The piece labels retained
+			// from the Tarjan pass answer this exactly in O(window).
+			return s.articMoveFast(removed[0], added[0])
 		}
-		// Articulation mover or already-fragmented surface: the move may
-		// still be legal (a corner hop can bridge the pieces it creates),
-		// so fall through to the exact overlay DFS.
+		// Already-fragmented surface (fault injection): the move may
+		// reconnect pieces; only the exact overlay DFS can tell.
 	}
 	return s.connectedAfterDFS(removed, added, n)
+}
+
+// articMoveFast decides connectivity for a single-displacement move whose
+// vacated cell v is an articulation point of the (single-component)
+// occupancy, using the DFS labels retained from the Tarjan pass. Removing v
+// splits its component into the subtrees of v's separating DFS children
+// (low[c] >= disc[v]; at a DFS root every child separates) plus, for a
+// non-root v, the rest of the component. The move keeps the ensemble
+// connected iff the destination d has at least one remaining neighbour in
+// every piece. Membership is one preorder-interval test — a DFS subtree
+// occupies the contiguous disc range [disc[c], disc[c]+size[c]) — and DFS
+// tree edges are grid edges, so v's children are found among its four
+// neighbours. Everything is O(1) lookups on the retained flat arrays.
+func (s *Surface) articMoveFast(v, d geom.Vec) bool {
+	c := &s.conn
+	vi := int32(v.Y*s.w + v.X)
+	var lo, hi [4]int32 // disc intervals of the separated child subtrees
+	pieces := 0
+	for dir := int8(0); dir < 4; dir++ {
+		nb := s.neighborCell(vi, dir)
+		if nb < 0 || s.grid[nb] == None || c.parent[nb] != vi {
+			continue
+		}
+		if c.low[nb] >= c.disc[vi] {
+			lo[pieces], hi[pieces] = c.disc[nb], c.disc[nb]+c.size[nb]
+			pieces++
+		}
+	}
+	rest := c.parent[vi] >= 0 // non-root v: the piece holding its DFS parent
+	total := pieces
+	if rest {
+		total++
+	}
+	var covered [5]bool // pieces 0..3, index `pieces` = the rest
+	got := 0
+	for _, nb := range geom.Neighbors4(d) {
+		if nb == v || !s.Occupied(nb) {
+			continue
+		}
+		ni := int32(nb.Y*s.w + nb.X)
+		piece := pieces // the rest, unless inside a separated subtree
+		for i := 0; i < pieces; i++ {
+			if c.disc[ni] >= lo[i] && c.disc[ni] < hi[i] {
+				piece = i
+				break
+			}
+		}
+		if piece == pieces && !rest {
+			// v is a DFS root, so every other cell lies in some child
+			// subtree; with all root children separating this is
+			// unreachable, kept as a defensive guard.
+			continue
+		}
+		if !covered[piece] {
+			covered[piece] = true
+			got++
+		}
+	}
+	return got == total
 }
 
 // occAfter is the post-move occupancy: the row bitsets with the delta

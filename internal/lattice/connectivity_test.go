@@ -343,3 +343,106 @@ func BenchmarkApplicationsForConstrained(b *testing.B) {
 		}
 	})
 }
+
+// TestArticulationMoveFastPath pins the piece-label fast path on the
+// shapes that used to fall back to the overlay DFS: articulation movers
+// whose destination does or does not bridge the pieces their departure
+// creates, including a DFS-root articulation point.
+func TestArticulationMoveFastPath(t *testing.T) {
+	// A 1-high chain: every interior cell is an articulation point.
+	chain := func(t *testing.T, extra ...geom.Vec) *Surface {
+		t.Helper()
+		s, err := NewSurface(32, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for x := 0; x < 9; x++ {
+			if _, err := s.Place(geom.V(x, 0)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, v := range extra {
+			if _, err := s.Place(v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s
+	}
+
+	check := func(t *testing.T, s *Surface, removed, added geom.Vec, want bool) {
+		t.Helper()
+		s.WarmConnectivity()
+		if !s.IsArticulation(removed) {
+			t.Fatalf("%v is not an articulation point; fixture broken", removed)
+		}
+		got := s.connectedAfterMove([]geom.Vec{removed}, []geom.Vec{added})
+		// Oracle: clone, move, full DFS.
+		after := s.Clone()
+		id, _ := after.BlockAt(removed)
+		if err := after.MoveTeleport(id, added, Constraints{}); err != nil {
+			t.Fatal(err)
+		}
+		if oracle := after.Connected(); oracle != want {
+			t.Fatalf("fixture expectation %t disagrees with the oracle %t", want, oracle)
+		}
+		if got != want {
+			t.Fatalf("connectedAfterMove(%v -> %v) = %t, want %t", removed, added, got, want)
+		}
+	}
+
+	// Mid-chain mover, destination bridges both pieces from above.
+	check(t, chain(t, geom.V(3, 1), geom.V(5, 1)), geom.V(4, 0), geom.V(4, 1), true)
+	// Mid-chain mover, destination touches only the west piece.
+	check(t, chain(t, geom.V(3, 1)), geom.V(4, 0), geom.V(4, 1), false)
+	// Chain-end neighbour: the mover is the DFS-root candidate of its
+	// component on some rebuilds; the destination strands the far piece.
+	check(t, chain(t), geom.V(1, 0), geom.V(0, 1), false)
+}
+
+// BenchmarkArticulationMoveCheck measures the cut-vertex mover verdict:
+// the retained piece labels (this PR) against the overlay-DFS fallback the
+// same query used to take. sbbench tracks the fast path across PRs as the
+// artic_fastpath kernel; the overlay-DFS baseline lives only here.
+func BenchmarkArticulationMoveCheck(b *testing.B) {
+	s, err := NewSurface(64, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for x := 0; x < 64; x++ {
+		if _, err := s.Place(geom.V(x, 0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, v := range []geom.Vec{geom.V(30, 1), geom.V(32, 1)} {
+		if _, err := s.Place(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+	removed := []geom.Vec{geom.V(31, 0)} // articulation mover mid-chain
+	added := []geom.Vec{geom.V(31, 1)}   // bridges both pieces from above
+	s.WarmConnectivity()
+	if !s.IsArticulation(removed[0]) {
+		b.Fatal("fixture: mover is not an articulation point")
+	}
+	if !s.connectedAfterMove(removed, added) {
+		b.Fatal("fixture: bridge move must stay connected")
+	}
+
+	b.Run("piece-labels", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if !s.connectedAfterMove(removed, added) {
+				b.Fatal("must stay connected")
+			}
+		}
+	})
+	b.Run("overlay-dfs", func(b *testing.B) {
+		b.ReportAllocs()
+		n := s.NumBlocks()
+		for i := 0; i < b.N; i++ {
+			if !s.connectedAfterDFS(removed, added, n) {
+				b.Fatal("must stay connected")
+			}
+		}
+	})
+}

@@ -257,13 +257,33 @@ func (s *Surface) Blocks() []BlockID {
 
 // Positions returns the occupied cells in deterministic (row-major) order.
 func (s *Surface) Positions() []geom.Vec {
-	out := make([]geom.Vec, 0, len(s.pos))
+	return s.AppendPositions(make([]geom.Vec, 0, len(s.pos)))
+}
+
+// AppendPositions appends the occupied cells to dst in deterministic
+// (row-major) order and returns the extended slice. Hot paths (the blocking
+// veto runs once per validated candidate) pass a reused buffer so the scan
+// allocates nothing once the buffer is warm.
+func (s *Surface) AppendPositions(dst []geom.Vec) []geom.Vec {
 	for i, id := range s.grid {
 		if id != None {
-			out = append(out, geom.V(i%s.w, i/s.w))
+			dst = append(dst, geom.V(i%s.w, i/s.w))
 		}
 	}
-	return out
+	return dst
+}
+
+// IsArticulation reports whether the occupied cell v is currently an
+// articulation point of the block ensemble: removing its occupant alone
+// would split the (single-component) surface. Unoccupied cells report false.
+// The answer comes from the incremental connectivity cache; after the
+// amortised rebuild it is O(1) per query.
+func (s *Surface) IsArticulation(v geom.Vec) bool {
+	if !s.Occupied(v) {
+		return false
+	}
+	s.ensureConn()
+	return s.isArtic(v)
 }
 
 // Neighbors returns the per-side neighbour table of block id: for each of

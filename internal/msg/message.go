@@ -8,9 +8,11 @@
 //
 // plus the Select message of the second phase, its acknowledgement, and the
 // round-completion floods (MoveDone, Finished) that let the Root sequence
-// Algorithm 1's iterations. Messages marshal to a fixed 44-byte wire format:
+// Algorithm 1's iterations. For parallel-moves runs an Ack additionally
+// carries the subtree's top-K candidate list (up to MaxBatch entries).
+// Messages marshal to a variable-length wire format bounded by MaxWireSize:
 // Smart Blocks have small memories, so the codec keeps every message
-// byte-bounded and allocation-free to decode.
+// byte-bounded.
 package msg
 
 import (
@@ -85,6 +87,25 @@ const (
 	TierDesperate Tier = 2
 )
 
+// MaxBatch is the largest top-K candidate list an Ack can carry, and with it
+// the largest admissible core.WithParallelMoves width: the wire format
+// reserves exactly MaxBatch candidate slots so messages stay byte-bounded
+// (Smart Blocks have small memories).
+const MaxBatch = 16
+
+// Cand is one entry of the top-K candidate list an Ack carries when the run
+// elects batches of blocks (the parallel-moves extension of §V-C): the
+// block's bid plus the two facts the Root's interference filter needs — the
+// bidder's position (sensing-window disjointness) and whether the bidder is
+// currently a cut vertex of the ensemble (its lone departure would split the
+// surface; see exec.Env.CutVertex).
+type Cand struct {
+	ID       lattice.BlockID
+	Distance int32
+	Pos      geom.Vec
+	Cut      bool
+}
+
 // Message is the single wire format for all block-to-block traffic. Unused
 // fields are zero; which fields are meaningful depends on Type.
 type Message struct {
@@ -99,6 +120,13 @@ type Message struct {
 	ShortestDistance int32           // current best distance to O
 	IDShortest       lattice.BlockID // block achieving ShortestDistance
 
+	// Top-K candidate list (Ack, parallel-moves runs): the subtree's best
+	// NumCands candidates in election order. NumCands 0 means a neutral or
+	// serial-protocol ack; the legacy ShortestDistance/IDShortest pair always
+	// mirrors Cands[0] when NumCands > 0.
+	NumCands uint8
+	Cands    [MaxBatch]Cand
+
 	// Flood fields (MoveDone/Finished).
 	Mover    lattice.BlockID // block that moved (MoveDone)
 	From, To geom.Vec        // executed hop (MoveDone)
@@ -112,6 +140,10 @@ func (m Message) String() string {
 		return fmt.Sprintf("Activate[r%d %d->%d O=%s d=%s id=%d]",
 			m.Round, m.Father, m.Son, m.Output, distString(m.ShortestDistance), m.IDShortest)
 	case TypeAck:
+		if m.NumCands > 0 {
+			return fmt.Sprintf("Ack[r%d %d->%d d=%s id=%d cands=%d]",
+				m.Round, m.Son, m.Father, distString(m.ShortestDistance), m.IDShortest, m.NumCands)
+		}
 		return fmt.Sprintf("Ack[r%d %d->%d d=%s id=%d]",
 			m.Round, m.Son, m.Father, distString(m.ShortestDistance), m.IDShortest)
 	case TypeSelect:
@@ -134,15 +166,31 @@ func distString(d int32) string {
 	return fmt.Sprintf("%d", d)
 }
 
-// WireSize is the fixed encoded size of a Message in bytes.
-const WireSize = 44
+// BaseWireSize is the encoded size of a Message carrying no candidate list:
+// the fixed 44-byte header of the serial protocol plus the NumCands count
+// byte. Each candidate entry adds CandWireSize bytes.
+const (
+	BaseWireSize = 45
+	CandWireSize = 13
+	// MaxWireSize bounds every encoded message: a full MaxBatch candidate
+	// list on top of the base header.
+	MaxWireSize = BaseWireSize + MaxBatch*CandWireSize
+)
 
-// MarshalBinary encodes m into the fixed 44-byte wire format.
+// WireSize returns the encoded size of m in bytes: the base header plus the
+// candidate list actually carried. Every message is bounded by MaxWireSize.
+func (m Message) WireSize() int { return BaseWireSize + int(m.NumCands)*CandWireSize }
+
+// MarshalBinary encodes m into the variable-length wire format: the 44-byte
+// serial header, the candidate count, then NumCands packed candidate entries.
 func (m Message) MarshalBinary() ([]byte, error) {
 	if !m.Type.Valid() {
 		return nil, fmt.Errorf("msg: cannot marshal invalid type %d", m.Type)
 	}
-	var b [WireSize]byte
+	if int(m.NumCands) > MaxBatch {
+		return nil, fmt.Errorf("msg: candidate list of %d exceeds MaxBatch %d", m.NumCands, MaxBatch)
+	}
+	b := make([]byte, m.WireSize())
 	b[0] = byte(m.Type)
 	b[1] = byte(m.Tier)
 	if m.Success {
@@ -157,18 +205,37 @@ func (m Message) MarshalBinary() ([]byte, error) {
 	binary.LittleEndian.PutUint32(b[32:], uint32(m.Mover))
 	putVec(b[36:], m.From)
 	putVec(b[40:], m.To)
-	return b[:], nil
+	b[44] = m.NumCands
+	for i := 0; i < int(m.NumCands); i++ {
+		c := m.Cands[i]
+		off := BaseWireSize + i*CandWireSize
+		binary.LittleEndian.PutUint32(b[off:], uint32(c.ID))
+		binary.LittleEndian.PutUint32(b[off+4:], uint32(c.Distance))
+		putVec(b[off+8:], c.Pos)
+		if c.Cut {
+			b[off+12] = 1
+		}
+	}
+	return b, nil
 }
 
-// UnmarshalBinary decodes the fixed wire format.
+// UnmarshalBinary decodes the wire format.
 func (m *Message) UnmarshalBinary(data []byte) error {
-	if len(data) != WireSize {
-		return fmt.Errorf("msg: wire size %d, want %d", len(data), WireSize)
+	if len(data) < BaseWireSize {
+		return fmt.Errorf("msg: wire size %d below the %d-byte base", len(data), BaseWireSize)
 	}
 	t := Type(data[0])
 	if !t.Valid() {
 		return fmt.Errorf("msg: invalid type %d on the wire", data[0])
 	}
+	n := int(data[44])
+	if n > MaxBatch {
+		return fmt.Errorf("msg: candidate count %d exceeds MaxBatch %d", n, MaxBatch)
+	}
+	if want := BaseWireSize + n*CandWireSize; len(data) != want {
+		return fmt.Errorf("msg: wire size %d, want %d for %d candidates", len(data), want, n)
+	}
+	*m = Message{}
 	m.Type = t
 	m.Tier = Tier(data[1])
 	m.Success = data[2] == 1
@@ -181,6 +248,16 @@ func (m *Message) UnmarshalBinary(data []byte) error {
 	m.Mover = lattice.BlockID(binary.LittleEndian.Uint32(data[32:]))
 	m.From = getVec(data[36:])
 	m.To = getVec(data[40:])
+	m.NumCands = uint8(n)
+	for i := 0; i < n; i++ {
+		off := BaseWireSize + i*CandWireSize
+		m.Cands[i] = Cand{
+			ID:       lattice.BlockID(binary.LittleEndian.Uint32(data[off:])),
+			Distance: int32(binary.LittleEndian.Uint32(data[off+4:])),
+			Pos:      getVec(data[off+8:]),
+			Cut:      data[off+12] == 1,
+		}
+	}
 	return nil
 }
 

@@ -29,14 +29,26 @@ func TestMarshalRoundTrip(t *testing.T) {
 		},
 		{Type: TypeFinished, Round: 55, Success: true},
 		{Type: TypeMoveDone, Round: 1, Mover: 2, From: geom.V(0, 0), To: geom.V(5, 7)},
+		{
+			Type: TypeAck, Round: 4, Father: 2, Son: 9,
+			ShortestDistance: 3, IDShortest: 9,
+			NumCands: 2,
+			Cands: [MaxBatch]Cand{
+				{ID: 9, Distance: 3, Pos: geom.V(4, 5)},
+				{ID: 11, Distance: 4, Pos: geom.V(9, 1), Cut: true},
+			},
+		},
 	}
 	for _, m := range cases {
 		data, err := m.MarshalBinary()
 		if err != nil {
 			t.Fatalf("%v: %v", m, err)
 		}
-		if len(data) != WireSize {
-			t.Fatalf("%v: wire size %d, want %d", m, len(data), WireSize)
+		if len(data) != m.WireSize() {
+			t.Fatalf("%v: wire size %d, want %d", m, len(data), m.WireSize())
+		}
+		if len(data) > MaxWireSize {
+			t.Fatalf("%v: wire size %d exceeds MaxWireSize %d", m, len(data), MaxWireSize)
 		}
 		var back Message
 		if err := back.UnmarshalBinary(data); err != nil {
@@ -65,6 +77,15 @@ func TestMarshalRoundTripProperty(t *testing.T) {
 			To:               geom.V(rng.Intn(4000)-2000, rng.Intn(4000)-2000),
 			Success:          rng.Intn(2) == 1,
 		}
+		m.NumCands = uint8(rng.Intn(MaxBatch + 1))
+		for i := 0; i < int(m.NumCands); i++ {
+			m.Cands[i] = Cand{
+				ID:       lattice.BlockID(rng.Int31()),
+				Distance: rng.Int31(),
+				Pos:      geom.V(rng.Intn(4000)-2000, rng.Intn(4000)-2000),
+				Cut:      rng.Intn(2) == 1,
+			}
+		}
 		data, err := m.MarshalBinary()
 		if err != nil {
 			return false
@@ -85,13 +106,24 @@ func TestMarshalErrors(t *testing.T) {
 		t.Error("zero-type message must not marshal")
 	}
 	var m Message
-	if err := m.UnmarshalBinary(make([]byte, WireSize-1)); err == nil {
+	if err := m.UnmarshalBinary(make([]byte, BaseWireSize-1)); err == nil {
 		t.Error("short buffer must fail")
 	}
-	bad := make([]byte, WireSize)
+	bad := make([]byte, BaseWireSize)
 	bad[0] = 99
 	if err := m.UnmarshalBinary(bad); err == nil {
 		t.Error("unknown type must fail")
+	}
+	// A frame whose candidate count disagrees with its length must fail.
+	counted := make([]byte, BaseWireSize)
+	counted[0] = byte(TypeAck)
+	counted[44] = 3
+	if err := m.UnmarshalBinary(counted); err == nil {
+		t.Error("candidate count beyond the frame must fail")
+	}
+	over := Message{Type: TypeAck, NumCands: MaxBatch + 1}
+	if _, err := over.MarshalBinary(); err == nil {
+		t.Error("candidate count beyond MaxBatch must not marshal")
 	}
 }
 
@@ -214,7 +246,7 @@ func TestNewBuffersValidation(t *testing.T) {
 func TestUnmarshalNeverPanics(t *testing.T) {
 	rng := rand.New(rand.NewSource(33))
 	for trial := 0; trial < 5000; trial++ {
-		n := rng.Intn(2 * WireSize)
+		n := rng.Intn(2 * MaxWireSize)
 		buf := make([]byte, n)
 		rng.Read(buf)
 		var m Message

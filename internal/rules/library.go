@@ -258,17 +258,24 @@ func (l *Library) ApplicationsFor(pos geom.Vec, occ func(geom.Vec) bool) []Appli
 // of each candidate anchor is extracted with word operations from the
 // source's occupancy bitsets instead of per-cell predicate calls.
 func (l *Library) ApplicationsOn(pos geom.Vec, src WindowSource) []Application {
-	var out []Application
+	return l.AppendApplicationsOn(nil, pos, src)
+}
+
+// AppendApplicationsOn appends the matching applications to dst and returns
+// the extended slice, in the same deterministic order as ApplicationsOn.
+// Hot paths that probe mobility per candidate (the planner's blocking veto)
+// pass a reused buffer so the enumeration allocates nothing once warm.
+func (l *Library) AppendApplicationsOn(dst []Application, pos geom.Vec, src WindowSource) []Application {
 	for i := range l.compiled {
 		c := &l.compiled[i]
 		for _, mover := range c.movers {
 			anchor := pos.Sub(mover)
 			if c.matchesOn(anchor, src) {
-				out = append(out, Application{Rule: c.rule, Anchor: anchor})
+				dst = append(dst, Application{Rule: c.rule, Anchor: anchor})
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // matches validates one anchored placement of the compiled rule against an

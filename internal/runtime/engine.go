@@ -361,6 +361,19 @@ func (h *host) Sense(v geom.Vec) bool {
 
 func (h *host) SensingRadius() int { return h.eng.radius }
 
+func (h *host) CutVertex() bool {
+	e := h.eng
+	// Full lock: the articulation query may lazily rebuild the connectivity
+	// cache, which mutates surface-internal state.
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	p, ok := e.surf.PositionOf(h.id)
+	if !ok {
+		return false
+	}
+	return e.surf.IsArticulation(p)
+}
+
 func (h *host) Library() *rules.Library { return h.eng.lib }
 
 func (h *host) Move(app rules.Application) error {

@@ -1,6 +1,7 @@
 package runtime_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -19,7 +20,7 @@ func TestAsyncFig10(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := core.RunAsync(s.Surface, rules.StandardLibrary(), s.Config(), core.AsyncParams{Seed: 1})
+	res, err := core.NewEngine(rules.StandardLibrary(), core.WithBackend(core.Async), core.WithSeed(1)).Run(context.Background(), s.Surface, s.Config())
 	if err != nil {
 		t.Fatalf("async run: %v (%v)", err, res)
 	}
@@ -37,7 +38,7 @@ func TestAsyncLemmaFamily(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := core.RunAsync(s.Surface, rules.StandardLibrary(), s.Config(), core.AsyncParams{Seed: seed})
+		res, err := core.NewEngine(rules.StandardLibrary(), core.WithBackend(core.Async), core.WithSeed(seed)).Run(context.Background(), s.Surface, s.Config())
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -82,7 +83,7 @@ func TestAsyncMessageCountsPlausible(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := core.RunAsync(s.Surface, rules.StandardLibrary(), s.Config(), core.AsyncParams{Seed: 5})
+	res, err := core.NewEngine(rules.StandardLibrary(), core.WithBackend(core.Async), core.WithSeed(5)).Run(context.Background(), s.Surface, s.Config())
 	if err != nil {
 		t.Fatal(err)
 	}

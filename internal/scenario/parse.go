@@ -11,13 +11,27 @@ import (
 //	fig10            the paper's §V-D example
 //	tower:N          a 2-column tower of N blocks (N even, >= 6)
 //	stair:H1,H2,...  a staircase with the given lane heights
+//	slope:TOP        the strict slope-1 staircase (TOP lanes)
+//	ridge            the 71-column parallel-moves benchmark ridge
 //
-// rise overrides the output height for stair specs; 0 derives the default
-// (total blocks - 2, the Lemma 1 limit).
+// rise overrides the output height for stair and slope specs; 0 derives the
+// default (total blocks - 2 for stairs, TOP+6 for slopes — the widest rise
+// the serial protocol still solves).
 func Parse(spec string, rise int) (*Scenario, error) {
 	switch {
 	case spec == "fig10":
 		return Fig10()
+	case spec == "ridge":
+		return WideRidge()
+	case strings.HasPrefix(spec, "slope:"):
+		top, err := strconv.Atoi(strings.TrimPrefix(spec, "slope:"))
+		if err != nil {
+			return nil, fmt.Errorf("scenario: bad slope top in %q: %w", spec, err)
+		}
+		if rise == 0 {
+			rise = top + 6
+		}
+		return SlopeStaircase(top, rise)
 	case strings.HasPrefix(spec, "tower:"):
 		n, err := strconv.Atoi(strings.TrimPrefix(spec, "tower:"))
 		if err != nil {
@@ -44,5 +58,5 @@ func Parse(spec string, rise int) (*Scenario, error) {
 		}
 		return Staircase("stair", heights, rise)
 	}
-	return nil, fmt.Errorf("scenario: unknown specification %q (want fig10, tower:N or stair:H1,H2,...)", spec)
+	return nil, fmt.Errorf("scenario: unknown specification %q (want fig10, tower:N, stair:H1,H2,..., slope:TOP or ridge)", spec)
 }

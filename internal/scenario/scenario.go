@@ -181,6 +181,65 @@ func Staircase(name string, heights []int, rise int) (*Scenario, error) {
 	return New(name, w, h, blocks, input, output)
 }
 
+// SlopeStaircase builds the strict slope-1 staircase of the given top
+// height: lanes of heights top, top-1, ..., 1 east of the path column, with
+// O `rise` rows above I. Every step corner along the face is a
+// simultaneously mobile block, and corners five or more lanes apart have
+// disjoint sensing windows — the workload on which batch elections
+// (core.WithParallelMoves) admit several winners per round. Plateau-free
+// slope-1 is also the widest shape the serial protocol is known to solve:
+// wider steps introduce retreat oscillations that livelock it.
+func SlopeStaircase(top, rise int) (*Scenario, error) {
+	if top < 2 {
+		return nil, fmt.Errorf("scenario: slope staircase needs top >= 2, got %d", top)
+	}
+	heights := make([]int, top)
+	for i := range heights {
+		heights[i] = top - i
+	}
+	s, err := Staircase(fmt.Sprintf("slope-%d-%d", top, rise), heights, rise)
+	if err != nil {
+		return nil, err
+	}
+	s.Description = fmt.Sprintf("slope-1 staircase, top %d, %d lanes, path %d", top, top, rise)
+	return s, nil
+}
+
+// WideRidge builds the parallel-moves benchmark instance: a symmetric ridge
+// on a 71-column surface — a center column of height 6 with stepped
+// shoulders descending to long 1-high tails on both flanks, I under the
+// column and O ten rows up. The two flanks feed the path from far-apart
+// faces, so batch elections make progress on both simultaneously; the
+// serial protocol ping-pongs between the symmetric faces and does not
+// complete (the livelock is a documented limitation of the greedy
+// single-winner protocol on symmetric wide surfaces, not a regression).
+func WideRidge() (*Scenario, error) {
+	const cx, w, rise = 35, 71, 10
+	heights := func(dx int) int {
+		if dx < 0 {
+			dx = -dx
+		}
+		switch {
+		case dx <= 4:
+			return 6 - dx
+		default:
+			return 1
+		}
+	}
+	var blocks []geom.Vec
+	for x := 3; x <= w-4; x++ {
+		for y := 0; y < heights(x-cx); y++ {
+			blocks = append(blocks, geom.V(x, y))
+		}
+	}
+	s, err := New("wide-ridge", w, rise+5, blocks, geom.V(cx, 0), geom.V(cx, rise))
+	if err != nil {
+		return nil, err
+	}
+	s.Description = "71-column symmetric ridge: two flanks feed the path; batch elections required"
+	return s, nil
+}
+
 // RandomStaircase draws a seeded instance from the solvable staircase
 // family: a column plus one lane of random (not taller) height and an
 // optional short tail, with O sized so the Lemma 1 precondition holds

@@ -337,6 +337,8 @@ func (h *host) Sense(v geom.Vec) bool {
 
 func (h *host) SensingRadius() int { return h.eng.radius }
 
+func (h *host) CutVertex() bool { return h.eng.surf.IsArticulation(h.Position()) }
+
 func (h *host) Library() *rules.Library { return h.eng.lib }
 
 func (h *host) Move(app rules.Application) error {

@@ -18,6 +18,8 @@ type SessionSummary struct {
 	EscapeRounds   int // opened above TierDecreasing
 	Decided        int // elections that elected a block
 	Empty          int // elections that found nobody electable
+	MovesElected   int // admitted winners across all elections (batch move-sets)
+	BatchRounds    int // elections that admitted more than one winner
 	Motions        int // rule applications executed
 	Carries        int // of which carrying rules
 	Terminations   int // Root completion reports seen (one per instance)
@@ -41,6 +43,10 @@ func (s *SessionSummary) OnEvent(ev core.Event) {
 			s.Empty++
 		} else {
 			s.Decided++
+			s.MovesElected += ev.Batch
+			if ev.Batch > 1 {
+				s.BatchRounds++
+			}
 		}
 	case core.EventMotionApplied:
 		s.Motions++
@@ -60,11 +66,21 @@ func (s *SessionSummary) OnEvent(ev core.Event) {
 	}
 }
 
+// MovesPerRound is the realised batch parallelism: admitted winners per
+// decided election (1.0 for the serial protocol, up to K for
+// core.WithParallelMoves(K) workloads with enough non-interfering movers).
+func (s *SessionSummary) MovesPerRound() float64 {
+	if s.Decided == 0 {
+		return 0
+	}
+	return float64(s.MovesElected) / float64(s.Decided)
+}
+
 // String renders a one-line digest.
 func (s *SessionSummary) String() string {
-	return fmt.Sprintf("rounds=%d (escape %d, empty %d) motions=%d (carries %d) msgs=%d done=%d/%d",
+	return fmt.Sprintf("rounds=%d (escape %d, empty %d) motions=%d (carries %d) moves/round=%.2f msgs=%d done=%d/%d",
 		s.Rounds, s.EscapeRounds, s.Empty, s.Motions, s.Carries,
-		s.MessagesSent, s.Successes, s.Terminations)
+		s.MovesPerRound(), s.MessagesSent, s.Successes, s.Terminations)
 }
 
 var _ core.Observer = (*SessionSummary)(nil)

@@ -42,6 +42,9 @@ type Recorder struct {
 	in, out    geom.Vec
 	keepFrames bool
 	steps      []Step
+
+	rounds  int // decided elections seen on the observer stream
+	winners int // admitted winners across those elections (batch move-sets)
 }
 
 // NewRecorder returns a recorder bound to the surface; when keepFrames is
@@ -50,11 +53,18 @@ func NewRecorder(surf *lattice.Surface, input, output geom.Vec, keepFrames bool)
 	return &Recorder{surf: surf, in: input, out: output, keepFrames: keepFrames}
 }
 
-// OnEvent implements core.Observer: motion events append a step, every
-// other kind is ignored.
+// OnEvent implements core.Observer: motion events append a step, decided
+// elections accumulate the moves-per-round tally, everything else is
+// ignored.
 func (r *Recorder) OnEvent(ev core.Event) {
-	if ev.Kind == core.EventMotionApplied {
+	switch ev.Kind {
+	case core.EventMotionApplied:
 		r.Record(ev.Apply)
+	case core.EventElectionDecided:
+		if ev.Winner != lattice.None {
+			r.rounds++
+			r.winners += ev.Batch
+		}
 	}
 }
 
@@ -91,6 +101,16 @@ func (r *Recorder) TotalHops() int {
 		n += len(s.Moves)
 	}
 	return n
+}
+
+// MovesPerRound returns the recorded run's realised batch parallelism:
+// admitted winners per decided election (0 when the recorder was wired to
+// OnApply directly and saw no election events).
+func (r *Recorder) MovesPerRound() float64 {
+	if r.rounds == 0 {
+		return 0
+	}
+	return float64(r.winners) / float64(r.rounds)
 }
 
 // CarrySteps returns how many steps used a carrying rule.
