@@ -9,13 +9,20 @@
 //	sbbench -list            list the experiments
 //	sbbench -exp fig10       run one experiment
 //	sbbench -exp all         run the full evaluation
-//	sbbench -json            measure the hot-path kernels, write BENCH_4.json
+//	sbbench -json            measure the hot-path kernels, write BENCH_5.json
+//	sbbench -json -scale     add the 5e5/8e6 sharded flatness kernels
+//
+// -cpuprofile/-memprofile write pprof profiles of the measured work, so a
+// regression flagged by benchdiff can be drilled into without a separate
+// harness.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/experiments"
 )
@@ -27,12 +34,42 @@ func main() {
 		jsonMode = flag.Bool("json", false, "emit a machine-readable bench record")
 		// The default tracks the current PR number (BENCH_<N>.json is the
 		// per-PR trajectory convention CI's bench gate diffs against).
-		jsonOut = flag.String("o", "BENCH_4.json", "output path for -json")
+		jsonOut    = flag.String("o", "BENCH_5.json", "output path for -json")
+		scale      = flag.Bool("scale", false, "include the 5e5/8e6 sharded flatness kernels in -json (slow, hundreds of MB)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sbbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "sbbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sbbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "sbbench: %v\n", err)
+			}
+		}()
+	}
+
 	if *jsonMode {
-		data, err := experiments.RunBenchJSON()
+		data, err := experiments.RunBenchJSONWith(experiments.BenchOpts{Scale: *scale})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sbbench: bench failed: %v\n", err)
 			os.Exit(1)

@@ -43,12 +43,12 @@ func main() {
 		engine   = flag.String("engine", "des", "des (deterministic) | async (goroutines)")
 		parallel = flag.Int("parallel", 1, "election batch width K (1 = serial paper protocol)")
 		seed     = flag.Int64("seed", 1, "random seed")
-		timeout = flag.Duration("timeout", 0, "wall-clock bound (0 = backend default: none for des, 60s for async)")
-		frames  = flag.Bool("frames", false, "print a frame after every motion")
-		jsonF   = flag.String("json", "", "write the recorded run to this file")
-		svgF    = flag.String("svg", "", "write the final state as SVG to this file")
-		parts   = flag.Int("parts", 0, "convey N parts along the built path")
-		quiet   = flag.Bool("quiet", false, "result line only")
+		timeout  = flag.Duration("timeout", 0, "wall-clock bound (0 = backend default: none for des, 60s for async)")
+		frames   = flag.Bool("frames", false, "print a frame after every motion")
+		jsonF    = flag.String("json", "", "write the recorded run to this file")
+		svgF     = flag.String("svg", "", "write the final state as SVG to this file")
+		parts    = flag.Int("parts", 0, "convey N parts along the built path")
+		quiet    = flag.Bool("quiet", false, "result line only")
 	)
 	flag.Parse()
 

@@ -125,6 +125,48 @@
 // and the per-candidate veto is allocation-free steady-state
 // (TestLookaheadVetoZeroAllocs pins it at 0 allocs).
 //
+// # Sharded surfaces: column bands and boundary composition
+//
+// At the paper's §VI scale (10^6-10^7 modules) the monolithic articulation
+// cache is the last O(N) cost on the event path: one occupancy mutation
+// invalidates it, and the next constrained verdict pays a full-surface
+// Tarjan rebuild. core.WithShards(n) (lattice.Surface.EnableSharding)
+// partitions the surface into fixed-width column bands, each owning a lazy
+// band-local Tarjan core (internal/lattice/shard.go), composed globally
+// through a boundary contraction graph (contraction.go): one node per
+// band-local component, one union-find edge per occupied cell pair facing
+// each other across an internal band boundary. A mutation dirties one band
+// plus the edge lists its labels feed, so the steady-state per-event cost
+// is O(bandWidth x height) — a constant once the band width is fixed,
+// regardless of how many bands the surface grows (BENCH_5.json records the
+// flat 5e5 -> 8e6 sweep and the band-fraction rebuild speedup at 2e6).
+//
+// Queries climb an escalation ladder whose every rung is exact — the lower
+// rungs only answer when their verdict cannot be wrong, otherwise they fall
+// through: (1) band-local fast paths, O(window) — an interior non-articulation
+// mover, or an in-band articulation mover whose destination re-covers every
+// separated DFS piece; (2) the contraction graph's cached component count
+// for occupancy-preserving deltas; (3) a bounded overlay rebuild — what-if
+// band cores for the bands the delta actually touches, composed with every
+// untouched band's cached labels and boundary edges — exact for arbitrary
+// deltas and never O(surface). Sharding therefore changes where verdicts
+// are computed, never what they are: the golden differential and a
+// band-edge-concentrated property test pin the sharded subsystem to the
+// monolithic oracle, and runs under WithShards are bit-identical to
+// unsharded ones.
+//
+// core.WithShardDrive(workers) additionally shards the DES itself: one
+// event scheduler per band, advanced in virtual-time epochs of the latency
+// model's minimum link delay, with cross-band messages travelling through
+// mailboxes drained at epoch barriers (a message needs at least one epoch
+// to cross a link, so barrier delivery is never late). Hosts are pinned to
+// their band's scheduler and re-pinned at barriers when a motion crosses a
+// boundary. With workers <= 1 the bands advance sequentially and runs stay
+// deterministic per seed; with workers > 1 epochs execute on a pool guarded
+// by a surface RWMutex, and Engine.RunBatch sizes each instance's epoch
+// parallelism from its own pool's spare capacity, so the shards of one huge
+// instance spread across the batch workers.
+//
 // Start with examples/quickstart, or run:
 //
 //	go run ./cmd/smartconvey           # build a conveyor, watch it work

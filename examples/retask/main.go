@@ -5,6 +5,12 @@
 // shift" and the "afternoon shift" — and reports the cost of each
 // deployment.
 //
+// The two deployments are independent instances of one session engine, so
+// they go through Engine.RunBatch: the worker pool runs them concurrently,
+// results come back in input order, and each instance's observer events
+// (were an Observer attached) would arrive contiguously with the instance
+// index stamped.
+//
 // (Rebuilding directly from a finished column is deliberately not shown:
 // a bare 1-wide column is exactly the blocking shape Remark 1 warns about —
 // blocks in a line have no lateral support and cannot restart. A real line
@@ -24,31 +30,48 @@ import (
 
 func main() {
 	// One session engine serves every deployment of the day.
-	eng := core.NewEngine(rules.StandardLibrary(), core.WithSeed(1))
+	eng := core.NewEngine(rules.StandardLibrary(), core.WithSeed(1), core.WithWorkers(2))
 
-	deploy := func(shift string, rise int) {
-		// The same 12-block staircase blob each time.
-		s, err := scenario.Staircase("blob", []int{5, 5, 2}, rise)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("=== %s: output at %s (%d cells above the input) ===\n",
-			shift, s.Output, rise)
-		res, err := eng.Run(context.Background(), s.Surface, s.Config())
-		if err != nil {
-			log.Fatal(err)
-		}
-		if !res.Success {
-			log.Fatalf("%s deployment failed: %v", shift, res)
-		}
-		fmt.Println(trace.Render(s.Surface, s.Input, s.Output))
-		fmt.Printf("deployed with %d elections and %d block moves\n\n", res.Rounds, res.Hops)
+	shifts := []struct {
+		name string
+		rise int
+	}{
+		// Morning: a short line. Afternoon: the pick-up point moved three
+		// rows further.
+		{"morning shift", 7},
+		{"afternoon shift", 10},
 	}
 
-	// Morning: a short line.
-	deploy("morning shift", 7)
-	// Afternoon: the pick-up point moved three rows further.
-	deploy("afternoon shift", 10)
+	// The same 12-block staircase blob each time, as its own instance.
+	scs := make([]*scenario.Scenario, len(shifts))
+	insts := make([]core.Instance, len(shifts))
+	for i, sh := range shifts {
+		s, err := scenario.Staircase("blob", []int{5, 5, 2}, sh.rise)
+		if err != nil {
+			log.Fatal(err)
+		}
+		scs[i] = s
+		insts[i] = core.Instance{Name: sh.name, Surface: s.Surface, Config: s.Config()}
+	}
+
+	results, err := eng.RunBatch(context.Background(), insts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, br := range results {
+		s := scs[i]
+		fmt.Printf("=== %s: output at %s (%d cells above the input) ===\n",
+			br.Name, s.Output, shifts[i].rise)
+		if br.Err != nil {
+			log.Fatalf("%s deployment failed: %v", br.Name, br.Err)
+		}
+		if !br.Result.Success {
+			log.Fatalf("%s deployment failed: %v", br.Name, br.Result)
+		}
+		fmt.Println(trace.Render(s.Surface, s.Input, s.Output))
+		fmt.Printf("deployed with %d elections and %d block moves\n\n",
+			br.Result.Rounds, br.Result.Hops)
+	}
 
 	fmt.Println("the same blocks served both layouts; a monolithic conveyor would have")
 	fmt.Println("been replaced (paper §I: conveyors are designed for a fixed environment)")

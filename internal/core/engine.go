@@ -9,8 +9,8 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/lattice"
-	asyncrt "repro/internal/runtime"
 	"repro/internal/rules"
+	asyncrt "repro/internal/runtime"
 	"repro/internal/sim"
 )
 
@@ -47,6 +47,17 @@ type BackendParams struct {
 	Constraints lattice.Constraints
 	OnApply     func(lattice.ApplyResult)
 	Logf        func(string, ...any)
+
+	// Shards is the column-band count of the surface's sharded connectivity
+	// cache (0/1 = monolithic). The session layer has already enabled it on
+	// the surface; backends only need it to size shard-aware structures.
+	Shards int
+	// ShardDrive asks the DES backend to run one event scheduler per column
+	// band, synchronised at virtual-time epoch barriers (sim.Config.ShardDrive).
+	ShardDrive bool
+	// ShardWorkers is the epoch parallelism of the sharded drive (<= 1 =
+	// sequential, deterministic).
+	ShardWorkers int
 }
 
 // BackendFactory builds the Backend for one run. DES and Async are the two
@@ -57,15 +68,18 @@ type BackendFactory func(p BackendParams) (Backend, error)
 // substitute of §V-E): virtual time, seeded latency, reproducible runs.
 func DES(p BackendParams) (Backend, error) {
 	return sim.NewEngine(p.Surface, p.Library, p.Factory, sim.Config{
-		Input:       p.Config.Input,
-		Output:      p.Config.Output,
-		Seed:        p.Seed,
-		Latency:     p.Latency,
-		BufferCap:   p.BufferCap,
-		Constraints: p.Constraints,
-		OnApply:     p.OnApply,
-		Logf:        p.Logf,
-		MaxEvents:   p.MaxEvents,
+		Input:        p.Config.Input,
+		Output:       p.Config.Output,
+		Seed:         p.Seed,
+		Latency:      p.Latency,
+		BufferCap:    p.BufferCap,
+		Constraints:  p.Constraints,
+		OnApply:      p.OnApply,
+		Logf:         p.Logf,
+		MaxEvents:    p.MaxEvents,
+		Shards:       p.Shards,
+		ShardDrive:   p.ShardDrive,
+		ShardWorkers: p.ShardWorkers,
 	})
 }
 
@@ -99,6 +113,10 @@ type options struct {
 	debugLog  bool
 	workers   int
 	parallel  int
+
+	shards       int
+	shardDrive   bool
+	shardWorkers int
 }
 
 // Option tunes an Engine at construction.
@@ -157,6 +175,30 @@ func WithDebugLog() Option { return func(o *options) { o.debugLog = true } }
 
 // WithWorkers sets the RunBatch worker-pool size (default GOMAXPROCS).
 func WithWorkers(n int) Option { return func(o *options) { o.workers = n } }
+
+// WithShards partitions every run's surface into n column bands with
+// boundary-composed connectivity (lattice.Surface.EnableSharding): occupancy
+// mutations then invalidate one band instead of the whole cache, keeping
+// per-event validation cost flat as the surface grows (§VI scale). Sharding
+// changes only where connectivity verdicts are computed, never what they
+// are, so runs — on either backend — are bit-identical to the unsharded
+// engine. n <= 1 keeps the monolithic cache.
+func WithShards(n int) Option { return func(o *options) { o.shards = n } }
+
+// WithShardDrive additionally gives each column band its own DES event
+// scheduler, advanced in virtual-time epochs of the latency model's minimum
+// link delay with mailbox barriers in between (requires WithShards(n >= 2);
+// DES backend only — Async already runs one goroutine per block). workers is
+// the number of bands driven concurrently inside an epoch: <= 1 runs the
+// bands sequentially and stays deterministic per seed; 0 lets RunBatch size
+// it from the spare capacity of its worker pool, so the shards of one huge
+// instance spread across the pool. Cross-band motion notifications may skew
+// by less than one epoch (within Assumption 3's finite-delay envelope), so
+// the drive trades the single-heap event order for scalability; use plain
+// WithShards when bit-identical timing matters.
+func WithShardDrive(workers int) Option {
+	return func(o *options) { o.shardDrive = true; o.shardWorkers = workers }
+}
 
 // Engine is the unified session layer over the execution backends: one
 // construction, any number of Run/RunBatch sessions. The Engine is
@@ -223,12 +265,14 @@ func (r *sessionRecorder) snapshot() (fired, success bool, rounds int) {
 // The returned Result carries the full metric set of the run, including the
 // backend's virtual-time/event totals.
 func (e *Engine) Run(ctx context.Context, surf *lattice.Surface, cfg Config) (Result, error) {
-	return e.runInstance(ctx, surf, cfg, 0, newEmitter(e.opts.observer, -1, &e.obsMu))
+	return e.runInstance(ctx, surf, cfg, 0, e.opts.shardWorkers, newEmitter(e.opts.observer, -1, &e.obsMu))
 }
 
 // runInstance is the shared session core behind Run and RunBatch.
+// shardWorkers is the resolved epoch parallelism of the sharded drive for
+// this instance (RunBatch sizes it from its pool's spare capacity).
 func (e *Engine) runInstance(ctx context.Context, surf *lattice.Surface, cfg Config,
-	seedOverride int64, em *emitter) (Result, error) {
+	seedOverride int64, shardWorkers int, em *emitter) (Result, error) {
 	if e == nil || e.lib == nil {
 		return Result{}, fmt.Errorf("core: engine requires a rule library")
 	}
@@ -256,6 +300,13 @@ func (e *Engine) runInstance(ctx context.Context, surf *lattice.Surface, cfg Con
 
 	rec := &sessionRecorder{}
 	constraints := BuildConstraints(cfg, surf, e.lib)
+	// Shard the surface before warming so the boot-time build already runs
+	// band by band. Surfaces pre-sharded by the caller keep their layout.
+	if e.opts.shards > 1 && surf.ShardCount() == 0 {
+		if err := surf.EnableSharding(e.opts.shards); err != nil {
+			return Result{}, err
+		}
+	}
 	// Build the connectivity cache at boot: the first constrained Validate
 	// of every round then runs on warm articulation state instead of paying
 	// the O(N) rebuild inside the measured run.
@@ -277,18 +328,21 @@ func (e *Engine) runInstance(ctx context.Context, surf *lattice.Surface, cfg Con
 	}
 
 	backend, err := e.opts.backend(BackendParams{
-		Surface:     surf,
-		Library:     e.lib,
-		Factory:     factory,
-		Config:      cfg,
-		Seed:        seed,
-		Latency:     e.opts.latency,
-		BufferCap:   e.opts.bufferCap,
-		MaxEvents:   e.opts.maxEvents,
-		Timeout:     e.opts.timeout,
-		Constraints: constraints,
-		OnApply:     onApply,
-		Logf:        logf,
+		Surface:      surf,
+		Library:      e.lib,
+		Factory:      factory,
+		Config:       cfg,
+		Seed:         seed,
+		Latency:      e.opts.latency,
+		BufferCap:    e.opts.bufferCap,
+		MaxEvents:    e.opts.maxEvents,
+		Timeout:      e.opts.timeout,
+		Constraints:  constraints,
+		OnApply:      onApply,
+		Logf:         logf,
+		Shards:       e.opts.shards,
+		ShardDrive:   e.opts.shardDrive,
+		ShardWorkers: shardWorkers,
 	})
 	if err != nil {
 		return Result{}, err
@@ -368,6 +422,11 @@ type BatchResult struct {
 // Cancelling the context stops handing out new instances and cancels the
 // in-flight runs; RunBatch then returns the context error alongside the
 // per-instance outcomes.
+//
+// Under WithShardDrive(0) the pool's spare capacity is redistributed
+// downward: with fewer instances than workers, each instance's sharded
+// drive gets pool/instances epoch workers, so one huge sharded instance
+// spreads its bands across the whole pool instead of idling it.
 func (e *Engine) RunBatch(ctx context.Context, insts []Instance) ([]BatchResult, error) {
 	out := make([]BatchResult, len(insts))
 	if len(insts) == 0 {
@@ -376,6 +435,11 @@ func (e *Engine) RunBatch(ctx context.Context, insts []Instance) ([]BatchResult,
 	workers := e.opts.workers
 	if workers <= 0 {
 		workers = gorun.GOMAXPROCS(0)
+	}
+	shardWorkers := e.opts.shardWorkers
+	if e.opts.shardDrive && shardWorkers == 0 {
+		// Place shards of each instance across the pool's spare capacity.
+		shardWorkers = max(workers/len(insts), 1)
 	}
 	if workers > len(insts) {
 		workers = len(insts)
@@ -398,7 +462,7 @@ func (e *Engine) RunBatch(ctx context.Context, insts []Instance) ([]BatchResult,
 					// of different instances never interleave.
 					em = newEmitter(scratch.observer(), i, nil)
 				}
-				res, err := e.runInstance(ctx, ins.Surface, ins.Config, ins.Seed, em)
+				res, err := e.runInstance(ctx, ins.Surface, ins.Config, ins.Seed, shardWorkers, em)
 				out[i] = BatchResult{Instance: i, Name: ins.Name, Result: res, Err: err}
 				if e.opts.observer != nil {
 					e.obsMu.Lock()

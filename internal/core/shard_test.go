@@ -1,0 +1,168 @@
+package core_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lattice"
+	"repro/internal/rules"
+	"repro/internal/scenario"
+)
+
+// TestFig10ShardsBitIdentical: column-band sharding changes where
+// connectivity verdicts are computed, never what they are — so the sharded
+// Fig. 10 run must be bit-identical to the monolithic one, down to the
+// event count and virtual time, and keep the benchmarked 109 block moves
+// (the block_moves metric gated by benchdiff since BENCH_4.json).
+func TestFig10ShardsBitIdentical(t *testing.T) {
+	run := func(opts ...core.Option) core.Result {
+		s := fig10(t)
+		opts = append([]core.Option{core.WithSeed(1)}, opts...)
+		res, err := core.NewEngine(rules.StandardLibrary(), opts...).
+			Run(context.Background(), s.Surface, s.Config())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	mono := run()
+	sharded := run(core.WithShards(4))
+	if mono.Events != sharded.Events || mono.Hops != sharded.Hops ||
+		mono.Rounds != sharded.Rounds || mono.MessagesSent != sharded.MessagesSent ||
+		mono.VirtualTime != sharded.VirtualTime {
+		t.Errorf("sharded run diverged from monolithic:\n  mono    %+v\n  sharded %+v", mono, sharded)
+	}
+	if mono.Hops != 109 || sharded.Hops != 109 {
+		t.Errorf("block moves = %d (mono) / %d (sharded), want the benchmarked 109",
+			mono.Hops, sharded.Hops)
+	}
+}
+
+// TestGoldenDifferentialWithShards replays every DES golden run of
+// testdata/serial_golden.json with WithShards(3): the election-winner
+// sequence, round/hop totals and final surface must match the recorded
+// monolithic protocol exactly.
+func TestGoldenDifferentialWithShards(t *testing.T) {
+	data, err := os.ReadFile("testdata/serial_golden.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runs []goldenRun
+	if err := json.Unmarshal(data, &runs); err != nil {
+		t.Fatal(err)
+	}
+	replayed := 0
+	for _, g := range runs {
+		if g.Backend != "des" {
+			continue
+		}
+		replayed++
+		g := g
+		t.Run(fmt.Sprintf("%s/seed=%d", g.Scenario, g.Seed), func(t *testing.T) {
+			s := goldenScenario(t, g.Scenario)
+			var winners []lattice.BlockID
+			res, err := core.NewEngine(rules.StandardLibrary(),
+				core.WithSeed(g.Seed),
+				core.WithParallelMoves(1),
+				core.WithShards(3),
+				core.WithObserver(core.ObserverFunc(func(ev core.Event) {
+					if ev.Kind == core.EventElectionDecided {
+						winners = append(winners, ev.Winner)
+					}
+				})),
+			).Run(context.Background(), s.Surface, s.Config())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Surface.ShardCount() != 3 {
+				t.Fatalf("surface has %d bands, want 3", s.Surface.ShardCount())
+			}
+			if res.Success != g.Success || res.Rounds != g.Rounds || res.Hops != g.Hops {
+				t.Errorf("diverged from golden: success=%t rounds=%d hops=%d, want %t/%d/%d",
+					res.Success, res.Rounds, res.Hops, g.Success, g.Rounds, g.Hops)
+			}
+			if len(winners) != len(g.Winners) {
+				t.Fatalf("saw %d elections, golden has %d", len(winners), len(g.Winners))
+			}
+			for i := range winners {
+				if winners[i] != g.Winners[i] {
+					t.Fatalf("election %d elected %d, golden elected %d", i, winners[i], g.Winners[i])
+				}
+			}
+			var final []string
+			for _, p := range s.Surface.Positions() {
+				final = append(final, p.String())
+			}
+			if len(final) != len(g.Final) {
+				t.Fatalf("final surface holds %d cells, want %d", len(final), len(g.Final))
+			}
+			for i := range final {
+				if final[i] != g.Final[i] {
+					t.Fatalf("final cell %d = %s, want %s", i, final[i], g.Final[i])
+				}
+			}
+		})
+	}
+	if replayed == 0 {
+		t.Fatal("golden file holds no DES runs to replay")
+	}
+}
+
+// TestTowerShardDrive: the tower workload completes under the sharded DES
+// drive, sequentially (deterministic epochs) and with parallel epoch
+// workers (the -race-valuable mode).
+func TestTowerShardDrive(t *testing.T) {
+	for _, workers := range []int{1, 2} {
+		scs, err := scenario.TowerSweep([]int{12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := scs[0]
+		res, err := core.NewEngine(rules.StandardLibrary(), core.WithSeed(1),
+			core.WithShards(4), core.WithShardDrive(workers)).
+			Run(context.Background(), s.Surface, s.Config())
+		if err != nil || !res.Success || !res.PathBuilt {
+			t.Errorf("workers=%d: %+v err=%v", workers, res, err)
+		}
+		if res.MessagesDropped != 0 {
+			t.Errorf("workers=%d: dropped %d messages", workers, res.MessagesDropped)
+		}
+	}
+}
+
+// TestRunBatchShardPlacement: with one huge instance and a four-worker
+// pool, WithShardDrive(0) spreads the instance's bands across the pool's
+// spare capacity instead of idling three workers.
+func TestRunBatchShardPlacement(t *testing.T) {
+	scs, err := scenario.TowerSweep([]int{12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(rules.StandardLibrary(), core.WithSeed(1),
+		core.WithWorkers(4), core.WithShards(4), core.WithShardDrive(0))
+	out, err := eng.RunBatch(context.Background(), []core.Instance{
+		{Name: scs[0].Name, Surface: scs[0].Surface, Config: scs[0].Config()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Err != nil || !out[0].Result.Success {
+		t.Errorf("batch: %+v", out)
+	}
+}
+
+// TestShardDriveNeedsShards pins the option contract: the sharded drive
+// without band partitioning is a configuration error, not a silent
+// fallback.
+func TestShardDriveNeedsShards(t *testing.T) {
+	s := fig10(t)
+	_, err := core.NewEngine(rules.StandardLibrary(), core.WithShardDrive(0)).
+		Run(context.Background(), s.Surface, s.Config())
+	if err == nil {
+		t.Fatal("WithShardDrive without WithShards accepted")
+	}
+}

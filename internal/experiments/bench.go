@@ -64,9 +64,21 @@ func timeKernel(name string, fn func()) BenchResult {
 	}
 }
 
+// BenchOpts tunes RunBenchJSONWith.
+type BenchOpts struct {
+	// Scale adds the 5e5- and 8e6-module flatness kernels to the record.
+	// They exist to show the sharded per-event cost staying constant as the
+	// surface grows 16x; their fixtures take hundreds of MB and seconds to
+	// build, so they stay opt-in (sbbench -scale).
+	Scale bool
+}
+
 // RunBenchJSON measures the validation hot path and the headline end-to-end
 // run, and returns the record serialised as indented JSON.
-func RunBenchJSON() ([]byte, error) {
+func RunBenchJSON() ([]byte, error) { return RunBenchJSONWith(BenchOpts{}) }
+
+// RunBenchJSONWith is RunBenchJSON with options.
+func RunBenchJSONWith(opts BenchOpts) ([]byte, error) {
 	mm := rules.EastSliding().MM
 	mp := matrix.MustPresence([][]int{{0, 0, 0}, {1, 1, 0}, {1, 1, 1}})
 
@@ -249,7 +261,188 @@ func RunBenchJSON() ([]byte, error) {
 			ridgeSerial.Rounds, ridgeK4.Rounds)
 	}
 
+	// Sharded-surface kernels (§VI scale). The 2e6-module pair is the
+	// headline: the cost one occupancy mutation re-imposes on the next
+	// connectivity query, monolithic cache vs column-band shards. The
+	// sharded per-event kernels then ride the same fixed-height, fixed
+	// band-width fixture family, so flatness across 5e5 -> 8e6 modules
+	// (-scale) is visible as near-identical ns/op.
+	rebuilds, err := shardRebuildKernels()
+	if err != nil {
+		return nil, err
+	}
+	rec.Results = append(rec.Results, rebuilds...)
+	scales := []shardScale{{label: "2e6", cols: 3000}}
+	if opts.Scale {
+		scales = append([]shardScale{{label: "5e5", cols: 750}}, scales...)
+		scales = append(scales, shardScale{label: "8e6", cols: 12000})
+	}
+	for _, sc := range scales {
+		ks, err := shardEventKernels(sc)
+		if err != nil {
+			return nil, err
+		}
+		rec.Results = append(rec.Results, ks...)
+	}
+
 	return json.MarshalIndent(rec, "", "  ")
+}
+
+// The shard fixture family: fill height and band width are fixed, so a
+// surface grows only by adding columns (= bands) and the sharded per-event
+// cost O(bandWidth x height) is the same constant at every scale. 750
+// columns ~ 5e5 modules, 3000 ~ 2e6, 12000 ~ 8e6.
+const (
+	shardFixH  = 667 // fill rows of every shard fixture
+	shardBandW = 150 // columns per band
+)
+
+// shardScale is one point of the flatness sweep.
+type shardScale struct {
+	label string
+	cols  int
+}
+
+// shardWorkload is a built shard fixture: a filled slab with a rider block
+// sliding on its flat top (mid-band, so the escalation ladder's interior
+// fast path answers it) and a probe cell in a different band whose
+// occupancy toggling dirties exactly one band per op.
+type shardWorkload struct {
+	surf       *lattice.Surface
+	rider      lattice.BlockID
+	east, west rules.Application
+	probe      geom.Vec
+}
+
+// shardFixture fills cols x shardFixH modules and shards the surface into
+// cols/shardBandW column bands (0 bands = monolithic).
+func shardFixture(cols, bands int) (*shardWorkload, error) {
+	surf, err := lattice.NewSurface(cols, shardFixH+6)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := surf.FillRect(geom.RectSpanning(geom.V(0, 0), geom.V(cols-1, shardFixH-1))); err != nil {
+		return nil, err
+	}
+	if bands > 0 {
+		if err := surf.EnableSharding(bands); err != nil {
+			return nil, err
+		}
+	}
+	lib := rules.StandardLibrary()
+	// Rider mid-band on the flat top; probe mid-band 0, far from the rider.
+	bw := shardBandW
+	if bands <= 0 {
+		bw = cols
+	}
+	pos := geom.V((cols/bw/2)*bw+bw/2, shardFixH)
+	w := &shardWorkload{probe: geom.V(bw/4, shardFixH)}
+	if w.rider, err = surf.Place(pos); err != nil {
+		return nil, err
+	}
+	surf.WarmConnectivity()
+	if w.east, err = appMoving(lib, surf, pos, geom.V(pos.X+1, pos.Y)); err != nil {
+		return nil, err
+	}
+	// Derive the westward return from the post-east position.
+	if _, err := surf.Apply(w.east, lattice.Constraints{}); err != nil {
+		return nil, err
+	}
+	if w.west, err = appMoving(lib, surf, geom.V(pos.X+1, pos.Y), pos); err != nil {
+		return nil, err
+	}
+	if _, err := surf.Apply(w.west, lattice.Constraints{}); err != nil {
+		return nil, err
+	}
+	w.surf = surf
+	return w, nil
+}
+
+// appMoving finds the single-mover application sliding the block on from to
+// to.
+func appMoving(lib *rules.Library, surf *lattice.Surface, from, to geom.Vec) (rules.Application, error) {
+	for _, a := range lib.ApplicationsOn(from, surf) {
+		if mv, ok := a.MoveOf(from); ok && mv.To == to && len(a.Movers()) == 1 {
+			return a, nil
+		}
+	}
+	return rules.Application{}, fmt.Errorf("bench: no single-mover application %v -> %v", from, to)
+}
+
+// shardRebuildKernels is the headline pair at 2e6 modules: the cost of the
+// first connectivity query after an occupancy mutation, paying a full
+// monolithic Tarjan rebuild vs a single-band rebuild plus the contraction
+// recompute. The target regime is the band fraction (20 bands -> ~20x).
+func shardRebuildKernels() ([]BenchResult, error) {
+	const cols = 3000 // ~2e6 modules
+	kernel := func(name string, bands int) (BenchResult, error) {
+		fx, err := shardFixture(cols, bands)
+		if err != nil {
+			return BenchResult{}, err
+		}
+		res := timeKernel(name, func() {
+			// Toggle the probe: the Place dirties its band (or the whole
+			// monolithic cache), and the warm pays the rebuild.
+			pid, err := fx.surf.Place(fx.probe)
+			if err != nil {
+				panic(err)
+			}
+			fx.surf.WarmConnectivity()
+			if err := fx.surf.Remove(pid); err != nil {
+				panic(err)
+			}
+		})
+		res.Metric = float64(fx.surf.NumBlocks())
+		res.MetricName = "modules"
+		return res, nil
+	}
+	mono, err := kernel("mono_rebuild_2e6", 0)
+	if err != nil {
+		return nil, err
+	}
+	shard, err := kernel("shard_rebuild_2e6", cols/shardBandW)
+	if err != nil {
+		return nil, err
+	}
+	return []BenchResult{mono, shard}, nil
+}
+
+// shardEventKernels measures the sharded per-event costs at one scale: the
+// constrained connectivity verdict right after a mutation dirtied a band
+// (shard_validate_*), and the full single-move Apply round trip under the
+// Remark 1 guard (shard_apply_*, two applies per op). With height and band
+// width fixed, both must stay flat across the 5e5 -> 8e6 sweep.
+func shardEventKernels(sc shardScale) ([]BenchResult, error) {
+	fx, err := shardFixture(sc.cols, sc.cols/shardBandW)
+	if err != nil {
+		return nil, err
+	}
+	cons := lattice.Constraints{RequireConnectivity: true}
+	validate := timeKernel("shard_validate_"+sc.label, func() {
+		pid, err := fx.surf.Place(fx.probe)
+		if err != nil {
+			panic(err)
+		}
+		if err := fx.surf.Validate(fx.east, cons); err != nil {
+			panic(err)
+		}
+		if err := fx.surf.Remove(pid); err != nil {
+			panic(err)
+		}
+	})
+	apply := timeKernel("shard_apply_"+sc.label, func() {
+		if _, err := fx.surf.Apply(fx.east, cons); err != nil {
+			panic(err)
+		}
+		if _, err := fx.surf.Apply(fx.west, cons); err != nil {
+			panic(err)
+		}
+	})
+	validate.Metric = float64(fx.surf.NumBlocks())
+	validate.MetricName = "modules"
+	apply.Metric = float64(fx.surf.NumBlocks())
+	apply.MetricName = "modules"
+	return []BenchResult{validate, apply}, nil
 }
 
 // articFixture builds the cut-vertex mover workload of the artic_fastpath

@@ -479,7 +479,7 @@ func (s *Surface) rollbackCells() {
 // through the allocation-free validation core, so with connectivity-only
 // constraints the enumeration allocates nothing beyond the result slice.
 func (s *Surface) ApplicationsFor(id BlockID, lib *rules.Library, c Constraints) ([]rules.Application, error) {
-	pos, ok := s.pos[id]
+	pos, ok := s.posOf(id)
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownBlock, id)
 	}
@@ -499,7 +499,7 @@ func (s *Surface) ApplicationsFor(id BlockID, lib *rules.Library, c Constraints)
 // may still be demanded through c.RequireConnectivity; like Validate it is
 // answered by the incremental cache without cloning the surface.
 func (s *Surface) MoveTeleport(id BlockID, to geom.Vec, c Constraints) error {
-	from, ok := s.pos[id]
+	from, ok := s.posOf(id)
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownBlock, id)
 	}

@@ -20,12 +20,17 @@ import (
 // This file replaces the oracle on the hot path with an incrementally
 // maintained structure over the existing row bitsets:
 //
-//   - connState caches the number of 4-connected components and an
-//     articulation-point bitset (one bit per cell, the occ layout) for the
-//     *current* occupancy. It is rebuilt lazily by one iterative Tarjan
-//     DFS — O(N) with flat int32 scratch arrays, no per-node allocation —
-//     and invalidated by every setOcc/clearOcc. Because a round of the
-//     algorithm validates many candidates between consecutive surface
+//   - connCore is one Tarjan articulation pass over a column band [x0, x1):
+//     component count, component labels, an articulation-point bitset and the
+//     DFS piece labels (parent + subtree size), all in flat int32 scratch with
+//     no per-node allocation. The monolithic connState runs one core over the
+//     full width; the sharded layer (shard.go) runs one core per column band
+//     and composes them through the boundary contraction graph
+//     (contraction.go).
+//
+//   - connState caches one full-width core for the *current* occupancy. It is
+//     rebuilt lazily and invalidated by every setOcc/clearOcc. Because a round
+//     of the algorithm validates many candidates between consecutive surface
 //     mutations, the rebuild amortises to a small constant per validation.
 //
 //   - connectedAfterMove answers "is the occupancy still one component after
@@ -36,47 +41,54 @@ import (
 //     connected, and the destination only needs any remaining 4-neighbour.
 //
 //   - when the vacated cell IS an articulation point, the piece labels
-//     retained from the Tarjan pass (DFS parent and subtree size per cell)
-//     answer the question in O(window) too: removing the cell splits its
-//     component into the subtrees of its separating DFS children plus (for a
-//     non-root) the rest; the move preserves connectivity iff the
-//     destination's remaining neighbours cover every piece, and membership
-//     of a neighbour in a child subtree is one disc-interval test. Only
-//     multi-cell deltas and fault-injected already-disconnected surfaces
-//     still fall back to a DFS over the row bitsets with the delta
-//     overlaid, run entirely on reusable scratch (no Clone, no map, zero
-//     allocations once warm).
+//     retained from the Tarjan pass answer the question in O(window) too
+//     (articMoveFast): removing the cell splits its component into the
+//     subtrees of its separating DFS children plus (for a non-root) the rest;
+//     the move preserves connectivity iff the destination's remaining
+//     neighbours cover every piece, and membership of a neighbour in a child
+//     subtree is one disc-interval test. Only multi-cell deltas and
+//     fault-injected already-disconnected surfaces still fall back to a DFS
+//     over the row bitsets with the delta overlaid, run entirely on reusable
+//     scratch (no Clone, no map, zero allocations once warm).
 //
 // Connected() in surface.go stays as the reference oracle; the differential
-// property test in connectivity_test.go pins this subsystem to it across
-// randomized place/remove/apply/teleport sequences.
+// property tests in connectivity_test.go and shard_property_test.go pin both
+// the monolithic and the sharded subsystem to it across randomized
+// place/remove/apply/teleport sequences.
 
-// connState is the lazily maintained connectivity cache of a Surface. The
-// zero value is an invalid (empty) cache; Clone intentionally does not copy
-// it, so clones rebuild on first use.
-type connState struct {
-	valid bool
-	comps int      // number of 4-connected components of the occupancy
-	artic []uint64 // articulation-point bitset, same word layout as Surface.occ
+// connCore is one Tarjan articulation pass over the column band [x0, x1) of
+// a surface: the subgraph induced by the occupied cells of those columns,
+// with edges to cells outside the band ignored. Arrays are indexed by the
+// band-local cell index li = y*bw + (x - x0).
+type connCore struct {
+	x0, x1 int // column band [x0, x1)
+	bw     int // band width = x1 - x0
+	aw     int // articulation-bitset words per row = ceil(bw/64)
 
-	// Rebuild scratch (iterative Tarjan), sized w*h on first use. disc, low,
-	// parent and size stay valid between rebuilds (piece labels): parent is
-	// the DFS tree parent cell (-1 at a component root) and size the DFS
-	// subtree size, which together classify any cell against the pieces an
-	// articulation point's removal creates (see articMoveFast).
+	comps int      // number of 4-connected components within the band
+	artic []uint64 // band-local articulation bitset (aw words per row)
+
+	// Piece labels retained between rebuilds: parent is the DFS tree parent
+	// (band-local index, -1 at a component root), size the DFS subtree size,
+	// comp the component label (0..comps-1). Together they classify any band
+	// cell against the pieces an articulation point's removal creates
+	// (articMoveFast) and map boundary cells to contraction-graph nodes.
 	disc   []int32
 	low    []int32
 	parent []int32
 	size   []int32
+	comp   []int32
 	frames []apFrame
 
-	// Query scratch (overlay DFS), sized like occ / w*h on first use.
-	visited []uint64
-	stack   []int32
+	// ovR/ovA, when non-nil, overlay a move delta on the occupancy the pass
+	// reads: removed cells read empty, added cells occupied. The sharded
+	// escalation path (shard.go) uses them to rebuild a what-if band core
+	// without mutating the surface; they are nil on every cached core.
+	ovR, ovA []geom.Vec
 }
 
 // apFrame is one explicit-stack frame of the iterative articulation-point
-// DFS: the cell, its DFS parent cell (-1 at a component root), the next
+// DFS: the band-local cell, its DFS parent (-1 at a component root), the next
 // neighbour direction to examine, and the number of DFS children found.
 type apFrame struct {
 	cell     int32
@@ -85,43 +97,83 @@ type apFrame struct {
 	children int16
 }
 
-// invalidateConn drops the cached connectivity state; called by every
-// occupancy mutation (setOcc/clearOcc).
-func (s *Surface) invalidateConn() { s.conn.valid = false }
+// connState is the lazily maintained monolithic connectivity cache of a
+// Surface: one full-width connCore plus the overlay-DFS query scratch. The
+// zero value is an invalid (empty) cache; Clone intentionally does not copy
+// it, so clones rebuild on first use.
+type connState struct {
+	valid bool
+	core  connCore
+
+	// Query scratch (overlay DFS), sized like occ / w*h on first use.
+	visited []uint64
+	stack   []int32
+}
+
+// invalidateConnAt drops the cached connectivity state covering cell v;
+// called by every occupancy mutation (setOcc/clearOcc). The monolithic cache
+// always invalidates whole; the sharded cache invalidates only the owning
+// column band plus the boundary edges it feeds.
+func (s *Surface) invalidateConnAt(v geom.Vec) {
+	s.conn.valid = false
+	if s.shconn != nil {
+		s.shconn.invalidateCol(v.X)
+	}
+}
+
+// invalidateConnCols drops the cached connectivity state for every column of
+// [x0, x1] at once (bulk mutations such as FillRect).
+func (s *Surface) invalidateConnCols(x0, x1 int) {
+	s.conn.valid = false
+	if s.shconn != nil {
+		s.shconn.invalidateCols(x0, x1)
+	}
+}
 
 // WarmConnectivity builds the connectivity cache now instead of lazily on
 // the first constrained validation. Harnesses call it once after loading a
 // scenario so the O(N) rebuild happens at boot, not inside the first
-// measured election round.
-func (s *Surface) WarmConnectivity() { s.ensureConn() }
+// measured election round. With sharding enabled it builds every band cache
+// and the boundary contraction graph.
+func (s *Surface) WarmConnectivity() {
+	if s.shconn != nil {
+		s.shconn.ensure(s)
+		return
+	}
+	s.ensureConn()
+}
 
-// ensureConn rebuilds the component count and articulation bitset if any
-// occupancy mutation invalidated them.
+// ensureConn rebuilds the monolithic component count and articulation bitset
+// if any occupancy mutation invalidated them.
 func (s *Surface) ensureConn() {
 	if s.conn.valid {
 		return
 	}
-	s.rebuildConn()
+	s.conn.core.x0, s.conn.core.x1 = 0, s.w
+	s.conn.core.rebuild(s)
 	s.conn.valid = true
 }
 
-// rebuildConn runs one iterative Tarjan articulation-point pass over the
-// occupied cells. All state lives in flat reusable arrays; the only
-// allocations are the one-time scratch growths.
-func (s *Surface) rebuildConn() {
-	c := &s.conn
-	cells := s.w * s.h
-	words := s.occW * s.h
+// rebuild runs one iterative Tarjan articulation-point pass over the
+// occupied cells of the band. All state lives in flat reusable arrays; the
+// only allocations are the one-time scratch growths.
+func (c *connCore) rebuild(s *Surface) {
+	c.bw = c.x1 - c.x0
+	c.aw = (c.bw + 63) / 64
+	cells := c.bw * s.h
+	words := c.aw * s.h
 	if cap(c.disc) < cells {
 		c.disc = make([]int32, cells)
 		c.low = make([]int32, cells)
 		c.parent = make([]int32, cells)
 		c.size = make([]int32, cells)
+		c.comp = make([]int32, cells)
 	} else {
 		c.disc = c.disc[:cells]
 		c.low = c.low[:cells]
 		c.parent = c.parent[:cells]
 		c.size = c.size[:cells]
+		c.comp = c.comp[:cells]
 		for i := range c.disc {
 			c.disc[i] = 0
 		}
@@ -139,14 +191,16 @@ func (s *Surface) rebuildConn() {
 	timer := int32(1)
 
 	for start := 0; start < cells; start++ {
-		if s.grid[start] == None || c.disc[start] != 0 {
+		if !c.occLocal(s, int32(start)) || c.disc[start] != 0 {
 			continue
 		}
+		label := int32(c.comps)
 		c.comps++
 		c.disc[start] = timer
 		c.low[start] = timer
 		c.parent[start] = -1
 		c.size[start] = 1
+		c.comp[start] = label
 		timer++
 		c.frames = append(c.frames, apFrame{cell: int32(start), parent: -1})
 		for len(c.frames) > 0 {
@@ -154,8 +208,8 @@ func (s *Surface) rebuildConn() {
 			if f.nextDir < 4 {
 				d := f.nextDir
 				f.nextDir++
-				nb := s.neighborCell(f.cell, d)
-				if nb < 0 || s.grid[nb] == None || nb == f.parent {
+				nb := c.neighbor(s, f.cell, d)
+				if nb < 0 || !c.occLocal(s, nb) || nb == f.parent {
 					continue
 				}
 				if c.disc[nb] != 0 {
@@ -171,6 +225,7 @@ func (s *Surface) rebuildConn() {
 				c.low[nb] = timer
 				c.parent[nb] = f.cell
 				c.size[nb] = 1
+				c.comp[nb] = label
 				timer++
 				c.frames = append(c.frames, apFrame{cell: nb, parent: f.cell})
 				continue
@@ -181,7 +236,7 @@ func (s *Surface) rebuildConn() {
 			if parent < 0 {
 				// Component root: articulation iff it has >= 2 DFS children.
 				if children >= 2 {
-					s.setArtic(cell)
+					c.setArtic(cell)
 				}
 				continue
 			}
@@ -194,18 +249,19 @@ func (s *Surface) rebuildConn() {
 			if pf.parent >= 0 && c.low[cell] >= c.disc[parent] {
 				// No back edge from cell's subtree climbs above parent:
 				// removing parent separates that subtree.
-				s.setArtic(parent)
+				c.setArtic(parent)
 			}
 		}
 	}
 }
 
-// neighborCell returns the flat index of the d-th 4-neighbour of cell, or -1
-// when it lies beyond the surface edge. Direction order matches geom.Dirs
-// (E, N, W, S); only locality matters here.
-func (s *Surface) neighborCell(cell int32, d int8) int32 {
-	x := int(cell) % s.w
-	y := int(cell) / s.w
+// neighbor returns the band-local index of the d-th 4-neighbour of the
+// band-local cell li, or -1 when it lies beyond the band (or the surface
+// edge). Direction order matches geom.Dirs (E, N, W, S); only locality
+// matters here.
+func (c *connCore) neighbor(s *Surface, li int32, d int8) int32 {
+	x := c.x0 + int(li)%c.bw
+	y := int(li) / c.bw
 	switch d {
 	case 0:
 		x++
@@ -216,23 +272,48 @@ func (s *Surface) neighborCell(cell int32, d int8) int32 {
 	default:
 		y--
 	}
-	if x < 0 || x >= s.w || y < 0 || y >= s.h {
+	if x < c.x0 || x >= c.x1 || y < 0 || y >= s.h {
 		return -1
 	}
-	return int32(y*s.w + x)
+	return int32(y*c.bw + (x - c.x0))
 }
 
-func (s *Surface) setArtic(cell int32) {
-	x := int(cell) % s.w
-	y := int(cell) / s.w
-	s.conn.artic[y*s.occW+x>>6] |= 1 << (uint(x) & 63)
+// occLocal reports whether the band-local cell li is occupied, with the
+// what-if overlay (if any) applied.
+func (c *connCore) occLocal(s *Surface, li int32) bool {
+	x := c.x0 + int(li)%c.bw
+	y := int(li) / c.bw
+	if c.ovR != nil || c.ovA != nil {
+		return s.occAfter(geom.V(x, y), c.ovR, c.ovA)
+	}
+	return s.grid[y*s.w+x] != None
 }
 
-// isArtic reports whether v is a cached articulation point of its component.
-// Only meaningful for occupied cells after ensureConn.
-func (s *Surface) isArtic(v geom.Vec) bool {
-	return s.conn.artic[v.Y*s.occW+v.X>>6]>>(uint(v.X)&63)&1 != 0
+// localIdx translates a surface cell inside the band to its band-local index.
+func (c *connCore) localIdx(v geom.Vec) int32 {
+	return int32(v.Y*c.bw + (v.X - c.x0))
 }
+
+func (c *connCore) setArtic(li int32) {
+	lx := int(li) % c.bw
+	y := int(li) / c.bw
+	c.artic[y*c.aw+lx>>6] |= 1 << (uint(lx) & 63)
+}
+
+// isArtic reports whether v is a cached articulation point of its band-local
+// component. Only meaningful for occupied band cells after a rebuild.
+func (c *connCore) isArtic(v geom.Vec) bool {
+	lx := v.X - c.x0
+	return c.artic[v.Y*c.aw+lx>>6]>>(uint(lx)&63)&1 != 0
+}
+
+// compAt returns the band-local component label of the occupied cell v.
+func (c *connCore) compAt(v geom.Vec) int32 { return c.comp[c.localIdx(v)] }
+
+// isArtic reports whether v is a cached articulation point of its component
+// on the monolithic cache. Only meaningful for occupied cells after
+// ensureConn.
+func (s *Surface) isArtic(v geom.Vec) bool { return s.conn.core.isArtic(v) }
 
 // ConnectedAfterDisplacement reports whether the ensemble remains one
 // 4-connected component after moving the occupant of `from` onto the empty
@@ -260,20 +341,27 @@ func (s *Surface) ConnectedAfterDisplacement(from, to geom.Vec) bool {
 // Connected() evaluated on the post-move surface, including degenerate
 // inputs: <= 1 block after the move counts as connected, and moves applied
 // to an already-disconnected surface (fault injection) may reconnect it.
+//
+// With sharding enabled the question is answered by the owning band's cache
+// plus the boundary contraction graph (shard.go); the escalation ladder there
+// bounds every verdict by the band size, never the surface size.
 func (s *Surface) connectedAfterMove(removed, added []geom.Vec) bool {
-	n := len(s.pos) - len(removed) + len(added)
+	n := s.nblk - len(removed) + len(added)
 	if n <= 1 {
 		return true
+	}
+	if s.shconn != nil {
+		return s.shconn.connectedAfterMove(s, removed, added)
 	}
 	if len(removed) == 0 && len(added) == 0 {
 		// Pure rotation of occupancy (e.g. a handover cycle): the occupancy,
 		// and with it connectivity, is unchanged.
 		s.ensureConn()
-		return s.conn.comps <= 1
+		return s.conn.core.comps <= 1
 	}
 	if len(removed) == 1 && len(added) == 1 {
 		s.ensureConn()
-		if s.conn.comps == 1 {
+		if s.conn.core.comps == 1 {
 			if !s.isArtic(removed[0]) {
 				// The remainder is connected and non-empty; the ensemble stays
 				// connected iff the destination touches any remaining block.
@@ -288,7 +376,7 @@ func (s *Surface) connectedAfterMove(removed, added []geom.Vec) bool {
 			// Articulation mover: the move may still be legal (a corner hop
 			// can bridge the pieces it creates). The piece labels retained
 			// from the Tarjan pass answer this exactly in O(window).
-			return s.articMoveFast(removed[0], added[0])
+			return s.conn.core.articMoveFast(s, removed[0], added[0])
 		}
 		// Already-fragmented surface (fault injection): the move may
 		// reconnect pieces; only the exact overlay DFS can tell.
@@ -307,14 +395,26 @@ func (s *Surface) connectedAfterMove(removed, added []geom.Vec) bool {
 // occupies the contiguous disc range [disc[c], disc[c]+size[c]) — and DFS
 // tree edges are grid edges, so v's children are found among its four
 // neighbours. Everything is O(1) lookups on the retained flat arrays.
-func (s *Surface) articMoveFast(v, d geom.Vec) bool {
-	c := &s.conn
-	vi := int32(v.Y*s.w + v.X)
+//
+// On a band core the analysis sees only in-band cells: a true verdict means
+// the band-local component survives intact and is exact; a false verdict may
+// miss reconnection through neighbouring bands, so the sharded caller treats
+// false as "escalate", never as a final answer. On the monolithic (full
+// width) core both verdicts are exact. d must lie inside the band.
+func (c *connCore) articMoveFast(s *Surface, v, d geom.Vec) bool {
+	// The core is valid (ensured by the caller), so disc doubles as the
+	// band-local occupancy: nonzero iff the cell held a block at rebuild.
+	// Reading it — and deriving neighbours from the coordinates the caller
+	// already has — keeps this path free of the div/mod address translation.
+	vi := c.localIdx(v)
 	var lo, hi [4]int32 // disc intervals of the separated child subtrees
 	pieces := 0
-	for dir := int8(0); dir < 4; dir++ {
-		nb := s.neighborCell(vi, dir)
-		if nb < 0 || s.grid[nb] == None || c.parent[nb] != vi {
+	for _, nv := range [4]geom.Vec{{X: v.X + 1, Y: v.Y}, {X: v.X, Y: v.Y + 1}, {X: v.X - 1, Y: v.Y}, {X: v.X, Y: v.Y - 1}} {
+		if nv.X < c.x0 || nv.X >= c.x1 || nv.Y < 0 || nv.Y >= s.h {
+			continue
+		}
+		nb := c.localIdx(nv)
+		if c.disc[nb] == 0 || c.parent[nb] != vi {
 			continue
 		}
 		if c.low[nb] >= c.disc[vi] {
@@ -329,14 +429,17 @@ func (s *Surface) articMoveFast(v, d geom.Vec) bool {
 	}
 	var covered [5]bool // pieces 0..3, index `pieces` = the rest
 	got := 0
-	for _, nb := range geom.Neighbors4(d) {
-		if nb == v || !s.Occupied(nb) {
+	for _, nv := range [4]geom.Vec{{X: d.X + 1, Y: d.Y}, {X: d.X, Y: d.Y + 1}, {X: d.X - 1, Y: d.Y}, {X: d.X, Y: d.Y - 1}} {
+		if nv.X < c.x0 || nv.X >= c.x1 || nv.Y < 0 || nv.Y >= s.h {
 			continue
 		}
-		ni := int32(nb.Y*s.w + nb.X)
+		nb := c.localIdx(nv)
+		if nb == vi || c.disc[nb] == 0 {
+			continue
+		}
 		piece := pieces // the rest, unless inside a separated subtree
 		for i := 0; i < pieces; i++ {
-			if c.disc[ni] >= lo[i] && c.disc[ni] < hi[i] {
+			if c.disc[nb] >= lo[i] && c.disc[nb] < hi[i] {
 				piece = i
 				break
 			}

@@ -1,0 +1,330 @@
+package lattice
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rules"
+)
+
+// TestFillRectMatchesPlace pins the bulk-fill fast path to per-cell Place:
+// same occupancy words, same grid, same ids, same block count — across
+// rectangles that start/end inside, at, and across 64-bit word boundaries.
+func TestFillRectMatchesPlace(t *testing.T) {
+	cases := []struct {
+		w, h int
+		r    geom.Rect
+	}{
+		{10, 5, geom.RectSpanning(geom.V(0, 0), geom.V(9, 4))},
+		{10, 5, geom.RectSpanning(geom.V(2, 1), geom.V(7, 3))},
+		{200, 4, geom.RectSpanning(geom.V(0, 0), geom.V(199, 2))},  // 4 words per row, full rows
+		{200, 4, geom.RectSpanning(geom.V(63, 1), geom.V(64, 2))},  // word seam
+		{200, 4, geom.RectSpanning(geom.V(0, 0), geom.V(63, 0))},   // exactly one full word
+		{200, 4, geom.RectSpanning(geom.V(60, 0), geom.V(130, 3))}, // spans three words
+		{65, 3, geom.RectSpanning(geom.V(64, 0), geom.V(64, 2))},   // single trailing column
+	}
+	for ci, tc := range cases {
+		fast, err := NewSurface(tc.w, tc.h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := NewSurface(tc.w, tc.h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := fast.FillRect(tc.r)
+		if err != nil {
+			t.Fatalf("case %d: FillRect: %v", ci, err)
+		}
+		if n != tc.r.Area() {
+			t.Fatalf("case %d: FillRect placed %d, want %d", ci, n, tc.r.Area())
+		}
+		tc.r.Cells(func(v geom.Vec) {
+			if _, err := slow.Place(v); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if fast.NumBlocks() != slow.NumBlocks() {
+			t.Fatalf("case %d: NumBlocks %d != %d", ci, fast.NumBlocks(), slow.NumBlocks())
+		}
+		for y := 0; y < tc.h; y++ {
+			for x := 0; x < tc.w; x++ {
+				v := geom.V(x, y)
+				if fast.Occupied(v) != slow.Occupied(v) {
+					t.Fatalf("case %d: occupancy mismatch at %v", ci, v)
+				}
+				fid, fok := fast.BlockAt(v)
+				sid, sok := slow.BlockAt(v)
+				if fok != sok || fid != sid {
+					t.Fatalf("case %d: id mismatch at %v: (%d,%v) vs (%d,%v)", ci, v, fid, fok, sid, sok)
+				}
+			}
+		}
+		for _, id := range fast.Blocks() {
+			fp, _ := fast.PositionOf(id)
+			sp, ok := slow.PositionOf(id)
+			if !ok || fp != sp {
+				t.Fatalf("case %d: position of %d: %v vs %v (ok=%v)", ci, id, fp, sp, ok)
+			}
+		}
+		if !fast.Connected() {
+			t.Fatalf("case %d: filled rect not connected", ci)
+		}
+	}
+}
+
+// TestFillRectRejectsBadInput verifies atomicity of the pre-checks: an
+// out-of-bounds or overlapping rectangle leaves the surface untouched.
+func TestFillRectRejectsBadInput(t *testing.T) {
+	s, err := NewSurface(100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Place(geom.V(70, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.FillRect(geom.RectSpanning(geom.V(90, 0), geom.V(120, 3))); err == nil {
+		t.Fatal("out-of-bounds FillRect accepted")
+	}
+	if _, err := s.FillRect(geom.RectSpanning(geom.V(60, 4), geom.V(80, 6))); err == nil {
+		t.Fatal("overlapping FillRect accepted")
+	}
+	if s.NumBlocks() != 1 {
+		t.Fatalf("failed FillRect mutated the surface: %d blocks", s.NumBlocks())
+	}
+	if !s.Occupied(geom.V(70, 5)) {
+		t.Fatal("failed FillRect disturbed existing block")
+	}
+}
+
+// TestEnableShardingLayout checks the band layout arithmetic and the Clone
+// propagation of the sharding configuration.
+func TestEnableShardingLayout(t *testing.T) {
+	s, err := NewSurface(100, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ShardCount() != 0 {
+		t.Fatalf("unsharded surface reports %d shards", s.ShardCount())
+	}
+	if err := s.EnableSharding(0); err == nil {
+		t.Fatal("EnableSharding(0) accepted")
+	}
+	if err := s.EnableSharding(7); err != nil {
+		t.Fatal(err)
+	}
+	sc := s.shconn
+	if sc.bw != 15 { // ceil(100/7)
+		t.Fatalf("band width %d, want 15", sc.bw)
+	}
+	if got := s.ShardCount(); got != 7 { // ceil(100/15)
+		t.Fatalf("%d shards, want 7", got)
+	}
+	lo, hi := 0, 0
+	for i := range sc.shards {
+		c := &sc.shards[i].core
+		if c.x0 != hi {
+			t.Fatalf("shard %d starts at %d, want %d", i, c.x0, hi)
+		}
+		lo, hi = c.x0, c.x1
+	}
+	_ = lo
+	if hi != 100 {
+		t.Fatalf("bands end at %d, want 100", hi)
+	}
+	clone := s.Clone()
+	if clone.ShardCount() != s.ShardCount() {
+		t.Fatalf("clone has %d shards, want %d", clone.ShardCount(), s.ShardCount())
+	}
+	s.DisableSharding()
+	if s.ShardCount() != 0 {
+		t.Fatal("DisableSharding left sharding on")
+	}
+}
+
+// shardPair builds a monolithic surface and a sharded deep copy of it; every
+// mutation in the differential walk below is applied to both.
+func shardPair(t *testing.T, rng *rand.Rand, w, h, n, bands int) (*Surface, *Surface) {
+	t.Helper()
+	mono := randomConnectedSurface(t, rng, w, h, n)
+	shard := mono.Clone()
+	if err := shard.EnableSharding(bands); err != nil {
+		t.Fatal(err)
+	}
+	return mono, shard
+}
+
+// boundaryBiasedCell draws a cell whose column clusters around the sharding
+// boundaries of sc (±2 columns) with probability ~3/4, exercising the
+// contraction-graph and escalation paths far more often than uniform
+// sampling would.
+func boundaryBiasedCell(rng *rand.Rand, s *Surface, sc *shardedConn) geom.Vec {
+	x := rng.Intn(s.Width())
+	if len(sc.shards) > 1 && rng.Intn(4) != 0 {
+		bi := 1 + rng.Intn(len(sc.shards)-1)
+		x = sc.shards[bi].core.x0 + rng.Intn(5) - 2
+		if x < 0 {
+			x = 0
+		}
+		if x >= s.Width() {
+			x = s.Width() - 1
+		}
+	}
+	return geom.V(x, rng.Intn(s.Height()))
+}
+
+// TestShardedConnectivityMatchesMonolith is the differential property test
+// of the sharded subsystem: over randomized surfaces whose mutations and
+// queries concentrate on band-edge columns, every observable connectivity
+// verdict — ConnectedAfterDisplacement, IsArticulation, constrained Validate
+// over rule windows (radius up to 3, straddling two bands), and the global
+// Connected view after fault-injection removals — must agree with the
+// monolithic cache, which is itself pinned to the DFS oracle elsewhere.
+func TestShardedConnectivityMatchesMonolith(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	lib := rules.StandardLibrary()
+	cons := Constraints{RequireConnectivity: true}
+	for trial := 0; trial < 30; trial++ {
+		w := 16 + rng.Intn(20)
+		h := 8 + rng.Intn(8)
+		bands := 2 + rng.Intn(6)
+		mono, shard := shardPair(t, rng, w, h, 30+rng.Intn(60), bands)
+		sc := shard.shconn
+		for step := 0; step < 120; step++ {
+			// Random mutation, boundary-biased, applied to both surfaces.
+			switch op := rng.Intn(10); {
+			case op < 4: // place
+				v := boundaryBiasedCell(rng, mono, sc)
+				if !mono.Occupied(v) {
+					id := mono.nextID()
+					if err := mono.PlaceWithID(id, v); err != nil {
+						t.Fatal(err)
+					}
+					if err := shard.PlaceWithID(id, v); err != nil {
+						t.Fatal(err)
+					}
+				}
+			case op < 7: // fault-injection removal
+				v := boundaryBiasedCell(rng, mono, sc)
+				if id, ok := mono.BlockAt(v); ok {
+					if err := mono.Remove(id); err != nil {
+						t.Fatal(err)
+					}
+					if err := shard.Remove(id); err != nil {
+						t.Fatal(err)
+					}
+				}
+			default: // validated rule application on a boundary-biased block
+				v := boundaryBiasedCell(rng, mono, sc)
+				id, ok := mono.BlockAt(v)
+				if !ok {
+					continue
+				}
+				apps, err := mono.ApplicationsFor(id, lib, cons)
+				if err != nil || len(apps) == 0 {
+					continue
+				}
+				app := apps[rng.Intn(len(apps))]
+				// The sharded surface must accept the exact same application.
+				if err := shard.Validate(app, cons); err != nil {
+					t.Fatalf("trial %d step %d: sharded Validate rejects %v accepted by monolith: %v",
+						trial, step, app, err)
+				}
+				if _, err := mono.Apply(app, cons); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := shard.Apply(app, cons); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// Differential queries.
+			for q := 0; q < 6; q++ {
+				from := boundaryBiasedCell(rng, mono, sc)
+				to := boundaryBiasedCell(rng, mono, sc)
+				got := shard.ConnectedAfterDisplacement(from, to)
+				want := mono.ConnectedAfterDisplacement(from, to)
+				if got != want {
+					t.Fatalf("trial %d step %d: ConnectedAfterDisplacement(%v,%v) sharded=%v mono=%v",
+						trial, step, from, to, got, want)
+				}
+			}
+			for q := 0; q < 6; q++ {
+				v := boundaryBiasedCell(rng, mono, sc)
+				got := shard.IsArticulation(v)
+				want := mono.IsArticulation(v)
+				if got != want {
+					t.Fatalf("trial %d step %d: IsArticulation(%v) sharded=%v mono=%v",
+						trial, step, v, got, want)
+				}
+			}
+			// Candidate enumeration with straddling windows: a block near a
+			// boundary column validates through OccWindow footprints covering
+			// both bands (library radii reach rules.MaxWindowRadius).
+			v := boundaryBiasedCell(rng, mono, sc)
+			if id, ok := mono.BlockAt(v); ok {
+				ma, err1 := mono.ApplicationsFor(id, lib, cons)
+				sa, err2 := shard.ApplicationsFor(id, lib, cons)
+				if (err1 == nil) != (err2 == nil) || len(ma) != len(sa) {
+					t.Fatalf("trial %d step %d: ApplicationsFor(%d) diverges: %d (err %v) vs %d (err %v)",
+						trial, step, id, len(ma), err1, len(sa), err2)
+				}
+				for i := range ma {
+					if ma[i].Anchor != sa[i].Anchor || ma[i].Rule != sa[i].Rule {
+						t.Fatalf("trial %d step %d: application %d diverges: %v vs %v",
+							trial, step, i, ma[i], sa[i])
+					}
+				}
+			}
+			if got, want := shard.Connected(), mono.Connected(); got != want {
+				t.Fatalf("trial %d step %d: Connected sharded=%v mono=%v", trial, step, got, want)
+			}
+		}
+	}
+}
+
+// nextID exposes the next fresh id for the differential walk (both surfaces
+// must agree on ids so rule applications and removals transfer verbatim).
+func (s *Surface) nextID() BlockID { return s.next }
+
+// TestShardedGlobalCompCount pins the contraction graph's component count to
+// a direct flood count over configurations engineered to span bands: combs,
+// bridges on boundary columns, and isolated islands per band.
+func TestShardedGlobalCompCount(t *testing.T) {
+	s, err := NewSurface(30, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three 8-wide islands separated by empty columns, plus one bridge row
+	// connecting the first two across a band boundary at x=10.
+	for _, r := range []geom.Rect{
+		geom.RectSpanning(geom.V(0, 0), geom.V(7, 3)),
+		geom.RectSpanning(geom.V(11, 0), geom.V(18, 3)),
+		geom.RectSpanning(geom.V(22, 0), geom.V(29, 3)),
+	} {
+		if _, err := s.FillRect(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.EnableSharding(3); err != nil { // bands of width 10: x=10, 20 boundaries
+		t.Fatal(err)
+	}
+	s.WarmConnectivity()
+	if got := s.shconn.globalCompCount(); got != 3 {
+		t.Fatalf("3 islands: contraction counts %d components", got)
+	}
+	// Bridge the first gap (columns 8..10 at y=1): one component fewer.
+	for x := 8; x <= 10; x++ {
+		if _, err := s.Place(geom.V(x, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.WarmConnectivity()
+	if got := s.shconn.globalCompCount(); got != 2 {
+		t.Fatalf("bridged islands: contraction counts %d components", got)
+	}
+	if s.Connected() {
+		t.Fatal("oracle disagrees: surface should still be split")
+	}
+}

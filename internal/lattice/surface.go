@@ -12,17 +12,20 @@
 // incrementally maintained articulation-point cache over the row bitsets
 // (connectivity.go): the boolean verdict of a connectivity-constrained
 // Validate is allocation-free and O(window) for single-displacement motions,
-// with Connected() kept as the reference DFS oracle. And Apply is atomic
-// under failure: Validate replays the full move schedule against the
-// evolving occupancy before anything mutates, and execution keeps an undo
-// log, so a rejected or failed application leaves grid, bitsets, positions
-// and counters exactly as they were.
+// with Connected() kept as the reference DFS oracle. At mega-surface scale
+// the cache shards into fixed-width column bands composed through a boundary
+// contraction graph (shard.go, contraction.go), so a mutation invalidates one
+// band instead of the whole surface. And Apply is atomic under failure:
+// Validate replays the full move schedule against the evolving occupancy
+// before anything mutates, and execution keeps an undo log, so a rejected or
+// failed application leaves grid, bitsets, positions and counters exactly as
+// they were.
 package lattice
 
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"math/bits"
 
 	"repro/internal/geom"
 	"repro/internal/rules"
@@ -47,30 +50,41 @@ var (
 	ErrVetoed       = errors.New("lattice: motion vetoed by guard")
 )
 
+// posNone marks an absent id slot in the dense position register.
+var posNone = geom.Vec{X: -1, Y: -1}
+
 // Surface is the modular surface state. It is not safe for concurrent use;
 // execution engines serialise access (the DES by construction, the goroutine
-// runtime through a mutex in its adapter).
+// runtime through a mutex in its adapter, the sharded DES through the epoch
+// surface lock).
 //
 // Occupancy is stored twice: the id grid (who is where) and a row bitset
 // (occ, one bit per cell, occW words per row). The bitset is the substrate
 // of the compiled motion validation: OccWindow extracts a block's sensing
 // window from it with a handful of word operations, and the rules engine
 // matches that window against precompiled rule masks without allocating.
+// Block positions live in a dense slice indexed by id (ids are allocated
+// sequentially), so a 10^7-module surface pays 8 bytes per block instead of
+// a map entry and position lookups are one bounds-checked load.
 type Surface struct {
 	w, h int
-	grid []BlockID // y*w+x, None = empty
-	occ  []uint64  // row bitsets: bit x of words [y*occW, (y+1)*occW)
-	occW int       // words per row = ceil(w/64)
-	pos  map[BlockID]geom.Vec
+	grid []BlockID  // y*w+x, None = empty
+	occ  []uint64   // row bitsets: bit x of words [y*occW, (y+1)*occW)
+	occW int        // words per row = ceil(w/64)
+	pos  []geom.Vec // indexed by BlockID; posNone = absent
+	nblk int        // number of blocks on the surface
 	next BlockID
 
 	hops         int // elementary block moves executed (Remark 4 metric)
 	applications int // rule applications executed
 
-	// conn is the lazily maintained connectivity cache (connectivity.go):
-	// component count and articulation-point bitset, invalidated by every
-	// occupancy mutation. Clone deliberately leaves it zero.
-	conn connState
+	// conn is the lazily maintained monolithic connectivity cache
+	// (connectivity.go): component count and articulation-point bitset,
+	// invalidated by every occupancy mutation. Clone deliberately leaves it
+	// zero. When shconn is non-nil the surface is sharded into column bands
+	// (shard.go) and conn is bypassed.
+	conn   connState
+	shconn *shardedConn
 	// scratch holds the reusable buffers of the validation and execution
 	// paths (apply.go), so the boolean Validate verdict allocates nothing.
 	scratch applyScratch
@@ -88,23 +102,57 @@ func NewSurface(w, h int) (*Surface, error) {
 		grid: make([]BlockID, w*h),
 		occ:  make([]uint64, occW*h),
 		occW: occW,
-		pos:  make(map[BlockID]geom.Vec),
 		next: 1,
 	}, nil
 }
 
+// posOf reads the dense position register.
+func (s *Surface) posOf(id BlockID) (geom.Vec, bool) {
+	if id <= 0 || int(id) >= len(s.pos) {
+		return geom.Vec{}, false
+	}
+	v := s.pos[id]
+	if v.X < 0 {
+		return geom.Vec{}, false
+	}
+	return v, true
+}
+
+// posSet writes the dense position register, growing it to cover id.
+func (s *Surface) posSet(id BlockID, v geom.Vec) {
+	if int(id) >= len(s.pos) {
+		n := 2 * len(s.pos)
+		if n <= int(id) {
+			n = int(id) + 1
+		}
+		grown := make([]geom.Vec, n)
+		copy(grown, s.pos)
+		for i := len(s.pos); i < n; i++ {
+			grown[i] = posNone
+		}
+		if len(s.pos) == 0 {
+			grown[0] = posNone
+		}
+		s.pos = grown
+	}
+	s.pos[id] = v
+}
+
+// posClear marks id absent in the dense position register.
+func (s *Surface) posClear(id BlockID) { s.pos[id] = posNone }
+
 // setOcc marks cell v occupied in the row bitset and invalidates the
-// connectivity cache.
+// connectivity cache covering it.
 func (s *Surface) setOcc(v geom.Vec) {
 	s.occ[v.Y*s.occW+v.X>>6] |= 1 << (uint(v.X) & 63)
-	s.invalidateConn()
+	s.invalidateConnAt(v)
 }
 
 // clearOcc marks cell v empty in the row bitset and invalidates the
-// connectivity cache.
+// connectivity cache covering it.
 func (s *Surface) clearOcc(v geom.Vec) {
 	s.occ[v.Y*s.occW+v.X>>6] &^= 1 << (uint(v.X) & 63)
-	s.invalidateConn()
+	s.invalidateConnAt(v)
 }
 
 // Width returns the surface width W.
@@ -144,27 +192,90 @@ func (s *Surface) PlaceWithID(id BlockID, v geom.Vec) error {
 	if s.grid[s.idx(v)] != None {
 		return fmt.Errorf("%w: %v", ErrOccupied, v)
 	}
-	if _, dup := s.pos[id]; dup {
+	if _, dup := s.posOf(id); dup {
 		return fmt.Errorf("lattice: block %d already placed", id)
 	}
 	s.grid[s.idx(v)] = id
 	s.setOcc(v)
-	s.pos[id] = v
+	s.posSet(id, v)
+	s.nblk++
 	if id >= s.next {
 		s.next = id + 1
 	}
 	return nil
 }
 
+// FillRect places a new block on every cell of the (inclusive) rectangle r,
+// assigning sequential ids in row-major order, and returns the number of
+// blocks placed. It is the bulk-fill fast path for scale fixtures: the row
+// bitsets are written word-by-word and the connectivity cache is invalidated
+// once for the whole range, so building a 10^6-module slab costs a linear
+// sweep instead of 10^6 validated Place calls. Every cell of r must be empty;
+// on any violation the surface is left untouched.
+func (s *Surface) FillRect(r geom.Rect) (int, error) {
+	if !s.InBounds(r.Min) || !s.InBounds(r.Max) {
+		return 0, fmt.Errorf("%w: %v", ErrOutOfBounds, r)
+	}
+	// Pre-check emptiness word-by-word so the fill never partially applies.
+	for y := r.Min.Y; y <= r.Max.Y; y++ {
+		base := y * s.occW
+		for w0 := r.Min.X >> 6; w0 <= r.Max.X>>6; w0++ {
+			lo := max(r.Min.X, w0<<6)
+			hi := min(r.Max.X, w0<<6+63)
+			width := hi - lo + 1
+			var mask uint64
+			if width == 64 {
+				mask = ^uint64(0)
+			} else {
+				mask = (1<<uint(width) - 1) << (uint(lo) & 63)
+			}
+			if s.occ[base+w0]&mask != 0 {
+				return 0, fmt.Errorf("%w: rect %v overlaps existing blocks", ErrOccupied, r)
+			}
+		}
+	}
+	base := s.next
+	n := r.Area()
+	// Pre-grow the position register once.
+	s.posSet(base+BlockID(n)-1, posNone)
+	id := base
+	for y := r.Min.Y; y <= r.Max.Y; y++ {
+		rowBase := y * s.occW
+		for w0 := r.Min.X >> 6; w0 <= r.Max.X>>6; w0++ {
+			lo := max(r.Min.X, w0<<6)
+			hi := min(r.Max.X, w0<<6+63)
+			width := hi - lo + 1
+			var mask uint64
+			if width == 64 {
+				mask = ^uint64(0)
+			} else {
+				mask = (1<<uint(width) - 1) << (uint(lo) & 63)
+			}
+			s.occ[rowBase+w0] |= mask
+		}
+		gi := y * s.w
+		for x := r.Min.X; x <= r.Max.X; x++ {
+			s.grid[gi+x] = id
+			s.pos[id] = geom.V(x, y)
+			id++
+		}
+	}
+	s.next = id
+	s.nblk += n
+	s.invalidateConnCols(r.Min.X, r.Max.X)
+	return n, nil
+}
+
 // Remove deletes the block from the surface (used by fault-injection tests).
 func (s *Surface) Remove(id BlockID) error {
-	v, ok := s.pos[id]
+	v, ok := s.posOf(id)
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownBlock, id)
 	}
 	s.grid[s.idx(v)] = None
 	s.clearOcc(v)
-	delete(s.pos, id)
+	s.posClear(id)
+	s.nblk--
 	return nil
 }
 
@@ -238,26 +349,26 @@ func (s *Surface) BlockAt(v geom.Vec) (BlockID, bool) {
 
 // PositionOf returns the position of block id.
 func (s *Surface) PositionOf(id BlockID) (geom.Vec, bool) {
-	v, ok := s.pos[id]
-	return v, ok
+	return s.posOf(id)
 }
 
 // NumBlocks returns the number of blocks on the surface.
-func (s *Surface) NumBlocks() int { return len(s.pos) }
+func (s *Surface) NumBlocks() int { return s.nblk }
 
 // Blocks returns all block ids in ascending order.
 func (s *Surface) Blocks() []BlockID {
-	out := make([]BlockID, 0, len(s.pos))
-	for id := range s.pos {
-		out = append(out, id)
+	out := make([]BlockID, 0, s.nblk)
+	for id := 1; id < len(s.pos); id++ {
+		if s.pos[id].X >= 0 {
+			out = append(out, BlockID(id))
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // Positions returns the occupied cells in deterministic (row-major) order.
 func (s *Surface) Positions() []geom.Vec {
-	return s.AppendPositions(make([]geom.Vec, 0, len(s.pos)))
+	return s.AppendPositions(make([]geom.Vec, 0, s.nblk))
 }
 
 // AppendPositions appends the occupied cells to dst in deterministic
@@ -277,10 +388,16 @@ func (s *Surface) AppendPositions(dst []geom.Vec) []geom.Vec {
 // articulation point of the block ensemble: removing its occupant alone
 // would split the (single-component) surface. Unoccupied cells report false.
 // The answer comes from the incremental connectivity cache; after the
-// amortised rebuild it is O(1) per query.
+// amortised rebuild it is O(1) per query. On a sharded surface the band-local
+// bitset answers "not an articulation point" for interior cells in O(1), and
+// only band-splitting or boundary-column cells escalate to the
+// contraction-graph recomputation (O(band), never O(N)).
 func (s *Surface) IsArticulation(v geom.Vec) bool {
 	if !s.Occupied(v) {
 		return false
+	}
+	if s.shconn != nil {
+		return s.shconn.isArticulation(s, v)
 	}
 	s.ensureConn()
 	return s.isArtic(v)
@@ -291,7 +408,7 @@ func (s *Surface) IsArticulation(v geom.Vec) bool {
 // Neighbor Table NT, fed by the side sensors (§V-B, Fig. 8).
 func (s *Surface) Neighbors(id BlockID) ([geom.NumDirs]BlockID, error) {
 	var nt [geom.NumDirs]BlockID
-	v, ok := s.pos[id]
+	v, ok := s.posOf(id)
 	if !ok {
 		return nt, fmt.Errorf("%w: %d", ErrUnknownBlock, id)
 	}
@@ -312,17 +429,30 @@ func (s *Surface) Hops() int { return s.hops }
 func (s *Surface) Applications() int { return s.applications }
 
 // Connected reports whether the blocks form one 4-connected component.
-// An empty surface counts as connected.
+// An empty surface counts as connected. This is the reference DFS oracle;
+// hot paths use the incremental caches instead.
 func (s *Surface) Connected() bool {
-	if len(s.pos) <= 1 {
+	if s.nblk <= 1 {
 		return true
 	}
-	var start geom.Vec
-	for _, v := range s.pos {
-		start = v
-		break
+	start, ok := s.firstOccupied()
+	if !ok {
+		return true
 	}
-	return s.reachableFrom(start) == len(s.pos)
+	return s.reachableFrom(start) == s.nblk
+}
+
+// firstOccupied returns the first occupied cell in row-major order.
+func (s *Surface) firstOccupied() (geom.Vec, bool) {
+	for i, word := range s.occ {
+		if word == 0 {
+			continue
+		}
+		y := i / s.occW
+		x := (i%s.occW)<<6 + bits.TrailingZeros64(word)
+		return geom.V(x, y), true
+	}
+	return geom.Vec{}, false
 }
 
 func (s *Surface) reachableFrom(start geom.Vec) int {
@@ -343,20 +473,23 @@ func (s *Surface) reachableFrom(start geom.Vec) int {
 
 func (s *Surface) idx(v geom.Vec) int { return v.Y*s.w + v.X }
 
-// Clone returns a deep copy of the surface (counters included).
+// Clone returns a deep copy of the surface (counters included). The
+// connectivity caches are deliberately not copied — clones rebuild on first
+// use — but the sharding layout (band count) is preserved.
 func (s *Surface) Clone() *Surface {
 	out := &Surface{
 		w: s.w, h: s.h,
 		grid:         append([]BlockID(nil), s.grid...),
 		occ:          append([]uint64(nil), s.occ...),
 		occW:         s.occW,
-		pos:          make(map[BlockID]geom.Vec, len(s.pos)),
+		pos:          append([]geom.Vec(nil), s.pos...),
+		nblk:         s.nblk,
 		next:         s.next,
 		hops:         s.hops,
 		applications: s.applications,
 	}
-	for id, v := range s.pos {
-		out.pos[id] = v
+	if s.shconn != nil {
+		out.shconn = newShardedConn(out, len(s.shconn.shards))
 	}
 	return out
 }

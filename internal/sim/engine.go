@@ -37,6 +37,20 @@ type Config struct {
 	// MaxEvents bounds a Drive call (0 = unbounded; the algorithm layer's
 	// round cap guarantees termination).
 	MaxEvents uint64
+	// Shards, when > 1, partitions the surface's connectivity cache into
+	// that many column bands (lattice.EnableSharding). This changes only
+	// where connectivity verdicts are computed, never their values or the
+	// event order: runs are bit-identical to the unsharded engine.
+	Shards int
+	// ShardDrive switches the event core to one scheduler per column band,
+	// synchronised at virtual-time epoch barriers (sharded.go). Requires
+	// Shards > 1. Event timing across bands may differ from the single
+	// scheduler by up to one epoch; physics invariants are unaffected.
+	ShardDrive bool
+	// ShardWorkers drives the band schedulers of one epoch on up to this
+	// many goroutines (<= 1: sequential and deterministic). Only meaningful
+	// with ShardDrive.
+	ShardWorkers int
 }
 
 // Engine hosts BlockCodes on a surface and simulates their execution.
@@ -66,6 +80,11 @@ type Engine struct {
 	// deliver/moved/neighborhood hot paths schedule without allocating once
 	// the pool has warmed to the peak queue depth.
 	pool []*engEvent
+
+	// rt, when non-nil, is the sharded drive: one scheduler per column band
+	// with epoch barriers (sharded.go). All scheduling and metrics indirect
+	// through it; nil keeps the classic single-scheduler paths untouched.
+	rt *shardRT
 }
 
 // evKind discriminates the engine's typed scheduler events.
@@ -103,13 +122,21 @@ func (ev *engEvent) Fire() {
 	case evNeighborhood:
 		ev.h.code.OnNeighborhoodChanged(ev.h)
 	}
+	if e.rt != nil && e.rt.workers > 1 {
+		return // parallel drive: events are not pooled (see newEvent)
+	}
 	ev.h = nil
 	ev.m = msg.Message{}
 	e.pool = append(e.pool, ev)
 }
 
-// newEvent takes an event from the arena (or grows it).
+// newEvent takes an event from the arena (or grows it). The parallel sharded
+// drive bypasses the arena: shard workers fire events concurrently, and a
+// fresh allocation is cheaper than a contended pool.
 func (e *Engine) newEvent(kind evKind) *engEvent {
+	if e.rt != nil && e.rt.workers > 1 {
+		return &engEvent{eng: e, kind: kind}
+	}
 	if n := len(e.pool); n > 0 {
 		ev := e.pool[n-1]
 		e.pool = e.pool[:n-1]
@@ -126,6 +153,11 @@ type host struct {
 	code exec.BlockCode
 	bufs *msg.Buffers
 	rng  *rand.Rand
+	// shard is the column band whose scheduler runs this host's events under
+	// the sharded drive. The assignment is pinned for a whole epoch (a host
+	// that migrates across a band boundary is reassigned at the next
+	// barrier), so one host never executes on two shard workers at once.
+	shard int32
 }
 
 // NewEngine builds an engine over the given surface and rule library. The
@@ -167,6 +199,20 @@ func NewEngine(surf *lattice.Surface, lib *rules.Library, factory exec.CodeFacto
 			rng:  rand.New(rand.NewSource(cfg.Seed ^ int64(id)*0x7f4a7c15)),
 		}
 	}
+	if cfg.Shards > 1 && surf.ShardCount() == 0 {
+		if err := surf.EnableSharding(cfg.Shards); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.ShardDrive {
+		if surf.ShardCount() < 2 {
+			return nil, fmt.Errorf("sim: ShardDrive requires Shards > 1 (have %d bands)", surf.ShardCount())
+		}
+		e.rt = newShardRT(e)
+		for _, h := range e.hosts {
+			h.shard = e.rt.shardOf(h.Position())
+		}
+	}
 	return e, nil
 }
 
@@ -178,14 +224,31 @@ func (e *Engine) Boot() error {
 	for _, id := range ids {
 		ev := e.newEvent(evStart)
 		ev.h = e.hosts[id]
-		e.sched.Schedule(0, ev)
+		e.scheduleFor(ev.h, 0, ev)
 	}
 	return nil
 }
 
+// scheduleFor schedules ev, due d ticks from now, on the scheduler running
+// h's events: the global one, or h's band scheduler under the sharded drive
+// (boot path: the bands' clocks have not started, so d is absolute).
+func (e *Engine) scheduleFor(h *host, d Time, ev Event) {
+	if e.rt != nil {
+		e.rt.scheduleFrom(nil, h, d, ev)
+		return
+	}
+	e.sched.Schedule(d, ev)
+}
+
 // Run drives the simulation until quiescence or maxEvents (0 = unbounded).
-// It returns the number of events processed by this call.
-func (e *Engine) Run(maxEvents uint64) uint64 { return e.sched.Run(maxEvents) }
+// It returns the number of events processed by this call. Under the sharded
+// drive the bound is honoured at epoch granularity.
+func (e *Engine) Run(maxEvents uint64) uint64 {
+	if e.rt != nil {
+		return e.rt.run(maxEvents)
+	}
+	return e.sched.Run(maxEvents)
+}
 
 // driveChunk is how many events Drive executes between context checks: large
 // enough that the ctx.Err() poll vanishes next to the event work, small
@@ -197,6 +260,9 @@ const driveChunk = 4096
 // only — an Apply in flight always completes — so the surface is left in a
 // physically consistent (connected, fully rolled-back) state.
 func (e *Engine) Drive(ctx context.Context) error {
+	if e.rt != nil {
+		return e.rt.drive(ctx)
+	}
 	var total uint64
 	for {
 		if err := ctx.Err(); err != nil {
@@ -221,12 +287,16 @@ func (e *Engine) Drive(ctx context.Context) error {
 
 // Metrics implements the measurement half of the core.Backend seam.
 func (e *Engine) Metrics() exec.Metrics {
+	events, vtime := e.sched.Processed(), int64(e.sched.Now())
+	if e.rt != nil {
+		events, vtime = e.rt.metrics()
+	}
 	return exec.Metrics{
 		MessagesSent:      e.sent,
 		MessagesDelivered: e.deliver,
 		MessagesDropped:   e.dropped,
-		Events:            e.sched.Processed(),
-		VirtualTime:       int64(e.sched.Now()),
+		Events:            events,
+		VirtualTime:       vtime,
 	}
 }
 
@@ -251,7 +321,10 @@ func (e *Engine) MessagesDropped() uint64 { return e.dropped }
 func (h *host) ID() lattice.BlockID { return h.id }
 
 func (h *host) Position() geom.Vec {
-	v, ok := h.eng.surf.PositionOf(h.id)
+	e := h.eng
+	e.rlockSurf()
+	v, ok := e.surf.PositionOf(h.id)
+	e.runlockSurf()
 	if !ok {
 		panic(fmt.Sprintf("sim: block %d vanished from the surface", h.id))
 	}
@@ -262,7 +335,10 @@ func (h *host) Input() geom.Vec  { return h.eng.cfg.Input }
 func (h *host) Output() geom.Vec { return h.eng.cfg.Output }
 
 func (h *host) Neighbors() [geom.NumDirs]lattice.BlockID {
-	nt, err := h.eng.surf.Neighbors(h.id)
+	e := h.eng
+	e.rlockSurf()
+	nt, err := e.surf.Neighbors(h.id)
+	e.runlockSurf()
 	if err != nil {
 		panic(err)
 	}
@@ -271,9 +347,14 @@ func (h *host) Neighbors() [geom.NumDirs]lattice.BlockID {
 
 func (h *host) Send(to lattice.BlockID, m msg.Message) error {
 	e := h.eng
+	e.rlockSurf()
 	side, err := portBetween(e.surf, h.id, to)
+	e.runlockSurf()
 	if err != nil {
 		return err
+	}
+	if e.rt != nil {
+		return e.rt.send(h, to, side, m)
 	}
 	e.sent++
 	ev := e.newEvent(evDeliver)
@@ -290,11 +371,11 @@ func (h *host) Send(to lattice.BlockID, m msg.Message) error {
 func (e *Engine) deliverTo(from, to lattice.BlockID, side geom.Dir, m msg.Message) {
 	h, ok := e.hosts[to]
 	if !ok {
-		e.dropped++
+		e.addCount(&e.dropped)
 		return
 	}
 	if !h.bufs.Push(msg.Inbound{From: from, Side: side, Msg: m}) {
-		e.dropped++
+		e.addCount(&e.dropped)
 		return
 	}
 	for {
@@ -302,7 +383,7 @@ func (e *Engine) deliverTo(from, to lattice.BlockID, side geom.Dir, m msg.Messag
 		if !ok {
 			return
 		}
-		e.deliver++
+		e.addCount(&e.deliver)
 		h.code.OnMessage(h, in.From, in.Msg)
 	}
 }
@@ -327,23 +408,47 @@ func portBetween(surf *lattice.Surface, from, to lattice.BlockID) (geom.Dir, err
 }
 
 func (h *host) Sense(v geom.Vec) bool {
-	p := h.Position()
-	if v.Chebyshev(p) > h.eng.radius {
-		panic(fmt.Sprintf("sim: block %d sensing %v beyond radius %d from %v",
-			h.id, v, h.eng.radius, p))
+	e := h.eng
+	e.rlockSurf()
+	p, ok := e.surf.PositionOf(h.id)
+	occ := e.surf.Occupied(v)
+	e.runlockSurf()
+	if !ok {
+		panic(fmt.Sprintf("sim: block %d vanished from the surface", h.id))
 	}
-	return h.eng.surf.Occupied(v)
+	if v.Chebyshev(p) > e.radius {
+		panic(fmt.Sprintf("sim: block %d sensing %v beyond radius %d from %v",
+			h.id, v, e.radius, p))
+	}
+	return occ
 }
 
 func (h *host) SensingRadius() int { return h.eng.radius }
 
-func (h *host) CutVertex() bool { return h.eng.surf.IsArticulation(h.Position()) }
+// CutVertex takes the exclusive surface lock: IsArticulation reads through
+// the lazy connectivity caches, which mutate on first use after an
+// invalidation.
+func (h *host) CutVertex() bool {
+	e := h.eng
+	e.wlockSurf()
+	defer e.wunlockSurf()
+	v, ok := e.surf.PositionOf(h.id)
+	if !ok {
+		panic(fmt.Sprintf("sim: block %d vanished from the surface", h.id))
+	}
+	return e.surf.IsArticulation(v)
+}
 
 func (h *host) Library() *rules.Library { return h.eng.lib }
 
 func (h *host) Move(app rules.Application) error {
 	e := h.eng
-	pos := h.Position()
+	e.wlockSurf()
+	defer e.wunlockSurf()
+	pos, ok := e.surf.PositionOf(h.id)
+	if !ok {
+		panic(fmt.Sprintf("sim: block %d vanished from the surface", h.id))
+	}
 	if _, ok := app.MoveOf(pos); !ok {
 		return fmt.Errorf("sim: block %d at %v is not a mover of %s", h.id, pos, app)
 	}
@@ -354,7 +459,10 @@ func (h *host) Move(app rules.Application) error {
 	if e.cfg.OnApply != nil {
 		e.cfg.OnApply(res)
 	}
-	e.notifyAfterMotion(res)
+	e.notifyAfterMotion(h, res)
+	if e.rt != nil {
+		e.rt.noteMigration(h)
+	}
 	return nil
 }
 
@@ -363,8 +471,10 @@ func (h *host) Move(app rules.Application) error {
 // change, preserving deterministic order. The block-set bookkeeping runs on
 // the engine's reusable scratch buffers (an epoch-stamped dense id array
 // instead of a per-motion map) and the notifications on pooled typed events,
-// so the whole path performs no transient allocations.
-func (e *Engine) notifyAfterMotion(res lattice.ApplyResult) {
+// so the whole path performs no transient allocations. mover anchors the
+// virtual time under the sharded drive; notifications whose target lives in
+// another band travel through that band's mailbox.
+func (e *Engine) notifyAfterMotion(mover *host, res lattice.ApplyResult) {
 	e.nextEpoch()
 	for _, id := range res.Moved {
 		e.mark(id) // movers are excluded from the observer scan
@@ -382,13 +492,24 @@ func (e *Engine) notifyAfterMotion(res lattice.ApplyResult) {
 		}
 		ev := e.newEvent(evMoved)
 		ev.h, ev.vFrom, ev.vTo = e.hosts[id], from, to
-		e.sched.Schedule(0, ev)
+		e.scheduleAfterMotion(mover, ev)
 	}
 	for _, id := range e.affectedBlocks(e.changedBuf) {
 		ev := e.newEvent(evNeighborhood)
 		ev.h = e.hosts[id]
-		e.sched.Schedule(0, ev)
+		e.scheduleAfterMotion(mover, ev)
 	}
+}
+
+// scheduleAfterMotion places a zero-delay post-motion notification on the
+// right scheduler: the global one, or (sharded drive) the target host's band
+// relative to the mover's clock.
+func (e *Engine) scheduleAfterMotion(mover *host, ev *engEvent) {
+	if e.rt != nil {
+		e.rt.scheduleFrom(mover, ev.h, 0, ev)
+		return
+	}
+	e.sched.Schedule(0, ev)
 }
 
 // affectedBlocks lists blocks whose sensing window covers one of the
@@ -445,8 +566,12 @@ func (h *host) Rand() *rand.Rand { return h.rng }
 
 func (h *host) Logf(format string, args ...any) {
 	if h.eng.cfg.Logf != nil {
+		now := h.eng.sched.Now()
+		if h.eng.rt != nil {
+			now = h.eng.rt.scheds[h.shard].Now()
+		}
 		h.eng.cfg.Logf("[t=%d b=%d] "+format,
-			append([]any{h.eng.sched.Now(), h.id}, args...)...)
+			append([]any{now, h.id}, args...)...)
 	}
 }
 

@@ -143,6 +143,7 @@ func (s *Scheduler) Run(maxEvents uint64) uint64 {
 	for (maxEvents == 0 || n < maxEvents) && s.Step() {
 		n++
 	}
+	s.maybeShrink()
 	return n
 }
 
@@ -157,7 +158,37 @@ func (s *Scheduler) RunUntil(t Time) uint64 {
 	if s.now < t {
 		s.now = t
 	}
+	s.maybeShrink()
 	return n
+}
+
+// NextAt returns the due time of the earliest pending event. The sharded
+// drive uses it to find the next non-empty virtual-time epoch.
+func (s *Scheduler) NextAt() (Time, bool) {
+	if len(s.heap) == 0 {
+		return 0, false
+	}
+	return s.heap[0].t, true
+}
+
+// shrinkMinCap is the heap capacity below which maybeShrink never bothers:
+// small queues re-grow cheaply and the waste is bounded anyway.
+const shrinkMinCap = 1024
+
+// maybeShrink releases the heap's backing array when the pending count has
+// dropped far below its capacity. A burst (the boot wave schedules one event
+// per block, then drains to a trickle) would otherwise pin the peak-sized
+// array for the life of the scheduler — at §VI scale, hundreds of MB of dead
+// queue. Run/RunUntil call it once per drive, so the rebound cost is far off
+// the per-event path; the 4x hysteresis keeps steady-state oscillation from
+// ever triggering a copy.
+func (s *Scheduler) maybeShrink() {
+	if cap(s.heap) < shrinkMinCap || len(s.heap)*4 > cap(s.heap) {
+		return
+	}
+	shrunk := make([]item, len(s.heap), max(len(s.heap)*2, 64))
+	copy(shrunk, s.heap)
+	s.heap = shrunk
 }
 
 // push inserts into the binary min-heap ordered by (t, seq).
@@ -220,6 +251,9 @@ type FixedLatency Time
 // Delay implements LatencyModel.
 func (f FixedLatency) Delay(*rand.Rand) Time { return Time(f) }
 
+// MinDelay implements MinDelayer.
+func (f FixedLatency) MinDelay() Time { return Time(f) }
+
 // UniformLatency delivers messages after a delay drawn uniformly from
 // [Min, Max]: the asynchronous-communication model of Assumption 3 ("all
 // communications between adjacent blocks occur in finite time", with no
@@ -234,4 +268,26 @@ func (u UniformLatency) Delay(rng *rand.Rand) Time {
 		return u.Min
 	}
 	return u.Min + Time(rng.Int63n(int64(u.Max-u.Min+1)))
+}
+
+// MinDelay implements MinDelayer.
+func (u UniformLatency) MinDelay() Time { return u.Min }
+
+// MinDelayer is the optional lower-bound side of a LatencyModel. The sharded
+// drive sizes its virtual-time epochs by it: with epoch width <= the minimum
+// link delay, a message sent inside one epoch can only be due in a later
+// one, so cross-shard mailboxes drained at epoch barriers never deliver
+// late. Models without a declared bound get the conservative width 1.
+type MinDelayer interface {
+	MinDelay() Time
+}
+
+// minDelay resolves the epoch lower bound of a latency model.
+func minDelay(m LatencyModel) Time {
+	if md, ok := m.(MinDelayer); ok {
+		if d := md.MinDelay(); d > 1 {
+			return d
+		}
+	}
+	return 1
 }

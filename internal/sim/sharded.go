@@ -1,0 +1,299 @@
+package sim
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/geom"
+	"repro/internal/lattice"
+	"repro/internal/msg"
+)
+
+// Sharded drive: one scheduler per column band, epoch barriers between them.
+//
+// The classic engine funnels every event of a 10^6-module surface through
+// one binary heap. The sharded drive gives each column band of the surface
+// (lattice sharding must be enabled) its own Scheduler and advances them in
+// virtual-time epochs of width Δ = the latency model's minimum link delay:
+//
+//	barrier ─ drain mailboxes, commit band migrations
+//	epoch   ─ every band scheduler runs [E, E+Δ) independently
+//	barrier ─ ...
+//
+// Because a message needs at least Δ ticks to cross a link, a send performed
+// inside an epoch is due in a later epoch; cross-band sends therefore travel
+// through per-band mailboxes drained at the next barrier without ever
+// arriving late. The only cross-band traffic that is not latency-protected
+// is the zero-delay motion notification whose sensing window straddles a
+// band boundary: it is deferred to the next barrier and clamped to the
+// epoch start, skewing its delivery by less than Δ. That skew is within the
+// paper's asynchrony envelope (Assumption 3 bounds communication only by
+// "finite time"), and the physics — every Apply validated against the one
+// shared surface — is exact regardless. Runs with ShardWorkers <= 1 are
+// deterministic per seed; parallel epochs interleave sends nondeterminis-
+// tically like the goroutine runtime backend.
+//
+// A host is pinned to the band owning its column, re-pinned only at
+// barriers when it migrated across a boundary, so one host's events never
+// execute on two epoch workers at once. In parallel mode the surface is
+// guarded by an RWMutex: pure sensing reads share it, while Move and
+// CutVertex (which mutate the lazy connectivity caches) take it exclusively.
+type shardRT struct {
+	e       *Engine
+	width   Time // epoch width Δ (>= 1)
+	scheds  []*Scheduler
+	mail    []mailbox
+	workers int
+	counts  []uint64 // per-band events of the current epoch (parallel mode)
+
+	// mu guards the surface and the engine's shared mutable state while
+	// epoch workers run concurrently; no-op when workers <= 1.
+	mu sync.RWMutex
+	// migrated collects hosts that crossed a band boundary this epoch;
+	// their pinning is refreshed at the next barrier.
+	migrated []*host
+}
+
+// mailItem is one cross-band event in flight: due time plus the event.
+type mailItem struct {
+	t  Time
+	ev Event
+}
+
+// mailbox is the inbound cross-band queue of one band.
+type mailbox struct {
+	mu    sync.Mutex
+	items []mailItem
+}
+
+// newShardRT builds the per-band schedulers over the (already sharded)
+// surface of e.
+func newShardRT(e *Engine) *shardRT {
+	ns := e.surf.ShardCount()
+	rt := &shardRT{
+		e:       e,
+		width:   minDelay(e.cfg.Latency),
+		scheds:  make([]*Scheduler, ns),
+		mail:    make([]mailbox, ns),
+		counts:  make([]uint64, ns),
+		workers: max(e.cfg.ShardWorkers, 1),
+	}
+	for i := range rt.scheds {
+		rt.scheds[i] = NewScheduler(e.cfg.Seed ^ int64(i+1)*0x51ab49d7)
+	}
+	return rt
+}
+
+// shardOf maps a surface position to its band index.
+func (rt *shardRT) shardOf(v geom.Vec) int32 {
+	return int32(rt.e.surf.ShardOf(v.X))
+}
+
+// scheduleFrom schedules ev for the band of target, due d ticks after the
+// origin band's current time. origin == nil means boot: d is an absolute
+// time on a not-yet-driven scheduler.
+func (rt *shardRT) scheduleFrom(origin, target *host, d Time, ev Event) {
+	if origin == nil {
+		_ = rt.scheds[target.shard].ScheduleAt(d, ev)
+		return
+	}
+	due := rt.scheds[origin.shard].Now() + d
+	if target.shard == origin.shard {
+		_ = rt.scheds[origin.shard].ScheduleAt(due, ev)
+		return
+	}
+	rt.mailTo(target.shard, due, ev)
+}
+
+// send is the sharded half of host.Send: latency drawn from the sender
+// band's deterministic rng, delivery scheduled on the receiver's band.
+func (rt *shardRT) send(h *host, to lattice.BlockID, side geom.Dir, m msg.Message) error {
+	e := rt.e
+	e.addCount(&e.sent)
+	ev := e.newEvent(evDeliver)
+	ev.from, ev.to, ev.side, ev.m = h.id, to, side, m
+	sch := rt.scheds[h.shard]
+	due := sch.Now() + e.cfg.Latency.Delay(sch.Rand())
+	th, ok := e.hosts[to]
+	if !ok || th.shard == h.shard {
+		// Unknown receivers still travel (and are counted dropped on
+		// delivery), matching the classic engine.
+		_ = sch.ScheduleAt(due, ev)
+		return nil
+	}
+	rt.mailTo(th.shard, due, ev)
+	return nil
+}
+
+// mailTo queues a cross-band event for delivery at the next barrier.
+func (rt *shardRT) mailTo(si int32, t Time, ev Event) {
+	mb := &rt.mail[si]
+	if rt.workers > 1 {
+		mb.mu.Lock()
+		defer mb.mu.Unlock()
+	}
+	mb.items = append(mb.items, mailItem{t: t, ev: ev})
+}
+
+// noteMigration records that h's move may have crossed a band boundary; the
+// pinning refresh happens at the next barrier. Called under the surface
+// write lock (or single-threaded).
+func (rt *shardRT) noteMigration(h *host) {
+	if v, ok := rt.e.surf.PositionOf(h.id); ok && rt.shardOf(v) != h.shard {
+		rt.migrated = append(rt.migrated, h)
+	}
+}
+
+// barrier is the synchronisation point between epochs: re-pin migrated
+// hosts, then drain every mailbox into its band scheduler (clamping events
+// deferred from the previous epoch to the band's current time). Runs
+// single-threaded.
+func (rt *shardRT) barrier() {
+	for _, h := range rt.migrated {
+		if v, ok := rt.e.surf.PositionOf(h.id); ok {
+			h.shard = rt.shardOf(v)
+		}
+	}
+	rt.migrated = rt.migrated[:0]
+	for i := range rt.mail {
+		mb := &rt.mail[i]
+		sch := rt.scheds[i]
+		for j, it := range mb.items {
+			t := it.t
+			if now := sch.Now(); t < now {
+				t = now
+			}
+			_ = sch.ScheduleAt(t, it.ev)
+			mb.items[j] = mailItem{} // release the event reference
+		}
+		mb.items = mb.items[:0]
+	}
+}
+
+// nextTime returns the earliest pending due time across all bands.
+func (rt *shardRT) nextTime() (Time, bool) {
+	var best Time
+	ok := false
+	for _, sch := range rt.scheds {
+		if t, has := sch.NextAt(); has && (!ok || t < best) {
+			best, ok = t, true
+		}
+	}
+	return best, ok
+}
+
+// epoch runs one barrier + one epoch across all bands, reporting the events
+// processed and whether any work remained.
+func (rt *shardRT) epoch() (uint64, bool) {
+	rt.barrier()
+	t, ok := rt.nextTime()
+	if !ok {
+		return 0, false
+	}
+	end := (t/rt.width + 1) * rt.width
+	if rt.workers <= 1 {
+		var n uint64
+		for _, sch := range rt.scheds {
+			n += sch.RunUntil(end)
+		}
+		return n, true
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, rt.workers)
+	for i := range rt.scheds {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			rt.counts[i] = rt.scheds[i].RunUntil(end)
+			<-sem
+		}(i)
+	}
+	wg.Wait()
+	var n uint64
+	for _, c := range rt.counts {
+		n += c
+	}
+	return n, true
+}
+
+// run drives epochs until quiescence or maxEvents (0 = unbounded; the bound
+// is honoured at epoch granularity). Returns the events processed.
+func (rt *shardRT) run(maxEvents uint64) uint64 {
+	var total uint64
+	for {
+		n, ok := rt.epoch()
+		total += n
+		if !ok || (maxEvents > 0 && total >= maxEvents) {
+			return total
+		}
+	}
+}
+
+// drive is the context-aware run loop behind Engine.Drive.
+func (rt *shardRT) drive(ctx context.Context) error {
+	var total uint64
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		n, ok := rt.epoch()
+		total += n
+		if !ok {
+			return nil
+		}
+		if m := rt.e.cfg.MaxEvents; m > 0 && total >= m {
+			return nil
+		}
+	}
+}
+
+// metrics folds the per-band schedulers into the engine's metric view:
+// total events processed, and the maximum band clock as the virtual time.
+func (rt *shardRT) metrics() (events uint64, vtime int64) {
+	for _, sch := range rt.scheds {
+		events += sch.Processed()
+		if t := int64(sch.Now()); t > vtime {
+			vtime = t
+		}
+	}
+	return events, vtime
+}
+
+// Surface lock indirection: no-ops in single-threaded modes so the classic
+// engine's hot path stays branch-predictable and lock-free.
+
+func (e *Engine) rlockSurf() {
+	if e.rt != nil && e.rt.workers > 1 {
+		e.rt.mu.RLock()
+	}
+}
+
+func (e *Engine) runlockSurf() {
+	if e.rt != nil && e.rt.workers > 1 {
+		e.rt.mu.RUnlock()
+	}
+}
+
+func (e *Engine) wlockSurf() {
+	if e.rt != nil && e.rt.workers > 1 {
+		e.rt.mu.Lock()
+	}
+}
+
+func (e *Engine) wunlockSurf() {
+	if e.rt != nil && e.rt.workers > 1 {
+		e.rt.mu.Unlock()
+	}
+}
+
+// addCount increments an engine counter, atomically when epoch workers may
+// race on it.
+func (e *Engine) addCount(c *uint64) {
+	if e.rt != nil && e.rt.workers > 1 {
+		atomic.AddUint64(c, 1)
+		return
+	}
+	*c++
+}

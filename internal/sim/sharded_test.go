@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/geom"
+	"repro/internal/lattice"
+	"repro/internal/rules"
+)
+
+// TestSchedulerHeapShrinks pins the retention fix: after a large burst
+// drains, Run rebounds the heap's backing array instead of pinning the
+// peak-sized allocation for the scheduler's lifetime.
+func TestSchedulerHeapShrinks(t *testing.T) {
+	s := NewScheduler(1)
+	const burst = 100_000
+	for i := 0; i < burst; i++ {
+		s.After(Time(i), func() {})
+	}
+	if cap(s.heap) < burst {
+		t.Fatalf("heap capacity %d never reached the burst size", cap(s.heap))
+	}
+	if got := s.Run(0); got != burst {
+		t.Fatalf("Run processed %d events, want %d", got, burst)
+	}
+	if cap(s.heap) >= burst/4 {
+		t.Fatalf("heap capacity %d retained after drain (want < %d)", cap(s.heap), burst/4)
+	}
+	// The scheduler must remain fully functional on the rebounded array.
+	fired := 0
+	for i := 0; i < 2000; i++ {
+		s.After(Time(i), func() { fired++ })
+	}
+	if got := s.Run(0); got != 2000 || fired != 2000 {
+		t.Fatalf("post-shrink run processed %d (fired %d), want 2000", got, fired)
+	}
+}
+
+// TestSchedulerShrinkKeepsPending verifies the shrink copies live items: a
+// RunUntil that leaves events pending must not lose or reorder them.
+func TestSchedulerShrinkKeepsPending(t *testing.T) {
+	s := NewScheduler(1)
+	var order []int
+	for i := 0; i < 50_000; i++ {
+		i := i
+		s.After(Time(i), func() { order = append(order, i) })
+	}
+	s.RunUntil(49_900) // drains all but the tail, triggering the shrink
+	if got := len(order); got != 49_900 {
+		t.Fatalf("RunUntil processed %d, want 49900", got)
+	}
+	s.Run(0)
+	if got := len(order); got != 50_000 {
+		t.Fatalf("total processed %d, want 50000", got)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("event %d fired out of order (got %d)", i, v)
+		}
+	}
+}
+
+// shardedPair builds the two-block ping-pong surface with the blocks
+// straddling a band boundary, so every message crosses shard schedulers.
+func shardedPair(t *testing.T) *lattice.Surface {
+	t.Helper()
+	s, err := lattice.NewSurface(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []geom.Vec{geom.V(1, 1), geom.V(2, 1)} {
+		if _, err := s.Place(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+// TestShardDrivePingPong runs the ping-pong exchange across a band boundary
+// under the sharded drive: messages travel through the cross-band mailboxes
+// and must arrive exactly as often as under the single scheduler.
+func TestShardDrivePingPong(t *testing.T) {
+	surf := shardedPair(t)
+	codes := map[lattice.BlockID]*pingPong{}
+	eng, err := NewEngine(surf, rules.StandardLibrary(), func(id lattice.BlockID) exec.BlockCode {
+		c := &pingPong{limit: 10}
+		codes[id] = c
+		return c
+	}, Config{Input: geom.V(1, 1), Output: geom.V(5, 5), Seed: 1,
+		Shards: 4, ShardDrive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if surf.ShardCount() != 4 {
+		t.Fatalf("surface has %d bands, want 4", surf.ShardCount())
+	}
+	if err := eng.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(0)
+	if eng.MessagesSent() != 11 || eng.MessagesDelivered() != 11 || eng.MessagesDropped() != 0 {
+		t.Errorf("sent/delivered/dropped = %d/%d/%d, want 11/11/0",
+			eng.MessagesSent(), eng.MessagesDelivered(), eng.MessagesDropped())
+	}
+	maxRound := uint32(0)
+	for _, c := range codes {
+		if c.gotMax > maxRound {
+			maxRound = c.gotMax
+		}
+	}
+	if maxRound != 10 {
+		t.Errorf("final counter = %d, want 10", maxRound)
+	}
+	if m := eng.Metrics(); m.Events == 0 || m.VirtualTime == 0 {
+		t.Errorf("sharded metrics empty: %+v", m)
+	}
+}
+
+// TestShardDriveDeterministic pins the sequential sharded drive to itself:
+// same seed, same event count and virtual time, across jittered latency.
+func TestShardDriveDeterministic(t *testing.T) {
+	run := func() (uint64, int64) {
+		surf := shardedPair(t)
+		eng, err := NewEngine(surf, rules.StandardLibrary(), func(lattice.BlockID) exec.BlockCode {
+			return &pingPong{limit: 50}
+		}, Config{Input: geom.V(1, 1), Output: geom.V(5, 5), Seed: 99,
+			Latency: UniformLatency{Min: 100, Max: 900},
+			Shards:  4, ShardDrive: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Boot(); err != nil {
+			t.Fatal(err)
+		}
+		eng.Run(0)
+		m := eng.Metrics()
+		return m.Events, m.VirtualTime
+	}
+	e1, t1 := run()
+	e2, t2 := run()
+	if e1 != e2 || t1 != t2 {
+		t.Errorf("runs differ: (%d,%d) vs (%d,%d)", e1, t1, e2, t2)
+	}
+}
+
+// TestShardDriveParallelWorkers exercises the epoch-parallel mode (surface
+// RWMutex, atomic counters, per-band goroutines) — most valuable under
+// -race. Message counts are deterministic even though interleaving is not:
+// the exchange is strictly sequential ping-pong.
+func TestShardDriveParallelWorkers(t *testing.T) {
+	surf := shardedPair(t)
+	eng, err := NewEngine(surf, rules.StandardLibrary(), func(lattice.BlockID) exec.BlockCode {
+		return &pingPong{limit: 30}
+	}, Config{Input: geom.V(1, 1), Output: geom.V(5, 5), Seed: 7,
+		Shards: 4, ShardDrive: true, ShardWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(0)
+	if eng.MessagesSent() != 31 || eng.MessagesDelivered() != 31 {
+		t.Errorf("sent/delivered = %d/%d, want 31/31",
+			eng.MessagesSent(), eng.MessagesDelivered())
+	}
+}
+
+// TestShardDriveRequiresSharding pins the configuration contract.
+func TestShardDriveRequiresSharding(t *testing.T) {
+	surf := shardedPair(t)
+	_, err := NewEngine(surf, rules.StandardLibrary(), func(lattice.BlockID) exec.BlockCode {
+		return &pingPong{limit: 1}
+	}, Config{Input: geom.V(1, 1), Output: geom.V(5, 5), ShardDrive: true})
+	if err == nil {
+		t.Fatal("ShardDrive without Shards accepted")
+	}
+}

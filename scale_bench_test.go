@@ -2,15 +2,18 @@
 
 package repro
 
-// Large-N smoke benchmarks at the paper's §VI scale (~2e6 modules), kept
-// behind the `scale` build tag so the default CI benchmark smoke stays
+// Large-N smoke benchmarks at the paper's §VI scale (5e5 to 8e6 modules),
+// kept behind the `scale` build tag so the default CI benchmark smoke stays
 // fast. Run with:
 //
 //	go test -tags scale -bench LargeSurface -benchtime 1x -run xxx .
 //
-// They exercise the two paths the ROADMAP flags at this size: the lazy
-// connectivity rebuild (rebuildConn's iterative Tarjan pass over the row
-// bitsets) and the session layer's batch runner.
+// They exercise the paths the ROADMAP flags at this size: the lazy
+// connectivity rebuild (monolithic vs column-band sharded), the per-event
+// constrained verdict that must stay flat as the surface grows, and the
+// session layer's batch runner. The sharded fixtures share the flatness
+// geometry of the sbbench kernels: fixed fill height and band width, so a
+// bigger surface means more bands, not bigger ones.
 
 import (
 	"context"
@@ -47,13 +50,9 @@ func largeSurface() (*lattice.Surface, error) {
 			largeErr = err
 			return
 		}
-		for y := 0; y < largeFillH; y++ {
-			for x := 0; x < largeW; x++ {
-				if _, err := surf.Place(geom.V(x, y)); err != nil {
-					largeErr = fmt.Errorf("place (%d,%d): %w", x, y, err)
-					return
-				}
-			}
+		if _, err := surf.FillRect(geom.RectSpanning(geom.V(0, 0), geom.V(largeW-1, largeFillH-1))); err != nil {
+			largeErr = err
+			return
 		}
 		largeSurf = surf
 	})
@@ -62,7 +61,7 @@ func largeSurface() (*lattice.Surface, error) {
 
 // BenchmarkLargeSurfaceRebuildConn measures one full connectivity rebuild
 // (component count + articulation bitset) over ~2e6 modules: the cost the
-// lazy cache pays after an occupancy mutation invalidates it.
+// monolithic lazy cache pays after an occupancy mutation invalidates it.
 func BenchmarkLargeSurfaceRebuildConn(b *testing.B) {
 	surf, err := largeSurface()
 	if err != nil {
@@ -120,6 +119,109 @@ func BenchmarkLargeSurfaceValidate(b *testing.B) {
 		if err := surf.Validate(app, cons); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// Sharded flatness fixtures: height and band width fixed, width (= band
+// count) grows. 750 cols ≈ 5e5 modules, 3000 ≈ 2e6, 12000 ≈ 8e6.
+const (
+	shardBenchH  = 667
+	shardBenchBW = 150
+)
+
+var shardScales = []struct {
+	label string
+	cols  int
+}{
+	{"5e5", 750},
+	{"2e6", 3000},
+	{"8e6", 12000},
+}
+
+// shardBenchSurface fills cols x shardBenchH modules, shards the surface
+// into cols/shardBenchBW bands, and returns it warmed with a rider block
+// mid-band on the flat top.
+func shardBenchSurface(b *testing.B, cols int) (*lattice.Surface, lattice.BlockID) {
+	b.Helper()
+	surf, err := lattice.NewSurface(cols, shardBenchH+6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := surf.FillRect(geom.RectSpanning(geom.V(0, 0), geom.V(cols-1, shardBenchH-1))); err != nil {
+		b.Fatal(err)
+	}
+	if err := surf.EnableSharding(cols / shardBenchBW); err != nil {
+		b.Fatal(err)
+	}
+	mid := (cols/shardBenchBW/2)*shardBenchBW + shardBenchBW/2
+	id, err := surf.Place(geom.V(mid, shardBenchH))
+	if err != nil {
+		b.Fatal(err)
+	}
+	surf.WarmConnectivity()
+	return surf, id
+}
+
+// BenchmarkLargeSurfaceShardRebuild measures the cost the sharded cache
+// pays after a mutation: one band rebuild plus the contraction recompute,
+// at every scale of the sweep. Flat ns/op across the sub-benchmarks is the
+// headline (the monolithic RebuildConn above grows linearly instead).
+func BenchmarkLargeSurfaceShardRebuild(b *testing.B) {
+	for _, sc := range shardScales {
+		sc := sc
+		b.Run(sc.label, func(b *testing.B) {
+			surf, _ := shardBenchSurface(b, sc.cols)
+			probe := geom.V(shardBenchBW/4, shardBenchH)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				id, err := surf.Place(probe)
+				if err != nil {
+					b.Fatal(err)
+				}
+				surf.WarmConnectivity()
+				b.StopTimer()
+				if err := surf.Remove(id); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(surf.NumBlocks()), "modules")
+		})
+	}
+}
+
+// BenchmarkLargeSurfaceShardValidate measures the per-event constrained
+// verdict with a band dirtied before every op: the flat per-event cost of
+// the issue's acceptance bar (ns/op within 25% across 5e5 -> 8e6).
+func BenchmarkLargeSurfaceShardValidate(b *testing.B) {
+	lib := rules.StandardLibrary()
+	cons := lattice.Constraints{RequireConnectivity: true}
+	for _, sc := range shardScales {
+		sc := sc
+		b.Run(sc.label, func(b *testing.B) {
+			surf, id := shardBenchSurface(b, sc.cols)
+			apps, err := surf.ApplicationsFor(id, lib, cons)
+			if err != nil || len(apps) == 0 {
+				b.Fatalf("rider has no constrained applications (err=%v)", err)
+			}
+			app := apps[0]
+			probe := geom.V(shardBenchBW/4, shardBenchH)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pid, err := surf.Place(probe)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := surf.Validate(app, cons); err != nil {
+					b.Fatal(err)
+				}
+				if err := surf.Remove(pid); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(surf.NumBlocks()), "modules")
+		})
 	}
 }
 
