@@ -1,6 +1,11 @@
 package lattice
 
-import "repro/internal/geom"
+import (
+	"cmp"
+	"slices"
+
+	"repro/internal/geom"
+)
 
 // The boundary contraction graph.
 //
@@ -97,17 +102,18 @@ func (be *boundaryEdges) scan(s *Surface, l, r *connCore) {
 			continue // vertical runs repeat the same pair
 		}
 		last = p
-		dup := false
-		for _, q := range be.pairs {
-			if q == p {
-				dup = true
-				break
-			}
-		}
-		if !dup {
-			be.pairs = append(be.pairs, p)
-		}
+		be.pairs = append(be.pairs, p)
 	}
+	// Sort-and-compact instead of a per-pair membership scan: a fragmented
+	// boundary (comb patterns produce one distinct pair per run) stays
+	// O(H + P log P) rather than O(H * P).
+	slices.SortFunc(be.pairs, func(p, q edgePair) int {
+		if c := cmp.Compare(p.a, q.a); c != 0 {
+			return c
+		}
+		return cmp.Compare(p.b, q.b)
+	})
+	be.pairs = slices.Compact(be.pairs)
 	be.valid = true
 }
 

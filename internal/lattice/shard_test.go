@@ -328,3 +328,53 @@ func TestShardedGlobalCompCount(t *testing.T) {
 		t.Fatal("oracle disagrees: surface should still be split")
 	}
 }
+
+// TestShardedCombBoundary drives the boundary edge scan through a fragmented
+// boundary — one distinct component pair per row — where the dedup must keep
+// every pair, and then through a merged left column where eight edges share
+// one left label. Pins the sort-and-compact dedup against the DFS oracle.
+func TestShardedCombBoundary(t *testing.T) {
+	s, err := NewSurface(8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EnableSharding(2); err != nil { // bands of width 4: boundary 3|4
+		t.Fatal(err)
+	}
+	// Comb teeth: isolated two-cell components straddling the boundary on
+	// every even row. Each contributes its own contraction edge.
+	teeth := 0
+	for y := 0; y < 16; y += 2 {
+		for _, v := range []geom.Vec{geom.V(3, y), geom.V(4, y)} {
+			if _, err := s.Place(v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		teeth++
+	}
+	s.WarmConnectivity()
+	if got := s.shconn.globalCompCount(); got != teeth {
+		t.Fatalf("comb: contraction counts %d components, want %d", got, teeth)
+	}
+	if got := len(s.shconn.contr.edges[0].pairs); got != teeth {
+		t.Fatalf("comb: %d boundary pairs, want %d distinct", got, teeth)
+	}
+	// Fill the left boundary column: the left band collapses to one
+	// component, so the eight edges dedup by right label only and the whole
+	// surface becomes one component.
+	for y := 1; y < 16; y += 2 {
+		if _, err := s.Place(geom.V(3, y)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.WarmConnectivity()
+	if got := s.shconn.globalCompCount(); got != 1 {
+		t.Fatalf("merged comb: contraction counts %d components", got)
+	}
+	if got := len(s.shconn.contr.edges[0].pairs); got != teeth {
+		t.Fatalf("merged comb: %d boundary pairs, want %d", got, teeth)
+	}
+	if !s.Connected() {
+		t.Fatal("oracle disagrees: merged comb should be connected")
+	}
+}

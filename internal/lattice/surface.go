@@ -183,8 +183,10 @@ func (s *Surface) Place(v geom.Vec) (BlockID, error) {
 // PlaceWithID puts a new block with a caller-chosen id on cell v. Scenario
 // loaders use it to reproduce the numbered layouts of Fig. 10.
 func (s *Surface) PlaceWithID(id BlockID, v geom.Vec) error {
-	if id == None {
-		return fmt.Errorf("%w: id 0 is reserved", ErrUnknownBlock)
+	if id <= None {
+		// Ids are strictly positive: 0 is the None sentinel and negative ids
+		// would escape the dense position register.
+		return fmt.Errorf("%w: id %d (ids are positive)", ErrUnknownBlock, id)
 	}
 	if !s.InBounds(v) {
 		return fmt.Errorf("%w: %v", ErrOutOfBounds, v)

@@ -66,6 +66,11 @@ func TestPlaceWithID(t *testing.T) {
 	if err := s.PlaceWithID(None, geom.V(3, 3)); err == nil {
 		t.Error("id 0 must be rejected")
 	}
+	// Negative ids must be rejected too (they would index the dense position
+	// register out of range), not just the None sentinel.
+	if err := s.PlaceWithID(-5, geom.V(3, 3)); err == nil {
+		t.Error("negative id must be rejected")
+	}
 	// Auto ids continue above explicit ones.
 	id, err := s.Place(geom.V(2, 1))
 	if err != nil {

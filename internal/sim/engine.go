@@ -101,6 +101,7 @@ const (
 type engEvent struct {
 	eng      *Engine
 	kind     evKind
+	band     int32 // band scheduler the event is enqueued on (sharded drive)
 	h        *host // start / moved / neighborhood target
 	from, to lattice.BlockID
 	side     geom.Dir
@@ -109,9 +110,31 @@ type engEvent struct {
 	vTo      geom.Vec
 }
 
+// target resolves the host whose state firing this event touches: the pinned
+// h for start/moved/neighborhood events, the receiver for deliveries (nil
+// when the receiver no longer exists).
+func (ev *engEvent) target() *host {
+	if ev.kind == evDeliver {
+		return ev.eng.hosts[ev.to]
+	}
+	return ev.h
+}
+
 // Fire implements Event: dispatch, then return to the arena.
 func (ev *engEvent) Fire() {
 	e := ev.eng
+	if rt := e.rt; rt != nil {
+		if h := ev.target(); h != nil && h.shard != ev.band {
+			// The target migrated to another band after this event was
+			// queued (e.g. a latency-delayed delivery outliving a move
+			// across a boundary). Bounce it through the host's current band
+			// mailbox so a host's events never execute on a stale band's
+			// worker; the next barrier re-enqueues it there, clamped to
+			// that band's clock like any deferred cross-band event.
+			rt.mailTo(h.shard, rt.scheds[ev.band].Now(), ev)
+			return
+		}
+	}
 	switch ev.kind {
 	case evStart:
 		ev.h.code.OnStart(ev.h)
@@ -232,7 +255,7 @@ func (e *Engine) Boot() error {
 // scheduleFor schedules ev, due d ticks from now, on the scheduler running
 // h's events: the global one, or h's band scheduler under the sharded drive
 // (boot path: the bands' clocks have not started, so d is absolute).
-func (e *Engine) scheduleFor(h *host, d Time, ev Event) {
+func (e *Engine) scheduleFor(h *host, d Time, ev *engEvent) {
 	if e.rt != nil {
 		e.rt.scheduleFrom(nil, h, d, ev)
 		return
@@ -461,7 +484,13 @@ func (h *host) Move(app rules.Application) error {
 	}
 	e.notifyAfterMotion(h, res)
 	if e.rt != nil {
-		e.rt.noteMigration(h)
+		// Every displaced block may have crossed a band boundary, not just
+		// the host that invoked the move (carrying rules drag passengers).
+		for _, id := range res.Moved {
+			if mh, ok := e.hosts[id]; ok {
+				e.rt.noteMigration(mh)
+			}
+		}
 	}
 	return nil
 }

@@ -277,7 +277,11 @@ func (u UniformLatency) MinDelay() Time { return u.Min }
 // drive sizes its virtual-time epochs by it: with epoch width <= the minimum
 // link delay, a message sent inside one epoch can only be due in a later
 // one, so cross-shard mailboxes drained at epoch barriers never deliver
-// late. Models without a declared bound get the conservative width 1.
+// late. Models without a declared bound — or declaring MinDelay() == 0 —
+// get the floor width 1; a cross-band send that draws a zero delay under
+// such a model then no longer outruns its epoch, and instead rides the
+// same defer-and-clamp path as zero-delay motion notifications (see the
+// sharded drive comment), arriving less than one epoch late.
 type MinDelayer interface {
 	MinDelay() Time
 }

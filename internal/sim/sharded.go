@@ -24,11 +24,14 @@ import (
 // Because a message needs at least Δ ticks to cross a link, a send performed
 // inside an epoch is due in a later epoch; cross-band sends therefore travel
 // through per-band mailboxes drained at the next barrier without ever
-// arriving late. The only cross-band traffic that is not latency-protected
-// is the zero-delay motion notification whose sensing window straddles a
-// band boundary: it is deferred to the next barrier and clamped to the
-// epoch start, skewing its delivery by less than Δ. That skew is within the
-// paper's asynchrony envelope (Assumption 3 bounds communication only by
+// arriving late. Two kinds of cross-band traffic are not latency-protected
+// and ride the deferral path instead: the zero-delay motion notification
+// whose sensing window straddles a band boundary, and — when the latency
+// model declares MinDelay() == 0 (e.g. UniformLatency{Min: 0}, where the
+// epoch width clamps to 1 tick) — any ordinary send that drew a zero delay.
+// Both are deferred to the next barrier and clamped to the destination
+// band's clock, skewing their delivery by less than Δ. That skew is within
+// the paper's asynchrony envelope (Assumption 3 bounds communication only by
 // "finite time"), and the physics — every Apply validated against the one
 // shared surface — is exact regardless. Runs with ShardWorkers <= 1 are
 // deterministic per seed; parallel epochs interleave sends nondeterminis-
@@ -36,9 +39,14 @@ import (
 //
 // A host is pinned to the band owning its column, re-pinned only at
 // barriers when it migrated across a boundary, so one host's events never
-// execute on two epoch workers at once. In parallel mode the surface is
-// guarded by an RWMutex: pure sensing reads share it, while Move and
-// CutVertex (which mutate the lazy connectivity caches) take it exclusively.
+// execute on two epoch workers at once. Events carry the band they were
+// enqueued on (engEvent.band); an event whose target host has since been
+// re-pinned elsewhere — a latency-delayed delivery outliving a migration —
+// does not fire on the stale band but bounces through the host's current
+// band mailbox (engEvent.Fire), preserving the single-worker-per-host
+// invariant. In parallel mode the surface is guarded by an RWMutex: pure
+// sensing reads share it, while Move and CutVertex (which mutate the lazy
+// connectivity caches) take it exclusively.
 type shardRT struct {
 	e       *Engine
 	width   Time // epoch width Δ (>= 1)
@@ -58,7 +66,7 @@ type shardRT struct {
 // mailItem is one cross-band event in flight: due time plus the event.
 type mailItem struct {
 	t  Time
-	ev Event
+	ev *engEvent
 }
 
 // mailbox is the inbound cross-band queue of one band.
@@ -93,13 +101,15 @@ func (rt *shardRT) shardOf(v geom.Vec) int32 {
 // scheduleFrom schedules ev for the band of target, due d ticks after the
 // origin band's current time. origin == nil means boot: d is an absolute
 // time on a not-yet-driven scheduler.
-func (rt *shardRT) scheduleFrom(origin, target *host, d Time, ev Event) {
+func (rt *shardRT) scheduleFrom(origin, target *host, d Time, ev *engEvent) {
 	if origin == nil {
+		ev.band = target.shard
 		_ = rt.scheds[target.shard].ScheduleAt(d, ev)
 		return
 	}
 	due := rt.scheds[origin.shard].Now() + d
 	if target.shard == origin.shard {
+		ev.band = origin.shard
 		_ = rt.scheds[origin.shard].ScheduleAt(due, ev)
 		return
 	}
@@ -119,6 +129,7 @@ func (rt *shardRT) send(h *host, to lattice.BlockID, side geom.Dir, m msg.Messag
 	if !ok || th.shard == h.shard {
 		// Unknown receivers still travel (and are counted dropped on
 		// delivery), matching the classic engine.
+		ev.band = h.shard
 		_ = sch.ScheduleAt(due, ev)
 		return nil
 	}
@@ -127,7 +138,7 @@ func (rt *shardRT) send(h *host, to lattice.BlockID, side geom.Dir, m msg.Messag
 }
 
 // mailTo queues a cross-band event for delivery at the next barrier.
-func (rt *shardRT) mailTo(si int32, t Time, ev Event) {
+func (rt *shardRT) mailTo(si int32, t Time, ev *engEvent) {
 	mb := &rt.mail[si]
 	if rt.workers > 1 {
 		mb.mu.Lock()
@@ -164,6 +175,7 @@ func (rt *shardRT) barrier() {
 			if now := sch.Now(); t < now {
 				t = now
 			}
+			it.ev.band = int32(i)
 			_ = sch.ScheduleAt(t, it.ev)
 			mb.items[j] = mailItem{} // release the event reference
 		}

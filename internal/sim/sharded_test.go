@@ -6,6 +6,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/geom"
 	"repro/internal/lattice"
+	"repro/internal/msg"
 	"repro/internal/rules"
 )
 
@@ -164,6 +165,233 @@ func TestShardDriveParallelWorkers(t *testing.T) {
 	if eng.MessagesSent() != 31 || eng.MessagesDelivered() != 31 {
 		t.Errorf("sent/delivered = %d/%d, want 31/31",
 			eng.MessagesSent(), eng.MessagesDelivered())
+	}
+}
+
+// walker is a BlockCode that slides its block east one cell at a time (each
+// OnMoved triggers the next step) until reaching column stop. Driven by the
+// first message it receives, it migrates across several band boundaries while
+// later messages to it are still in flight.
+type walker struct {
+	stop int
+	got  int
+}
+
+func (w *walker) OnStart(exec.Env) {}
+
+func (w *walker) OnMessage(env exec.Env, _ lattice.BlockID, _ msg.Message) {
+	w.got++
+	w.step(env)
+}
+
+func (w *walker) OnMoved(env exec.Env, _, _ geom.Vec) { w.step(env) }
+
+func (w *walker) step(env exec.Env) {
+	if p := env.Position(); p.X < w.stop {
+		_ = env.Move(rules.Application{Rule: rules.EastSliding(), Anchor: p})
+	}
+}
+
+func (w *walker) OnNeighborhoodChanged(exec.Env) {}
+
+// burst fires n messages at its east neighbour on start, then stays idle.
+type burst struct{ n int }
+
+func (b *burst) OnStart(env exec.Env) {
+	if nb := env.Neighbors()[geom.East]; nb != lattice.None {
+		for i := 0; i < b.n; i++ {
+			_ = env.Send(nb, msg.Message{Type: TypePing(), Round: uint32(i)})
+		}
+	}
+}
+
+func (b *burst) OnMessage(exec.Env, lattice.BlockID, msg.Message) {}
+func (b *burst) OnMoved(exec.Env, geom.Vec, geom.Vec)             {}
+func (b *burst) OnNeighborhoodChanged(exec.Env)                   {}
+
+// idle ignores everything (floor blocks).
+type idle struct{}
+
+func (idle) OnStart(exec.Env)                                 {}
+func (idle) OnMessage(exec.Env, lattice.BlockID, msg.Message) {}
+func (idle) OnMoved(exec.Env, geom.Vec, geom.Vec)             {}
+func (idle) OnNeighborhoodChanged(exec.Env)                   {}
+
+// walkSurface builds a floor row at floorY and a sender/walker pair above it
+// at (1, floorY+1)/(2, floorY+1), returning their ids.
+func walkSurface(t *testing.T, s *lattice.Surface, floorY int) (sender, mover lattice.BlockID) {
+	t.Helper()
+	if _, err := s.FillRect(geom.RectSpanning(geom.V(0, floorY), geom.V(s.Width()-1, floorY))); err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Place(geom.V(1, floorY+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Place(geom.V(2, floorY+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+// TestShardDriveBouncesMigratedHostEvents pins the migration fix: an event
+// queued on a host's band before the host migrated across a boundary must not
+// fire on the stale band's scheduler, but bounce through the host's current
+// band mailbox. The walker crosses seven band boundaries while latency-spread
+// deliveries to it are still queued on band 0; every one must arrive, and a
+// hand-crafted stale-band delivery must execute on the destination band.
+func TestShardDriveBouncesMigratedHostEvents(t *testing.T) {
+	surf, err := lattice.NewSurface(32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aID, bID := walkSurface(t, surf, 0)
+	const pings = 6
+	w := &walker{stop: 30}
+	eng, err := NewEngine(surf, rules.StandardLibrary(), func(id lattice.BlockID) exec.BlockCode {
+		switch id {
+		case aID:
+			return &burst{n: pings}
+		case bID:
+			return w
+		}
+		return idle{}
+	}, Config{Input: geom.V(1, 1), Output: geom.V(31, 7), Seed: 3,
+		Latency: UniformLatency{Min: 500, Max: 8000},
+		Shards:  8, ShardDrive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(0)
+	if got, _ := surf.PositionOf(bID); got != geom.V(30, 1) {
+		t.Fatalf("walker ended at %v, want (30,1)", got)
+	}
+	if w.got != pings {
+		t.Errorf("walker received %d messages, want %d", w.got, pings)
+	}
+	if eng.MessagesDropped() != 0 || eng.MessagesDelivered() != pings {
+		t.Errorf("delivered/dropped = %d/%d, want %d/0",
+			eng.MessagesDelivered(), eng.MessagesDropped(), pings)
+	}
+	// The walker must have been re-pinned to the band owning column 30.
+	h := eng.hosts[bID]
+	want := int32(surf.ShardOf(30))
+	if h.shard != want {
+		t.Fatalf("walker pinned to band %d, want %d", h.shard, want)
+	}
+	// White-box: a delivery left on the stale band 0 — exactly what a
+	// latency-delayed message queued before the migration looks like — must
+	// execute on the walker's current band scheduler, not band 0's.
+	rt := eng.rt
+	ev := eng.newEvent(evDeliver)
+	ev.from, ev.to, ev.side = aID, bID, geom.West
+	ev.m = msg.Message{Type: TypePing()}
+	ev.band = 0
+	if err := rt.scheds[0].ScheduleAt(rt.scheds[0].Now()+1, ev); err != nil {
+		t.Fatal(err)
+	}
+	before := rt.scheds[want].Processed()
+	eng.Run(0)
+	if got := rt.scheds[want].Processed(); got != before+1 {
+		t.Errorf("stale-band delivery fired %d events on band %d, want 1 (bounced)",
+			got-before, want)
+	}
+	if w.got != pings+1 {
+		t.Errorf("bounced delivery lost: walker received %d, want %d", w.got, pings+1)
+	}
+}
+
+// carryPair is one half of a travelling duo: it volleys pings with its
+// partner while the leader periodically executes an EastCarrying move, which
+// shifts both blocks east together. The pair stays adjacent the whole trip,
+// so the volley never stops — its hosts are continuously active on their
+// current band while earlier latency-spread deliveries to them still sit on
+// the band they were pinned to at send time.
+type carryPair struct {
+	peer  lattice.BlockID
+	lead  bool
+	stop  int
+	limit int
+	got   int
+}
+
+func (c *carryPair) OnStart(env exec.Env) {
+	// Several messages in flight at once keep deliveries spread over bands.
+	for i := 0; i < 3; i++ {
+		_ = env.Send(c.peer, msg.Message{Type: TypePing(), Round: uint32(i)})
+	}
+}
+
+func (c *carryPair) OnMessage(env exec.Env, _ lattice.BlockID, m msg.Message) {
+	c.got++
+	if c.got > c.limit {
+		return
+	}
+	_ = env.Send(c.peer, msg.Message{Type: TypePing(), Round: m.Round + 1})
+	if c.lead && c.got%2 == 0 {
+		if p := env.Position(); p.X < c.stop {
+			_ = env.Move(rules.Application{Rule: rules.EastCarrying(), Anchor: p})
+		}
+	}
+}
+
+func (c *carryPair) OnMoved(exec.Env, geom.Vec, geom.Vec) {}
+func (c *carryPair) OnNeighborhoodChanged(exec.Env)       {}
+
+// TestShardDriveParallelMigration exercises band migration under the
+// epoch-parallel drive: a carrying pair crosses every band boundary of the
+// surface while its ping-pong volley keeps messages to both hosts in flight.
+// Most valuable under -race — pre-fix, a delivery left on the band a host
+// was pinned to at send time would execute on that stale band's worker
+// concurrently with the host's events on its current band, racing on the
+// reception buffers and code state. Message accounting stays deterministic
+// even though interleaving is not.
+func TestShardDriveParallelMigration(t *testing.T) {
+	surf, err := lattice.NewSurface(64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trailID, leadID := walkSurface(t, surf, 0) // floor y=0, pair at (1,1)/(2,1)
+	const stop = 61
+	lead := &carryPair{peer: trailID, lead: true, stop: stop, limit: 300}
+	trail := &carryPair{peer: leadID, limit: 300}
+	eng, err := NewEngine(surf, rules.StandardLibrary(), func(id lattice.BlockID) exec.BlockCode {
+		switch id {
+		case leadID:
+			return lead
+		case trailID:
+			return trail
+		}
+		return idle{}
+	}, Config{Input: geom.V(1, 1), Output: geom.V(63, 3), Seed: 11,
+		Latency: UniformLatency{Min: 100, Max: 900},
+		Shards:  16, ShardDrive: true, ShardWorkers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(0)
+	if p, _ := surf.PositionOf(leadID); p != geom.V(stop, 1) {
+		t.Errorf("leader ended at %v, want (%d,1)", p, stop)
+	}
+	if p, _ := surf.PositionOf(trailID); p != geom.V(stop-1, 1) {
+		t.Errorf("trailer ended at %v, want (%d,1)", p, stop-1)
+	}
+	for _, id := range []lattice.BlockID{leadID, trailID} {
+		p, _ := surf.PositionOf(id)
+		if got, want := eng.hosts[id].shard, int32(surf.ShardOf(p.X)); got != want {
+			t.Errorf("host %d pinned to band %d, want %d", id, got, want)
+		}
+	}
+	if eng.MessagesDropped() != 0 || eng.MessagesDelivered() != eng.MessagesSent() {
+		t.Errorf("sent/delivered/dropped = %d/%d/%d, want every send delivered",
+			eng.MessagesSent(), eng.MessagesDelivered(), eng.MessagesDropped())
 	}
 }
 
