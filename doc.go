@@ -77,18 +77,50 @@
 // move simultaneously. core.WithParallelMoves(k) (or Config.ParallelMoves)
 // turns each election into a batch: the Dijkstra-Scholten fold carries a
 // top-K candidate list instead of a single (distance, id) maximum — each
-// ack's candidates record the bidder's position and whether it is a cut
+// ack's candidates record the bidder's position, whether it is a cut
 // vertex of the ensemble (exec.Env.CutVertex, answered by the lattice's
-// articulation cache) — and the Root greedily admits up to k winners whose
-// sensing windows are pairwise disjoint (Chebyshev distance > 2 x the
-// sensing radius, so no winner's motion can invalidate a cell another
-// winner sensed when planning) and, beyond the first, are not cut vertices
-// (so the departures cannot interact through the connectivity guard). The
-// admitted move-set is flooded as one GO message — a same-batch motion can
-// sever the father/son tree mid-round, so batch rounds replace tree-routed
-// Selects with a flood, and every block re-pushes the round's floods to
-// its neighbours whenever its local topology changes — and the Root opens
-// the next round once every winner's MoveDone flood arrived.
+// articulation cache), and the planned destination and cell footprint of
+// its best move (msg.Footprint: the From/To cells the move writes, as a
+// window bitboard) — and the Root admits up to k winners through a
+// two-pass footprint admission ladder:
+//
+// Pass 1 admits window-disjoint winners (wave stamp 0): a candidate joins
+// when no admitted winner's written cells fall inside its sensing window
+// and its written cells fall inside no admitted winner's window
+// (msg.Footprint.TouchesWindow). An executor replans over its whole window
+// at hop time, so writes-versus-window disjointness is exactly what makes
+// concurrent hops reproduce their bids and commute; the coarser test it
+// replaced (pairwise Chebyshev position distance > 2 x the sensing radius)
+// kept whole windows apart and capped realised parallelism near 2-3
+// moves/round regardless of k. Beyond the first winner, cut vertices are
+// excluded (their departures could interact through the connectivity
+// guard).
+//
+// Pass 2 fills the remaining slots with conveyor waves (stamps 1, 2, ...):
+// a candidate whose writes clash with an admitted winner's window still
+// joins when every winner it is coupled with is a same-direction mover
+// strictly ahead of it along the hop direction — a staircase descent is a
+// conveyor, not a contention set — and the whole planned prefix validates
+// as one batched what-if on the connectivity overlay
+// (lattice.Surface.ValidateMoveSet, shard-local, nothing mutated). A
+// head-to-tail write overlap is legal only as the train handoff: the
+// follower enters exactly the cell its predecessor vacates. Wave members
+// carry their stamp in the GO flood and hop only after every lower-stamped
+// winner reported MoveDone, so coupled hops execute in admission order and
+// the round stays equivalent to a serial execution.
+//
+// The admitted move-set is flooded as one GO message — a same-batch motion
+// can sever the father/son tree mid-round, so batch rounds replace
+// tree-routed Selects with a flood, and every block re-pushes the round's
+// floods to its neighbours whenever its local topology changes — and the
+// Root opens the next round once every winner's MoveDone flood arrived.
+// One guard backs the whole ladder at the physical layer: batch
+// interleavings (unlike any serial schedule) can pinch off an enclosed
+// pocket of empty cells that no rule application can ever reach again, so
+// under ParallelMoves > 1 the lattice rejects motions that seal such a
+// cavity (lattice.Constraints.ForbidCavity, a bounded 8-connected scan of
+// the empty region around the destination) — batch runs stay inside the
+// serially-reachable surface family.
 //
 // The default k = 1 is the paper-faithful serial protocol: a golden
 // differential test (internal/core/testdata/serial_golden.json, recorded

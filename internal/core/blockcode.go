@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/bits"
 	"sync/atomic"
 
 	"repro/internal/dsterm"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/lattice"
 	"repro/internal/msg"
+	"repro/internal/rules"
 )
 
 // shared is the run-wide state all BlockCodes of one run point at: the
@@ -46,12 +48,28 @@ type BlockCode struct {
 	gotSelectAck  bool
 	electionsLeft int // MaxRounds budget; <0 means unlimited
 	// moveSet is the round's admitted winners in admission order (the
-	// paper's single GO generalised to a batch); movesReported counts the
-	// distinct in-set movers whose MoveDone flood arrived, and
-	// batchReachedO remembers whether any of them landed on O.
+	// paper's single GO generalised to a batch), moveWaves their parallel
+	// wave ordering stamps (0 = unordered, s >= 1 = s-th member of the
+	// round's wave); movesReported counts the distinct in-set movers whose
+	// MoveDone flood arrived, and batchReachedO remembers whether any of
+	// them landed on O.
 	moveSet       []lattice.BlockID
+	moveWaves     []uint8
 	movesReported int
 	batchReachedO bool
+	// roundHadSuccess records whether any in-set mover's MoveDone of the
+	// current round reported a successful hop; failStreak counts consecutive
+	// completed rounds without one (batch runs only). A batch trajectory can
+	// reach states where the same few blocks — each holding a bid whose
+	// every candidate the physical layer rejects — cycle through the
+	// suppression backoff and monopolise tier-0 elections forever, a
+	// livelock the empty-election ladder never sees because the elections
+	// are not empty. The Root breaks it by escalating the election tier on
+	// the failure streak, which widens the stuck blocks' own candidate
+	// lists with retreat moves. The serial protocol never consults either
+	// field, so k = 1 stays bit-identical to the paper's sequencing.
+	roundHadSuccess bool
+	failStreak      int
 	// emptyStreak counts consecutive all-tier election ladders that found
 	// nobody electable. The Root only declares a blocking after several
 	// empty ladders: a single empty sweep can be transient (suppression
@@ -76,6 +94,16 @@ type BlockCode struct {
 	seenSelect  bool
 	goMsg       msg.Message
 
+	// Deferred wave execution: a winner whose GO entry carries wave stamp
+	// s > 1 acknowledges the Root immediately but holds its hop until the
+	// MoveDone flood of every lower-stamped wave member arrived — the wave
+	// validated as an ordered what-if, so executing in stamp order is what
+	// makes overlapping same-direction moves commute (the conveyor). The
+	// stamp is remembered here; onMoveDoneFlood re-checks readiness.
+	pendingHop      bool
+	pendingHopTier  msg.Tier
+	pendingHopStamp uint8
+
 	// suppressedFor marks a block whose elected move attempt was entirely
 	// rejected by the physical layer: it bids neutral for that many
 	// upcoming elections, so the Root immediately tries someone else. The
@@ -83,6 +111,17 @@ type BlockCode struct {
 	// e.g. under sensor faults) and clears at once when the neighbourhood
 	// changes or any block moves (MoveDone flood).
 	suppressedFor int
+	// hopFailStreak counts this block's consecutive fully rejected hop
+	// attempts. In batch runs the backoff doubles with the streak and a
+	// persistently failing block resists the global suppression clears:
+	// its rejection is an ensemble-connectivity condition that a local
+	// neighbourhood change does not lift, and without the escalating
+	// backoff a distance-best stuck block monopolises elections (it wins,
+	// fails, is un-suppressed by the next successful mover, and wins
+	// again) while movable blocks starve. Any successful own hop resets
+	// the streak. Serial runs (parallelK == 1) keep the paper's flat
+	// backoff exactly.
+	hopFailStreak int
 	// noReturnTo is the anti-oscillation memory: after any hop the block
 	// refuses to hop straight back into the cell it came from, until it
 	// observes an external change in its sensed neighbourhood ("if nothing
@@ -97,6 +136,18 @@ type BlockCode struct {
 	// (memory is stale and must clear).
 	pendingOwnMove bool
 	done           bool
+
+	// Batch-run bid cache: the exact application this block's last bid was
+	// planned from (ownCandidate, parallelK > 1). A winner executes this
+	// plan — the one the Root's admission ladder validated — before falling
+	// back to replanning, so a wave's executed moves match its what-if. The
+	// cache is only trusted when the round matches and the block still
+	// stands where it bid (a passive carry displacement invalidates it);
+	// the serial protocol never populates it.
+	bidRound uint32
+	bidPos   geom.Vec
+	bidApp   rules.Application
+	hasBid   bool
 }
 
 // avoidCell returns the planner exclusion for this block at the given tier;
@@ -162,6 +213,7 @@ func (b *BlockCode) startElection(env exec.Env, tier msg.Tier) {
 	b.moveSet = b.moveSet[:0]
 	b.movesReported = 0
 	b.batchReachedO = false
+	b.roundHadSuccess = false
 	if tier == msg.TierRetreat {
 		b.sh.cfg.Counters.EscapeElections.Add(1)
 	}
@@ -230,6 +282,11 @@ func (b *BlockCode) onActivate(env exec.Env, from lattice.BlockID, m msg.Message
 		b.round = m.Round
 		b.tier = m.Tier
 		b.father = from
+		// A new round begins: a hop still pending from an older round's wave
+		// must never fire into it (cannot normally happen — the Root waits
+		// for every winner's MoveDone — but a fault-injected run can drop
+		// the flood that would have released it).
+		b.pendingHop = false
 		own := b.ownCandidate(env, m.Round, m.Tier)
 		b.agg = election.NewAggregator(own, b.foldWidth())
 
@@ -284,13 +341,23 @@ func (b *BlockCode) onAck(env exec.Env, from lattice.BlockID, m msg.Message) {
 	}
 	if m.NumCands > 0 {
 		for _, c := range m.Cands[:m.NumCands] {
-			b.agg.Fold(election.Candidate{
+			kept := b.agg.Fold(election.Candidate{
 				Distance: c.Distance,
 				Priority: election.PriorityFor(b.sh.cfg.TieBreak, m.Round, c.ID),
 				ID:       c.ID,
 				Pos:      c.Pos,
 				Cut:      c.Cut,
+				To:       c.To,
+				Fp:       c.Fp,
 			}, from)
+			if !kept {
+				// The bounded top-K truncated a real bid (the msg.MaxBatch
+				// wire limit). Correctness is unaffected — truncation only
+				// drops candidates worse than every kept one, so the global
+				// best always survives — but the count surfaces in the
+				// message-stats event instead of vanishing silently.
+				b.sh.cfg.Counters.CandidatesDropped.Add(1)
+			}
 		}
 	} else {
 		b.agg.Fold(election.Candidate{
@@ -323,7 +390,8 @@ func (b *BlockCode) ackFather(env exec.Env) {
 		n := b.agg.Len()
 		for i := 0; i < n; i++ {
 			c := b.agg.At(i)
-			m.Cands[i] = msg.Cand{ID: c.ID, Distance: c.Distance, Pos: c.Pos, Cut: c.Cut}
+			m.Cands[i] = msg.Cand{ID: c.ID, Distance: c.Distance, Pos: c.Pos,
+				Cut: c.Cut, To: c.To, Fp: c.Fp}
 		}
 		m.NumCands = uint8(n)
 	}
@@ -364,9 +432,11 @@ func (b *BlockCode) onElectionComplete(env exec.Env) {
 	if em := b.sh.emit; em != nil {
 		winners := make([]lattice.BlockID, len(b.moveSet))
 		copy(winners, b.moveSet)
+		waves := make([]uint8, len(b.moveWaves))
+		copy(waves, b.moveWaves)
 		em.emit(Event{Kind: EventElectionDecided, Round: int(b.round),
 			Tier: b.tier, Winner: best.ID, Distance: best.Distance,
-			Winners: winners, Batch: len(winners)})
+			Winners: winners, WaveStamps: waves, Batch: len(winners)})
 	}
 	b.sh.cfg.Counters.MovesElected.Add(int64(len(b.moveSet)))
 	if b.sh.cfg.parallelK() == 1 {
@@ -396,53 +466,167 @@ func (b *BlockCode) onElectionComplete(env exec.Env) {
 		IDShortest: best.ID, NumCands: uint8(len(b.moveSet)),
 	}
 	for i, id := range b.moveSet {
-		goMsg.Cands[i] = msg.Cand{ID: id}
+		// Each GO entry carries the winner's wave ordering stamp; executors
+		// with stamp s >= 1 hold their hop until every lower-stamped member
+		// (the unordered stamp-0 winners included) flooded MoveDone.
+		// Re-pushed floods (repushFloods) retain the full goMsg, so wave
+		// prefixes survive topology changes.
+		goMsg.Cands[i] = msg.Cand{ID: id, Wave: b.moveWaves[i]}
 	}
 	b.selectRound, b.seenSelect, b.goMsg = b.round, true, goMsg
 	b.sendToNeighbors(env, goMsg, lattice.None)
 }
 
-// admitWinners greedily filters the aggregated top-K candidates into the
-// round's move-set: the best candidate is always admitted (so a batch round
-// makes at least the serial protocol's progress, and K = 1 degenerates to
-// it exactly); every further candidate is admitted only when
+// admitWinners filters the aggregated top-K candidates into the round's
+// move-set through a two-pass footprint admission ladder, filling
+// b.moveWaves with each admitted winner's wave ordering stamp. The best
+// candidate is always admitted (so a batch round makes at least the serial
+// protocol's progress, and K = 1 degenerates to it exactly); candidates
+// are tested, in election order, against all previously admitted winners
+// using the planned-move footprints the bids carried:
 //
-//   - its sensing window is disjoint from every admitted winner's window —
-//     Chebyshev distance > 2 x the sensing radius — so no admitted winner's
-//     motion (footprint ⊆ window) can overlap a cell another winner sensed
-//     when planning, and the moves commute physically, and
+// Pass 1 — window-disjoint winners (stamp 0). A candidate is admitted
+// unordered when it is uncoupled with every admitted winner: no admitted
+// winner's written cells fall inside this candidate's sensing window, and
+// this candidate's written cells fall inside no admitted winner's window.
+// An executor replans over its whole window at hop time (performHop), so
+// window stability is exactly what makes concurrent hops reproduce their
+// bids and commute; the old Chebyshev > 2r window-disjointness test bought
+// the same guarantee at far coarser granularity (window-vs-window instead
+// of writes-vs-window). This pass runs to completion first, so wave
+// members never displace a disjoint winner — conveyors only fill the
+// slots the disjoint pass left open.
 //
-//   - it is not a cut vertex of the ensemble (Cand.Cut, sampled from the
-//     articulation cache at bid time): a non-articulation departure leaves
-//     the remainder connected regardless of what the other winners do, so
-//     the admitted moves cannot interact through the connectivity guard.
+// Pass 2 — conveyor waves (stamp s >= 1). A remaining candidate joins as
+// an ordered wave member when its write set is disjoint with every
+// admitted winner's, every winner it is coupled with moves in the same
+// direction and sits strictly ahead of it along that direction (the
+// follower advances into space its train is vacating — same-direction
+// movers along a shared face form a conveyor, not a contention set), and
+// the whole planned prefix validates as a batched what-if in admission
+// order (exec.Env.ValidateMoveSet on the connectivity overlay). A stamped
+// winner hops only after every lower-stamped winner — including all
+// stamp-0 winners — reported MoveDone, so coupled hops execute
+// sequentially and each replans over a settled window: the round stays
+// equivalent to a serial execution.
 //
-// Both checks are O(1) per pair against at most msg.MaxBatch candidates.
+// Everything else is rejected: a written cell clashes, a coupling opposes
+// or crosses the train direction, the what-if fails, a carry couples (its
+// passenger is invisible to the what-if overlay), or the candidate is a
+// cut vertex whose departure could interact with the batch through
+// connectivity.
+//
+// The pairwise tests are O(popcount) window-bitboard operations against
+// at most msg.MaxBatch candidates; the batched what-if runs only for
+// pass-2 candidates and is bounded and shard-local.
 func (b *BlockCode) admitWinners(env exec.Env, dst []lattice.BlockID) []lattice.BlockID {
 	k := b.sh.cfg.parallelK()
-	sep := 2 * env.SensingRadius()
-	var cells [msg.MaxBatch]geom.Vec
+	radius := env.SensingRadius()
+	b.moveWaves = b.moveWaves[:0]
+	var admitted [msg.MaxBatch]election.Candidate
+	var planned [msg.MaxBatch]lattice.PlannedMove
+	var taken [msg.MaxBatch]bool
 	n := 0
+	// Pass 1: the window-disjoint move-set. The best candidate is admitted
+	// unconditionally; every further candidate must be uncoupled with all
+	// previously admitted winners. This pass alone reproduces the unordered
+	// batch admission, so waves never displace a disjoint winner — they only
+	// fill slots the disjoint pass left open.
 	for i := 0; i < b.agg.Len() && n < k; i++ {
 		c := b.agg.At(i)
 		if n > 0 {
-			if c.Cut {
+			if c.Cut || c.Fp.Empty() {
 				continue
 			}
-			clash := false
+			ok := true
 			for j := 0; j < n; j++ {
-				if c.Pos.Chebyshev(cells[j]) <= sep {
-					clash = true
+				a := admitted[j]
+				if a.Fp.Empty() {
+					// No footprint to test against (non-compact rule):
+					// fall back to the coarse window-vs-window distance.
+					if c.Pos.Chebyshev(a.Pos) <= 2*radius {
+						ok = false
+						break
+					}
+					continue
+				}
+				if c.Fp.TouchesWindow(a.Pos, radius) || a.Fp.TouchesWindow(c.Pos, radius) {
+					ok = false
 					break
 				}
 			}
-			if clash {
+			if !ok {
 				continue
 			}
 		}
-		cells[n] = c.Pos
+		admitted[n] = c
+		planned[n] = lattice.PlannedMove{From: c.Pos, To: c.To}
+		taken[i] = true
 		n++
 		dst = append(dst, c.ID)
+		b.moveWaves = append(b.moveWaves, 0)
+	}
+	// Pass 2: conveyor fill. Remaining candidates join as ordered wave
+	// members when every admitted winner they are coupled with is a
+	// same-direction mover strictly ahead of them along the hop direction
+	// (positive projection of the separation onto dir — the follower moves
+	// into space its train is vacating) and the planned prefix validates as
+	// a batched what-if on the connectivity overlay. Carries (rules moving
+	// two blocks — four written cells) never join a coupling: the what-if
+	// overlay models a single mover's from/to pair, so a carried passenger
+	// would slip past validation unchecked.
+	nextStamp := uint8(1)
+	for i := 0; i < b.agg.Len() && n < k; i++ {
+		if taken[i] {
+			continue
+		}
+		c := b.agg.At(i)
+		if c.Cut || c.Fp.Empty() || bits.OnesCount64(c.Fp.Write) > 2 {
+			continue
+		}
+		dir := c.To.Sub(c.Pos)
+		ok := true
+		for j := 0; j < n; j++ {
+			a := admitted[j]
+			overlap := c.Fp.WritesOverlap(a.Fp)
+			if !overlap && !c.Fp.TouchesWindow(a.Pos, radius) && !a.Fp.TouchesWindow(c.Pos, radius) {
+				continue
+			}
+			// The coupled winner must be a member of the train this candidate
+			// extends: same hop direction, strictly ahead along it (positive
+			// projection) and exactly on the train's axis (zero cross
+			// product). Oblique couplings — a mover diagonally offset from
+			// the axis — are the ones whose combined surface writes carve
+			// pockets a serial execution never would, so they contend.
+			ahead := a.Pos.Sub(c.Pos)
+			if a.To.Sub(a.Pos) != dir || ahead.X*dir.X+ahead.Y*dir.Y <= 0 ||
+				ahead.X*dir.Y != ahead.Y*dir.X ||
+				bits.OnesCount64(a.Fp.Write) > 2 {
+				ok = false
+				break
+			}
+			// A write overlap is legal only as the head-to-tail handoff of
+			// the train: the follower enters exactly the cell its
+			// predecessor vacates (both are simple two-cell hops, so the
+			// shared cell is the only possible overlap). The what-if below
+			// replays the moves in stamp order, so the vacancy is modelled.
+			if overlap && c.To != a.Pos {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		planned[n] = lattice.PlannedMove{From: c.Pos, To: c.To}
+		if env.ValidateMoveSet(planned[:n+1]) != n+1 {
+			continue
+		}
+		admitted[n] = c
+		n++
+		dst = append(dst, c.ID)
+		b.moveWaves = append(b.moveWaves, nextStamp)
+		nextStamp++
 	}
 	return dst
 }
@@ -474,7 +658,7 @@ func (b *BlockCode) onSelect(env exec.Env, from lattice.BlockID, m msg.Message) 
 	_ = env.Send(b.father, msg.Message{
 		Type: msg.TypeSelectAck, Round: m.Round, Tier: m.Tier, IDShortest: b.id,
 	})
-	b.performHop(env, m.Tier)
+	b.performHop(env, m.Tier, false)
 }
 
 // onGoFlood handles a batch round's move-set broadcast: forward the flood
@@ -497,9 +681,55 @@ func (b *BlockCode) onGoFlood(env exec.Env, from lattice.BlockID, m msg.Message)
 		_ = env.Send(b.father, msg.Message{
 			Type: msg.TypeSelectAck, Round: m.Round, Tier: m.Tier, IDShortest: b.id,
 		})
-		b.performHop(env, m.Tier)
+		if c.Wave >= 1 {
+			// Ordered wave member: hop only after every lower-stamped
+			// member — including every unordered (stamp-0) winner — flooded
+			// MoveDone, so this mover replans over a settled window. The
+			// acknowledgement above already ended the election for the Root;
+			// the hop itself waits.
+			b.pendingHop, b.pendingHopTier, b.pendingHopStamp = true, m.Tier, c.Wave
+			b.tryPendingHop(env)
+			return
+		}
+		b.performHop(env, m.Tier, false)
 		return
 	}
+}
+
+// tryPendingHop executes a deferred wave hop once every lower-stamped
+// member of the round's GO — the unordered stamp-0 winners and every wave
+// member with a smaller stamp — has flooded its MoveDone. Safe to call
+// eagerly: it is a no-op unless a hop is pending and ready. Deadlock-free
+// because stamp-0 winners never wait, every winner floods MoveDone on
+// success and failure alike, floods are re-pushed on topology changes, and
+// the Root cannot advance the round (which would reset the flood state)
+// before this member's own MoveDone.
+func (b *BlockCode) tryPendingHop(env exec.Env) {
+	if !b.pendingHop || b.done {
+		return
+	}
+	m := b.goMsg
+	for _, c := range m.Cands[:m.NumCands] {
+		if c.ID == b.id || c.Wave >= b.pendingHopStamp {
+			continue
+		}
+		if b.moveDoneRound != m.Round || !b.seenMoveDone(c.ID) {
+			return // a predecessor has not reported yet
+		}
+	}
+	b.pendingHop = false
+	b.performHop(env, b.pendingHopTier, true)
+}
+
+// seenMoveDone reports whether the given mover's MoveDone flood of the
+// current flood round was recorded.
+func (b *BlockCode) seenMoveDone(id lattice.BlockID) bool {
+	for _, seen := range b.moveDoneMovers {
+		if seen == id {
+			return true
+		}
+	}
+	return false
 }
 
 // repushFloods re-sends the current round's remembered GO and MoveDone
@@ -538,8 +768,32 @@ func (b *BlockCode) onSelectAck(env exec.Env, from lattice.BlockID, m msg.Messag
 // performHop executes the elected block's hop: the best admissible candidate
 // motion that the physical layer accepts. On total failure the block
 // self-suppresses and reports failure, so the Root re-elects someone else.
-func (b *BlockCode) performHop(env exec.Env, tier msg.Tier) {
+// waveMember marks a deferred wave hop (stamp >= 1): its failure is
+// expected contention — the train moved and the follower's turn never
+// materialised — not evidence the block is stuck, so it reports failure
+// without the suppression backoff.
+func (b *BlockCode) performHop(env exec.Env, tier msg.Tier, waveMember bool) {
 	from := env.Position()
+	// A batch winner first executes the exact application its bid was
+	// planned from — the one the Root's admission ladder what-if validated —
+	// so a wave's executed moves match the validated move-set. The cache is
+	// trusted only when the round matches and the block still stands where
+	// it bid; otherwise (or if the physics layer rejects it) fall back to a
+	// fresh replan below.
+	if b.hasBid && b.bidRound == b.round && b.bidPos == from {
+		b.hasBid = false
+		b.pendingOwnMove = true
+		if err := env.Move(b.bidApp); err == nil {
+			to := env.Position()
+			b.hasNoReturn = true
+			b.noReturnTo = from
+			b.hopFailStreak = 0
+			env.Logf("hop %s -> %s via %s (bid)", from, to, b.bidApp.Rule.Name)
+			b.floodMoveDone(env, from, to, true)
+			return
+		}
+		b.pendingOwnMove = false
+	}
 	cands := planCandidates(b.sh.cfg, env.Library(), from, env.Sense, tier, b.avoidCell(tier))
 	for _, c := range cands {
 		b.pendingOwnMove = true
@@ -548,6 +802,7 @@ func (b *BlockCode) performHop(env exec.Env, tier msg.Tier) {
 			// Remember the origin so the next hop will not undo this one.
 			b.hasNoReturn = true
 			b.noReturnTo = from
+			b.hopFailStreak = 0
 			env.Logf("hop %s -> %s via %s", from, to, c.App.Rule.Name)
 			b.floodMoveDone(env, from, to, true)
 			return
@@ -555,8 +810,24 @@ func (b *BlockCode) performHop(env exec.Env, tier msg.Tier) {
 		b.pendingOwnMove = false
 	}
 	b.sh.cfg.Counters.MoveFailures.Add(1)
-	b.suppressedFor = suppressionRounds
-	env.Logf("all %d candidates rejected; suppressed for %d rounds", len(cands), suppressionRounds)
+	if waveMember {
+		env.Logf("wave hop lapsed; %d candidates rejected", len(cands))
+		b.floodMoveDone(env, from, from, false)
+		return
+	}
+	b.hopFailStreak++
+	backoff := suppressionRounds
+	if b.sh.cfg.parallelK() > 1 {
+		// Escalating backoff (see the hopFailStreak field docs): 3, 6, 12,
+		// 24, then capped at 48 rounds.
+		shift := b.hopFailStreak - 1
+		if shift > 4 {
+			shift = 4
+		}
+		backoff = suppressionRounds << shift
+	}
+	b.suppressedFor = backoff
+	env.Logf("all %d candidates rejected; suppressed for %d rounds", len(cands), backoff)
 	b.floodMoveDone(env, from, from, false)
 }
 
@@ -605,15 +876,20 @@ func (b *BlockCode) onMoveDoneFlood(env exec.Env, from lattice.BlockID, m msg.Me
 	if m.Success {
 		// Global progress: any previously impossible move may have become
 		// possible, so suppressed blocks bid again.
-		b.suppressedFor = 0
+		b.liftSuppression()
 	}
 	b.sendToNeighbors(env, m, from)
+	// A deferred wave hop may have just become ready.
+	b.tryPendingHop(env)
 	if b.isRoot && m.Round == b.round {
 		for _, id := range b.moveSet {
 			if id == m.Mover {
 				b.movesReported++
-				if m.Success && m.To == b.sh.cfg.Output {
-					b.batchReachedO = true
+				if m.Success {
+					b.roundHadSuccess = true
+					if m.To == b.sh.cfg.Output {
+						b.batchReachedO = true
+					}
 				}
 				b.maybeAdvance(env)
 				break
@@ -640,7 +916,26 @@ func (b *BlockCode) maybeAdvance(env exec.Env) {
 		b.finish(env, true)
 		return
 	}
-	b.startElection(env, msg.TierDecreasing)
+	tier := msg.TierDecreasing
+	if b.sh.cfg.parallelK() > 1 {
+		// Failure-streak ladder (batch runs only; see the field docs): a
+		// round whose every mover was rejected by the physical layer bumps
+		// the streak, and a persistent streak escalates the next election's
+		// tier so the stuck bidders' own candidate lists widen beyond the
+		// rejected move. Any successful hop resets the ladder.
+		if b.roundHadSuccess {
+			b.failStreak = 0
+		} else {
+			b.failStreak++
+		}
+		switch {
+		case b.failStreak >= 2*failStreakEscalate:
+			tier = msg.TierDesperate
+		case b.failStreak >= failStreakEscalate:
+			tier = msg.TierRetreat
+		}
+	}
+	b.startElection(env, tier)
 }
 
 // finish ends the run: the Root floods Finished and reports termination.
@@ -672,7 +967,7 @@ func (b *BlockCode) onFinishedFlood(env exec.Env, from lattice.BlockID, m msg.Me
 // In batch rounds a displacement also re-pushes the round's floods: the
 // block's port adjacencies just changed.
 func (b *BlockCode) OnMoved(env exec.Env, from, to geom.Vec) {
-	b.suppressedFor = 0
+	b.liftSuppression()
 	if b.sh.cfg.parallelK() > 1 {
 		b.repushFloods(env)
 	}
@@ -689,11 +984,27 @@ func (b *BlockCode) OnMoved(env exec.Env, from, to geom.Vec) {
 // mean a new adjacency, so the round's floods are re-pushed (see
 // repushFloods).
 func (b *BlockCode) OnNeighborhoodChanged(env exec.Env) {
-	b.suppressedFor = 0
+	b.liftSuppression()
 	b.hasNoReturn = false
 	if b.sh.cfg.parallelK() > 1 {
 		b.repushFloods(env)
 	}
+}
+
+// liftSuppression clears the retry backoff in response to external change
+// (a successful mover anywhere, a sensed-neighbourhood change, or this
+// block's own displacement). A batch-run block deep in a failure streak
+// only shortens its backoff instead: its hops were rejected by the
+// ensemble-connectivity guard, which local change rarely lifts, and a full
+// clear would let it monopolise elections again (see hopFailStreak).
+func (b *BlockCode) liftSuppression() {
+	if b.sh.cfg.parallelK() > 1 && b.hopFailStreak > 1 {
+		if b.suppressedFor > 0 {
+			b.suppressedFor--
+		}
+		return
+	}
+	b.suppressedFor = 0
 }
 
 // suppressionRounds is the retry backoff after a fully rejected hop: the
@@ -704,6 +1015,12 @@ const suppressionRounds = 3
 // tolerates before declaring a blocking; retries outlast the suppression
 // backoff so a transiently suppressed block gets to bid again.
 const emptyLadderRetries = 4
+
+// failStreakEscalate is how many consecutive all-rejected batch rounds the
+// Root tolerates at TierDecreasing before escalating the election tier (and
+// twice that before TierDesperate); it outlasts one full suppression
+// rotation of the stuck bidders, so transient rejections never escalate.
+const failStreakEscalate = 4
 
 // ownCandidate evaluates this block's bid per eqs. (8)-(10): neutral when
 // frozen, suppressed or moveless; otherwise its hop count to O, stamped
@@ -719,8 +1036,14 @@ func (b *BlockCode) ownCandidate(env exec.Env, round uint32, tier msg.Tier) elec
 		b.suppressedFor--
 	}
 	hasMove := false
+	var planned *CandidateMove
 	if !cfg.Frozen(pos) && !suppressed {
-		hasMove = len(planCandidates(cfg, env.Library(), pos, env.Sense, tier, b.avoidCell(tier))) > 0
+		cands := planCandidates(cfg, env.Library(), pos, env.Sense, tier, b.avoidCell(tier))
+		hasMove = len(cands) > 0
+		if hasMove && cfg.parallelK() > 1 {
+			planned = &cands[0]
+			b.bidRound, b.bidPos, b.bidApp, b.hasBid = round, pos, planned.App, true
+		}
 	}
 	d := cfg.distanceValue(pos, hasMove)
 	if d == msg.InfiniteDistance {
@@ -730,13 +1053,49 @@ func (b *BlockCode) ownCandidate(env exec.Env, round uint32, tier msg.Tier) elec
 	if cfg.parallelK() > 1 {
 		cut = env.CutVertex()
 	}
-	return election.Candidate{
+	c := election.Candidate{
 		Distance: d,
 		Priority: election.PriorityFor(cfg.TieBreak, round, b.id),
 		ID:       b.id,
 		Pos:      pos,
 		Cut:      cut,
 	}
+	if planned != nil {
+		// Stamp the bid with the best plan's destination and cell footprint,
+		// so the Root's admission ladder can reason about interference
+		// exactly (only computed when a batch run can consume it — the
+		// serial protocol's bids stay bit-identical to the paper's).
+		c.To = planned.To
+		c.Fp = moveFootprint(planned.App)
+	}
+	return c
+}
+
+// moveFootprint compiles a planned application's cell footprint into the
+// wire form the admission ladder consumes: Write = the From/To cells of
+// every elementary move (the cells whose occupancy changes), as a window
+// bitboard anchored at the application's anchor. Rules outside the compiled
+// compact form (none in the standard library) yield an empty footprint,
+// which the ladder treats as unknowable interference — the candidate is
+// never co-admitted.
+func moveFootprint(app rules.Application) msg.Footprint {
+	mm := app.Rule.MM
+	if !mm.Compact() {
+		return msg.Footprint{}
+	}
+	r := mm.Radius()
+	size := 2*r + 1
+	fp := msg.Footprint{Anchor: app.Anchor, Radius: uint8(r)}
+	for _, m := range app.Rule.Moves {
+		fp.Write |= windowBit(m.From, r, size) | windowBit(m.To, r, size)
+	}
+	return fp
+}
+
+// windowBit maps a window-relative cell to its bitboard bit (row*size+col in
+// display order, row 0 = north — the compiled rule system's layout).
+func windowBit(rel geom.Vec, r, size int) uint64 {
+	return 1 << uint((r-rel.Y)*size+(rel.X+r))
 }
 
 // sendToNeighbors sends m to every adjacent block except `except`,

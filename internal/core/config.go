@@ -86,11 +86,11 @@ type Config struct {
 	// the paper-faithful serial protocol — exactly one winner per round,
 	// with the legacy election semantics preserved bit for bit. Values are
 	// capped at msg.MaxBatch (the wire format's candidate-list bound).
-	// Beyond the serial winner, a candidate is admitted only when its
-	// sensing window is disjoint from every admitted winner's (so no
-	// winner's planned move can invalidate another's) and it is not a cut
-	// vertex of the ensemble (so its departure cannot interact with another
-	// winner's through connectivity).
+	// Beyond the serial winner, candidates pass the footprint-aware
+	// admission ladder of BlockCode.admitWinners: footprint-disjoint moves
+	// are admitted outright, overlapping same-direction moves that commute
+	// (validated by a batched what-if, exec.Env.ValidateMoveSet) are
+	// admitted as an ordered wave, everything else is rejected.
 	ParallelMoves int
 
 	// MaxRounds caps the number of elections as a safety net; 0 derives
@@ -179,6 +179,12 @@ type Counters struct {
 	MoveFailures atomic.Int64
 	// CandidateEnumerations counts move-planning passes.
 	CandidateEnumerations atomic.Int64
+	// CandidatesDropped counts non-neutral candidates truncated by the
+	// bounded top-K fold (the msg.MaxBatch wire limit): folds where a bid
+	// was worse than every kept entry of an already-full aggregator. The
+	// count surfaces in the Observer's message-stats event so silent
+	// truncation is visible.
+	CandidatesDropped atomic.Int64
 }
 
 // Snapshot returns a plain-struct copy of the counters.
@@ -190,6 +196,7 @@ func (c *Counters) Snapshot() CounterValues {
 		MovesElected:          c.MovesElected.Load(),
 		MoveFailures:          c.MoveFailures.Load(),
 		CandidateEnumerations: c.CandidateEnumerations.Load(),
+		CandidatesDropped:     c.CandidatesDropped.Load(),
 	}
 }
 
@@ -201,4 +208,5 @@ type CounterValues struct {
 	MovesElected          int64
 	MoveFailures          int64
 	CandidateEnumerations int64
+	CandidatesDropped     int64
 }

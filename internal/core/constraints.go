@@ -31,6 +31,13 @@ func BuildConstraints(cfg Config, surf *lattice.Surface, lib *rules.Library) lat
 			return ok && cfg.Frozen(pos)
 		},
 		Veto: blockingVeto(cfg, lib),
+		// Batch rounds interleave displacements the serial schedule could
+		// not produce; refusing to seal pockets of empty space keeps those
+		// interleavings inside the serially-reachable surface family. The
+		// serial path (k=1) never attempts such a motion, so the guard is
+		// only paid — and only semantically active — under parallel
+		// admission.
+		ForbidCavity: cfg.parallelK() > 1,
 	}
 }
 

@@ -361,7 +361,8 @@ func (e *Engine) runInstance(ctx context.Context, surf *lattice.Surface, cfg Con
 	m := backend.Metrics()
 	em.emit(Event{Kind: EventMessageStats,
 		Sent: m.MessagesSent, Delivered: m.MessagesDelivered,
-		Dropped: m.MessagesDropped, Events: m.Events, VirtualTime: m.VirtualTime})
+		Dropped: m.MessagesDropped, Events: m.Events, VirtualTime: m.VirtualTime,
+		CandsDropped: uint64(cfg.Counters.CandidatesDropped.Load())})
 
 	fired, success, rounds := rec.snapshot()
 	res := Result{

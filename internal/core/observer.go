@@ -77,6 +77,11 @@ type Event struct {
 	// Winners[0] == Winner, followed by the extra non-interfering winners of
 	// a parallel-moves batch. Nil for an empty election (ElectionDecided).
 	Winners []lattice.BlockID
+	// WaveStamps aligns with Winners: each admitted winner's wave ordering
+	// stamp — 0 for an unordered (footprint-disjoint) winner, s >= 1 for the
+	// s-th member of the round's ordered conveyor wave, which executes only
+	// after every lower-stamped member's MoveDone (ElectionDecided).
+	WaveStamps []uint8
 	// Batch is len(Winners) on ElectionDecided — the round's admitted
 	// winner count — and the configured parallel-moves width K on
 	// RoundStarted.
@@ -93,6 +98,10 @@ type Event struct {
 	// Sent, Delivered, Dropped and Events are the engine totals
 	// (MessageStats).
 	Sent, Delivered, Dropped, Events uint64
+	// CandsDropped is the number of non-neutral election candidates the
+	// bounded top-K fold truncated at the msg.MaxBatch wire limit across the
+	// run — visible truncation instead of silent (MessageStats).
+	CandsDropped uint64
 	// VirtualTime is the backend clock at drain: virtual ticks on the DES,
 	// elapsed wall-clock nanoseconds on the goroutine runtime
 	// (MessageStats).

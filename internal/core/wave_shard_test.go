@@ -1,0 +1,120 @@
+package core_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lattice"
+	"repro/internal/rules"
+	"repro/internal/scenario"
+)
+
+// waveRun captures everything a batch run can diverge on: the DES metric
+// block, the election-winner sequence and the final surface.
+type waveRun struct {
+	res     core.Result
+	winners []lattice.BlockID
+	final   []string
+}
+
+func runWaveScenario(t *testing.T, build func() (*scenario.Scenario, error), opts ...core.Option) waveRun {
+	t.Helper()
+	s, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out waveRun
+	opts = append([]core.Option{
+		core.WithSeed(1),
+		core.WithParallelMoves(4),
+		core.WithObserver(core.ObserverFunc(func(ev core.Event) {
+			if ev.Kind == core.EventElectionDecided {
+				out.winners = append(out.winners, ev.Winner)
+			}
+		})),
+	}, opts...)
+	res, err := core.NewEngine(rules.StandardLibrary(), opts...).
+		Run(context.Background(), s.Surface, s.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Success {
+		t.Fatalf("batch run failed after %d rounds", res.Rounds)
+	}
+	out.res = res
+	for _, p := range s.Surface.Positions() {
+		out.final = append(out.final, p.String())
+	}
+	return out
+}
+
+// TestWaveShardsBitIdentical pins the sharded connectivity cache under wave
+// admission: a WithParallelMoves(4) run over column-band shards — both
+// inline and with a dedicated shard-drive pool — must be bit-identical to
+// the monolithic batch run, because sharding replaces only the articulation
+// cache while occupancy (and with it every footprint, what-if and cavity
+// verdict the admission ladder takes) is always full-surface. Compared:
+// event count, hops, rounds, messages, virtual time, the complete
+// election-winner sequence and the final surface.
+func TestWaveShardsBitIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		build func() (*scenario.Scenario, error)
+	}{
+		{"slope-staircase", func() (*scenario.Scenario, error) { return scenario.SlopeStaircase(20, 26) }},
+		{"wide-ridge", scenario.WideRidge},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			mono := runWaveScenario(t, tc.build)
+			for _, v := range []struct {
+				name string
+				opts []core.Option
+				// The shard-drive pool migrates band hosts between workers
+				// mid-run, which perturbs driver-level accounting (event
+				// count, message count, virtual time) on a scheduling-
+				// dependent margin; the inline variant pins those too. The
+				// protocol level — rounds, hops, the winner sequence and
+				// the final surface — must be bit-identical either way.
+				pinDriver bool
+			}{
+				{"shards", []core.Option{core.WithShards(8)}, true},
+				{"shard-drive", []core.Option{core.WithShards(8), core.WithShardDrive(2)}, false},
+			} {
+				v := v
+				t.Run(v.name, func(t *testing.T) {
+					got := runWaveScenario(t, tc.build, v.opts...)
+					if mono.res.Hops != got.res.Hops || mono.res.Rounds != got.res.Rounds {
+						t.Errorf("sharded batch run diverged from monolithic:\n  mono    %+v\n  sharded %+v",
+							mono.res, got.res)
+					}
+					if v.pinDriver &&
+						(mono.res.Events != got.res.Events ||
+							mono.res.MessagesSent != got.res.MessagesSent ||
+							mono.res.VirtualTime != got.res.VirtualTime) {
+						t.Errorf("sharded DES accounting diverged from monolithic:\n  mono    %+v\n  sharded %+v",
+							mono.res, got.res)
+					}
+					if len(got.winners) != len(mono.winners) {
+						t.Fatalf("saw %d elections, monolithic had %d", len(got.winners), len(mono.winners))
+					}
+					for i := range got.winners {
+						if got.winners[i] != mono.winners[i] {
+							t.Fatalf("election %d elected %d, monolithic elected %d",
+								i, got.winners[i], mono.winners[i])
+						}
+					}
+					if len(got.final) != len(mono.final) {
+						t.Fatalf("final surface holds %d cells, monolithic %d", len(got.final), len(mono.final))
+					}
+					for i := range got.final {
+						if got.final[i] != mono.final[i] {
+							t.Fatalf("final cell %d = %s, monolithic %s", i, got.final[i], mono.final[i])
+						}
+					}
+				})
+			}
+		})
+	}
+}

@@ -46,16 +46,20 @@ func (t TieBreak) String() string {
 
 // Candidate is a block's bid in one election. Beyond the paper's
 // (ShortestDistance, IDshortest) pair it carries what the Root's
-// parallel-moves interference filter consumes: the bidder's position (for
-// sensing-window disjointness) and whether the bidder is currently a cut
-// vertex of the ensemble (exec.Env.CutVertex). Neither extra field
-// participates in the election order.
+// parallel-moves admission ladder consumes: the bidder's position, whether
+// the bidder is currently a cut vertex of the ensemble (exec.Env.CutVertex),
+// the planned destination of its best move and that move's full cell
+// footprint (msg.Footprint, computed once at the proposer from the
+// bitboard-compiled rule). None of the extra fields participates in the
+// election order.
 type Candidate struct {
 	Distance int32 // hops to the output O, or msg.InfiniteDistance
 	Priority uint64
 	ID       lattice.BlockID
 	Pos      geom.Vec // bidder's cell at bid time
 	Cut      bool     // bidder is an articulation point of the ensemble
+	To       geom.Vec // planned destination of the bidder's best move
+	Fp       msg.Footprint
 }
 
 // Neutral returns the identity element of Merge: an infinitely distant
@@ -150,11 +154,14 @@ func NewAggregator(own Candidate, k int) *Aggregator {
 	return a
 }
 
-// Fold merges a candidate reported by neighbour `from` into the top-K set.
-// Neutral candidates are the fold identity and are never kept.
-func (a *Aggregator) Fold(c Candidate, from lattice.BlockID) {
+// Fold merges a candidate reported by neighbour `from` into the top-K set
+// and reports whether it was kept. Neutral candidates are the fold identity:
+// never kept, but not a drop either (they lost nothing). A false return for
+// a non-neutral candidate means the bounded top-K truncated it — callers
+// that care about silent truncation at the wire bound count these.
+func (a *Aggregator) Fold(c Candidate, from lattice.BlockID) bool {
 	if c.IsNeutral() {
-		return
+		return true
 	}
 	// Find the insertion point in the Better order (entries are tiny: k <=
 	// msg.MaxBatch, so a linear scan beats anything clever). c goes after
@@ -165,13 +172,14 @@ func (a *Aggregator) Fold(c Candidate, from lattice.BlockID) {
 		i++
 	}
 	if i == a.k {
-		return // worse than every kept candidate
+		return false // worse than every kept candidate
 	}
 	if len(a.entries) < a.k {
 		a.entries = append(a.entries, slot{})
 	}
 	copy(a.entries[i+1:], a.entries[i:])
 	a.entries[i] = slot{c: c, via: from}
+	return true
 }
 
 // Best returns the best kept candidate, or Neutral when nothing was kept.

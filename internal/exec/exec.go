@@ -64,6 +64,15 @@ type Env interface {
 	// can admit extra winners without risking a connectivity interaction.
 	CutVertex() bool
 
+	// ValidateMoveSet checks an ordered list of planned single-block
+	// displacements as one batched what-if against the current surface and
+	// returns the length of the longest valid prefix (see
+	// lattice.Surface.ValidateMoveSet). The Root's wave admission uses it to
+	// test whether overlapping same-direction candidates commute when applied
+	// in stamp order; every admitted hop is still validated live by Move, so
+	// the answer is a planning verdict, not the safety guard.
+	ValidateMoveSet(moves []lattice.PlannedMove) int
+
 	// Library returns the motion capabilities stored in the block.
 	Library() *rules.Library
 	// Move asks the actuators to execute a rule application in which this

@@ -241,6 +241,10 @@ func RunBenchJSONWith(opts BenchOpts) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	stairK16, dt5, err := runWide("stair_k16", func() (*scenario.Scenario, error) { return scenario.SlopeStaircase(60, 66) }, 16, 3000, true)
+	if err != nil {
+		return nil, err
+	}
 	rec.Results = append(rec.Results,
 		BenchResult{Name: "rounds_to_completion_serial", NsPerOp: float64(dt1.Nanoseconds()), Ops: 1,
 			Metric: float64(stairSerial.Rounds), MetricName: "rounds"},
@@ -252,9 +256,19 @@ func RunBenchJSONWith(opts BenchOpts) ([]byte, error) {
 			Metric: float64(ridgeK4.Rounds), MetricName: "rounds"},
 		BenchResult{Name: "ridge_serial_rounds_budget", NsPerOp: float64(dt4.Nanoseconds()), Ops: 1,
 			Metric: float64(ridgeSerial.Rounds), MetricName: "rounds_budget_exhausted"},
+		BenchResult{Name: "rounds_to_completion_k16", NsPerOp: float64(dt5.Nanoseconds()), Ops: 1,
+			Metric: float64(stairK16.Rounds), MetricName: "rounds"},
+		BenchResult{Name: "moves_per_round_k16", NsPerOp: float64(dt5.Nanoseconds()), Ops: 1,
+			Metric: stairK16.MovesPerRound(), MetricName: "moves_per_round"},
 	)
 	if stairK4.Rounds >= stairSerial.Rounds {
 		return nil, fmt.Errorf("bench: batch rounds %d did not improve on serial %d", stairK4.Rounds, stairSerial.Rounds)
+	}
+	// The wave-admission headline: conveyor stacking at k=16 must clear 3x
+	// the pre-wave 2.25 admitted-moves-per-round ceiling of the
+	// footprint-disjoint k=4 ladder.
+	if mpr := stairK16.MovesPerRound(); mpr < 6.75 {
+		return nil, fmt.Errorf("bench: k=16 wave admission reached %.2f moves/round, want >= 6.75", mpr)
 	}
 	if ridgeSerial.Success && ridgeSerial.Rounds < 2*ridgeK4.Rounds {
 		return nil, fmt.Errorf("bench: ridge serial completed in %d rounds, batch %d — the 2x reduction no longer holds",

@@ -28,6 +28,14 @@ type Constraints struct {
 	// the caller rolls the motion back — no surface clone. The veto must
 	// only read the surface it is handed.
 	Veto func(after *Surface) error
+	// ForbidCavity rejects, at Apply time only, motions that seal an
+	// enclosed pocket of empty cells (see cavityAfterMove). The serial
+	// algorithm never produces such motions, but interleaved batch rounds
+	// can reach configurations where an individually legal move pinches the
+	// empty region — and a sealed pocket is permanent, leaving gradient
+	// descent to orbit its perimeter forever. Enforced on execution rather
+	// than in validate so candidate enumeration stays allocation-free.
+	ForbidCavity bool
 }
 
 // ApplyResult describes an executed rule application.
@@ -49,6 +57,8 @@ type applyScratch struct {
 	added   []geom.Vec    // net filled cells of the candidate motion
 	undo    []cellSave    // execution rollback log (Apply atomicity, veto rollback)
 	ids     []BlockID     // lifted movers of the executing time step
+	cavSeen []geom.Vec    // visited empty cells of the cavity scan
+	cavTodo []geom.Vec    // DFS frontier of the cavity scan
 }
 
 // overlayCell is one occupancy override: during the schedule replay the
@@ -80,6 +90,7 @@ const (
 	vImmobile
 	vDisconnects
 	vVetoed
+	vCavity
 )
 
 // Validate checks whether the application can execute under the constraints,
@@ -112,6 +123,8 @@ func (s *Surface) Validate(app rules.Application, c Constraints) error {
 		return fmt.Errorf("%w: block %d at %v", ErrImmobile, id, at)
 	case vDisconnects:
 		return fmt.Errorf("%w: %s", ErrDisconnects, app)
+	case vCavity:
+		return fmt.Errorf("%w: %v sealed by %s", ErrCavity, at, app)
 	default:
 		return fmt.Errorf("%w: %s: %v", ErrVetoed, app, vetoErr)
 	}
@@ -178,6 +191,20 @@ func (s *Surface) validate(app rules.Application, c Constraints) (violation, geo
 	//    clone, no fresh DFS (Remark 1).
 	if c.RequireConnectivity && !s.connectedAfterMove(s.scratch.removed, s.scratch.added) {
 		return vDisconnects, geom.Vec{}, nil
+	}
+	// 4b. Pocket sealing (batch admission only): no motion may enclose a
+	//     region of empty cells. Checked here, not just at Apply time, so
+	//     candidate enumeration and elections never even propose a sealing
+	//     motion — an elected-but-unexecutable winner wastes a whole round.
+	if c.ForbidCavity {
+		if !c.RequireConnectivity && !multiStep(app.Rule.Moves) {
+			s.netDeltaSingleStep(app)
+		}
+		for _, dst := range s.scratch.added {
+			if s.cavityAfterMove(s.scratch.removed, s.scratch.added, dst) {
+				return vCavity, dst, nil
+			}
+		}
 	}
 	// 5. Veto on the post-move state: apply the motion to the live surface
 	//    through the undo log, let the veto inspect it in place, roll back.

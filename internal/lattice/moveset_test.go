@@ -1,0 +1,129 @@
+package lattice
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// rowSurface builds a surface with a full support row at y=1 (x=1..w-2)
+// and n mover blocks on top of it at y=2 (x=1..n), so movers sliding along
+// the top stay connected through the support row.
+func rowSurface(t *testing.T, w, n int) *Surface {
+	t.Helper()
+	s, err := NewSurface(w, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 1; x <= w-2; x++ {
+		if _, err := s.Place(geom.V(x, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if _, err := s.Place(geom.V(1+i, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestValidateMoveSetConveyor(t *testing.T) {
+	// Blocks at x=1..4 on a row; the rightmost steps east, and each follower
+	// steps into the cell its predecessor vacated — a full conveyor wave.
+	s := rowSurface(t, 12, 4)
+	wave := []PlannedMove{
+		{From: geom.V(4, 2), To: geom.V(5, 2)},
+		{From: geom.V(3, 2), To: geom.V(4, 2)},
+		{From: geom.V(2, 2), To: geom.V(3, 2)},
+		{From: geom.V(1, 2), To: geom.V(2, 2)},
+	}
+	if got := s.ValidateMoveSet(wave); got != 4 {
+		t.Errorf("conveyor wave validated prefix %d, want 4", got)
+	}
+	// Out of order, the second mover's destination is still occupied.
+	bad := []PlannedMove{
+		{From: geom.V(3, 2), To: geom.V(4, 2)},
+	}
+	if got := s.ValidateMoveSet(bad); got != 0 {
+		t.Errorf("occupied destination validated prefix %d, want 0", got)
+	}
+}
+
+func TestValidateMoveSetPrefixSemantics(t *testing.T) {
+	s := rowSurface(t, 12, 4)
+	moves := []PlannedMove{
+		// Fine: the row's east end steps east.
+		{From: geom.V(4, 2), To: geom.V(5, 2)},
+		// Disconnects: (1,2) only touches the cell the mover vacates.
+		{From: geom.V(1, 2), To: geom.V(1, 3)},
+	}
+	if got := s.ValidateMoveSet(moves); got != 1 {
+		t.Errorf("disconnecting second step validated prefix %d, want 1", got)
+	}
+	// Empty wave, out-of-bounds destination, missing source, no-op move.
+	if got := s.ValidateMoveSet(nil); got != 0 {
+		t.Errorf("empty wave validated %d, want 0", got)
+	}
+	cases := []PlannedMove{
+		{From: geom.V(1, 2), To: geom.V(-1, 2)}, // out of bounds
+		{From: geom.V(9, 4), To: geom.V(8, 4)},  // empty source
+		{From: geom.V(1, 2), To: geom.V(1, 2)},  // no-op
+	}
+	for _, mv := range cases {
+		if got := s.ValidateMoveSet([]PlannedMove{mv}); got != 0 {
+			t.Errorf("%v -> %v validated %d, want 0", mv.From, mv.To, got)
+		}
+	}
+}
+
+// TestValidateMoveSetNoMutation: the what-if leaves the surface untouched.
+func TestValidateMoveSetNoMutation(t *testing.T) {
+	s := rowSurface(t, 12, 4)
+	before := s.Positions()
+	s.ValidateMoveSet([]PlannedMove{
+		{From: geom.V(4, 2), To: geom.V(5, 2)},
+		{From: geom.V(3, 2), To: geom.V(4, 2)},
+	})
+	after := s.Positions()
+	if len(before) != len(after) {
+		t.Fatalf("block count changed: %d -> %d", len(before), len(after))
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Errorf("cell %d moved: %v -> %v", i, before[i], after[i])
+		}
+	}
+	if !s.Connected() {
+		t.Error("surface no longer connected after what-if")
+	}
+}
+
+// TestValidateMoveSetSharded: the batched what-if must agree with the
+// monolithic verdict under column-band sharding (it reuses the same bounded
+// overlay rebuild).
+func TestValidateMoveSetSharded(t *testing.T) {
+	mk := func() *Surface { return rowSurface(t, 12, 6) }
+	wave := []PlannedMove{
+		{From: geom.V(6, 2), To: geom.V(7, 2)},
+		{From: geom.V(5, 2), To: geom.V(6, 2)},
+		{From: geom.V(4, 2), To: geom.V(5, 2)},
+	}
+	mono := mk()
+	sharded := mk()
+	if err := sharded.EnableSharding(3); err != nil {
+		t.Fatal(err)
+	}
+	if a, b := mono.ValidateMoveSet(wave), sharded.ValidateMoveSet(wave); a != b || a != 3 {
+		t.Errorf("mono=%d sharded=%d, want 3/3", a, b)
+	}
+	// A disconnecting wave must be cut at the same prefix on both.
+	split := []PlannedMove{
+		{From: geom.V(6, 2), To: geom.V(7, 2)},
+		{From: geom.V(3, 2), To: geom.V(3, 3)},
+		{From: geom.V(3, 3), To: geom.V(3, 4)},
+	}
+	if a, b := mk().ValidateMoveSet(split), sharded.ValidateMoveSet(split); a != b {
+		t.Errorf("mono=%d sharded=%d for the splitting wave", a, b)
+	}
+}

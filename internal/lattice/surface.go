@@ -48,6 +48,7 @@ var (
 	ErrDisconnects  = errors.New("lattice: motion would disconnect the block ensemble")
 	ErrImmobile     = errors.New("lattice: motion moves an immobilised block")
 	ErrVetoed       = errors.New("lattice: motion vetoed by guard")
+	ErrCavity       = errors.New("lattice: motion would seal an enclosed cavity")
 )
 
 // posNone marks an absent id slot in the dense position register.

@@ -19,6 +19,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"math/bits"
 
 	"repro/internal/geom"
 	"repro/internal/lattice"
@@ -93,17 +94,104 @@ const (
 // (Smart Blocks have small memories).
 const MaxBatch = 16
 
+// Footprint is the cell set a planned move writes, carried in a candidate's
+// bid so the Root's admission filter can reason about interference exactly
+// instead of by sensing-window distance. It reuses the bitboard layout of the
+// compiled rule system: a square window of side 2*Radius+1 centred on Anchor,
+// bit row*size+col in display order (row 0 = north). Write holds the cells
+// whose occupancy the move changes (the From/To cells of every elementary
+// step). Read cells need no mask: a proposer replans over its whole sensing
+// window at execution time, so the interference test is writes-versus-window
+// (TouchesWindow), not writes-versus-sensed-subset.
+type Footprint struct {
+	Anchor geom.Vec
+	Radius uint8
+	Write  uint64
+}
+
+// Empty reports whether the footprint carries no cells (no planned move, or
+// a rule outside the compiled bitboard form).
+func (f Footprint) Empty() bool { return f.Write == 0 }
+
+// covers reports whether absolute cell v is a set bit of mask within f's
+// window.
+func (f Footprint) covers(mask uint64, v geom.Vec) bool {
+	r := int(f.Radius)
+	size := 2*r + 1
+	col := v.X - f.Anchor.X + r
+	row := f.Anchor.Y + r - v.Y
+	if col < 0 || col >= size || row < 0 || row >= size {
+		return false
+	}
+	return mask>>(uint(row*size+col))&1 == 1
+}
+
+// overlapMasks reports whether any absolute cell set in (a, am) is also set
+// in (b, bm). It iterates the set bits of one mask and tests membership in
+// the other, so the cost is O(popcount) regardless of window alignment.
+func overlapMasks(a Footprint, am uint64, b Footprint, bm uint64) bool {
+	if am == 0 || bm == 0 {
+		return false
+	}
+	r := int(a.Radius)
+	size := 2*r + 1
+	for m := am; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros64(m)
+		cell := geom.V(a.Anchor.X+i%size-r, a.Anchor.Y+r-i/size)
+		if b.covers(bm, cell) {
+			return true
+		}
+	}
+	return false
+}
+
+// WritesOverlap reports whether f and o both mutate at least one common
+// cell — the hard conflict no admission tier can order around.
+func (f Footprint) WritesOverlap(o Footprint) bool {
+	return overlapMasks(f, f.Write, o, o.Write)
+}
+
+// TouchesWindow reports whether any written cell of f lies within Chebyshev
+// distance radius of center — that is, whether executing f's move would
+// change a cell inside the sensing window of a block at center. Two planned
+// moves commute unconditionally exactly when neither touches the other
+// proposer's window: each proposer then replans over an unchanged window at
+// execution time and reproduces its bid.
+func (f Footprint) TouchesWindow(center geom.Vec, radius int) bool {
+	if f.Write == 0 {
+		return false
+	}
+	r := int(f.Radius)
+	size := 2*r + 1
+	for m := f.Write; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros64(m)
+		cell := geom.V(f.Anchor.X+i%size-r, f.Anchor.Y+r-i/size)
+		if cell.Chebyshev(center) <= radius {
+			return true
+		}
+	}
+	return false
+}
+
 // Cand is one entry of the top-K candidate list an Ack carries when the run
 // elects batches of blocks (the parallel-moves extension of §V-C): the
-// block's bid plus the two facts the Root's interference filter needs — the
-// bidder's position (sensing-window disjointness) and whether the bidder is
-// currently a cut vertex of the ensemble (its lone departure would split the
-// surface; see exec.Env.CutVertex).
+// block's bid plus the facts the Root's admission ladder needs — the
+// bidder's position, whether the bidder is currently a cut vertex of the
+// ensemble (its lone departure would split the surface; see
+// exec.Env.CutVertex), the planned destination To and the write footprint Fp
+// of the planned move. In a GO flood the Root reuses the entry to carry each
+// winner's wave ordering stamp (Wave; 0 = unordered — no other admitted
+// winner's writes touch this winner's sensing window or vice versa; s >= 1 —
+// the s-th ordered wave member, which hops only after every lower-stamped
+// member reported MoveDone).
 type Cand struct {
 	ID       lattice.BlockID
 	Distance int32
 	Pos      geom.Vec
 	Cut      bool
+	To       geom.Vec
+	Wave     uint8
+	Fp       Footprint
 }
 
 // Message is the single wire format for all block-to-block traffic. Unused
@@ -171,10 +259,14 @@ func distString(d int32) string {
 // byte. Each candidate entry adds CandWireSize bytes.
 const (
 	BaseWireSize = 45
-	CandWireSize = 13
+	CandWireSize = 31
 	// MaxWireSize bounds every encoded message: a full MaxBatch candidate
 	// list on top of the base header.
 	MaxWireSize = BaseWireSize + MaxBatch*CandWireSize
+	// WireVersion stamps every encoded frame (header byte 3, zero — and
+	// unchecked — before footprints were added). Version 2 widened the
+	// candidate entry with the planned destination, wave stamp and footprint.
+	WireVersion = 2
 )
 
 // WireSize returns the encoded size of m in bytes: the base header plus the
@@ -196,6 +288,7 @@ func (m Message) MarshalBinary() ([]byte, error) {
 	if m.Success {
 		b[2] = 1
 	}
+	b[3] = WireVersion
 	binary.LittleEndian.PutUint32(b[4:], m.Round)
 	binary.LittleEndian.PutUint32(b[8:], uint32(m.Father))
 	binary.LittleEndian.PutUint32(b[12:], uint32(m.Son))
@@ -215,6 +308,11 @@ func (m Message) MarshalBinary() ([]byte, error) {
 		if c.Cut {
 			b[off+12] = 1
 		}
+		putVec(b[off+13:], c.To)
+		b[off+17] = c.Wave
+		putVec(b[off+18:], c.Fp.Anchor)
+		b[off+22] = c.Fp.Radius
+		binary.LittleEndian.PutUint64(b[off+23:], c.Fp.Write)
 	}
 	return b, nil
 }
@@ -227,6 +325,9 @@ func (m *Message) UnmarshalBinary(data []byte) error {
 	t := Type(data[0])
 	if !t.Valid() {
 		return fmt.Errorf("msg: invalid type %d on the wire", data[0])
+	}
+	if data[3] != WireVersion {
+		return fmt.Errorf("msg: wire version %d, want %d", data[3], WireVersion)
 	}
 	n := int(data[44])
 	if n > MaxBatch {
@@ -256,6 +357,13 @@ func (m *Message) UnmarshalBinary(data []byte) error {
 			Distance: int32(binary.LittleEndian.Uint32(data[off+4:])),
 			Pos:      getVec(data[off+8:]),
 			Cut:      data[off+12] == 1,
+			To:       getVec(data[off+13:]),
+			Wave:     data[off+17],
+			Fp: Footprint{
+				Anchor: getVec(data[off+18:]),
+				Radius: data[off+22],
+				Write:  binary.LittleEndian.Uint64(data[off+23:]),
+			},
 		}
 	}
 	return nil

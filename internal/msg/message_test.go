@@ -38,6 +38,15 @@ func TestMarshalRoundTrip(t *testing.T) {
 				{ID: 11, Distance: 4, Pos: geom.V(9, 1), Cut: true},
 			},
 		},
+		{
+			Type: TypeAck, Round: 6, Father: 1, Son: 3,
+			ShortestDistance: 2, IDShortest: 3,
+			NumCands: 1,
+			Cands: [MaxBatch]Cand{
+				{ID: 3, Distance: 2, Pos: geom.V(4, 5), To: geom.V(5, 5), Wave: 2,
+					Fp: Footprint{Anchor: geom.V(4, 5), Radius: 1, Write: 0x28}},
+			},
+		},
 	}
 	for _, m := range cases {
 		data, err := m.MarshalBinary()
@@ -84,6 +93,13 @@ func TestMarshalRoundTripProperty(t *testing.T) {
 				Distance: rng.Int31(),
 				Pos:      geom.V(rng.Intn(4000)-2000, rng.Intn(4000)-2000),
 				Cut:      rng.Intn(2) == 1,
+				To:       geom.V(rng.Intn(4000)-2000, rng.Intn(4000)-2000),
+				Wave:     uint8(rng.Intn(MaxBatch + 1)),
+				Fp: Footprint{
+					Anchor: geom.V(rng.Intn(4000)-2000, rng.Intn(4000)-2000),
+					Radius: uint8(rng.Intn(4)),
+					Write:  rng.Uint64(),
+				},
 			}
 		}
 		data, err := m.MarshalBinary()
@@ -117,9 +133,17 @@ func TestMarshalErrors(t *testing.T) {
 	// A frame whose candidate count disagrees with its length must fail.
 	counted := make([]byte, BaseWireSize)
 	counted[0] = byte(TypeAck)
+	counted[3] = WireVersion
 	counted[44] = 3
 	if err := m.UnmarshalBinary(counted); err == nil {
 		t.Error("candidate count beyond the frame must fail")
+	}
+	// A frame stamped with a foreign wire version must fail.
+	staleVer := make([]byte, BaseWireSize)
+	staleVer[0] = byte(TypeAck)
+	staleVer[3] = WireVersion - 1
+	if err := m.UnmarshalBinary(staleVer); err == nil {
+		t.Error("foreign wire version must fail")
 	}
 	over := Message{Type: TypeAck, NumCands: MaxBatch + 1}
 	if _, err := over.MarshalBinary(); err == nil {
@@ -264,5 +288,63 @@ func TestUnmarshalNeverPanics(t *testing.T) {
 		mut[i] ^= 0xff
 		var m Message
 		_ = m.UnmarshalBinary(mut)
+	}
+}
+
+// fpBit returns the bit for relative cell (dx, dy) in a footprint window of
+// the given radius (bit row*size+col, row 0 = north — the compiled-rule
+// display order).
+func fpBit(dx, dy, radius int) uint64 {
+	size := 2*radius + 1
+	return 1 << uint((radius-dy)*size+(dx+radius))
+}
+
+// TestFootprintOverlap pins the absolute-cell semantics of the footprint
+// masks: conflicts are decided in world coordinates, so two footprints with
+// different anchors still detect a shared cell, and adjacent-but-disjoint
+// write sets do not.
+func TestFootprintOverlap(t *testing.T) {
+	// Block at (5,5) moving east to (6,5): writes {(5,5),(6,5)}.
+	a := Footprint{Anchor: geom.V(5, 5), Radius: 1,
+		Write: fpBit(0, 0, 1) | fpBit(1, 0, 1)}
+	// Block at (7,5) moving east to (8,5): writes {(7,5),(8,5)}.
+	b := Footprint{Anchor: geom.V(7, 5), Radius: 1,
+		Write: fpBit(0, 0, 1) | fpBit(1, 0, 1)}
+	if a.WritesOverlap(b) || b.WritesOverlap(a) {
+		t.Error("write sets {(5,5),(6,5)} and {(7,5),(8,5)} are disjoint")
+	}
+	// Write-disjoint, but a's destination (6,5) lies inside the radius-1
+	// window of the proposer at (7,5): the movers are coupled (coupling is
+	// the OR of the two directions — b's writes stay outside a's window).
+	if !a.TouchesWindow(geom.V(7, 5), 1) {
+		t.Error("write (6,5) inside the radius-1 window of (7,5) must touch it")
+	}
+	if b.TouchesWindow(geom.V(5, 5), 1) {
+		t.Error("writes {(7,5),(8,5)} are outside the radius-1 window of (5,5)")
+	}
+	// At radius 1, a write 2 cells away is outside the window.
+	if a.TouchesWindow(geom.V(8, 5), 1) {
+		t.Error("write set {(5,5),(6,5)} is outside the radius-1 window of (8,5)")
+	}
+	if !a.TouchesWindow(geom.V(8, 5), 2) {
+		t.Error("the same write set is inside the radius-2 window of (8,5)")
+	}
+	// Block at (6,5) moving east: its write set {(6,5),(7,5)} hits both.
+	c := Footprint{Anchor: geom.V(6, 5), Radius: 1,
+		Write: fpBit(0, 0, 1) | fpBit(1, 0, 1)}
+	if !c.WritesOverlap(a) || !c.WritesOverlap(b) {
+		t.Error("write set {(6,5),(7,5)} must clash with both neighbours")
+	}
+	// Far apart: no interference of any kind.
+	d := Footprint{Anchor: geom.V(50, 50), Radius: 1, Write: fpBit(0, 0, 1)}
+	if a.WritesOverlap(d) || d.TouchesWindow(geom.V(5, 5), 2) || a.TouchesWindow(geom.V(50, 50), 2) {
+		t.Error("footprints 45 cells apart must be disjoint")
+	}
+	var zero Footprint
+	if !zero.Empty() || a.Empty() {
+		t.Error("Empty: zero footprint is empty, a populated one is not")
+	}
+	if zero.WritesOverlap(a) || a.WritesOverlap(zero) || zero.TouchesWindow(geom.V(5, 5), 99) {
+		t.Error("empty footprint interferes with nothing")
 	}
 }

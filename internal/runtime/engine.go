@@ -374,6 +374,14 @@ func (h *host) CutVertex() bool {
 	return e.surf.IsArticulation(p)
 }
 
+func (h *host) ValidateMoveSet(moves []lattice.PlannedMove) int {
+	e := h.eng
+	// Full lock: the batched what-if may lazily rebuild connectivity caches.
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.surf.ValidateMoveSet(moves)
+}
+
 func (h *host) Library() *rules.Library { return h.eng.lib }
 
 func (h *host) Move(app rules.Application) error {

@@ -160,6 +160,9 @@ func Staircase(name string, heights []int, rise int) (*Scenario, error) {
 	if len(heights) == 0 || heights[0] < 2 {
 		return nil, fmt.Errorf("scenario: staircase needs a column of height >= 2")
 	}
+	if rise < 1 {
+		return nil, fmt.Errorf("scenario: staircase rise %d must be >= 1 (O strictly above I)", rise)
+	}
 	n := 0
 	var blocks []geom.Vec
 	for lane, h := range heights {
@@ -170,6 +173,13 @@ func Staircase(name string, heights []int, rise int) (*Scenario, error) {
 			blocks = append(blocks, geom.V(2+lane, y))
 		}
 		n += h
+	}
+	// Lemma 1 precondition: N blocks can build a path of at most N-1 cells
+	// (one block stays behind as the final support), so any rise beyond the
+	// column capacity n-2 is unsolvable by construction — reject it with a
+	// clear error instead of letting the run livelock against a cap.
+	if rise > n-2 {
+		return nil, fmt.Errorf("scenario: staircase rise %d exceeds the column capacity %d of %d blocks", rise, n-2, n)
 	}
 	input := geom.V(2, 0)
 	output := input.Add(geom.V(0, rise))
@@ -193,6 +203,12 @@ func SlopeStaircase(top, rise int) (*Scenario, error) {
 	if top < 2 {
 		return nil, fmt.Errorf("scenario: slope staircase needs top >= 2, got %d", top)
 	}
+	if rise < 1 {
+		return nil, fmt.Errorf("scenario: slope staircase rise %d must be >= 1", rise)
+	}
+	if max := top*(top+1)/2 - 2; rise > max {
+		return nil, fmt.Errorf("scenario: slope staircase rise %d exceeds the capacity %d of a top-%d slope", rise, max, top)
+	}
 	heights := make([]int, top)
 	for i := range heights {
 		heights[i] = top - i
@@ -214,7 +230,21 @@ func SlopeStaircase(top, rise int) (*Scenario, error) {
 // complete (the livelock is a documented limitation of the greedy
 // single-winner protocol on symmetric wide surfaces, not a regression).
 func WideRidge() (*Scenario, error) {
-	const cx, w, rise = 35, 71, 10
+	return WideRidgeSized(71, 10)
+}
+
+// WideRidgeSized is WideRidge with an explicit surface width and rise. The
+// width must leave room for the 9-lane center massif plus the 3-cell margins
+// on both sides (w >= 21, odd widths keep the ridge symmetric), and the rise
+// must be positive and within the ridge's block capacity.
+func WideRidgeSized(w, rise int) (*Scenario, error) {
+	if w < 21 {
+		return nil, fmt.Errorf("scenario: wide ridge width %d must be >= 21 (center massif plus margins)", w)
+	}
+	if rise < 1 {
+		return nil, fmt.Errorf("scenario: wide ridge rise %d must be >= 1", rise)
+	}
+	cx := w / 2
 	heights := func(dx int) int {
 		if dx < 0 {
 			dx = -dx
@@ -227,16 +257,22 @@ func WideRidge() (*Scenario, error) {
 		}
 	}
 	var blocks []geom.Vec
+	n := 0
 	for x := 3; x <= w-4; x++ {
-		for y := 0; y < heights(x-cx); y++ {
+		h := heights(x - cx)
+		for y := 0; y < h; y++ {
 			blocks = append(blocks, geom.V(x, y))
 		}
+		n += h
+	}
+	if rise > n-2 {
+		return nil, fmt.Errorf("scenario: wide ridge rise %d exceeds the capacity %d of %d blocks", rise, n-2, n)
 	}
 	s, err := New("wide-ridge", w, rise+5, blocks, geom.V(cx, 0), geom.V(cx, rise))
 	if err != nil {
 		return nil, err
 	}
-	s.Description = "71-column symmetric ridge: two flanks feed the path; batch elections required"
+	s.Description = fmt.Sprintf("%d-column symmetric ridge: two flanks feed the path; batch elections required", w)
 	return s, nil
 }
 

@@ -140,6 +140,80 @@ func TestStaircaseValidation(t *testing.T) {
 	}
 }
 
+// TestGeneratorDegenerateParams: the parameterised generators reject
+// zero/negative sizes and rises beyond the block capacity with clear errors
+// instead of producing unsolvable or malformed instances.
+func TestGeneratorDegenerateParams(t *testing.T) {
+	cases := []struct {
+		name    string
+		build   func() (*Scenario, error)
+		wantErr bool
+	}{
+		{"slope top 0", func() (*Scenario, error) { return SlopeStaircase(0, 5) }, true},
+		{"slope top negative", func() (*Scenario, error) { return SlopeStaircase(-3, 5) }, true},
+		{"slope rise 0", func() (*Scenario, error) { return SlopeStaircase(4, 0) }, true},
+		{"slope rise negative", func() (*Scenario, error) { return SlopeStaircase(4, -1) }, true},
+		// top=4 holds 4+3+2+1 = 10 blocks: capacity n-2 = 8.
+		{"slope rise at capacity", func() (*Scenario, error) { return SlopeStaircase(4, 8) }, false},
+		{"slope rise beyond capacity", func() (*Scenario, error) { return SlopeStaircase(4, 9) }, true},
+		{"stair rise 0", func() (*Scenario, error) { return Staircase("s", []int{4, 3}, 0) }, true},
+		{"stair rise negative", func() (*Scenario, error) { return Staircase("s", []int{4, 3}, -2) }, true},
+		// heights {4,3} hold 7 blocks: capacity n-2 = 5.
+		{"stair rise at capacity", func() (*Scenario, error) { return Staircase("s", []int{4, 3}, 5) }, false},
+		{"stair rise beyond capacity", func() (*Scenario, error) { return Staircase("s", []int{4, 3}, 6) }, true},
+		{"ridge width too narrow", func() (*Scenario, error) { return WideRidgeSized(20, 5) }, true},
+		{"ridge width 0", func() (*Scenario, error) { return WideRidgeSized(0, 5) }, true},
+		{"ridge width negative", func() (*Scenario, error) { return WideRidgeSized(-71, 5) }, true},
+		{"ridge rise 0", func() (*Scenario, error) { return WideRidgeSized(31, 0) }, true},
+		{"ridge rise negative", func() (*Scenario, error) { return WideRidgeSized(31, -5) }, true},
+		{"ridge rise beyond capacity", func() (*Scenario, error) { return WideRidgeSized(21, 40) }, true},
+		{"ridge minimal valid", func() (*Scenario, error) { return WideRidgeSized(21, 6) }, false},
+		{"ridge benchmark shape", func() (*Scenario, error) { return WideRidgeSized(71, 10) }, false},
+	}
+	for _, c := range cases {
+		s, err := c.build()
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("%s: accepted, want an error", c.name)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: rejected: %v", c.name, err)
+			continue
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: invalid instance: %v", c.name, err)
+		}
+	}
+}
+
+// TestWideRidgeSizedMatchesWideRidge: the parameterised ridge at the
+// benchmark dimensions reproduces the original instance exactly.
+func TestWideRidgeSizedMatchesWideRidge(t *testing.T) {
+	a, err := WideRidge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := WideRidgeSized(71, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Input != b.Input || a.Output != b.Output || a.Name != b.Name {
+		t.Errorf("I/O/name diverged: %v/%v/%q vs %v/%v/%q",
+			a.Input, a.Output, a.Name, b.Input, b.Output, b.Name)
+	}
+	ap, bp := a.Surface.Positions(), b.Surface.Positions()
+	if len(ap) != len(bp) {
+		t.Fatalf("block counts diverged: %d vs %d", len(ap), len(bp))
+	}
+	for i := range ap {
+		if ap[i] != bp[i] {
+			t.Fatalf("cell %d diverged: %v vs %v", i, ap[i], bp[i])
+		}
+	}
+}
+
 // TestRandomStaircaseFamily: every seed yields a valid instance satisfying
 // the Lemma 1 precondition.
 func TestRandomStaircaseFamily(t *testing.T) {

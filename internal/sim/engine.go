@@ -462,6 +462,15 @@ func (h *host) CutVertex() bool {
 	return e.surf.IsArticulation(v)
 }
 
+// ValidateMoveSet takes the exclusive surface lock like CutVertex: the
+// batched what-if reads through the lazy connectivity caches.
+func (h *host) ValidateMoveSet(moves []lattice.PlannedMove) int {
+	e := h.eng
+	e.wlockSurf()
+	defer e.wunlockSurf()
+	return e.surf.ValidateMoveSet(moves)
+}
+
 func (h *host) Library() *rules.Library { return h.eng.lib }
 
 func (h *host) Move(app rules.Application) error {

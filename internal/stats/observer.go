@@ -27,7 +27,16 @@ type SessionSummary struct {
 	MessagesSent   uint64
 	MessagesDrop   uint64
 	EngineEvents   uint64
-	LastVirtualsNS int64 // last backend clock seen (ticks or ns)
+	CandsDropped   uint64 // candidates truncated by the bounded top-K fold
+	LastVirtualsNS int64  // last backend clock seen (ticks or ns)
+
+	// MovesHist is the moves-per-round histogram: MovesHist[m] counts the
+	// decided elections that admitted exactly m winners. Lazily allocated.
+	MovesHist map[int]int
+	// WaveHist is the wave-length distribution: WaveHist[l] counts the
+	// decided elections whose ordered conveyor wave (winners with a nonzero
+	// wave stamp) had length l. Rounds without a wave are not recorded.
+	WaveHist map[int]int
 }
 
 // OnEvent implements core.Observer.
@@ -47,6 +56,22 @@ func (s *SessionSummary) OnEvent(ev core.Event) {
 			if ev.Batch > 1 {
 				s.BatchRounds++
 			}
+			if s.MovesHist == nil {
+				s.MovesHist = make(map[int]int)
+			}
+			s.MovesHist[ev.Batch]++
+			wave := 0
+			for _, stamp := range ev.WaveStamps {
+				if stamp > 0 {
+					wave++
+				}
+			}
+			if wave > 0 {
+				if s.WaveHist == nil {
+					s.WaveHist = make(map[int]int)
+				}
+				s.WaveHist[wave]++
+			}
 		}
 	case core.EventMotionApplied:
 		s.Motions++
@@ -62,6 +87,7 @@ func (s *SessionSummary) OnEvent(ev core.Event) {
 		s.MessagesSent += ev.Sent
 		s.MessagesDrop += ev.Dropped
 		s.EngineEvents += ev.Events
+		s.CandsDropped += ev.CandsDropped
 		s.LastVirtualsNS = ev.VirtualTime
 	}
 }
@@ -74,6 +100,17 @@ func (s *SessionSummary) MovesPerRound() float64 {
 		return 0
 	}
 	return float64(s.MovesElected) / float64(s.Decided)
+}
+
+// MaxWave is the longest ordered conveyor wave any round admitted.
+func (s *SessionSummary) MaxWave() int {
+	max := 0
+	for l := range s.WaveHist {
+		if l > max {
+			max = l
+		}
+	}
+	return max
 }
 
 // String renders a one-line digest.
