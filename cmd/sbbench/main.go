@@ -9,7 +9,7 @@
 //	sbbench -list            list the experiments
 //	sbbench -exp fig10       run one experiment
 //	sbbench -exp all         run the full evaluation
-//	sbbench -json            measure the hot-path kernels, write BENCH_6.json
+//	sbbench -json            measure the hot-path kernels, write BENCH_7.json
 //	sbbench -json -scale     add the 5e5/8e6 sharded flatness kernels
 //
 // -cpuprofile/-memprofile write pprof profiles of the measured work, so a
@@ -25,6 +25,7 @@ import (
 	"runtime/pprof"
 
 	"repro/internal/experiments"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -34,7 +35,7 @@ func main() {
 		jsonMode = flag.Bool("json", false, "emit a machine-readable bench record")
 		// The default tracks the current PR number (BENCH_<N>.json is the
 		// per-PR trajectory convention CI's bench gate diffs against).
-		jsonOut    = flag.String("o", "BENCH_6.json", "output path for -json")
+		jsonOut    = flag.String("o", "BENCH_7.json", "output path for -json")
 		scale      = flag.Bool("scale", false, "include the 5e5/8e6 sharded flatness kernels in -json (slow, hundreds of MB)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file")
@@ -86,6 +87,20 @@ func main() {
 		fmt.Printf("%-12s %s\n", "ID", "PAPER ARTEFACT")
 		for _, e := range experiments.All() {
 			fmt.Printf("%-12s %s\n", e.ID, e.Paper)
+		}
+		fmt.Printf("\n%-14s %s\n", "SCENARIO", "GENERATOR (shared registry: CLIs, examples, sbserver)")
+		for _, g := range scenario.Generators() {
+			params := ""
+			for i, p := range g.Params {
+				if i > 0 {
+					params += ","
+				}
+				params += fmt.Sprintf("%s=%d", p.Name, p.Default)
+			}
+			if params != "" {
+				params = " [" + params + "]"
+			}
+			fmt.Printf("%-14s %s%s\n", g.Name, g.Doc, params)
 		}
 		return
 	}

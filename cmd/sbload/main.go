@@ -1,0 +1,86 @@
+// Command sbload is the closed-loop load generator for sbserver: N client
+// workers each issue sequential scenario-run requests, read the full
+// NDJSON event stream of every run, and the aggregate — runs/sec,
+// completion counts, latency percentiles — prints as one JSON report.
+// The same kernel (internal/server.RunLoad against an in-process server)
+// backs the server_throughput bench entries of BENCH_7.json.
+//
+// Usage:
+//
+//	sbload -url http://localhost:8080 -clients 32 -per-client 8 \
+//	       -scenario fig10 [-param top=12 ...] [-k 4] [-backend des]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/scenario"
+	"repro/internal/server"
+)
+
+// paramFlags collects repeated -param name=value pairs.
+type paramFlags struct{ p scenario.Params }
+
+func (f *paramFlags) String() string { return fmt.Sprint(f.p) }
+
+func (f *paramFlags) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want name=value, got %q", s)
+	}
+	v, err := strconv.Atoi(val)
+	if err != nil {
+		return err
+	}
+	if f.p == nil {
+		f.p = scenario.Params{}
+	}
+	f.p[name] = v
+	return nil
+}
+
+func main() {
+	var (
+		url       = flag.String("url", "http://localhost:8080", "sbserver base URL")
+		clients   = flag.Int("clients", 32, "concurrent closed-loop clients")
+		perClient = flag.Int("per-client", 8, "sequential requests per client")
+		scen      = flag.String("scenario", "fig10", "scenario generator name")
+		k         = flag.Int("k", 0, "parallel-moves batch width (0 = serial)")
+		shards    = flag.Int("shards", 0, "surface shard bands (0 = unsharded)")
+		seed      = flag.Int64("seed", 0, "per-run seed override (0 = server default)")
+		backend   = flag.String("backend", "", "engine backend: des (default) or async")
+		params    paramFlags
+	)
+	flag.Var(&params, "param", "scenario parameter name=value (repeatable)")
+	flag.Parse()
+
+	rep, err := server.RunLoad(context.Background(), server.LoadConfig{
+		BaseURL:   *url,
+		Clients:   *clients,
+		PerClient: *perClient,
+		Spec: server.RunSpec{
+			Scenario: *scen,
+			Params:   params.p,
+			K:        *k,
+			Shards:   *shards,
+			Seed:     *seed,
+			Backend:  *backend,
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sbload: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(rep)
+	if rep.Failed > 0 {
+		os.Exit(1)
+	}
+}

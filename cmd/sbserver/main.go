@@ -1,0 +1,81 @@
+// Command sbserver serves reconfiguration-as-a-service: scenario-run
+// requests from concurrent clients are coalesced into Engine.RunBatch
+// dispatches and their observer event streams are answered live over
+// NDJSON or SSE. See internal/server for the service itself and
+// cmd/sbserver/README.md for a curl quickstart.
+//
+// Usage:
+//
+//	sbserver [-addr :8080] [-batch 8] [-batch-wait 2ms] [-queue 64]
+//	         [-workers 0] [-seed 1] [-drain 10s]
+//
+// SIGINT/SIGTERM starts a graceful shutdown: new requests are refused
+// with 503 while in-flight runs get -drain to finish; whatever is still
+// running then is force-cancelled (the engine leaves every surface
+// connected and rolled back to an atomic motion boundary).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		batch     = flag.Int("batch", 8, "coalescing batch size (requests per RunBatch dispatch)")
+		batchWait = flag.Duration("batch-wait", 2*time.Millisecond, "max wait for a short batch to fill")
+		queue     = flag.Int("queue", 64, "admission queue capacity (overflow answers 429)")
+		workers   = flag.Int("workers", 0, "RunBatch worker pool width (0 = GOMAXPROCS)")
+		seed      = flag.Int64("seed", 1, "engine base seed (per-request seeds override)")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
+	)
+	flag.Parse()
+
+	s := server.New(server.Config{
+		BatchSize: *batch,
+		BatchWait: *batchWait,
+		QueueCap:  *queue,
+		Workers:   *workers,
+		Seed:      *seed,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "sbserver: listening on %s (batch=%d wait=%v queue=%d)\n",
+		*addr, *batch, *batchWait, *queue)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "sbserver: %v\n", err)
+		os.Exit(1)
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "sbserver: %v — draining for up to %v\n", sig, *drain)
+	}
+
+	// Drain the service first (503 on new work, in-flight runs finish or
+	// are force-cancelled at the deadline), then close the listener.
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "sbserver: force-cancelled in-flight runs: %v\n", err)
+	}
+	shutdownCtx, cancel2 := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel2()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		_ = httpSrv.Close()
+	}
+	fmt.Fprintln(os.Stderr, "sbserver: stopped")
+}

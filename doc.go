@@ -15,8 +15,9 @@
 // deterministic discrete-event engine (sim) and the goroutine runtime
 // (runtime), the Dijkstra-Scholten tracker (dsterm), the election value
 // layer (election), the algorithm itself (core), the free-motion baseline
-// (baseline), scenarios, tracing, statistics, the part-conveying simulation
-// (convey) and the evaluation harness (experiments).
+// (baseline), the shared scenario registry (scenario), tracing, statistics,
+// the part-conveying simulation (convey), the evaluation harness
+// (experiments) and the HTTP service front-end (server).
 //
 // # Compiled motion validation
 //
@@ -198,6 +199,42 @@
 // by a surface RWMutex, and Engine.RunBatch sizes each instance's epoch
 // parallelism from its own pool's spare capacity, so the shards of one huge
 // instance spread across the batch workers.
+//
+// # Reconfiguration as a service: cmd/sbserver
+//
+// internal/server puts the session API behind a long-running HTTP front-end
+// (cmd/sbserver) so many concurrent clients can submit reconfiguration runs
+// against one warm engine pair. POST /v1/runs takes a RunSpec — a scenario
+// name from the shared internal/scenario registry plus integer params, the
+// parallel-moves width k, a shard count, a seed and a backend ("des",
+// deterministic, the default; or "async") — and requests coalesce through a
+// generic channel batcher (server.Batcher: size + max-wait flush,
+// per-request response channels) before fanning into Engine.RunBatch, so a
+// burst of requests shares one batch dispatch instead of paying per-request
+// engine entry. Admission is a bounded pending-queue: beyond the cap the
+// server answers 429 immediately rather than queueing unboundedly, and each
+// request carries its client's context — a dropped connection cancels that
+// instance mid-run and the engine hands back a connected, fully rolled-back
+// surface while the rest of the batch completes untouched.
+//
+// By default a run answers with one JSON result; ?stream=ndjson (or sse,
+// or an Accept: text/event-stream header) instead streams the session's
+// core.Observer events — round started, election decided with the admitted
+// move-set, motion applied, termination, message totals — as they happen,
+// through an unbounded per-request spool so a slow reader never stalls the
+// engine, terminated by a result (or error) record. Every request is timed
+// through four flat phases (enqueue → flush → run → respond) aggregated in
+// /metrics alongside request/batch counters and the engine-level
+// stats.SessionSummary (successes, hops, rounds, moves-per-round and wave
+// histograms), as JSON or ?format=prometheus. Shutdown is graceful:
+// SIGTERM flips /healthz to 503 and refuses new work, the batcher flushes
+// its remainder, in-flight runs drain under a deadline, and past the
+// deadline the server force-cancels the batch context — rollback semantics
+// again guarantee clean surfaces. cmd/sbload is the closed-loop load
+// generator (N clients x M runs each, full-stream reads, latency
+// percentiles); the server_throughput_32c kernel in BENCH_N.json records
+// its runs/sec at 32 clients plus the four phase means, gated by benchdiff.
+// cmd/sbserver/README.md has a curl quickstart.
 //
 // Start with examples/quickstart, or run:
 //

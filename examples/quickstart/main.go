@@ -17,8 +17,10 @@ import (
 
 func main() {
 	// The 12-block example of the paper's §V-D: input I at the bottom of a
-	// staircase of blocks, output O ten rows above in the same column.
-	s, err := scenario.Fig10()
+	// staircase of blocks, output O ten rows above in the same column. The
+	// scenario registry is the shared catalogue behind the CLIs and the
+	// sbserver request schema; scenario.Fig10() is the direct equivalent.
+	s, err := scenario.Build("fig10", nil)
 	if err != nil {
 		log.Fatal(err)
 	}

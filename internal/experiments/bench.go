@@ -299,6 +299,15 @@ func RunBenchJSONWith(opts BenchOpts) ([]byte, error) {
 		rec.Results = append(rec.Results, ks...)
 	}
 
+	// Service front-end kernels: runs/sec at 32 concurrent closed-loop
+	// clients against an in-process sbserver, plus the per-request phase
+	// latency split (enqueue/flush/run/respond).
+	srv, err := serverKernels()
+	if err != nil {
+		return nil, err
+	}
+	rec.Results = append(rec.Results, srv...)
+
 	return json.MarshalIndent(rec, "", "  ")
 }
 

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+
+	"repro/internal/server"
+)
+
+// serverKernels measures the service front-end end to end: an in-process
+// sbserver (default batching: 8-wide, 2ms max wait) under the closed-loop
+// load generator — 32 concurrent clients, 8 sequential fig10 runs each,
+// every client reading its full NDJSON event stream. The headline metric
+// is runs/sec at that concurrency (gated ascending by benchdiff); the
+// server_phase_* kernels record the flat per-request latency split the
+// /metrics endpoint aggregates: queue wait (enqueue), dispatch (flush),
+// engine run, and response write.
+func serverKernels() ([]BenchResult, error) {
+	const (
+		clients   = 32
+		perClient = 8
+	)
+	s := server.New(server.Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Close()
+
+	rep, err := server.RunLoad(context.Background(), server.LoadConfig{
+		BaseURL:   ts.URL,
+		Clients:   clients,
+		PerClient: perClient,
+		Spec:      server.RunSpec{Scenario: "fig10"},
+		Client:    ts.Client(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench: server load: %w", err)
+	}
+	if rep.Completed != clients*perClient || rep.Failed > 0 || rep.Rejected > 0 {
+		return nil, fmt.Errorf("bench: server load completed %d/%d (failed %d, rejected %d)",
+			rep.Completed, clients*perClient, rep.Failed, rep.Rejected)
+	}
+
+	results := []BenchResult{{
+		Name:       fmt.Sprintf("server_throughput_%dc", clients),
+		NsPerOp:    float64(rep.ElapsedNS) / float64(rep.Completed),
+		Ops:        rep.Completed,
+		Metric:     rep.RunsPerSec,
+		MetricName: "runs_per_sec",
+	}}
+	snap := s.Metrics().Snapshot()
+	for _, phase := range []string{"enqueue", "flush", "run", "respond"} {
+		a := snap.Latency[phase]
+		if a.Count == 0 {
+			return nil, fmt.Errorf("bench: server phase %q has no samples", phase)
+		}
+		results = append(results, BenchResult{
+			Name:    "server_phase_" + phase,
+			NsPerOp: float64(a.MeanNS),
+			Ops:     int(a.Count),
+		})
+	}
+	return results, nil
+}

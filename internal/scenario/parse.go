@@ -6,7 +6,9 @@ import (
 	"strings"
 )
 
-// Parse builds a scenario from a command-line specification:
+// Parse builds a scenario from a command-line specification, routed through
+// the generator registry (Lookup/Build) so the CLIs, the examples and the
+// sbserver request schema all share one scenario catalogue:
 //
 //	fig10            the paper's §V-D example
 //	tower:N          a 2-column tower of N blocks (N even, >= 6)
@@ -16,36 +18,15 @@ import (
 //
 // rise overrides the output height for stair and slope specs; 0 derives the
 // default (total blocks - 2 for stairs, TOP+6 for slopes — the widest rise
-// the serial protocol still solves).
+// the serial protocol still solves). The variable-length stair spec is the
+// one family the integer-parameter registry cannot express; it keeps a
+// direct path to Staircase.
 func Parse(spec string, rise int) (*Scenario, error) {
-	switch {
-	case spec == "fig10":
-		return Fig10()
-	case spec == "ridge":
-		return WideRidge()
-	case strings.HasPrefix(spec, "slope:"):
-		top, err := strconv.Atoi(strings.TrimPrefix(spec, "slope:"))
-		if err != nil {
-			return nil, fmt.Errorf("scenario: bad slope top in %q: %w", spec, err)
-		}
-		if rise == 0 {
-			rise = top + 6
-		}
-		return SlopeStaircase(top, rise)
-	case strings.HasPrefix(spec, "tower:"):
-		n, err := strconv.Atoi(strings.TrimPrefix(spec, "tower:"))
-		if err != nil {
-			return nil, fmt.Errorf("scenario: bad tower size in %q: %w", spec, err)
-		}
-		scs, err := TowerSweep([]int{n})
-		if err != nil {
-			return nil, err
-		}
-		return scs[0], nil
-	case strings.HasPrefix(spec, "stair:"):
+	name, arg, hasArg := strings.Cut(spec, ":")
+	if name == "stair" && hasArg {
 		var heights []int
 		total := 0
-		for _, part := range strings.Split(strings.TrimPrefix(spec, "stair:"), ",") {
+		for _, part := range strings.Split(arg, ",") {
 			h, err := strconv.Atoi(strings.TrimSpace(part))
 			if err != nil {
 				return nil, fmt.Errorf("scenario: bad stair height %q: %w", part, err)
@@ -58,5 +39,29 @@ func Parse(spec string, rise int) (*Scenario, error) {
 		}
 		return Staircase("stair", heights, rise)
 	}
-	return nil, fmt.Errorf("scenario: unknown specification %q (want fig10, tower:N, stair:H1,H2,..., slope:TOP or ridge)", spec)
+	g, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown specification %q (want fig10, tower:N, stair:H1,H2,..., slope:TOP or ridge)", spec)
+	}
+	params := Params{}
+	if hasArg {
+		// The spec argument is the generator's first declared parameter
+		// (tower:N, slope:TOP).
+		if len(g.Params) == 0 {
+			return nil, fmt.Errorf("scenario: %s takes no argument, got %q", name, spec)
+		}
+		v, err := strconv.Atoi(strings.TrimSpace(arg))
+		if err != nil {
+			return nil, fmt.Errorf("scenario: bad %s %s in %q: %w", name, g.Params[0].Name, spec, err)
+		}
+		params[g.Params[0].Name] = v
+	}
+	if rise != 0 {
+		for _, p := range g.Params {
+			if p.Name == "rise" {
+				params["rise"] = rise
+			}
+		}
+	}
+	return g.Build(params)
 }

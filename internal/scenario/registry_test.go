@@ -1,0 +1,104 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRegistryBuildDefaults: every registered generator instantiates with
+// all-default parameters into a valid scenario.
+func TestRegistryBuildDefaults(t *testing.T) {
+	for _, g := range Generators() {
+		s, err := Build(g.Name, nil)
+		if err != nil {
+			t.Errorf("%s: default build failed: %v", g.Name, err)
+			continue
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: default instance invalid: %v", g.Name, err)
+		}
+		if g.Doc == "" {
+			t.Errorf("%s: generator has no doc line", g.Name)
+		}
+	}
+}
+
+// TestRegistryBuildIsFresh: two builds of the same generator return
+// distinct surfaces, so a served request can mutate its instance freely.
+func TestRegistryBuildIsFresh(t *testing.T) {
+	a, err := Build("fig10", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build("fig10", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Surface == b.Surface {
+		t.Fatal("two builds share one surface")
+	}
+}
+
+// TestRegistryParams: explicit parameters reach the generator, unknown
+// names and unknown generators fail loudly.
+func TestRegistryParams(t *testing.T) {
+	s, err := Build("tower", Params{"n": 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Surface.NumBlocks(); got != 8 {
+		t.Errorf("tower n=8 built %d blocks", got)
+	}
+	if _, err := Build("tower", Params{"blocks": 8}); err == nil ||
+		!strings.Contains(err.Error(), `no parameter "blocks"`) {
+		t.Errorf("unknown param err = %v, want a no-parameter error", err)
+	}
+	if _, err := Build("no-such-generator", nil); err == nil {
+		t.Error("unknown generator did not fail")
+	}
+	// Semantic validation stays with the generator: an odd tower is its
+	// error, not the registry's.
+	if _, err := Build("tower", Params{"n": 7}); err == nil {
+		t.Error("odd tower size did not fail")
+	}
+}
+
+// TestRegistryDerivedRises: the rise=0 defaults of slope and blob derive
+// the documented values.
+func TestRegistryDerivedRises(t *testing.T) {
+	s, err := Build("slope", Params{"top": 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Input.Manhattan(s.Output); got != 12 {
+		t.Errorf("slope top=6 derived rise %d, want 12 (top+6)", got)
+	}
+	b, err := Build("blob", Params{"w": 3, "h": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Input.Manhattan(b.Output); got != 7 {
+		t.Errorf("blob 3x3 derived rise %d, want 7 (w*h-2)", got)
+	}
+}
+
+// TestParseRoutesThroughRegistry: the CLI spec strings and the registry
+// agree — same generator, same instance.
+func TestParseRoutesThroughRegistry(t *testing.T) {
+	fromSpec, err := Parse("slope:5", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromReg, err := Build("slope", Params{"top": 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromSpec.Name != fromReg.Name ||
+		fromSpec.Surface.NumBlocks() != fromReg.Surface.NumBlocks() ||
+		fromSpec.Output != fromReg.Output {
+		t.Errorf("Parse(slope:5) != Build(slope, top=5): %v vs %v", fromSpec, fromReg)
+	}
+	if _, err := Parse("fig10:3", 0); err == nil {
+		t.Error("argument on a parameterless generator did not fail")
+	}
+}

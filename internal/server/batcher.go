@@ -1,0 +1,161 @@
+// Package server is the reconfiguration-as-a-service front-end over
+// core.Engine: an HTTP service that accepts scenario-run requests from many
+// concurrent clients, coalesces them through a channel batcher into
+// Engine.RunBatch calls, streams each run's observer events back over
+// NDJSON or SSE, and records flat per-request phase timings plus aggregate
+// engine counters behind a /metrics endpoint.
+//
+// The package splits along the request's path through the service:
+//
+//   - batcher.go — the generic size+max-wait coalescer
+//   - stream.go  — the wire schema (RunSpec in, event/result records out)
+//     and the per-request event spool
+//   - server.go  — engines, admission, dispatch, graceful shutdown
+//   - handlers.go — the HTTP surface
+//   - metrics.go — per-phase latency and engine-counter aggregation
+//   - loadgen.go — the closed-loop load generator behind cmd/sbload and
+//     the server throughput bench kernels
+package server
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+var (
+	// ErrQueueFull reports an admission rejection: the bounded request
+	// queue is at capacity. The HTTP layer maps it to 429.
+	ErrQueueFull = errors.New("server: request queue full")
+	// ErrStopped reports a submission after Stop. The HTTP layer maps it
+	// to 503 (the server is draining).
+	ErrStopped = errors.New("server: batcher stopped")
+)
+
+// Batcher coalesces individually-submitted items into batches: a batch is
+// flushed when it reaches Size items, or MaxWait after its first item
+// arrived, whichever comes first. Submissions never block — the intake
+// queue is bounded and an overflowing Submit fails fast with ErrQueueFull,
+// which is the service's backpressure signal.
+//
+// The flush callback runs on the batcher's own goroutine, one flush at a
+// time; a callback that must not delay subsequent batches (the server's
+// RunBatch dispatch) hands the batch to its own goroutine.
+type Batcher[T any] struct {
+	size    int
+	maxWait time.Duration
+	flush   func([]T)
+
+	in   chan T
+	done chan struct{}
+
+	mu      sync.RWMutex // guards stopped vs. in-channel close
+	stopped bool
+}
+
+// NewBatcher starts a batcher flushing batches of up to size items at most
+// maxWait after each batch's first item, through queueCap intake slots.
+func NewBatcher[T any](size int, maxWait time.Duration, queueCap int, flush func([]T)) *Batcher[T] {
+	if size < 1 {
+		size = 1
+	}
+	if maxWait <= 0 {
+		maxWait = time.Millisecond
+	}
+	if queueCap < size {
+		queueCap = size
+	}
+	b := &Batcher[T]{
+		size:    size,
+		maxWait: maxWait,
+		flush:   flush,
+		in:      make(chan T, queueCap),
+		done:    make(chan struct{}),
+	}
+	go b.loop()
+	return b
+}
+
+// Submit queues one item for the next batch. It never blocks: a full queue
+// returns ErrQueueFull, a stopped batcher ErrStopped.
+func (b *Batcher[T]) Submit(x T) error {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.stopped {
+		return ErrStopped
+	}
+	select {
+	case b.in <- x:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// Stop rejects further submissions, flushes everything already queued
+// (including a final short batch) and waits for the loop to exit. Safe to
+// call more than once.
+func (b *Batcher[T]) Stop() {
+	b.mu.Lock()
+	if !b.stopped {
+		b.stopped = true
+		close(b.in)
+	}
+	b.mu.Unlock()
+	<-b.done
+}
+
+// loop gathers submissions into batches. The timer is armed when a batch
+// opens (first item) and drained before reuse, so a flush-by-size never
+// leaves a stale tick behind.
+func (b *Batcher[T]) loop() {
+	defer close(b.done)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+
+	var batch []T
+	emit := func() {
+		if len(batch) > 0 {
+			b.flush(batch)
+			batch = nil
+		}
+	}
+	for {
+		if len(batch) == 0 {
+			// No open batch: block for the first item of the next one.
+			x, ok := <-b.in
+			if !ok {
+				return
+			}
+			batch = append(batch, x)
+			if len(batch) >= b.size {
+				emit()
+				continue
+			}
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timer.Reset(b.maxWait)
+			continue
+		}
+		select {
+		case x, ok := <-b.in:
+			if !ok {
+				emit()
+				return
+			}
+			batch = append(batch, x)
+			if len(batch) >= b.size {
+				emit()
+			}
+		case <-timer.C:
+			emit()
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// collect receives one flushed batch with a deadline.
+func collect(t *testing.T, ch <-chan []int) []int {
+	t.Helper()
+	select {
+	case b := <-ch:
+		return b
+	case <-time.After(5 * time.Second):
+		t.Fatal("no batch flushed within 5s")
+		return nil
+	}
+}
+
+// TestBatcherSizeFlush: a batch dispatches as soon as it reaches Size,
+// without waiting for the timer.
+func TestBatcherSizeFlush(t *testing.T) {
+	out := make(chan []int, 4)
+	b := NewBatcher(4, time.Hour, 16, func(batch []int) { out <- batch })
+	defer b.Stop()
+	for i := 0; i < 4; i++ {
+		if err := b.Submit(i); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	got := collect(t, out)
+	if len(got) != 4 {
+		t.Fatalf("size flush delivered %d items, want 4", len(got))
+	}
+}
+
+// TestBatcherMaxWaitFlush: a short batch dispatches MaxWait after its
+// first item instead of waiting for Size.
+func TestBatcherMaxWaitFlush(t *testing.T) {
+	out := make(chan []int, 4)
+	b := NewBatcher(100, 5*time.Millisecond, 200, func(batch []int) { out <- batch })
+	defer b.Stop()
+	if err := b.Submit(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Submit(2); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, out)
+	if len(got) != 2 {
+		t.Fatalf("max-wait flush delivered %d items, want 2", len(got))
+	}
+}
+
+// TestBatcherQueueFull: with the loop wedged inside a flush, the bounded
+// intake overflows into ErrQueueFull instead of blocking the submitter.
+func TestBatcherQueueFull(t *testing.T) {
+	entered := make(chan struct{}, 8)
+	gate := make(chan struct{})
+	var flushed int
+	b := NewBatcher(1, time.Hour, 2, func(batch []int) {
+		entered <- struct{}{}
+		<-gate
+		flushed += len(batch)
+	})
+	if err := b.Submit(0); err != nil {
+		t.Fatal(err)
+	}
+	<-entered // the loop is now blocked inside flush; the queue is empty
+	if err := b.Submit(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Submit(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Submit(3); err != ErrQueueFull {
+		t.Fatalf("overflow submit err = %v, want ErrQueueFull", err)
+	}
+	close(gate)
+	b.Stop() // drains the two queued items through two more flushes
+	if flushed != 3 {
+		t.Fatalf("flushed %d items, want 3", flushed)
+	}
+}
+
+// TestBatcherStopFlushesRemainder: Stop dispatches the open short batch
+// and rejects later submissions.
+func TestBatcherStopFlushesRemainder(t *testing.T) {
+	out := make(chan []int, 4)
+	b := NewBatcher(100, time.Hour, 200, func(batch []int) { out <- batch })
+	for i := 0; i < 3; i++ {
+		if err := b.Submit(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Stop()
+	got := collect(t, out)
+	if len(got) != 3 {
+		t.Fatalf("stop flush delivered %d items, want 3", len(got))
+	}
+	if err := b.Submit(9); err != ErrStopped {
+		t.Fatalf("submit after stop err = %v, want ErrStopped", err)
+	}
+	b.Stop() // idempotent
+}

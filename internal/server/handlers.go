@@ -1,0 +1,224 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// routes wires the HTTP surface:
+//
+//	POST /v1/runs       run a scenario; NDJSON event stream by default,
+//	                    SSE under Accept: text/event-stream or ?stream=sse,
+//	                    single JSON result under ?stream=none
+//	GET  /v1/scenarios  the scenario registry (names, docs, parameters)
+//	GET  /metrics       service counters; JSON, or Prometheus text under
+//	                    ?format=prometheus (or Accept: text/plain)
+//	GET  /healthz       200 while serving, 503 while draining
+func (s *Server) routes() {
+	s.mux.HandleFunc("/v1/runs", s.handleRuns)
+	s.mux.HandleFunc("/v1/scenarios", s.handleScenarios)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+}
+
+// httpError writes a JSON error record with the given status.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(wireError{Type: "error", Error: fmt.Sprintf(format, args...)})
+}
+
+// streamMode resolves the response shape for a run request.
+func streamMode(r *http.Request) string {
+	switch r.URL.Query().Get("stream") {
+	case "none", "0", "false":
+		return "none"
+	case "sse":
+		return "sse"
+	case "", "ndjson":
+	}
+	if strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
+		return "sse"
+	}
+	return "ndjson"
+}
+
+// handleRuns admits one run request and answers it: decode and build the
+// spec (400 on a bad one), admit against the bounded queue (429 full, 503
+// draining), then either stream the run's events as they happen or block
+// for the result record alone. The request context rides along as the
+// instance context, so a disconnected client aborts its own run mid-batch
+// without touching the rest.
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var spec RunSpec
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	scen, cfg, backend, err := spec.build()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	mode := streamMode(r)
+	req := &runReq{
+		ctx:     r.Context(),
+		scen:    scen,
+		cfg:     cfg,
+		seed:    spec.Seed,
+		backend: backend,
+		done:    make(chan runOutcome, 1),
+	}
+	if mode != "none" {
+		req.spool = newEventSpool()
+	}
+	if err := s.submit(req); err != nil {
+		s.metrics.recordReject()
+		switch err {
+		case ErrQueueFull:
+			httpError(w, http.StatusTooManyRequests, "%v", err)
+		default:
+			httpError(w, http.StatusServiceUnavailable, "server draining: %v", err)
+		}
+		return
+	}
+
+	switch mode {
+	case "none":
+		s.respondResult(w, r, req)
+	case "sse":
+		s.respondStream(w, r, req, true)
+	default:
+		s.respondStream(w, r, req, false)
+	}
+}
+
+// respondResult blocks for the outcome and writes the single result (or
+// error) record.
+func (s *Server) respondResult(w http.ResponseWriter, r *http.Request, req *runReq) {
+	out := <-req.done
+	if out.err != nil {
+		status := http.StatusInternalServerError
+		if r.Context().Err() != nil {
+			status = 499 // client closed request; the write goes nowhere
+		}
+		httpError(w, status, "run failed: %v", out.err)
+		s.metrics.recordRespond(time.Since(req.tRunEnd))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resultRecord(req.scen.Name, out.res, req.timing()))
+	s.metrics.recordRespond(time.Since(req.tRunEnd))
+}
+
+// respondStream writes the live event stream — one JSON record per NDJSON
+// line, or one SSE data frame each — followed by the terminal result or
+// error record. A mid-stream client disconnect cancels the run through the
+// instance context; the dispatcher still delivers the outcome, which is
+// consumed here so the admission slot accounting stays exact.
+func (s *Server) respondStream(w http.ResponseWriter, r *http.Request, req *runReq, sse bool) {
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	writeRecord := func(v any) {
+		if sse {
+			data, err := json.Marshal(v)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "data: %s\n\n", data)
+		} else {
+			_ = json.NewEncoder(w).Encode(v)
+		}
+	}
+
+	clientGone := r.Context().Done()
+	open := true
+	for open {
+		raw, stillOpen := req.spool.drain()
+		open = stillOpen
+		for _, ev := range raw {
+			writeRecord(toWire(ev))
+		}
+		if len(raw) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if !open {
+			break
+		}
+		select {
+		case <-req.spool.wake:
+		case <-clientGone:
+			// The instance context is this request's context: the engine
+			// aborts the run and the dispatcher delivers a cancellation
+			// outcome. Consume it and give up on the response.
+			<-req.done
+			return
+		}
+	}
+
+	out := <-req.done
+	if out.err != nil {
+		writeRecord(wireError{Type: "error", Error: out.err.Error()})
+	} else {
+		writeRecord(resultRecord(req.scen.Name, out.res, req.timing()))
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+	s.metrics.recordRespond(time.Since(req.tRunEnd))
+}
+
+// handleScenarios lists the scenario registry.
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(scenario.Generators())
+}
+
+// handleMetrics renders the counter snapshot.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	snap := s.metrics.Snapshot()
+	format := r.URL.Query().Get("format")
+	if format == "prometheus" || (format == "" && strings.Contains(r.Header.Get("Accept"), "text/plain")) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		snap.WritePrometheus(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(snap)
+}
+
+// handleHealthz reports liveness: 503 once draining so load balancers
+// stop routing here during shutdown.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}

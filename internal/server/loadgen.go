@@ -1,0 +1,167 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LoadConfig drives RunLoad: Clients closed-loop workers each issue
+// PerClient sequential requests of Spec against BaseURL, reading the full
+// NDJSON stream of every run.
+type LoadConfig struct {
+	BaseURL   string
+	Clients   int
+	PerClient int
+	Spec      RunSpec
+	// Client optionally overrides the HTTP client (the bench kernels pass
+	// an in-process transport).
+	Client *http.Client
+}
+
+// LoadReport is the generator's aggregate outcome. Latencies are full
+// request wall times (POST to stream close), in nanoseconds.
+type LoadReport struct {
+	Clients    int     `json:"clients"`
+	Requests   int     `json:"requests"`
+	Completed  int     `json:"completed"`
+	Failed     int     `json:"failed"`
+	Rejected   int     `json:"rejected"` // 429/503 admission refusals
+	Events     int64   `json:"events"`   // streamed event records observed
+	ElapsedNS  int64   `json:"elapsed_ns"`
+	RunsPerSec float64 `json:"runs_per_sec"`
+	MeanNS     int64   `json:"latency_mean_ns"`
+	P50NS      int64   `json:"latency_p50_ns"`
+	P95NS      int64   `json:"latency_p95_ns"`
+	MaxNS      int64   `json:"latency_max_ns"`
+}
+
+// RunLoad runs the closed-loop load: every client retries nothing and
+// pipelines nothing — one request in flight per client, the service's
+// batcher does the coalescing. An admission refusal (429/503) counts as
+// rejected, a stream that ends without a successful result record as
+// failed.
+func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
+	if cfg.Clients < 1 || cfg.PerClient < 1 {
+		return LoadReport{}, fmt.Errorf("server: load needs clients >= 1 and per-client >= 1")
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	body, err := json.Marshal(cfg.Spec)
+	if err != nil {
+		return LoadReport{}, err
+	}
+	url := cfg.BaseURL + "/v1/runs"
+
+	type clientTally struct {
+		completed, failed, rejected int
+		events                      int64
+		latencies                   []int64
+	}
+	tallies := make([]clientTally, cfg.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(t *clientTally) {
+			defer wg.Done()
+			for i := 0; i < cfg.PerClient; i++ {
+				if ctx.Err() != nil {
+					return
+				}
+				t0 := time.Now()
+				ok, rejected, events := doRun(ctx, client, url, body)
+				t.latencies = append(t.latencies, int64(time.Since(t0)))
+				t.events += events
+				switch {
+				case ok:
+					t.completed++
+				case rejected:
+					t.rejected++
+				default:
+					t.failed++
+				}
+			}
+		}(&tallies[c])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := LoadReport{Clients: cfg.Clients, ElapsedNS: int64(elapsed)}
+	var all []int64
+	for _, t := range tallies {
+		rep.Completed += t.completed
+		rep.Failed += t.failed
+		rep.Rejected += t.rejected
+		rep.Events += t.events
+		all = append(all, t.latencies...)
+	}
+	rep.Requests = len(all)
+	if elapsed > 0 {
+		rep.RunsPerSec = float64(rep.Completed) / elapsed.Seconds()
+	}
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		var sum int64
+		for _, v := range all {
+			sum += v
+		}
+		rep.MeanNS = sum / int64(len(all))
+		rep.P50NS = all[len(all)/2]
+		rep.P95NS = all[len(all)*95/100]
+		rep.MaxNS = all[len(all)-1]
+	}
+	return rep, nil
+}
+
+// doRun issues one streamed run and consumes it to the terminal record.
+func doRun(ctx context.Context, client *http.Client, url string, body []byte) (ok, rejected bool, events int64) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return false, false, 0
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return false, false, 0
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+		return false, true, 0
+	}
+	if resp.StatusCode != http.StatusOK {
+		return false, false, 0
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var rec struct {
+		Type    string `json:"type"`
+		Success bool   `json:"success"`
+	}
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if err := json.Unmarshal(line, &rec); err != nil {
+			continue
+		}
+		switch rec.Type {
+		case "event":
+			events++
+		case "result":
+			ok = rec.Success
+		case "error":
+			ok = false
+		}
+	}
+	return ok, false, events
+}

@@ -1,0 +1,232 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// The request lifecycle phases the service times, in order: queue wait
+// (Submit -> batch flush), dispatch (flush -> RunBatch start), the engine
+// run itself, and respond (run end -> response written).
+const (
+	phaseEnqueue = iota
+	phaseFlush
+	phaseRun
+	phaseRespond
+	numPhases
+)
+
+var phaseNames = [numPhases]string{"enqueue", "flush", "run", "respond"}
+
+// latencyAgg is one phase's flat aggregate. Min is meaningful only when
+// Count > 0.
+type latencyAgg struct {
+	Count  uint64 `json:"count"`
+	SumNS  int64  `json:"sum_ns"`
+	MinNS  int64  `json:"min_ns"`
+	MaxNS  int64  `json:"max_ns"`
+	MeanNS int64  `json:"mean_ns"`
+}
+
+func (a *latencyAgg) add(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	if a.Count == 0 || ns < a.MinNS {
+		a.MinNS = ns
+	}
+	if ns > a.MaxNS {
+		a.MaxNS = ns
+	}
+	a.Count++
+	a.SumNS += ns
+}
+
+// Metrics aggregates the service's counters: request outcomes, batching
+// shape, per-phase latencies and the engine-level session summary (every
+// instance's observer events fold into one stats.SessionSummary, so the
+// /metrics engine block reports rounds, moves, messages and the
+// moves-per-round histogram across all served runs).
+type Metrics struct {
+	mu        sync.Mutex
+	started   time.Time
+	requests  uint64 // accepted into the queue
+	completed uint64 // outcome delivered with a successful run
+	canceled  uint64 // outcome was a context cancellation
+	failed    uint64 // outcome was any other error
+	rejected  uint64 // refused at admission (queue full or draining)
+	batches   uint64 // RunBatch dispatches
+	batched   uint64 // requests across all dispatches
+	maxBatch  int
+	phases    [numPhases]latencyAgg
+	engine    stats.SessionSummary
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{started: time.Now()}
+}
+
+// OnEvent implements core.Observer: every served instance tees its event
+// stream here (serialised by the mutex — instances run concurrently).
+func (m *Metrics) OnEvent(ev core.Event) {
+	m.mu.Lock()
+	m.engine.OnEvent(ev)
+	m.mu.Unlock()
+}
+
+func (m *Metrics) recordAccept() {
+	m.mu.Lock()
+	m.requests++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) recordReject() {
+	m.mu.Lock()
+	m.rejected++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) recordBatch(n int) {
+	m.mu.Lock()
+	m.batches++
+	m.batched += uint64(n)
+	if n > m.maxBatch {
+		m.maxBatch = n
+	}
+	m.mu.Unlock()
+}
+
+// recordOutcome files one delivered outcome and its enqueue/flush/run
+// phase durations.
+func (m *Metrics) recordOutcome(r *runReq, err error, canceled bool) {
+	m.mu.Lock()
+	switch {
+	case err == nil:
+		m.completed++
+	case canceled:
+		m.canceled++
+	default:
+		m.failed++
+	}
+	m.phases[phaseEnqueue].add(r.tFlush.Sub(r.tEnqueue))
+	m.phases[phaseFlush].add(r.tRunStart.Sub(r.tFlush))
+	m.phases[phaseRun].add(r.tRunEnd.Sub(r.tRunStart))
+	m.mu.Unlock()
+}
+
+// recordRespond files the final phase: run end to response fully written.
+func (m *Metrics) recordRespond(d time.Duration) {
+	m.mu.Lock()
+	m.phases[phaseRespond].add(d)
+	m.mu.Unlock()
+}
+
+// MetricsSnapshot is the JSON document of GET /metrics.
+type MetricsSnapshot struct {
+	UptimeNS  int64                 `json:"uptime_ns"`
+	Requests  uint64                `json:"requests"`
+	Completed uint64                `json:"completed"`
+	Canceled  uint64                `json:"canceled"`
+	Failed    uint64                `json:"failed"`
+	Rejected  uint64                `json:"rejected"`
+	Batches   uint64                `json:"batches"`
+	Batched   uint64                `json:"batched_runs"`
+	MaxBatch  int                   `json:"max_batch"`
+	Latency   map[string]latencyAgg `json:"latency_ns"`
+	Engine    stats.SessionSummary  `json:"engine"`
+}
+
+// Snapshot returns a consistent copy of every counter.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	snap := MetricsSnapshot{
+		UptimeNS:  int64(time.Since(m.started)),
+		Requests:  m.requests,
+		Completed: m.completed,
+		Canceled:  m.canceled,
+		Failed:    m.failed,
+		Rejected:  m.rejected,
+		Batches:   m.batches,
+		Batched:   m.batched,
+		MaxBatch:  m.maxBatch,
+		Latency:   make(map[string]latencyAgg, numPhases),
+		Engine:    m.engine,
+	}
+	// Deep-copy the lazily-allocated histograms so the snapshot cannot race
+	// with later OnEvent folds.
+	snap.Engine.MovesHist = copyHist(m.engine.MovesHist)
+	snap.Engine.WaveHist = copyHist(m.engine.WaveHist)
+	for p := 0; p < numPhases; p++ {
+		a := m.phases[p]
+		if a.Count > 0 {
+			a.MeanNS = a.SumNS / int64(a.Count)
+		}
+		snap.Latency[phaseNames[p]] = a
+	}
+	return snap
+}
+
+func copyHist(h stats.Hist) stats.Hist {
+	if h == nil {
+		return nil
+	}
+	out := make(stats.Hist, len(h))
+	for k, v := range h {
+		out[k] = v
+	}
+	return out
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (counters and gauges only — the flat aggregates the service
+// keeps map directly onto _total/_sum/_count series).
+func (s MetricsSnapshot) WritePrometheus(w io.Writer) {
+	fmt.Fprintf(w, "# TYPE sbserver_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "sbserver_uptime_seconds %g\n", time.Duration(s.UptimeNS).Seconds())
+	fmt.Fprintf(w, "# TYPE sbserver_requests_total counter\n")
+	for _, c := range []struct {
+		state string
+		n     uint64
+	}{
+		{"accepted", s.Requests}, {"completed", s.Completed},
+		{"canceled", s.Canceled}, {"failed", s.Failed}, {"rejected", s.Rejected},
+	} {
+		fmt.Fprintf(w, "sbserver_requests_total{state=%q} %d\n", c.state, c.n)
+	}
+	fmt.Fprintf(w, "# TYPE sbserver_batches_total counter\nsbserver_batches_total %d\n", s.Batches)
+	fmt.Fprintf(w, "# TYPE sbserver_batched_runs_total counter\nsbserver_batched_runs_total %d\n", s.Batched)
+	fmt.Fprintf(w, "# TYPE sbserver_batch_size_max gauge\nsbserver_batch_size_max %d\n", s.MaxBatch)
+	fmt.Fprintf(w, "# TYPE sbserver_phase_latency_ns summary\n")
+	for _, name := range phaseNames {
+		a := s.Latency[name]
+		fmt.Fprintf(w, "sbserver_phase_latency_ns_sum{phase=%q} %d\n", name, a.SumNS)
+		fmt.Fprintf(w, "sbserver_phase_latency_ns_count{phase=%q} %d\n", name, a.Count)
+	}
+	fmt.Fprintf(w, "# TYPE sbserver_engine_rounds_total counter\nsbserver_engine_rounds_total %d\n", s.Engine.Rounds)
+	fmt.Fprintf(w, "# TYPE sbserver_engine_motions_total counter\nsbserver_engine_motions_total %d\n", s.Engine.Motions)
+	fmt.Fprintf(w, "# TYPE sbserver_engine_moves_elected_total counter\nsbserver_engine_moves_elected_total %d\n", s.Engine.MovesElected)
+	fmt.Fprintf(w, "# TYPE sbserver_engine_messages_total counter\nsbserver_engine_messages_total %d\n", s.Engine.MessagesSent)
+	fmt.Fprintf(w, "# TYPE sbserver_engine_successes_total counter\nsbserver_engine_successes_total %d\n", s.Engine.Successes)
+	if len(s.Engine.MovesHist) > 0 {
+		fmt.Fprintf(w, "# TYPE sbserver_engine_moves_per_round gauge\n")
+		keys := make([]int, 0, len(s.Engine.MovesHist))
+		for k := range s.Engine.MovesHist {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, "sbserver_engine_moves_per_round{moves=\"%d\"} %d\n", k, s.Engine.MovesHist[k])
+		}
+	}
+}
+
+// interface check
+var _ core.Observer = (*Metrics)(nil)

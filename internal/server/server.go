@@ -1,0 +1,255 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rules"
+	"repro/internal/scenario"
+)
+
+// Config tunes the service. The zero value is usable: every field derives
+// the documented default.
+type Config struct {
+	// BatchSize is the coalescing width: a batch dispatches to
+	// Engine.RunBatch as soon as this many requests are pending
+	// (default 8).
+	BatchSize int
+	// BatchWait is how long a shorter batch waits for company before
+	// dispatching anyway (default 2ms).
+	BatchWait time.Duration
+	// QueueCap bounds the requests admitted but not yet answered; an
+	// overflowing submission is rejected with 429 (default 64).
+	QueueCap int
+	// Workers is the per-dispatch Engine.RunBatch worker pool width
+	// (default: the engine's own default, GOMAXPROCS).
+	Workers int
+	// Seed is the engines' base seed; per-request seeds override it
+	// (default 1, the evaluation's golden seed).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.BatchSize <= 0 {
+		c.BatchSize = 8
+	}
+	if c.BatchWait <= 0 {
+		c.BatchWait = 2 * time.Millisecond
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 64
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// runReq is one admitted request on its way through the service: the built
+// instance, its streaming spool (nil when the client wants the result
+// only), the response rendezvous, and the phase timestamps.
+type runReq struct {
+	ctx     context.Context // the client's context: disconnect aborts the run
+	scen    *scenario.Scenario
+	cfg     core.Config
+	seed    int64
+	backend string
+
+	spool *eventSpool     // live event stream, nil when not streaming
+	done  chan runOutcome // buffered(1): dispatcher never blocks on it
+
+	tEnqueue, tFlush, tRunStart, tRunEnd time.Time
+}
+
+// runOutcome is the dispatcher's answer.
+type runOutcome struct {
+	res core.Result
+	err error
+}
+
+// timing renders the request's completed phases for the result record.
+func (r *runReq) timing() wireTiming {
+	return wireTiming{
+		EnqueueNS: int64(r.tFlush.Sub(r.tEnqueue)),
+		FlushNS:   int64(r.tRunStart.Sub(r.tFlush)),
+		RunNS:     int64(r.tRunEnd.Sub(r.tRunStart)),
+	}
+}
+
+// Server is the reconfiguration service: one engine per backend (backend
+// choice is an engine-level option, so DES and Async requests dispatch to
+// their own engines), a batcher coalescing admitted requests, and the
+// metrics registry. Concurrency is bounded twice: QueueCap at admission,
+// and each dispatch's RunBatch pool at Workers.
+type Server struct {
+	cfg     Config
+	engines map[string]*core.Engine
+	batcher *Batcher[*runReq]
+	metrics *Metrics
+	mux     *http.ServeMux
+
+	runCtx context.Context // cancelled to force-abort in-flight runs
+	force  context.CancelFunc
+
+	pending  atomic.Int64   // admitted, outcome not yet delivered
+	inflight sync.WaitGroup // one per admitted request; Wait = drained
+	draining atomic.Bool
+}
+
+// New builds a server over the standard rule library.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	lib := rules.StandardLibrary()
+	s := &Server{
+		cfg:     cfg,
+		metrics: newMetrics(),
+		mux:     http.NewServeMux(),
+	}
+	engineOpts := func(extra ...core.Option) []core.Option {
+		opts := []core.Option{core.WithSeed(cfg.Seed)}
+		if cfg.Workers > 0 {
+			opts = append(opts, core.WithWorkers(cfg.Workers))
+		}
+		return append(opts, extra...)
+	}
+	s.engines = map[string]*core.Engine{
+		backendDES:   core.NewEngine(lib, engineOpts()...),
+		backendAsync: core.NewEngine(lib, engineOpts(core.WithBackend(core.Async))...),
+	}
+	s.runCtx, s.force = context.WithCancel(context.Background())
+	s.batcher = NewBatcher(cfg.BatchSize, cfg.BatchWait, cfg.QueueCap,
+		func(batch []*runReq) { go s.execute(batch) })
+	s.routes()
+	return s
+}
+
+// Handler returns the HTTP surface (see handlers.go for the routes).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the registry (the bench kernels read it in-process).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// submit admits one request: counted against QueueCap, then queued on the
+// batcher. On success the request WILL receive exactly one outcome on
+// req.done; every error path here releases the admission slot.
+func (s *Server) submit(req *runReq) error {
+	if s.draining.Load() {
+		return ErrStopped
+	}
+	if n := s.pending.Add(1); n > int64(s.cfg.QueueCap) {
+		s.pending.Add(-1)
+		return ErrQueueFull
+	}
+	s.inflight.Add(1)
+	req.tEnqueue = time.Now()
+	if err := s.batcher.Submit(req); err != nil {
+		s.pending.Add(-1)
+		s.inflight.Done()
+		return err
+	}
+	s.metrics.recordAccept()
+	return nil
+}
+
+// execute dispatches one flushed batch into RunBatch, grouped by backend
+// (requests of both backends can share a batch; the groups run in turn on
+// this goroutine while other flushes proceed independently). Every request
+// gets its outcome delivered, its spool closed, and its admission slot
+// released — also on force-shutdown, where RunBatch returns the context
+// error per instance.
+func (s *Server) execute(batch []*runReq) {
+	now := time.Now()
+	for _, r := range batch {
+		r.tFlush = now
+	}
+	s.metrics.recordBatch(len(batch))
+
+	var order []string
+	groups := make(map[string][]*runReq, 2)
+	for _, r := range batch {
+		if _, ok := groups[r.backend]; !ok {
+			order = append(order, r.backend)
+		}
+		groups[r.backend] = append(groups[r.backend], r)
+	}
+	for _, backend := range order {
+		reqs := groups[backend]
+		insts := make([]core.Instance, len(reqs))
+		for i, r := range reqs {
+			// Tee the instance's live events into the metrics summary and,
+			// when the client is streaming, its spool.
+			var obs core.Observer = s.metrics
+			if r.spool != nil {
+				obs = core.MultiObserver(r.spool, s.metrics)
+			}
+			insts[i] = core.Instance{
+				Name:     r.scen.Name,
+				Surface:  r.scen.Surface,
+				Config:   r.cfg,
+				Seed:     r.seed,
+				Ctx:      r.ctx,
+				Observer: obs,
+			}
+		}
+		start := time.Now()
+		for _, r := range reqs {
+			r.tRunStart = start
+		}
+		results, _ := s.engines[backend].RunBatch(s.runCtx, insts)
+		end := time.Now()
+		for i, r := range reqs {
+			r.tRunEnd = end
+			out := runOutcome{res: results[i].Result, err: results[i].Err}
+			canceled := out.err != nil &&
+				(errors.Is(out.err, context.Canceled) || errors.Is(out.err, context.DeadlineExceeded) ||
+					r.ctx.Err() != nil || s.runCtx.Err() != nil)
+			s.metrics.recordOutcome(r, out.err, canceled)
+			if r.spool != nil {
+				r.spool.close()
+			}
+			r.done <- out
+			s.pending.Add(-1)
+			s.inflight.Done()
+		}
+	}
+}
+
+// Shutdown drains the service gracefully: new submissions are refused with
+// 503, the batcher flushes what it already queued, and in-flight runs get
+// until ctx's deadline to finish — their clients receive complete results.
+// If the deadline expires first the remaining runs are force-cancelled;
+// the engine rolls each surface back to an atomic motion boundary, so even
+// an aborted request's surface is left connected and physically valid.
+// Returns ctx.Err() when the force path was taken, nil on a clean drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.batcher.Stop()
+	drained := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		s.force()
+		<-drained
+		return ctx.Err()
+	}
+}
+
+// Close shuts down immediately (force-cancel, no grace).
+func (s *Server) Close() {
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	_ = s.Shutdown(cancelled)
+}
+
+// Draining reports whether Shutdown has begun (healthz turns 503).
+func (s *Server) Draining() bool { return s.draining.Load() }

@@ -1,0 +1,490 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// testServer builds a server plus its HTTP front; both are torn down with
+// the test.
+func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// streamRecord is the superset wire record the tests decode every NDJSON
+// line into.
+type streamRecord struct {
+	Type    string `json:"type"`
+	Kind    string `json:"kind"`
+	Round   int    `json:"round"`
+	Success bool   `json:"success"`
+	Hops    int    `json:"hops"`
+	Rounds  int    `json:"rounds"`
+	Error   string `json:"error"`
+	Timing  struct {
+		EnqueueNS int64 `json:"enqueue_ns"`
+		FlushNS   int64 `json:"flush_ns"`
+		RunNS     int64 `json:"run_ns"`
+	} `json:"timing"`
+}
+
+// postRun issues one run request and decodes the full NDJSON stream.
+func postRun(t *testing.T, ts *httptest.Server, spec RunSpec) (int, []streamRecord) {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(ts.URL+"/v1/runs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/runs: %v", err)
+	}
+	defer resp.Body.Close()
+	var recs []streamRecord
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var rec streamRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		recs = append(recs, rec)
+	}
+	return resp.StatusCode, recs
+}
+
+// TestServerRunEndToEnd: a streamed fig10 run returns the live event
+// stream in order and ends with the golden result — 109 block moves, the
+// same run the engine produces directly, so the service layer does not
+// perturb engine semantics.
+func TestServerRunEndToEnd(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	status, recs := postRun(t, ts, RunSpec{Scenario: "fig10"})
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, want 200", status)
+	}
+	if len(recs) < 3 {
+		t.Fatalf("stream has %d records, want events plus a result", len(recs))
+	}
+	last := recs[len(recs)-1]
+	if last.Type != "result" || !last.Success {
+		t.Fatalf("terminal record = %+v, want a successful result", last)
+	}
+	if last.Hops != 109 {
+		t.Errorf("fig10 over the service moved %d blocks, want the golden 109", last.Hops)
+	}
+	if last.Timing.RunNS <= 0 || last.Timing.EnqueueNS < 0 || last.Timing.FlushNS < 0 {
+		t.Errorf("implausible phase timing %+v", last.Timing)
+	}
+	kinds := map[string]bool{}
+	lastRound := 0
+	for _, rec := range recs[:len(recs)-1] {
+		if rec.Type != "event" {
+			t.Fatalf("mid-stream record of type %q", rec.Type)
+		}
+		kinds[rec.Kind] = true
+		if rec.Kind == "round-started" {
+			if rec.Round < lastRound {
+				t.Fatalf("rounds regressed: %d after %d", rec.Round, lastRound)
+			}
+			lastRound = rec.Round
+		}
+	}
+	for _, want := range []string{"round-started", "election-decided", "motion-applied", "terminated", "message-stats"} {
+		if !kinds[want] {
+			t.Errorf("stream missing %q events", want)
+		}
+	}
+}
+
+// TestServerResultOnly: ?stream=none answers with the single result
+// record, on both backends.
+func TestServerResultOnly(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	for _, backend := range []string{"", "async"} {
+		body, _ := json.Marshal(RunSpec{Scenario: "fig10", Backend: backend})
+		resp, err := http.Post(ts.URL+"/v1/runs?stream=none", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rec streamRecord
+		if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+			t.Fatalf("backend %q: decode: %v", backend, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || rec.Type != "result" || !rec.Success {
+			t.Fatalf("backend %q: status=%d record=%+v, want a 200 success result",
+				backend, resp.StatusCode, rec)
+		}
+	}
+}
+
+// TestServerSSE: Accept: text/event-stream switches the framing to SSE
+// data frames carrying the same records.
+func TestServerSSE(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	body, _ := json.Marshal(RunSpec{Scenario: "fig10"})
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/runs", bytes.NewReader(body))
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q, want text/event-stream", ct)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	if !bytes.Contains(data, []byte("data: ")) || !bytes.Contains(data, []byte(`"type":"result"`)) {
+		t.Fatalf("SSE body missing data frames or result record:\n%s", data[:min(len(data), 400)])
+	}
+}
+
+// TestServerValidation: client errors come back as 400 with a JSON error
+// record; the scenario listing serves the registry.
+func TestServerValidation(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	for _, spec := range []RunSpec{
+		{Scenario: "no-such-scenario"},
+		{Scenario: "fig10", Backend: "quantum"},
+		{Scenario: "tower", Params: scenario.Params{"blocks": 8}}, // unknown param
+		{Scenario: "tower", Params: scenario.Params{"n": 7}},      // generator rejects odd towers
+		{Scenario: "fig10", K: -1},
+	} {
+		body, _ := json.Marshal(spec)
+		resp, err := http.Post(ts.URL+"/v1/runs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rec streamRecord
+		_ = json.NewDecoder(resp.Body).Decode(&rec)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest || rec.Type != "error" {
+			t.Errorf("spec %+v: status=%d record=%+v, want 400 error", spec, resp.StatusCode, rec)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/scenarios")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var gens []scenario.Generator
+	if err := json.NewDecoder(resp.Body).Decode(&gens); err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != len(scenario.Generators()) {
+		t.Errorf("scenario listing has %d generators, registry has %d", len(gens), len(scenario.Generators()))
+	}
+}
+
+// TestServerBackpressure: a full admission queue answers 429 without
+// queueing; a draining server answers 503 and fails health checks.
+func TestServerBackpressure(t *testing.T) {
+	s, ts := testServer(t, Config{QueueCap: 4})
+	s.pending.Store(4) // queue artificially at capacity
+	body, _ := json.Marshal(RunSpec{Scenario: "fig10"})
+	resp, err := http.Post(ts.URL+"/v1/runs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status at capacity = %d, want 429", resp.StatusCode)
+	}
+	s.pending.Store(0)
+
+	s.draining.Store(true)
+	resp, err = http.Post(ts.URL+"/v1/runs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status while draining = %d, want 503", resp.StatusCode)
+	}
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining = %d, want 503", hz.StatusCode)
+	}
+	s.draining.Store(false)
+
+	snap := s.Metrics().Snapshot()
+	if snap.Rejected != 2 {
+		t.Errorf("rejected = %d, want 2", snap.Rejected)
+	}
+}
+
+// TestServerMetricsEndpoint: after a served run the snapshot carries the
+// request counters, all four phase latencies and the folded engine
+// summary; ?format=prometheus renders the text exposition.
+func TestServerMetricsEndpoint(t *testing.T) {
+	s, ts := testServer(t, Config{})
+	if status, _ := postRun(t, ts, RunSpec{Scenario: "fig10"}); status != http.StatusOK {
+		t.Fatalf("seed run status = %d", status)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if snap.Requests < 1 || snap.Completed < 1 || snap.Batches < 1 {
+		t.Errorf("counters not advanced: %+v", snap)
+	}
+	for _, phase := range []string{"enqueue", "flush", "run", "respond"} {
+		if snap.Latency[phase].Count < 1 {
+			t.Errorf("phase %q has no samples", phase)
+		}
+	}
+	if snap.Engine.Successes < 1 || snap.Engine.Motions < 1 || len(snap.Engine.MovesHist) == 0 {
+		t.Errorf("engine summary not folded: %+v", snap.Engine)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`sbserver_requests_total{state="completed"}`,
+		`sbserver_phase_latency_ns_count{phase="run"}`,
+		"sbserver_engine_motions_total",
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("prometheus exposition missing %q", want)
+		}
+	}
+	_ = s
+}
+
+// TestServerCancellationUnderLoad: half the clients of a loaded server
+// disconnect mid-run. Their runs are aborted (freeing worker slots), the
+// batcher keeps flushing, and every surviving stream stays ordered and
+// completes successfully; a follow-up request still gets served.
+func TestServerCancellationUnderLoad(t *testing.T) {
+	s, ts := testServer(t, Config{Workers: 2, BatchSize: 2, BatchWait: time.Millisecond})
+	const n = 6
+	spec, _ := json.Marshal(RunSpec{Scenario: "slope", Params: scenario.Params{"top": 12}})
+
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			req, _ := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/runs", bytes.NewReader(spec))
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			sc := bufio.NewScanner(resp.Body)
+			sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+			lastRound, sawResult := 0, false
+			for sc.Scan() {
+				var rec streamRecord
+				if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+					continue
+				}
+				if rec.Kind == "round-started" {
+					if rec.Round < lastRound {
+						errs[i] = fmt.Errorf("rounds regressed: %d after %d", rec.Round, lastRound)
+						return
+					}
+					lastRound = rec.Round
+				}
+				if i%2 == 1 {
+					cancel() // disconnect after the first streamed record
+					return
+				}
+				if rec.Type == "result" {
+					sawResult = rec.Success
+				}
+				if rec.Type == "error" {
+					errs[i] = fmt.Errorf("stream error: %s", rec.Error)
+					return
+				}
+			}
+			if !sawResult {
+				errs[i] = fmt.Errorf("stream ended without a successful result")
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("client %d: %v", i, err)
+		}
+	}
+
+	// The aborted runs must release their admission slots and be recorded
+	// as cancellations, not completions.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.pending.Load() != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := s.pending.Load(); got != 0 {
+		t.Fatalf("pending = %d after all clients finished, want 0", got)
+	}
+	snap := s.Metrics().Snapshot()
+	if snap.Completed != n/2 || snap.Canceled != n/2 {
+		t.Errorf("completed=%d canceled=%d, want %d and %d", snap.Completed, snap.Canceled, n/2, n/2)
+	}
+
+	// Worker slots freed: one more run completes normally.
+	if status, recs := postRun(t, ts, RunSpec{Scenario: "fig10"}); status != http.StatusOK ||
+		len(recs) == 0 || !recs[len(recs)-1].Success {
+		t.Fatalf("follow-up run after cancellations failed: status=%d", status)
+	}
+}
+
+// TestServerGracefulShutdownDrain: Shutdown with headroom lets the
+// in-flight run finish — its client receives the complete result — and
+// later submissions are refused with 503.
+func TestServerGracefulShutdownDrain(t *testing.T) {
+	s, ts := testServer(t, Config{BatchSize: 1, BatchWait: time.Millisecond})
+	type answer struct {
+		status int
+		rec    streamRecord
+	}
+	got := make(chan answer, 1)
+	go func() {
+		body, _ := json.Marshal(RunSpec{Scenario: "slope", Params: scenario.Params{"top": 12}})
+		resp, err := http.Post(ts.URL+"/v1/runs?stream=none", "application/json", bytes.NewReader(body))
+		if err != nil {
+			got <- answer{}
+			return
+		}
+		defer resp.Body.Close()
+		var rec streamRecord
+		_ = json.NewDecoder(resp.Body).Decode(&rec)
+		got <- answer{resp.StatusCode, rec}
+	}()
+	// Wait until the run is admitted, then drain with generous headroom.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Metrics().Snapshot().Requests == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("drain shutdown returned %v, want nil", err)
+	}
+	a := <-got
+	if a.status != http.StatusOK || a.rec.Type != "result" || !a.rec.Success {
+		t.Fatalf("drained run answered status=%d record=%+v, want a complete 200 result", a.status, a.rec)
+	}
+	body, _ := json.Marshal(RunSpec{Scenario: "fig10"})
+	resp, err := http.Post(ts.URL+"/v1/runs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-shutdown status = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestServerShutdownForceCancelRollsBack: when the drain deadline has
+// already passed, Shutdown force-cancels the in-flight run; the request
+// gets an error outcome and its surface is left connected with every
+// block accounted for (the engine rolls back to an atomic motion
+// boundary).
+func TestServerShutdownForceCancelRollsBack(t *testing.T) {
+	s := New(Config{BatchSize: 1, BatchWait: time.Millisecond})
+	scen, cfg, backend, err := RunSpec{Scenario: "slope", Params: scenario.Params{"top": 16}}.build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := scen.Surface.NumBlocks()
+	req := &runReq{
+		ctx:     context.Background(),
+		scen:    scen,
+		cfg:     cfg,
+		backend: backend,
+		spool:   newEventSpool(),
+		done:    make(chan runOutcome, 1),
+	}
+	if err := s.submit(req); err != nil {
+		t.Fatal(err)
+	}
+	// First spool wake-up: the run is producing events, i.e. in flight.
+	select {
+	case <-req.spool.wake:
+	case <-time.After(10 * time.Second):
+		t.Fatal("run produced no events within 10s")
+	}
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.Shutdown(expired); err == nil {
+		t.Fatal("force shutdown returned nil, want the deadline error")
+	}
+	out := <-req.done
+	if out.err == nil {
+		t.Fatal("force-cancelled run returned a nil error")
+	}
+	if !scen.Surface.Connected() {
+		t.Error("force-cancelled surface is disconnected")
+	}
+	if got := scen.Surface.NumBlocks(); got != blocks {
+		t.Errorf("force-cancelled surface has %d blocks, want %d", got, blocks)
+	}
+}
+
+// TestLoadgen: the closed-loop generator drives the service end to end
+// and accounts for every request.
+func TestLoadgen(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	rep, err := RunLoad(context.Background(), LoadConfig{
+		BaseURL:   ts.URL,
+		Clients:   4,
+		PerClient: 2,
+		Spec:      RunSpec{Scenario: "fig10"},
+		Client:    ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 8 || rep.Completed != 8 || rep.Failed != 0 || rep.Rejected != 0 {
+		t.Fatalf("load report %+v, want 8/8 completed", rep)
+	}
+	if rep.RunsPerSec <= 0 || rep.Events == 0 || rep.P95NS < rep.P50NS {
+		t.Errorf("implausible load report %+v", rep)
+	}
+}

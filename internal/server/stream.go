@@ -1,0 +1,230 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+)
+
+// RunSpec is the request schema of POST /v1/runs: a scenario-registry
+// lookup plus the per-run engine knobs the service exposes. Everything is
+// optional except the scenario name.
+type RunSpec struct {
+	// Scenario names a generator in the scenario registry ("fig10",
+	// "tower", "slope", "ridge", "blob", "random-stair").
+	Scenario string `json:"scenario"`
+	// Params are the generator's integer parameters; omitted keys take the
+	// generator defaults (see GET /v1/scenarios).
+	Params scenario.Params `json:"params,omitempty"`
+	// K is the parallel-moves election batch width (0 = serial protocol).
+	K int `json:"k,omitempty"`
+	// Shards partitions the surface into column bands before the run
+	// (0 or 1 = unsharded).
+	Shards int `json:"shards,omitempty"`
+	// Seed overrides the engine seed for this run (0 = engine default).
+	Seed int64 `json:"seed,omitempty"`
+	// Backend selects the execution backend: "des" (default, the
+	// deterministic discrete-event simulator) or "async" (the goroutine
+	// runtime).
+	Backend string `json:"backend,omitempty"`
+	// MaxRounds caps the number of elections (0 derives the engine's
+	// default safety bound).
+	MaxRounds int `json:"max_rounds,omitempty"`
+}
+
+// Backend names accepted by RunSpec.
+const (
+	backendDES   = "des"
+	backendAsync = "async"
+)
+
+// build resolves the spec against the scenario registry into a runnable
+// instance: a fresh surface (pre-sharded when requested — the engine keeps
+// caller-provided shard layouts), the run configuration, and the
+// normalised backend name. All failures here are client errors (400).
+func (sp RunSpec) build() (*scenario.Scenario, core.Config, string, error) {
+	backend := sp.Backend
+	switch backend {
+	case "":
+		backend = backendDES
+	case backendDES, backendAsync:
+	default:
+		return nil, core.Config{}, "", fmt.Errorf("server: unknown backend %q (want %q or %q)",
+			sp.Backend, backendDES, backendAsync)
+	}
+	if sp.K < 0 || sp.Shards < 0 || sp.MaxRounds < 0 {
+		return nil, core.Config{}, "", fmt.Errorf("server: negative k/shards/max_rounds")
+	}
+	scen, err := scenario.Build(sp.Scenario, sp.Params)
+	if err != nil {
+		return nil, core.Config{}, "", err
+	}
+	if sp.Shards > 1 {
+		if err := scen.Surface.EnableSharding(sp.Shards); err != nil {
+			return nil, core.Config{}, "", err
+		}
+	}
+	cfg := scen.Config()
+	cfg.ParallelMoves = sp.K
+	cfg.MaxRounds = sp.MaxRounds
+	return scen, cfg, backend, nil
+}
+
+// wireEvent is one streamed observer event: a flattened core.Event with
+// kind-irrelevant fields omitted. Type discriminates the stream's record
+// kinds ("event" here; "result" and "error" close a stream).
+type wireEvent struct {
+	Type     string `json:"type"`
+	Kind     string `json:"kind"`
+	Round    int    `json:"round,omitempty"`
+	Tier     int    `json:"tier,omitempty"`
+	Winner   int    `json:"winner,omitempty"`
+	Distance int32  `json:"distance,omitempty"`
+	Batch    int    `json:"batch,omitempty"`
+	Wave     int    `json:"wave,omitempty"`
+	Moved    int    `json:"moved,omitempty"`
+	Carry    bool   `json:"carry,omitempty"`
+	Success  *bool  `json:"success,omitempty"`
+	Rounds   int    `json:"rounds,omitempty"`
+	Sent     uint64 `json:"sent,omitempty"`
+	Events   uint64 `json:"events,omitempty"`
+	Virtual  int64  `json:"virtual_time,omitempty"`
+	Text     string `json:"text,omitempty"`
+}
+
+// toWire flattens a core event into its stream record.
+func toWire(ev core.Event) wireEvent {
+	w := wireEvent{Type: "event", Kind: ev.Kind.String()}
+	switch ev.Kind {
+	case core.EventRoundStarted:
+		w.Round, w.Tier, w.Batch = ev.Round, int(ev.Tier), ev.Batch
+	case core.EventElectionDecided:
+		w.Round, w.Distance, w.Batch = ev.Round, ev.Distance, ev.Batch
+		w.Winner = int(ev.Winner)
+		for _, stamp := range ev.WaveStamps {
+			if stamp > 0 {
+				w.Wave++
+			}
+		}
+	case core.EventMotionApplied:
+		w.Moved, w.Carry = ev.Apply.Hops, ev.Apply.IsCarrying
+	case core.EventTerminated:
+		s := ev.Success
+		w.Success, w.Rounds = &s, ev.Rounds
+	case core.EventMessageStats:
+		w.Sent, w.Events, w.Virtual = ev.Sent, ev.Events, ev.VirtualTime
+	case core.EventLog:
+		w.Text = ev.Text
+	}
+	return w
+}
+
+// wireTiming is the flat per-request phase timing echoed in every result
+// record: queue wait (submit -> flush), dispatch (flush -> run start) and
+// the run itself. The respond phase (run end -> response written) cannot be
+// part of the payload it times; /metrics aggregates it.
+type wireTiming struct {
+	EnqueueNS int64 `json:"enqueue_ns"`
+	FlushNS   int64 `json:"flush_ns"`
+	RunNS     int64 `json:"run_ns"`
+}
+
+// wireResult is the stream's terminal record (also the whole response body
+// under ?stream=none): the run's Result flattened to the metric set the
+// evaluation quotes, plus the request's phase timings.
+type wireResult struct {
+	Type          string     `json:"type"`
+	Scenario      string     `json:"scenario"`
+	Success       bool       `json:"success"`
+	PathBuilt     bool       `json:"path_built"`
+	Rounds        int        `json:"rounds"`
+	Hops          int        `json:"hops"`
+	Applications  int        `json:"applications"`
+	MovesPerRound float64    `json:"moves_per_round"`
+	MessagesSent  uint64     `json:"messages_sent"`
+	Blocks        int        `json:"blocks"`
+	PathLength    int        `json:"path_length"`
+	VirtualTime   int64      `json:"virtual_time"`
+	Events        uint64     `json:"events"`
+	Timing        wireTiming `json:"timing"`
+}
+
+// wireError is the stream's failure record; Error carries the message.
+type wireError struct {
+	Type  string `json:"type"`
+	Error string `json:"error"`
+}
+
+// resultRecord flattens a run outcome.
+func resultRecord(name string, res core.Result, t wireTiming) wireResult {
+	return wireResult{
+		Type:          "result",
+		Scenario:      name,
+		Success:       res.Success,
+		PathBuilt:     res.PathBuilt,
+		Rounds:        res.Rounds,
+		Hops:          res.Hops,
+		Applications:  res.Applications,
+		MovesPerRound: res.MovesPerRound(),
+		MessagesSent:  res.MessagesSent,
+		Blocks:        res.Blocks,
+		PathLength:    res.PathLength,
+		VirtualTime:   int64(res.VirtualTime),
+		Events:        res.Events,
+		Timing:        t,
+	}
+}
+
+// eventSpool buffers one request's live observer events between the engine
+// worker producing them and the HTTP handler draining them. It is
+// unbounded on purpose: a slow or stalled client must never block the
+// engine's run (the engine-side OnEvent only appends under a mutex), so
+// flow control happens at admission (queue cap), not mid-run. Closed by
+// the dispatcher when the run's outcome is delivered.
+type eventSpool struct {
+	mu     sync.Mutex
+	buf    []core.Event
+	closed bool
+	wake   chan struct{} // cap 1: level-triggered "new events or closed"
+}
+
+func newEventSpool() *eventSpool {
+	return &eventSpool{wake: make(chan struct{}, 1)}
+}
+
+// OnEvent implements core.Observer for the engine side.
+func (s *eventSpool) OnEvent(ev core.Event) {
+	s.mu.Lock()
+	s.buf = append(s.buf, ev)
+	s.mu.Unlock()
+	s.signal()
+}
+
+// close marks the stream complete and wakes the drainer one last time.
+func (s *eventSpool) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.signal()
+}
+
+func (s *eventSpool) signal() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// drain takes every buffered event; open reports whether more may come.
+func (s *eventSpool) drain() (evs []core.Event, open bool) {
+	s.mu.Lock()
+	evs, s.buf = s.buf, nil
+	open = !s.closed
+	s.mu.Unlock()
+	return evs, open
+}
+
+// interface check
+var _ core.Observer = (*eventSpool)(nil)

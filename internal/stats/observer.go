@@ -1,42 +1,96 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
+	"sort"
+	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/lattice"
 	"repro/internal/msg"
 )
 
+// Hist is an integer-keyed histogram (moves-per-round, wave lengths). It
+// marshals as a JSON object with decimal-string keys in ascending numeric
+// order, so serialized summaries are deterministic byte for byte — a plain
+// map[int]int would marshal with Go's string-sorted key order ("10" < "2"),
+// which reads wrong in dashboards and diffs.
+type Hist map[int]int
+
+// MarshalJSON implements json.Marshaler.
+func (h Hist) MarshalJSON() ([]byte, error) {
+	if len(h) == 0 {
+		return []byte("{}"), nil
+	}
+	keys := make([]int, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	buf := []byte{'{'}
+	for i, k := range keys {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = strconv.AppendQuote(buf, strconv.Itoa(k))
+		buf = append(buf, ':')
+		buf = strconv.AppendInt(buf, int64(h[k]), 10)
+	}
+	return append(buf, '}'), nil
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (h *Hist) UnmarshalJSON(data []byte) error {
+	var raw map[string]int
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	out := make(Hist, len(raw))
+	for k, v := range raw {
+		n, err := strconv.Atoi(k)
+		if err != nil {
+			return fmt.Errorf("stats: histogram key %q is not an integer: %w", k, err)
+		}
+		out[n] = v
+	}
+	*h = out
+	return nil
+}
+
 // SessionSummary aggregates a session's Observer stream into the headline
 // counts the report tables print: elections by tier, empty elections,
 // motions (with carries split out), and the engine's final message totals.
 // Attach with core.WithObserver; one summary may absorb a whole RunBatch
 // (events arrive per instance, contiguously).
+//
+// The struct serialises flat: every field carries a snake_case JSON tag and
+// the histograms marshal deterministically (Hist), so a summary can be
+// embedded verbatim in service responses and the sbserver /metrics document.
 type SessionSummary struct {
-	Rounds         int // elections opened (EventRoundStarted)
-	EscapeRounds   int // opened above TierDecreasing
-	Decided        int // elections that elected a block
-	Empty          int // elections that found nobody electable
-	MovesElected   int // admitted winners across all elections (batch move-sets)
-	BatchRounds    int // elections that admitted more than one winner
-	Motions        int // rule applications executed
-	Carries        int // of which carrying rules
-	Terminations   int // Root completion reports seen (one per instance)
-	Successes      int // of which successful
-	MessagesSent   uint64
-	MessagesDrop   uint64
-	EngineEvents   uint64
-	CandsDropped   uint64 // candidates truncated by the bounded top-K fold
-	LastVirtualsNS int64  // last backend clock seen (ticks or ns)
+	Rounds         int    `json:"rounds"`         // elections opened (EventRoundStarted)
+	EscapeRounds   int    `json:"escape_rounds"`  // opened above TierDecreasing
+	Decided        int    `json:"decided"`        // elections that elected a block
+	Empty          int    `json:"empty"`          // elections that found nobody electable
+	MovesElected   int    `json:"moves_elected"`  // admitted winners across all elections (batch move-sets)
+	BatchRounds    int    `json:"batch_rounds"`   // elections that admitted more than one winner
+	Motions        int    `json:"motions"`        // rule applications executed
+	Carries        int    `json:"carries"`        // of which carrying rules
+	Terminations   int    `json:"terminations"`   // Root completion reports seen (one per instance)
+	Successes      int    `json:"successes"`      // of which successful
+	MessagesSent   uint64 `json:"messages_sent"`
+	MessagesDrop   uint64 `json:"messages_dropped"`
+	EngineEvents   uint64 `json:"engine_events"`
+	CandsDropped   uint64 `json:"candidates_dropped"` // candidates truncated by the bounded top-K fold
+	LastVirtualsNS int64  `json:"last_virtual_ns"`    // last backend clock seen (ticks or ns)
 
 	// MovesHist is the moves-per-round histogram: MovesHist[m] counts the
 	// decided elections that admitted exactly m winners. Lazily allocated.
-	MovesHist map[int]int
+	MovesHist Hist `json:"moves_hist,omitempty"`
 	// WaveHist is the wave-length distribution: WaveHist[l] counts the
 	// decided elections whose ordered conveyor wave (winners with a nonzero
 	// wave stamp) had length l. Rounds without a wave are not recorded.
-	WaveHist map[int]int
+	WaveHist Hist `json:"wave_hist,omitempty"`
 }
 
 // OnEvent implements core.Observer.
@@ -57,7 +111,7 @@ func (s *SessionSummary) OnEvent(ev core.Event) {
 				s.BatchRounds++
 			}
 			if s.MovesHist == nil {
-				s.MovesHist = make(map[int]int)
+				s.MovesHist = make(Hist)
 			}
 			s.MovesHist[ev.Batch]++
 			wave := 0
@@ -68,7 +122,7 @@ func (s *SessionSummary) OnEvent(ev core.Event) {
 			}
 			if wave > 0 {
 				if s.WaveHist == nil {
-					s.WaveHist = make(map[int]int)
+					s.WaveHist = make(Hist)
 				}
 				s.WaveHist[wave]++
 			}

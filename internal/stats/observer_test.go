@@ -1,6 +1,9 @@
 package stats
 
 import (
+	"encoding/json"
+	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -44,5 +47,50 @@ func TestSessionSummaryCounts(t *testing.T) {
 	}
 	if s.String() == "" {
 		t.Error("empty digest")
+	}
+}
+
+// TestSessionSummaryJSON: summaries serialize flat with snake_case keys and
+// deterministically ordered histogram keys, and round-trip losslessly —
+// the contract the sbserver /metrics document and response payloads rely
+// on.
+func TestSessionSummaryJSON(t *testing.T) {
+	s := &SessionSummary{
+		Rounds:       7,
+		Decided:      6,
+		MovesElected: 13,
+		MessagesSent: 421,
+		MovesHist:    Hist{1: 2, 2: 3, 10: 1},
+		WaveHist:     Hist{3: 1},
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Numeric key order, not string order: "2" must precede "10".
+	want := `"moves_hist":{"1":2,"2":3,"10":1}`
+	if !strings.Contains(string(data), want) {
+		t.Errorf("marshaled summary %s\nmissing deterministic histogram %s", data, want)
+	}
+	for _, key := range []string{`"rounds":7`, `"moves_elected":13`, `"messages_sent":421`, `"wave_hist":{"3":1}`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("marshaled summary %s\nmissing %s", data, key)
+		}
+	}
+	var back SessionSummary
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*s, back) {
+		t.Errorf("round trip changed the summary:\n  in  %+v\n  out %+v", *s, back)
+	}
+	// Marshaling twice yields identical bytes (map iteration order must not
+	// leak through).
+	again, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(data) {
+		t.Errorf("marshaling is not deterministic:\n  %s\n  %s", data, again)
 	}
 }
