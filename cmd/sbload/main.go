@@ -1,14 +1,22 @@
 // Command sbload is the closed-loop load generator for sbserver: N client
 // workers each issue sequential scenario-run requests, read the full
 // NDJSON event stream of every run, and the aggregate — runs/sec,
-// completion counts, latency percentiles — prints as one JSON report.
+// completion counts per priority class, cache hit tallies (from the
+// X-Cache header), latency percentiles — prints as one JSON report.
 // The same kernel (internal/server.RunLoad against an in-process server)
-// backs the server_throughput bench entries of BENCH_7.json.
+// backs the server_* bench entries of BENCH_8.json.
+//
+// The workload shape is tunable: -zipf-n spreads requests over N seed
+// variants of the spec drawn Zipf-skewed (a hot head exercising the result
+// cache, a cold tail missing it), -bulk-frac demotes that fraction of
+// requests to ?class=bulk, and -cache bypass forces every request to run
+// on the engine.
 //
 // Usage:
 //
 //	sbload -url http://localhost:8080 -clients 32 -per-client 8 \
-//	       -scenario fig10 [-param top=12 ...] [-k 4] [-backend des]
+//	       -scenario fig10 [-param top=12 ...] [-k 4] [-backend des] \
+//	       [-zipf-n 64 -zipf-s 1.5] [-bulk-frac 0.25] [-cache bypass]
 package main
 
 import (
@@ -55,6 +63,11 @@ func main() {
 		shards    = flag.Int("shards", 0, "surface shard bands (0 = unsharded)")
 		seed      = flag.Int64("seed", 0, "per-run seed override (0 = server default)")
 		backend   = flag.String("backend", "", "engine backend: des (default) or async")
+		class     = flag.String("class", "", "priority class for every request: interactive (default) or bulk")
+		bulkFrac  = flag.Float64("bulk-frac", 0, "fraction of requests demoted to ?class=bulk")
+		zipfN     = flag.Int("zipf-n", 0, "spread load over N Zipf-distributed seed variants (0 = one spec)")
+		zipfS     = flag.Float64("zipf-s", 1.5, "Zipf skew exponent (> 1; higher = hotter head)")
+		cacheMode = flag.String("cache", "", "cache mode query: bypass to force engine runs")
 		params    paramFlags
 	)
 	flag.Var(&params, "param", "scenario parameter name=value (repeatable)")
@@ -72,6 +85,11 @@ func main() {
 			Seed:     *seed,
 			Backend:  *backend,
 		},
+		Class:        *class,
+		BulkFraction: *bulkFrac,
+		ZipfN:        *zipfN,
+		ZipfS:        *zipfS,
+		CacheMode:    *cacheMode,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sbload: %v\n", err)

@@ -1,13 +1,20 @@
 // Command sbserver serves reconfiguration-as-a-service: scenario-run
 // requests from concurrent clients are coalesced into Engine.RunBatch
 // dispatches and their observer event streams are answered live over
-// NDJSON or SSE. See internal/server for the service itself and
+// NDJSON or SSE. Deterministic (DES) runs are memoized in a
+// content-addressed result cache and concurrent identical requests share
+// one engine run (singleflight); every response says how it was served in
+// its X-Cache header. With -slo set, an AIMD admission controller adapts
+// the pending-request limit to keep the run-phase p95 within the target,
+// shedding overload as 429s, with the bulk class (?class=bulk) degrading
+// first. See internal/server for the service itself and
 // cmd/sbserver/README.md for a curl quickstart.
 //
 // Usage:
 //
 //	sbserver [-addr :8080] [-batch 8] [-batch-wait 2ms] [-queue 64]
-//	         [-workers 0] [-seed 1] [-drain 10s]
+//	         [-workers 0] [-seed 1] [-drain 10s] [-slo 0]
+//	         [-cache-bytes 67108864] [-bulk-share 0.5]
 //
 // SIGINT/SIGTERM starts a graceful shutdown: new requests are refused
 // with 503 while in-flight runs get -drain to finish; whatever is still
@@ -38,6 +45,9 @@ func main() {
 		workers   = flag.Int("workers", 0, "RunBatch worker pool width (0 = GOMAXPROCS)")
 		seed      = flag.Int64("seed", 1, "engine base seed (per-request seeds override)")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
+		slo       = flag.Duration("slo", 0, "target p95 for the interactive run phase (0 = static admission)")
+		cacheB    = flag.Int64("cache-bytes", 64<<20, "result cache budget in bytes (negative disables)")
+		bulkShare = flag.Float64("bulk-share", 0.5, "fraction of the admission limit the bulk class may use")
 	)
 	flag.Parse()
 
@@ -47,13 +57,21 @@ func main() {
 		QueueCap:  *queue,
 		Workers:   *workers,
 		Seed:      *seed,
+		SLO:       *slo,
+		CacheBytes: func() int64 {
+			if *cacheB == 0 {
+				return -1 // flag 0 means "no cache", Config 0 means "default"
+			}
+			return *cacheB
+		}(),
+		BulkShare: *bulkShare,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "sbserver: listening on %s (batch=%d wait=%v queue=%d)\n",
-		*addr, *batch, *batchWait, *queue)
+	fmt.Fprintf(os.Stderr, "sbserver: listening on %s (batch=%d wait=%v queue=%d slo=%v cache=%dB)\n",
+		*addr, *batch, *batchWait, *queue, *slo, *cacheB)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)

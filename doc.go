@@ -217,23 +217,48 @@
 // instance mid-run and the engine hands back a connected, fully rolled-back
 // surface while the rest of the batch completes untouched.
 //
-// By default a run answers with one JSON result; ?stream=ndjson (or sse,
-// or an Accept: text/event-stream header) instead streams the session's
-// core.Observer events — round started, election decided with the admitted
-// move-set, motion applied, termination, message totals — as they happen,
-// through an unbounded per-request spool so a slow reader never stalls the
-// engine, terminated by a result (or error) record. Every request is timed
-// through four flat phases (enqueue → flush → run → respond) aggregated in
-// /metrics alongside request/batch counters and the engine-level
-// stats.SessionSummary (successes, hops, rounds, moves-per-round and wave
-// histograms), as JSON or ?format=prometheus. Shutdown is graceful:
-// SIGTERM flips /healthz to 503 and refuses new work, the batcher flushes
-// its remainder, in-flight runs drain under a deadline, and past the
-// deadline the server force-cancels the batch context — rollback semantics
-// again guarantee clean surfaces. cmd/sbload is the closed-loop load
-// generator (N clients x M runs each, full-stream reads, latency
-// percentiles); the server_throughput_32c kernel in BENCH_N.json records
-// its runs/sec at 32 clients plus the four phase means, gated by benchdiff.
+// A run streams NDJSON by default (?stream=sse or an Accept:
+// text/event-stream header switches framing, ?stream=none answers with the
+// single result record): the session's core.Observer events — round
+// started, election decided with the admitted move-set, motion applied,
+// termination, message totals — as they happen, through an unbounded
+// per-request spool (pooled backing arrays, allocation-free at steady
+// state) so a slow reader never stalls the engine, terminated by a result
+// (or error) record.
+//
+// DES runs are pure functions of their spec, and the service exploits
+// that twice. A content-addressed result cache (byte-accounted LRU,
+// -cache-bytes budget) memoizes each completed run under its canonical
+// key — scenario params default-filled in declaration order, k/shards/seed
+// normalized — so an identical spec replays the recorded event spool and
+// result byte-identically without touching the engine; the X-Cache
+// response header says how a run was served (hit, miss, bypass,
+// coalesced) and ?cache=bypass opts out. Concurrent identical specs
+// coalesce in flight (singleflight): the first request leads the one
+// engine run and every follower tails its append-only event history from
+// index zero, with the run's lifetime tied to the set of attached clients
+// — it cancels only when the last one disconnects. Admission is
+// SLO-driven: with -slo set, an AIMD controller (additive +1,
+// multiplicative x0.7) adapts the pending-request limit to keep the
+// windowed run-phase p95 inside the target, shedding overload as cheap
+// 429s, and two weighted-fair priority classes (interactive, and
+// ?class=bulk at half the limit) let parameter sweeps soak idle capacity
+// without starving interactive traffic.
+//
+// Every request is timed through four phases (enqueue → flush → run →
+// respond) aggregated as fixed-bucket streaming histograms with
+// interpolated p50/p95 in /metrics, alongside per-class request counters,
+// cache and admission state, and the engine-level stats.SessionSummary
+// (successes, hops, rounds, moves-per-round and wave histograms), as JSON
+// or ?format=prometheus. Shutdown is graceful: SIGTERM flips /healthz to
+// 503 and refuses new work, the batchers flush their remainder, in-flight
+// runs drain under a deadline, and past the deadline the server
+// force-cancels the batch context — rollback semantics again guarantee
+// clean surfaces. cmd/sbload is the closed-loop load generator (N clients
+// x M runs each, full-stream reads, per-class and X-Cache tallies, Zipf
+// spec mixes, latency percentiles); the server_throughput_32c,
+// server_cache_hot and server_slo_p95 kernels in BENCH_N.json record its
+// runs/sec and SLO tail behaviour, gated by benchdiff.
 // cmd/sbserver/README.md has a curl quickstart.
 //
 // Start with examples/quickstart, or run:

@@ -1,0 +1,87 @@
+package scenario
+
+import (
+	"testing"
+)
+
+// TestCanonicalDefaultFilling: omitted parameters resolve to their declared
+// defaults, so a spelled-out default and an omitted one canonicalize
+// identically, and the rendering lists every declared parameter.
+func TestCanonicalDefaultFilling(t *testing.T) {
+	got, err := Canonical("slope", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "slope{top=8,rise=0}"
+	if got != want {
+		t.Fatalf("Canonical(slope, nil) = %q, want %q", got, want)
+	}
+	explicit, err := Canonical("slope", Params{"top": 8, "rise": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if explicit != got {
+		t.Fatalf("explicit defaults canonicalize to %q, omitted to %q", explicit, got)
+	}
+	partial, err := Canonical("slope", Params{"rise": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if partial != got {
+		t.Fatalf("partially-specified defaults canonicalize to %q, want %q", partial, got)
+	}
+}
+
+// TestCanonicalFieldOrderStability: the key is a function of the resolved
+// values, not of the Params map's construction or iteration order. Build
+// the same logical parameter set in several insertion orders many times
+// (map iteration order is randomized per run, so repeated renders catch
+// any order dependence).
+func TestCanonicalFieldOrderStability(t *testing.T) {
+	want, err := Canonical("blob", Params{"w": 5, "h": 3, "inputx": 1, "rise": 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		p := Params{}
+		// Alternate insertion orders across iterations.
+		if i%2 == 0 {
+			p["rise"], p["inputx"], p["h"], p["w"] = 7, 1, 3, 5
+		} else {
+			p["h"], p["w"], p["rise"], p["inputx"] = 3, 5, 7, 1
+		}
+		got, err := Canonical("blob", p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("iteration %d: canonical key %q, want %q", i, got, want)
+		}
+	}
+}
+
+// TestCanonicalRejectsUnknown: typos fail loudly, exactly like Build.
+func TestCanonicalRejectsUnknown(t *testing.T) {
+	if _, err := Canonical("tower", Params{"blocks": 8}); err == nil {
+		t.Fatal("unknown parameter name canonicalized without error")
+	}
+	if _, err := Canonical("no-such-generator", nil); err == nil {
+		t.Fatal("unknown generator canonicalized without error")
+	}
+}
+
+// TestCanonicalDistinguishesValues: different resolved values must never
+// collide (the cache key's whole job).
+func TestCanonicalDistinguishesValues(t *testing.T) {
+	a, err := Canonical("tower", Params{"n": 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Canonical("tower", Params{"n": 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatalf("distinct parameter values share the canonical key %q", a)
+	}
+}

@@ -43,6 +43,15 @@ type Generator struct {
 // function validates the rest (and returns a fresh Scenario every call, so
 // the result is safe to mutate).
 func (g Generator) Build(p Params) (*Scenario, error) {
+	resolved, err := g.resolve(p)
+	if err != nil {
+		return nil, err
+	}
+	return g.build(resolved)
+}
+
+// resolve fills the declared defaults and rejects unknown parameter names.
+func (g Generator) resolve(p Params) (Params, error) {
 	resolved := make(Params, len(g.Params))
 	for _, spec := range g.Params {
 		resolved[spec.Name] = spec.Default
@@ -54,7 +63,40 @@ func (g Generator) Build(p Params) (*Scenario, error) {
 		}
 		resolved[name] = v
 	}
-	return g.build(resolved)
+	return resolved, nil
+}
+
+// Canonical renders the generator invocation as a stable key: the generator
+// name plus every declared parameter default-filled and listed in
+// declaration order, so two Params maps that resolve to the same values —
+// regardless of map iteration order or which defaults were spelled out —
+// produce the identical string. Because every registered generator is a
+// pure function of its resolved parameters, and a DES run is a pure
+// function of (scenario, config, seed), this key is exact: equal keys mean
+// byte-identical run results, which is what makes the service tier's
+// result cache a memoization rather than an approximation.
+func (g Generator) Canonical(p Params) (string, error) {
+	resolved, err := g.resolve(p)
+	if err != nil {
+		return "", err
+	}
+	key := g.Name + "{"
+	for i, spec := range g.Params {
+		if i > 0 {
+			key += ","
+		}
+		key += fmt.Sprintf("%s=%d", spec.Name, resolved[spec.Name])
+	}
+	return key + "}", nil
+}
+
+// Canonical is the one-call form of Lookup + Generator.Canonical.
+func Canonical(name string, p Params) (string, error) {
+	g, ok := Lookup(name)
+	if !ok {
+		return "", fmt.Errorf("scenario: unknown generator %q (have %v)", name, Names())
+	}
+	return g.Canonical(p)
 }
 
 // paramNames renders the accepted parameter list for error messages.

@@ -1,7 +1,9 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -15,7 +17,9 @@ import (
 //
 //	POST /v1/runs       run a scenario; NDJSON event stream by default,
 //	                    SSE under Accept: text/event-stream or ?stream=sse,
-//	                    single JSON result under ?stream=none
+//	                    single JSON result under ?stream=none.
+//	                    ?class=bulk demotes to the bulk priority class;
+//	                    ?cache=bypass skips the result cache.
 //	GET  /v1/scenarios  the scenario registry (names, docs, parameters)
 //	GET  /metrics       service counters; JSON, or Prometheus text under
 //	                    ?format=prometheus (or Accept: text/plain)
@@ -49,15 +53,66 @@ func streamMode(r *http.Request) string {
 	return "ndjson"
 }
 
-// handleRuns admits one run request and answers it: decode and build the
-// spec (400 on a bad one), admit against the bounded queue (429 full, 503
-// draining), then either stream the run's events as they happen or block
-// for the result record alone. The request context rides along as the
-// instance context, so a disconnected client aborts its own run mid-batch
-// without touching the rest.
+// classOf resolves the request's priority class (?class=bulk demotes).
+func classOf(r *http.Request) (int, error) {
+	switch r.URL.Query().Get("class") {
+	case "", "interactive":
+		return classInteractive, nil
+	case "bulk":
+		return classBulk, nil
+	default:
+		return 0, fmt.Errorf("server: unknown class %q (want \"interactive\" or \"bulk\")",
+			r.URL.Query().Get("class"))
+	}
+}
+
+// cacheBypassed reports whether the request opted out of the result cache.
+func cacheBypassed(r *http.Request) bool {
+	switch r.URL.Query().Get("cache") {
+	case "bypass", "off", "false", "0":
+		return true
+	}
+	return false
+}
+
+// outcomeOf classifies a delivered outcome for the per-class counters.
+func outcomeOf(r *http.Request, err error) int {
+	switch {
+	case err == nil:
+		return outcomeCompleted
+	case r.Context().Err() != nil, errors.Is(err, context.Canceled):
+		return outcomeCanceled
+	default:
+		return outcomeFailed
+	}
+}
+
+// The X-Cache response header tells the client how its run was served.
+const (
+	headerXCache   = "X-Cache"
+	xcacheHit      = "hit"       // replayed from the result cache
+	xcacheMiss     = "miss"      // ran on the engine (and, if it succeeds, fills the cache)
+	xcacheBypass   = "bypass"    // uncacheable: ?cache=bypass or the async backend
+	xcacheCoalesce = "coalesced" // attached to an identical in-flight run
+)
+
+// handleRuns admits one run request and answers it. The fast paths come
+// first: a deterministic (DES, non-bypass) spec is canonicalized into its
+// cache key; a cache hit replays the recorded run without touching the
+// engine, and a spec identical to an in-flight run attaches to that flight
+// as a follower instead of enqueueing a duplicate. Only a leader — the
+// first request for its key — pays admission (429 over the class limit,
+// 503 draining) and an engine run. Uncacheable requests keep the original
+// private-spool path. Every response carries X-Cache: hit, miss, bypass or
+// coalesced.
 func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	class, err := classOf(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	var spec RunSpec
@@ -72,28 +127,72 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	mode := streamMode(r)
+
+	// Only DES runs are pure functions of their spec; async runs race on
+	// wall-clock scheduling, so they are never cached or coalesced.
+	if backend == backendDES && !cacheBypassed(r) {
+		key, err := spec.cacheKey(s.cfg.Seed, backend)
+		if err == nil {
+			if e, ok := s.cache.get(key); ok {
+				s.metrics.recordAccept(class)
+				w.Header().Set(headerXCache, xcacheHit)
+				s.respondCached(w, r, class, e, mode)
+				return
+			}
+			f, leader := s.flights.join(key, scen.Name)
+			if !leader {
+				s.metrics.recordAccept(class)
+				s.metrics.recordCoalesced()
+				w.Header().Set(headerXCache, xcacheCoalesce)
+				s.respondFlight(w, r, f, class, mode, nil)
+				return
+			}
+			req := &runReq{
+				ctx:     f.runCtx,
+				scen:    scen,
+				cfg:     cfg,
+				seed:    spec.Seed,
+				backend: backend,
+				class:   class,
+				flight:  f,
+				done:    make(chan runOutcome, 1),
+			}
+			if err := s.submit(req); err != nil {
+				// Unindex and fail the flight before answering: any follower
+				// that raced in gets the same rejection outcome.
+				s.flights.remove(f.key)
+				f.complete(runOutcome{err: err}, wireTiming{})
+				f.detach()
+				s.rejectRequest(w, class, err)
+				return
+			}
+			s.metrics.recordAccept(class)
+			w.Header().Set(headerXCache, xcacheMiss)
+			s.respondFlight(w, r, f, class, mode, req)
+			return
+		}
+	}
+
+	// Uncacheable path: a private run with a private spool.
 	req := &runReq{
 		ctx:     r.Context(),
 		scen:    scen,
 		cfg:     cfg,
 		seed:    spec.Seed,
 		backend: backend,
+		class:   class,
 		done:    make(chan runOutcome, 1),
 	}
 	if mode != "none" {
 		req.spool = newEventSpool()
 	}
 	if err := s.submit(req); err != nil {
-		s.metrics.recordReject()
-		switch err {
-		case ErrQueueFull:
-			httpError(w, http.StatusTooManyRequests, "%v", err)
-		default:
-			httpError(w, http.StatusServiceUnavailable, "server draining: %v", err)
-		}
+		s.rejectRequest(w, class, err)
 		return
 	}
-
+	s.metrics.recordAccept(class)
+	s.metrics.recordBypass()
+	w.Header().Set(headerXCache, xcacheBypass)
 	switch mode {
 	case "none":
 		s.respondResult(w, r, req)
@@ -104,30 +203,20 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// respondResult blocks for the outcome and writes the single result (or
-// error) record.
-func (s *Server) respondResult(w http.ResponseWriter, r *http.Request, req *runReq) {
-	out := <-req.done
-	if out.err != nil {
-		status := http.StatusInternalServerError
-		if r.Context().Err() != nil {
-			status = 499 // client closed request; the write goes nowhere
-		}
-		httpError(w, status, "run failed: %v", out.err)
-		s.metrics.recordRespond(time.Since(req.tRunEnd))
-		return
+// rejectRequest files and writes an admission refusal.
+func (s *Server) rejectRequest(w http.ResponseWriter, class int, err error) {
+	s.metrics.recordReject(class)
+	switch err {
+	case ErrQueueFull:
+		httpError(w, http.StatusTooManyRequests, "%v", err)
+	default:
+		httpError(w, http.StatusServiceUnavailable, "server draining: %v", err)
 	}
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(resultRecord(req.scen.Name, out.res, req.timing()))
-	s.metrics.recordRespond(time.Since(req.tRunEnd))
 }
 
-// respondStream writes the live event stream — one JSON record per NDJSON
-// line, or one SSE data frame each — followed by the terminal result or
-// error record. A mid-stream client disconnect cancels the run through the
-// instance context; the dispatcher still delivers the outcome, which is
-// consumed here so the admission slot accounting stays exact.
-func (s *Server) respondStream(w http.ResponseWriter, r *http.Request, req *runReq, sse bool) {
+// streamWriter sets the stream headers and returns the per-record writer
+// and flusher for the chosen framing.
+func streamWriter(w http.ResponseWriter, sse bool) (write func(any), flush func()) {
 	if sse {
 		w.Header().Set("Content-Type", "text/event-stream")
 		w.Header().Set("Cache-Control", "no-cache")
@@ -136,7 +225,7 @@ func (s *Server) respondStream(w http.ResponseWriter, r *http.Request, req *runR
 	}
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
-	writeRecord := func(v any) {
+	write = func(v any) {
 		if sse {
 			data, err := json.Marshal(v)
 			if err != nil {
@@ -147,18 +236,146 @@ func (s *Server) respondStream(w http.ResponseWriter, r *http.Request, req *runR
 			_ = json.NewEncoder(w).Encode(v)
 		}
 	}
+	flush = func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	return write, flush
+}
 
+// respondCached replays a memoized run: the recorded events and result
+// render through the same encoders as a live run, so the body is
+// byte-identical to the response the original engine run produced.
+func (s *Server) respondCached(w http.ResponseWriter, r *http.Request, class int, e *cacheEntry, mode string) {
+	start := time.Now()
+	if mode == "none" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(resultRecord(e.scenName, e.res, e.timing))
+	} else {
+		write, flush := streamWriter(w, mode == "sse")
+		for _, ev := range e.events {
+			write(toWire(ev))
+		}
+		write(resultRecord(e.scenName, e.res, e.timing))
+		flush()
+	}
+	s.metrics.recordDone(class, outcomeCompleted)
+	s.metrics.recordRespond(time.Since(start))
+}
+
+// respondFlight serves a request attached to a shared run — the leader
+// (req non-nil) and every coalesced follower (req nil) tail the same
+// append-only event history, so each client gets the full stream from
+// index zero regardless of when it attached. A client disconnect detaches
+// that client alone; the run is cancelled only when the last one leaves.
+func (s *Server) respondFlight(w http.ResponseWriter, r *http.Request, f *flight, class int, mode string, req *runReq) {
+	defer f.detach()
+	clientGone := r.Context().Done()
+
+	if mode == "none" {
+		select {
+		case <-f.doneCh:
+		case <-clientGone:
+			s.metrics.recordDone(class, outcomeCanceled)
+			return
+		}
+		out, timing := f.outcome()
+		if out.err != nil {
+			status := http.StatusInternalServerError
+			if outcomeOf(r, out.err) == outcomeCanceled {
+				status = 499 // client closed request; the write goes nowhere
+			}
+			httpError(w, status, "run failed: %v", out.err)
+		} else {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(resultRecord(f.scenName, out.res, timing))
+		}
+		s.finishShared(class, req, out.err, r)
+		return
+	}
+
+	write, flush := streamWriter(w, mode == "sse")
+	id, wake := f.subscribe()
+	defer f.unsubscribe(id)
+	next := 0
+	for {
+		evs, completed, _ := f.tail(next)
+		for _, ev := range evs {
+			write(toWire(ev))
+		}
+		next += len(evs)
+		if len(evs) > 0 {
+			flush()
+		}
+		if completed {
+			break
+		}
+		select {
+		case <-wake:
+		case <-clientGone:
+			s.metrics.recordDone(class, outcomeCanceled)
+			return
+		}
+	}
+	out, timing := f.outcome()
+	if out.err != nil {
+		write(wireError{Type: "error", Error: out.err.Error()})
+	} else {
+		write(resultRecord(f.scenName, out.res, timing))
+	}
+	flush()
+	s.finishShared(class, req, out.err, r)
+}
+
+// finishShared files a shared-run response's terminal accounting.
+func (s *Server) finishShared(class int, req *runReq, err error, r *http.Request) {
+	s.metrics.recordDone(class, outcomeOf(r, err))
+	if req != nil && !req.tRunEnd.IsZero() {
+		s.metrics.recordRespond(time.Since(req.tRunEnd))
+	}
+}
+
+// respondResult blocks for the outcome and writes the single result (or
+// error) record.
+func (s *Server) respondResult(w http.ResponseWriter, r *http.Request, req *runReq) {
+	out := <-req.done
+	outcome := outcomeOf(r, out.err)
+	if out.err != nil {
+		status := http.StatusInternalServerError
+		if outcome == outcomeCanceled {
+			status = 499 // client closed request; the write goes nowhere
+		}
+		httpError(w, status, "run failed: %v", out.err)
+	} else {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(resultRecord(req.scen.Name, out.res, req.timing()))
+	}
+	s.metrics.recordDone(req.class, outcome)
+	s.metrics.recordRespond(time.Since(req.tRunEnd))
+}
+
+// respondStream writes the live event stream from the request's private
+// spool — one JSON record per NDJSON line, or one SSE data frame each —
+// followed by the terminal result or error record. Drained slices are
+// recycled back to the spool so the steady-state path does not allocate; a
+// mid-stream client disconnect cancels the run through the instance
+// context; the dispatcher still delivers the outcome, which is consumed
+// here so the admission slot accounting stays exact.
+func (s *Server) respondStream(w http.ResponseWriter, r *http.Request, req *runReq, sse bool) {
+	write, flush := streamWriter(w, sse)
 	clientGone := r.Context().Done()
 	open := true
 	for open {
 		raw, stillOpen := req.spool.drain()
 		open = stillOpen
 		for _, ev := range raw {
-			writeRecord(toWire(ev))
+			write(toWire(ev))
 		}
-		if len(raw) > 0 && flusher != nil {
-			flusher.Flush()
+		if len(raw) > 0 {
+			flush()
 		}
+		req.spool.recycle(raw)
 		if !open {
 			break
 		}
@@ -169,19 +386,21 @@ func (s *Server) respondStream(w http.ResponseWriter, r *http.Request, req *runR
 			// aborts the run and the dispatcher delivers a cancellation
 			// outcome. Consume it and give up on the response.
 			<-req.done
+			req.spool.release()
+			s.metrics.recordDone(req.class, outcomeCanceled)
 			return
 		}
 	}
 
 	out := <-req.done
 	if out.err != nil {
-		writeRecord(wireError{Type: "error", Error: out.err.Error()})
+		write(wireError{Type: "error", Error: out.err.Error()})
 	} else {
-		writeRecord(resultRecord(req.scen.Name, out.res, req.timing()))
+		write(resultRecord(req.scen.Name, out.res, req.timing()))
 	}
-	if flusher != nil {
-		flusher.Flush()
-	}
+	flush()
+	req.spool.release()
+	s.metrics.recordDone(req.class, outcomeOf(r, out.err))
 	s.metrics.recordRespond(time.Since(req.tRunEnd))
 }
 

@@ -24,49 +24,84 @@ const (
 
 var phaseNames = [numPhases]string{"enqueue", "flush", "run", "respond"}
 
-// latencyAgg is one phase's flat aggregate. Min is meaningful only when
-// Count > 0.
+// latencyAgg is one phase's aggregate: the flat fields plus streaming
+// p50/p95 estimates from the fixed-bucket histogram behind them (min, max
+// and the quantiles are meaningful only when Count > 0). The buckets exist
+// because flat min/max/mean can't drive the AIMD admission controller or
+// the SLO bench kernel — both need tail estimates.
 type latencyAgg struct {
 	Count  uint64 `json:"count"`
 	SumNS  int64  `json:"sum_ns"`
 	MinNS  int64  `json:"min_ns"`
 	MaxNS  int64  `json:"max_ns"`
 	MeanNS int64  `json:"mean_ns"`
+	P50NS  int64  `json:"p50_ns"`
+	P95NS  int64  `json:"p95_ns"`
+
+	hist latencyHist
 }
 
 func (a *latencyAgg) add(d time.Duration) {
-	ns := int64(d)
-	if ns < 0 {
-		ns = 0
-	}
-	if a.Count == 0 || ns < a.MinNS {
-		a.MinNS = ns
-	}
-	if ns > a.MaxNS {
-		a.MaxNS = ns
-	}
-	a.Count++
-	a.SumNS += ns
+	a.hist.add(d)
+	a.Count = a.hist.count
+	a.SumNS = a.hist.sum
+	a.MinNS = a.hist.min
+	a.MaxNS = a.hist.max
 }
 
-// Metrics aggregates the service's counters: request outcomes, batching
-// shape, per-phase latencies and the engine-level session summary (every
-// instance's observer events fold into one stats.SessionSummary, so the
-// /metrics engine block reports rounds, moves, messages and the
-// moves-per-round histogram across all served runs).
+// finalize fills the derived fields for a snapshot copy.
+func (a *latencyAgg) finalize() {
+	if a.Count == 0 {
+		return
+	}
+	a.MeanNS = a.SumNS / int64(a.Count)
+	a.P50NS = a.hist.quantile(0.50)
+	a.P95NS = a.hist.quantile(0.95)
+}
+
+// Request outcome kinds recorded at respond time.
+const (
+	outcomeCompleted = iota
+	outcomeCanceled
+	outcomeFailed
+)
+
+// ClassCounters is one priority class's request accounting.
+type ClassCounters struct {
+	Accepted  uint64 `json:"accepted"`
+	Completed uint64 `json:"completed"`
+	Canceled  uint64 `json:"canceled"`
+	Failed    uint64 `json:"failed"`
+	Rejected  uint64 `json:"rejected"`
+}
+
+// Metrics aggregates the service's counters: request outcomes (total and
+// per priority class), cache traffic, batching shape, per-phase latency
+// histograms and the engine-level session summary (every instance's
+// observer events fold into one stats.SessionSummary, so the /metrics
+// engine block reports rounds, moves, messages and the moves-per-round
+// histogram across all served runs).
 type Metrics struct {
 	mu        sync.Mutex
 	started   time.Time
-	requests  uint64 // accepted into the queue
-	completed uint64 // outcome delivered with a successful run
-	canceled  uint64 // outcome was a context cancellation
-	failed    uint64 // outcome was any other error
-	rejected  uint64 // refused at admission (queue full or draining)
+	requests  uint64 // accepted (admitted, cache-served or coalesced)
+	completed uint64 // responses that delivered a successful result
+	canceled  uint64 // client disconnected before the response finished
+	failed    uint64 // responses that delivered an error outcome
+	rejected  uint64 // refused at admission (limit reached or draining)
 	batches   uint64 // RunBatch dispatches
 	batched   uint64 // requests across all dispatches
 	maxBatch  int
+	classes   [numClasses]ClassCounters
+	coalesced uint64 // requests served as singleflight followers
+	bypass    uint64 // requests that opted out of the cache (or async)
 	phases    [numPhases]latencyAgg
 	engine    stats.SessionSummary
+
+	// cache and ctrl are set by the server so the snapshot can fold their
+	// state in; nil in isolated unit tests.
+	cache *resultCache
+	ctrl  *admission
 }
 
 func newMetrics() *Metrics {
@@ -81,15 +116,31 @@ func (m *Metrics) OnEvent(ev core.Event) {
 	m.mu.Unlock()
 }
 
-func (m *Metrics) recordAccept() {
+// recordAccept files one accepted request — admitted to the engine path,
+// served from cache, or attached to an in-flight run.
+func (m *Metrics) recordAccept(class int) {
 	m.mu.Lock()
 	m.requests++
+	m.classes[class].Accepted++
 	m.mu.Unlock()
 }
 
-func (m *Metrics) recordReject() {
+func (m *Metrics) recordReject(class int) {
 	m.mu.Lock()
 	m.rejected++
+	m.classes[class].Rejected++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) recordCoalesced() {
+	m.mu.Lock()
+	m.coalesced++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) recordBypass() {
+	m.mu.Lock()
+	m.bypass++
 	m.mu.Unlock()
 }
 
@@ -103,25 +154,37 @@ func (m *Metrics) recordBatch(n int) {
 	m.mu.Unlock()
 }
 
-// recordOutcome files one delivered outcome and its enqueue/flush/run
-// phase durations.
-func (m *Metrics) recordOutcome(r *runReq, err error, canceled bool) {
+// recordPhases files an engine request's enqueue/flush/run phase durations
+// (the dispatcher calls it once per executed runReq).
+func (m *Metrics) recordPhases(r *runReq) {
 	m.mu.Lock()
-	switch {
-	case err == nil:
-		m.completed++
-	case canceled:
-		m.canceled++
-	default:
-		m.failed++
-	}
 	m.phases[phaseEnqueue].add(r.tFlush.Sub(r.tEnqueue))
 	m.phases[phaseFlush].add(r.tRunStart.Sub(r.tFlush))
 	m.phases[phaseRun].add(r.tRunEnd.Sub(r.tRunStart))
 	m.mu.Unlock()
 }
 
-// recordRespond files the final phase: run end to response fully written.
+// recordDone files one response's outcome. Unlike the phase records (which
+// exist only for engine runs), every served request — leader, follower,
+// cache hit or bypass — is recorded here exactly once.
+func (m *Metrics) recordDone(class, outcome int) {
+	m.mu.Lock()
+	switch outcome {
+	case outcomeCompleted:
+		m.completed++
+		m.classes[class].Completed++
+	case outcomeCanceled:
+		m.canceled++
+		m.classes[class].Canceled++
+	default:
+		m.failed++
+		m.classes[class].Failed++
+	}
+	m.mu.Unlock()
+}
+
+// recordRespond files the final phase: run end (or cache lookup) to
+// response fully written.
 func (m *Metrics) recordRespond(d time.Duration) {
 	m.mu.Lock()
 	m.phases[phaseRespond].add(d)
@@ -130,23 +193,25 @@ func (m *Metrics) recordRespond(d time.Duration) {
 
 // MetricsSnapshot is the JSON document of GET /metrics.
 type MetricsSnapshot struct {
-	UptimeNS  int64                 `json:"uptime_ns"`
-	Requests  uint64                `json:"requests"`
-	Completed uint64                `json:"completed"`
-	Canceled  uint64                `json:"canceled"`
-	Failed    uint64                `json:"failed"`
-	Rejected  uint64                `json:"rejected"`
-	Batches   uint64                `json:"batches"`
-	Batched   uint64                `json:"batched_runs"`
-	MaxBatch  int                   `json:"max_batch"`
-	Latency   map[string]latencyAgg `json:"latency_ns"`
-	Engine    stats.SessionSummary  `json:"engine"`
+	UptimeNS  int64                    `json:"uptime_ns"`
+	Requests  uint64                   `json:"requests"`
+	Completed uint64                   `json:"completed"`
+	Canceled  uint64                   `json:"canceled"`
+	Failed    uint64                   `json:"failed"`
+	Rejected  uint64                   `json:"rejected"`
+	Batches   uint64                   `json:"batches"`
+	Batched   uint64                   `json:"batched_runs"`
+	MaxBatch  int                      `json:"max_batch"`
+	Classes   map[string]ClassCounters `json:"classes"`
+	Cache     CacheSnapshot            `json:"cache"`
+	Admission AdmissionSnapshot        `json:"admission"`
+	Latency   map[string]latencyAgg    `json:"latency_ns"`
+	Engine    stats.SessionSummary     `json:"engine"`
 }
 
 // Snapshot returns a consistent copy of every counter.
 func (m *Metrics) Snapshot() MetricsSnapshot {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	snap := MetricsSnapshot{
 		UptimeNS:  int64(time.Since(m.started)),
 		Requests:  m.requests,
@@ -157,8 +222,12 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		Batches:   m.batches,
 		Batched:   m.batched,
 		MaxBatch:  m.maxBatch,
+		Classes:   make(map[string]ClassCounters, numClasses),
 		Latency:   make(map[string]latencyAgg, numPhases),
 		Engine:    m.engine,
+	}
+	for c := 0; c < numClasses; c++ {
+		snap.Classes[classNames[c]] = m.classes[c]
 	}
 	// Deep-copy the lazily-allocated histograms so the snapshot cannot race
 	// with later OnEvent folds.
@@ -166,10 +235,20 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	snap.Engine.WaveHist = copyHist(m.engine.WaveHist)
 	for p := 0; p < numPhases; p++ {
 		a := m.phases[p]
-		if a.Count > 0 {
-			a.MeanNS = a.SumNS / int64(a.Count)
-		}
+		a.finalize()
 		snap.Latency[phaseNames[p]] = a
+	}
+	coalesced, bypass := m.coalesced, m.bypass
+	cache, ctrl := m.cache, m.ctrl
+	m.mu.Unlock()
+
+	if cache != nil {
+		snap.Cache = cache.snapshot()
+	}
+	snap.Cache.Coalesced = coalesced
+	snap.Cache.Bypass = bypass
+	if ctrl != nil {
+		snap.Admission = ctrl.snapshot()
 	}
 	return snap
 }
@@ -186,8 +265,9 @@ func copyHist(h stats.Hist) stats.Hist {
 }
 
 // WritePrometheus renders the snapshot in the Prometheus text exposition
-// format (counters and gauges only — the flat aggregates the service
-// keeps map directly onto _total/_sum/_count series).
+// format. The phase latencies render as cumulative histogram series
+// (_bucket/_sum/_count with le labels) so a scraper can derive the same
+// quantile estimates the JSON snapshot precomputes.
 func (s MetricsSnapshot) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "# TYPE sbserver_uptime_seconds gauge\n")
 	fmt.Fprintf(w, "sbserver_uptime_seconds %g\n", time.Duration(s.UptimeNS).Seconds())
@@ -201,14 +281,57 @@ func (s MetricsSnapshot) WritePrometheus(w io.Writer) {
 	} {
 		fmt.Fprintf(w, "sbserver_requests_total{state=%q} %d\n", c.state, c.n)
 	}
+	fmt.Fprintf(w, "# TYPE sbserver_class_requests_total counter\n")
+	for _, name := range classNames {
+		c := s.Classes[name]
+		for _, st := range []struct {
+			state string
+			n     uint64
+		}{
+			{"accepted", c.Accepted}, {"completed", c.Completed},
+			{"canceled", c.Canceled}, {"failed", c.Failed}, {"rejected", c.Rejected},
+		} {
+			fmt.Fprintf(w, "sbserver_class_requests_total{class=%q,state=%q} %d\n", name, st.state, st.n)
+		}
+	}
+	fmt.Fprintf(w, "# TYPE sbserver_cache_requests_total counter\n")
+	for _, c := range []struct {
+		state string
+		n     uint64
+	}{
+		{"hit", s.Cache.Hits}, {"miss", s.Cache.Misses},
+		{"coalesced", s.Cache.Coalesced}, {"bypass", s.Cache.Bypass},
+		{"eviction", s.Cache.Evictions},
+	} {
+		fmt.Fprintf(w, "sbserver_cache_requests_total{state=%q} %d\n", c.state, c.n)
+	}
+	fmt.Fprintf(w, "# TYPE sbserver_cache_bytes gauge\nsbserver_cache_bytes %d\n", s.Cache.Bytes)
+	fmt.Fprintf(w, "# TYPE sbserver_cache_entries gauge\nsbserver_cache_entries %d\n", s.Cache.Entries)
+	fmt.Fprintf(w, "# TYPE sbserver_admission_limit gauge\nsbserver_admission_limit %d\n", s.Admission.Limit)
+	fmt.Fprintf(w, "# TYPE sbserver_admission_bulk_limit gauge\nsbserver_admission_bulk_limit %d\n", s.Admission.BulkLimit)
+	fmt.Fprintf(w, "# TYPE sbserver_admission_window_p95_ns gauge\nsbserver_admission_window_p95_ns %d\n", s.Admission.WindowP95NS)
 	fmt.Fprintf(w, "# TYPE sbserver_batches_total counter\nsbserver_batches_total %d\n", s.Batches)
 	fmt.Fprintf(w, "# TYPE sbserver_batched_runs_total counter\nsbserver_batched_runs_total %d\n", s.Batched)
 	fmt.Fprintf(w, "# TYPE sbserver_batch_size_max gauge\nsbserver_batch_size_max %d\n", s.MaxBatch)
-	fmt.Fprintf(w, "# TYPE sbserver_phase_latency_ns summary\n")
+	fmt.Fprintf(w, "# TYPE sbserver_phase_latency_ns histogram\n")
 	for _, name := range phaseNames {
 		a := s.Latency[name]
+		var cum uint64
+		for i := 0; i < histBuckets; i++ {
+			cum += a.hist.counts[i]
+			le := fmt.Sprintf("%d", histUpperBound(i))
+			if i == histBuckets-1 {
+				le = "+Inf"
+			}
+			if a.hist.counts[i] == 0 && i < histBuckets-1 {
+				continue // keep the exposition short: skip interior empties
+			}
+			fmt.Fprintf(w, "sbserver_phase_latency_ns_bucket{phase=%q,le=%q} %d\n", name, le, cum)
+		}
 		fmt.Fprintf(w, "sbserver_phase_latency_ns_sum{phase=%q} %d\n", name, a.SumNS)
 		fmt.Fprintf(w, "sbserver_phase_latency_ns_count{phase=%q} %d\n", name, a.Count)
+		fmt.Fprintf(w, "sbserver_phase_latency_ns{phase=%q,quantile=\"0.5\"} %d\n", name, a.P50NS)
+		fmt.Fprintf(w, "sbserver_phase_latency_ns{phase=%q,quantile=\"0.95\"} %d\n", name, a.P95NS)
 	}
 	fmt.Fprintf(w, "# TYPE sbserver_engine_rounds_total counter\nsbserver_engine_rounds_total %d\n", s.Engine.Rounds)
 	fmt.Fprintf(w, "# TYPE sbserver_engine_motions_total counter\nsbserver_engine_motions_total %d\n", s.Engine.Motions)

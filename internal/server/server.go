@@ -24,7 +24,9 @@ type Config struct {
 	// dispatching anyway (default 2ms).
 	BatchWait time.Duration
 	// QueueCap bounds the requests admitted but not yet answered; an
-	// overflowing submission is rejected with 429 (default 64).
+	// overflowing submission is rejected with 429 (default 64). It is the
+	// admission controller's ceiling: with an SLO configured the live
+	// limit adapts between BatchSize and QueueCap.
 	QueueCap int
 	// Workers is the per-dispatch Engine.RunBatch worker pool width
 	// (default: the engine's own default, GOMAXPROCS).
@@ -32,6 +34,19 @@ type Config struct {
 	// Seed is the engines' base seed; per-request seeds override it
 	// (default 1, the evaluation's golden seed).
 	Seed int64
+	// SLO is the target p95 for the interactive run phase. Non-zero
+	// activates the AIMD admission controller: while the windowed p95
+	// stays within the SLO the limit creeps up additively, past it the
+	// limit backs off multiplicatively, shedding load as 429s before
+	// queueing blows the tail. Zero keeps the static QueueCap behaviour.
+	SLO time.Duration
+	// CacheBytes is the result cache's budget (default 64 MiB; negative
+	// disables caching — singleflight coalescing stays active).
+	CacheBytes int64
+	// BulkShare is the fraction of the admission limit the bulk class may
+	// occupy (default 0.5). Interactive always has the full limit, so
+	// sweeps degrade gracefully instead of starving interactive traffic.
+	BulkShare float64
 }
 
 func (c Config) withDefaults() Config {
@@ -47,21 +62,30 @@ func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.BulkShare <= 0 || c.BulkShare > 1 {
+		c.BulkShare = 0.5
+	}
 	return c
 }
 
-// runReq is one admitted request on its way through the service: the built
-// instance, its streaming spool (nil when the client wants the result
-// only), the response rendezvous, and the phase timestamps.
+// runReq is one admitted engine request on its way through the service:
+// the built instance, its event sink (a private spool for uncacheable
+// runs, the shared flight for cacheable ones), the response rendezvous,
+// and the phase timestamps.
 type runReq struct {
-	ctx     context.Context // the client's context: disconnect aborts the run
+	ctx     context.Context // cancelling aborts the run (flight or client ctx)
 	scen    *scenario.Scenario
 	cfg     core.Config
 	seed    int64
 	backend string
+	class   int
 
-	spool *eventSpool     // live event stream, nil when not streaming
-	done  chan runOutcome // buffered(1): dispatcher never blocks on it
+	spool  *eventSpool     // live event stream, nil when not streaming
+	flight *flight         // shared run, nil on the uncacheable path
+	done   chan runOutcome // buffered(1): dispatcher never blocks on it
 
 	tEnqueue, tFlush, tRunStart, tRunEnd time.Time
 }
@@ -83,21 +107,24 @@ func (r *runReq) timing() wireTiming {
 
 // Server is the reconfiguration service: one engine per backend (backend
 // choice is an engine-level option, so DES and Async requests dispatch to
-// their own engines), a batcher coalescing admitted requests, and the
-// metrics registry. Concurrency is bounded twice: QueueCap at admission,
-// and each dispatch's RunBatch pool at Workers.
+// their own engines), a per-class batcher coalescing admitted requests,
+// the content-addressed result cache with its singleflight table, the
+// admission controller, and the metrics registry.
 type Server struct {
-	cfg     Config
-	engines map[string]*core.Engine
-	batcher *Batcher[*runReq]
-	metrics *Metrics
-	mux     *http.ServeMux
+	cfg      Config
+	engines  map[string]*core.Engine
+	batchers [numClasses]*Batcher[*runReq]
+	cache    *resultCache
+	flights  *flightTable
+	ctrl     *admission
+	metrics  *Metrics
+	mux      *http.ServeMux
 
 	runCtx context.Context // cancelled to force-abort in-flight runs
 	force  context.CancelFunc
 
-	pending  atomic.Int64   // admitted, outcome not yet delivered
-	inflight sync.WaitGroup // one per admitted request; Wait = drained
+	pending  [numClasses]atomic.Int64 // admitted, outcome not yet delivered
+	inflight sync.WaitGroup           // one per admitted request; Wait = drained
 	draining atomic.Bool
 }
 
@@ -107,9 +134,14 @@ func New(cfg Config) *Server {
 	lib := rules.StandardLibrary()
 	s := &Server{
 		cfg:     cfg,
+		cache:   newResultCache(cfg.CacheBytes),
+		flights: newFlightTable(),
+		ctrl:    newAdmission(cfg.SLO, cfg.QueueCap, cfg.BatchSize, cfg.BulkShare),
 		metrics: newMetrics(),
 		mux:     http.NewServeMux(),
 	}
+	s.metrics.cache = s.cache
+	s.metrics.ctrl = s.ctrl
 	engineOpts := func(extra ...core.Option) []core.Option {
 		opts := []core.Option{core.WithSeed(cfg.Seed)}
 		if cfg.Workers > 0 {
@@ -122,8 +154,10 @@ func New(cfg Config) *Server {
 		backendAsync: core.NewEngine(lib, engineOpts(core.WithBackend(core.Async))...),
 	}
 	s.runCtx, s.force = context.WithCancel(context.Background())
-	s.batcher = NewBatcher(cfg.BatchSize, cfg.BatchWait, cfg.QueueCap,
-		func(batch []*runReq) { go s.execute(batch) })
+	for c := 0; c < numClasses; c++ {
+		s.batchers[c] = NewBatcher(cfg.BatchSize, cfg.BatchWait, cfg.QueueCap,
+			func(batch []*runReq) { go s.execute(batch) })
+	}
 	s.routes()
 	return s
 }
@@ -134,34 +168,35 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Metrics exposes the registry (the bench kernels read it in-process).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
-// submit admits one request: counted against QueueCap, then queued on the
-// batcher. On success the request WILL receive exactly one outcome on
-// req.done; every error path here releases the admission slot.
+// submit admits one request: counted against its class's live admission
+// limit, then queued on the class batcher. On success the request WILL
+// receive exactly one outcome on req.done; every error path here releases
+// the admission slot.
 func (s *Server) submit(req *runReq) error {
 	if s.draining.Load() {
 		return ErrStopped
 	}
-	if n := s.pending.Add(1); n > int64(s.cfg.QueueCap) {
-		s.pending.Add(-1)
+	limit := s.ctrl.limitFor(req.class)
+	if n := s.pending[req.class].Add(1); n > limit {
+		s.pending[req.class].Add(-1)
 		return ErrQueueFull
 	}
 	s.inflight.Add(1)
 	req.tEnqueue = time.Now()
-	if err := s.batcher.Submit(req); err != nil {
-		s.pending.Add(-1)
+	if err := s.batchers[req.class].Submit(req); err != nil {
+		s.pending[req.class].Add(-1)
 		s.inflight.Done()
 		return err
 	}
-	s.metrics.recordAccept()
 	return nil
 }
 
 // execute dispatches one flushed batch into RunBatch, grouped by backend
 // (requests of both backends can share a batch; the groups run in turn on
 // this goroutine while other flushes proceed independently). Every request
-// gets its outcome delivered, its spool closed, and its admission slot
-// released — also on force-shutdown, where RunBatch returns the context
-// error per instance.
+// gets its outcome delivered, its event sink closed or completed, and its
+// admission slot released — also on force-shutdown, where RunBatch returns
+// the context error per instance.
 func (s *Server) execute(batch []*runReq) {
 	now := time.Now()
 	for _, r := range batch {
@@ -182,9 +217,12 @@ func (s *Server) execute(batch []*runReq) {
 		insts := make([]core.Instance, len(reqs))
 		for i, r := range reqs {
 			// Tee the instance's live events into the metrics summary and,
-			// when the client is streaming, its spool.
+			// when anyone is listening, its spool or shared flight.
 			var obs core.Observer = s.metrics
-			if r.spool != nil {
+			switch {
+			case r.flight != nil:
+				obs = core.MultiObserver(r.flight, s.metrics)
+			case r.spool != nil:
 				obs = core.MultiObserver(r.spool, s.metrics)
 			}
 			insts[i] = core.Instance{
@@ -205,22 +243,47 @@ func (s *Server) execute(batch []*runReq) {
 		for i, r := range reqs {
 			r.tRunEnd = end
 			out := runOutcome{res: results[i].Result, err: results[i].Err}
-			canceled := out.err != nil &&
-				(errors.Is(out.err, context.Canceled) || errors.Is(out.err, context.DeadlineExceeded) ||
-					r.ctx.Err() != nil || s.runCtx.Err() != nil)
-			s.metrics.recordOutcome(r, out.err, canceled)
-			if r.spool != nil {
+			s.metrics.recordPhases(r)
+			if out.err == nil && r.class == classInteractive {
+				s.ctrl.observe(r.tRunEnd.Sub(r.tRunStart))
+			}
+			if r.flight != nil {
+				s.finishFlight(r, out)
+			} else if r.spool != nil {
 				r.spool.close()
 			}
 			r.done <- out
-			s.pending.Add(-1)
+			s.pending[r.class].Add(-1)
 			s.inflight.Done()
 		}
 	}
 }
 
+// finishFlight completes a shared run: a successful deterministic run is
+// compacted into the result cache FIRST, then the flight is unindexed
+// (an identical request arriving in between attaches to the finished
+// flight and replays it — never a duplicate engine run), and finally the
+// flight wakes its tailing clients with the outcome.
+func (s *Server) finishFlight(r *runReq, out runOutcome) {
+	timing := r.timing()
+	canceled := out.err != nil &&
+		(errors.Is(out.err, context.Canceled) || errors.Is(out.err, context.DeadlineExceeded) ||
+			r.ctx.Err() != nil || s.runCtx.Err() != nil)
+	if out.err == nil && !canceled {
+		s.cache.put(&cacheEntry{
+			key:      r.flight.key,
+			scenName: r.scen.Name,
+			res:      out.res,
+			timing:   timing,
+			events:   r.flight.compactEvents(),
+		})
+	}
+	s.flights.remove(r.flight.key)
+	r.flight.complete(out, timing)
+}
+
 // Shutdown drains the service gracefully: new submissions are refused with
-// 503, the batcher flushes what it already queued, and in-flight runs get
+// 503, the batchers flush what they already queued, and in-flight runs get
 // until ctx's deadline to finish — their clients receive complete results.
 // If the deadline expires first the remaining runs are force-cancelled;
 // the engine rolls each surface back to an atomic motion boundary, so even
@@ -228,7 +291,9 @@ func (s *Server) execute(batch []*runReq) {
 // Returns ctx.Err() when the force path was taken, nil on a clean drain.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
-	s.batcher.Stop()
+	for c := 0; c < numClasses; c++ {
+		s.batchers[c].Stop()
+	}
 	drained := make(chan struct{})
 	go func() {
 		s.inflight.Wait()

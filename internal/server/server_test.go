@@ -17,6 +17,15 @@ import (
 	"repro/internal/scenario"
 )
 
+// totalPending sums the per-class admission counters.
+func totalPending(s *Server) int64 {
+	var n int64
+	for c := 0; c < numClasses; c++ {
+		n += s.pending[c].Load()
+	}
+	return n
+}
+
 // testServer builds a server plus its HTTP front; both are torn down with
 // the test.
 func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
@@ -201,7 +210,7 @@ func TestServerValidation(t *testing.T) {
 // queueing; a draining server answers 503 and fails health checks.
 func TestServerBackpressure(t *testing.T) {
 	s, ts := testServer(t, Config{QueueCap: 4})
-	s.pending.Store(4) // queue artificially at capacity
+	s.pending[classInteractive].Store(4) // queue artificially at capacity
 	body, _ := json.Marshal(RunSpec{Scenario: "fig10"})
 	resp, err := http.Post(ts.URL+"/v1/runs", "application/json", bytes.NewReader(body))
 	if err != nil {
@@ -211,7 +220,7 @@ func TestServerBackpressure(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("status at capacity = %d, want 429", resp.StatusCode)
 	}
-	s.pending.Store(0)
+	s.pending[classInteractive].Store(0)
 
 	s.draining.Store(true)
 	resp, err = http.Post(ts.URL+"/v1/runs", "application/json", bytes.NewReader(body))
@@ -356,10 +365,10 @@ func TestServerCancellationUnderLoad(t *testing.T) {
 	// The aborted runs must release their admission slots and be recorded
 	// as cancellations, not completions.
 	deadline := time.Now().Add(10 * time.Second)
-	for s.pending.Load() != 0 && time.Now().Before(deadline) {
+	for totalPending(s) != 0 && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
-	if got := s.pending.Load(); got != 0 {
+	if got := totalPending(s); got != 0 {
 		t.Fatalf("pending = %d after all clients finished, want 0", got)
 	}
 	snap := s.Metrics().Snapshot()
