@@ -55,9 +55,9 @@ func main() {
 		newPath    = flag.String("new", "", "current bench record")
 		maxRegress = flag.Float64("max-regress", 10, "tolerated slowdown of a gated kernel, percent")
 		skip       = flag.String("skip",
-			"fig10_reconfiguration,rounds_to_completion_serial,rounds_to_completion_k4,moves_per_round_k4,ridge_rounds_to_completion_k4,ridge_serial_rounds_budget,rounds_to_completion_k16,moves_per_round_k16,server_throughput_32c,server_phase_enqueue,server_phase_flush,server_phase_run,server_phase_respond,server_cache_hot,server_slo_p95",
+			"fig10_reconfiguration,rounds_to_completion_serial,rounds_to_completion_k4,moves_per_round_k4,ridge_rounds_to_completion_k4,ridge_serial_rounds_budget,rounds_to_completion_k16,moves_per_round_k16,server_throughput_32c,server_phase_enqueue,server_phase_flush,server_phase_run,server_phase_respond,server_cache_hot,server_slo_p95,gate_affinity_hot,gate_drain_zero_loss",
 			"comma-separated kernels whose ns/op is reported but not gated (metrics still gate)")
-		metricAsc = flag.String("metric-asc", "moves_per_round_k4,moves_per_round_k16,server_throughput_32c,server_cache_hot,server_slo_p95",
+		metricAsc = flag.String("metric-asc", "moves_per_round_k4,moves_per_round_k16,server_throughput_32c,server_cache_hot,server_slo_p95,gate_affinity_hot,gate_drain_zero_loss",
 			"comma-separated kernels whose metric regresses by shrinking instead of growing")
 	)
 	flag.Parse()

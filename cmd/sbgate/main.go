@@ -1,0 +1,96 @@
+// Command sbgate is the horizontal service tier: a streaming reverse
+// proxy that fronts N sbserver replicas and routes each run request by
+// spec affinity — the request body is canonicalized with the replicas'
+// own cache-key function and consistent-hashed onto a virtual-node ring,
+// so identical (and equivalently-spelled) specs always land on the same
+// replica and the fleet's cache capacity partitions instead of
+// duplicating. The gateway health-checks the fleet, takes draining
+// replicas out of rotation while their in-flight streams finish, retries
+// refused deterministic runs on the ring successor (zero request loss on
+// scale-down), and tags successors with X-Peer-Probe so a replica can
+// adopt a warm recording from its neighbour instead of re-running the
+// engine. GET /metrics serves the fleet-merged observability document:
+// replica phase histograms summed bucket-wise (exact, the layout is
+// fixed) plus per-replica routing counters.
+//
+// Usage:
+//
+//	sbgate -replicas http://127.0.0.1:8081,http://127.0.0.1:8082 \
+//	       [-addr :8080] [-vnodes 64] [-seed 1] [-health 500ms]
+//	       [-peer-probe]
+//
+// Clients talk to sbgate exactly as they would to one sbserver — same
+// routes, same stream framings, same headers — plus an X-Replica header
+// naming which replica served each response.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/gate"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		replicas  = flag.String("replicas", "", "comma-separated sbserver base URLs (required)")
+		vnodes    = flag.Int("vnodes", 64, "virtual nodes per replica on the hash ring")
+		seed      = flag.Int64("seed", 1, "replicas' base seed (folded into routing keys)")
+		health    = flag.Duration("health", 500*time.Millisecond, "replica health-check cadence")
+		peerProbe = flag.Bool("peer-probe", true, "attach X-Peer-Probe headers (cross-replica cache peering)")
+	)
+	flag.Parse()
+
+	var urls []string
+	for _, u := range strings.Split(*replicas, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	g, err := gate.New(gate.Config{
+		Replicas:       urls,
+		VNodes:         *vnodes,
+		Seed:           *seed,
+		HealthInterval: *health,
+		PeerProbe:      *peerProbe,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sbgate: %v\n", err)
+		os.Exit(2)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: g.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "sbgate: listening on %s over %d replicas (vnodes=%d health=%v peering=%v)\n",
+		*addr, len(urls), *vnodes, *health, *peerProbe)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "sbgate: %v\n", err)
+		os.Exit(1)
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "sbgate: %v — shutting down\n", sig)
+	}
+
+	// The gateway holds no run state: stop routing, let in-flight proxied
+	// streams finish briefly, done. Replica drains are the replicas' own.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		_ = httpSrv.Close()
+	}
+	g.Close()
+	fmt.Fprintln(os.Stderr, "sbgate: stopped")
+}

@@ -4,7 +4,7 @@
 // completion counts per priority class, cache hit tallies (from the
 // X-Cache header), latency percentiles — prints as one JSON report.
 // The same kernel (internal/server.RunLoad against an in-process server)
-// backs the server_* bench entries of BENCH_8.json.
+// backs the server_* bench entries of BENCH_10.json.
 //
 // The workload shape is tunable: -zipf-n spreads requests over N seed
 // variants of the spec drawn Zipf-skewed (a hot head exercising the result
@@ -12,11 +12,17 @@
 // requests to ?class=bulk, and -cache bypass forces every request to run
 // on the engine.
 //
+// Point -url at a cmd/sbgate gateway and the report's per_target section
+// (keyed by the X-Replica response header) shows how spec affinity
+// partitioned the load; point -targets at the replicas directly and the
+// same load is spread round-robin instead — the affinity-blind baseline.
+//
 // Usage:
 //
 //	sbload -url http://localhost:8080 -clients 32 -per-client 8 \
 //	       -scenario fig10 [-param top=12 ...] [-k 4] [-backend des] \
-//	       [-zipf-n 64 -zipf-s 1.5] [-bulk-frac 0.25] [-cache bypass]
+//	       [-zipf-n 64 -zipf-s 1.5] [-bulk-frac 0.25] [-cache bypass] \
+//	       [-targets http://127.0.0.1:8081,http://127.0.0.1:8082]
 package main
 
 import (
@@ -55,7 +61,8 @@ func (f *paramFlags) Set(s string) error {
 
 func main() {
 	var (
-		url       = flag.String("url", "http://localhost:8080", "sbserver base URL")
+		url       = flag.String("url", "http://localhost:8080", "sbserver (or sbgate) base URL")
+		targets   = flag.String("targets", "", "comma-separated base URLs, round-robined directly (bypasses -url; the affinity-blind baseline to compare a gateway against)")
 		clients   = flag.Int("clients", 32, "concurrent closed-loop clients")
 		perClient = flag.Int("per-client", 8, "sequential requests per client")
 		scen      = flag.String("scenario", "fig10", "scenario generator name")
@@ -73,8 +80,16 @@ func main() {
 	flag.Var(&params, "param", "scenario parameter name=value (repeatable)")
 	flag.Parse()
 
+	var targetList []string
+	for _, u := range strings.Split(*targets, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			targetList = append(targetList, u)
+		}
+	}
+
 	rep, err := server.RunLoad(context.Background(), server.LoadConfig{
 		BaseURL:   *url,
+		Targets:   targetList,
 		Clients:   *clients,
 		PerClient: *perClient,
 		Spec: server.RunSpec{

@@ -14,7 +14,13 @@
 //
 //	sbserver [-addr :8080] [-batch 8] [-batch-wait 2ms] [-queue 64]
 //	         [-workers 0] [-seed 1] [-drain 10s] [-slo 0]
-//	         [-cache-bytes 67108864] [-bulk-share 0.5]
+//	         [-cache-bytes 67108864] [-bulk-share 0.5] [-peer-probe]
+//
+// With -peer-probe (on by default), a replica running behind cmd/sbgate
+// honours the gateway's X-Peer-Probe header: on an engine-path cache miss
+// it first asks the named peer's /v1/peek for the recording, adopting a
+// warm result instead of re-running the engine — the mechanism behind
+// lossless drain hand-offs and scale-in cache warm-up.
 //
 // SIGINT/SIGTERM starts a graceful shutdown: new requests are refused
 // with 503 while in-flight runs get -drain to finish; whatever is still
@@ -48,6 +54,8 @@ func main() {
 		slo       = flag.Duration("slo", 0, "target p95 for the interactive run phase (0 = static admission)")
 		cacheB    = flag.Int64("cache-bytes", 64<<20, "result cache budget in bytes (negative disables)")
 		bulkShare = flag.Float64("bulk-share", 0.5, "fraction of the admission limit the bulk class may use")
+		peerProbe = flag.Bool("peer-probe", true, "honour X-Peer-Probe headers (cache peering behind sbgate)")
+		peerTO    = flag.Duration("peer-timeout", 750*time.Millisecond, "per peer-probe budget")
 	)
 	flag.Parse()
 
@@ -64,7 +72,9 @@ func main() {
 			}
 			return *cacheB
 		}(),
-		BulkShare: *bulkShare,
+		BulkShare:   *bulkShare,
+		PeerProbe:   *peerProbe,
+		PeerTimeout: *peerTO,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
 

@@ -261,6 +261,32 @@
 // runs/sec and SLO tail behaviour, gated by benchdiff.
 // cmd/sbserver/README.md has a curl quickstart.
 //
+// # Scaling out: cmd/sbgate
+//
+// internal/gate scales the service tier horizontally: cmd/sbgate is a
+// streaming reverse proxy over N sbserver replicas that routes each run by
+// its canonical spec key (internal/server/speckey, the same normalization
+// the result cache indexes by) on a consistent-hash ring with virtual
+// nodes, so identical specs always land on the same replica and the
+// fleet's caches partition the working set instead of replicating it —
+// per-replica cache budget times N of effective capacity. The gateway
+// proxies the NDJSON/SSE stream unbuffered with client-disconnect
+// propagation, stamps X-Replica and X-Spec-Key on every response, and
+// names a peer (X-Peer-Probe) that a replica missing a deterministic run
+// probes over GET /v1/peek to adopt a still-warm recording (X-Cache:
+// peer) before paying for the engine. Draining replicas (healthz 503)
+// leave the rotation in-band: a refused deterministic run provably never
+// started, so the gateway retries it on the ring successor and a
+// scale-down loses zero requests — gate_drain_zero_loss in BENCH_N.json
+// gates completed at 100%, and gate_affinity_hot gates the
+// affinity-routed fleet at >= 2.5x a single capacity-constrained
+// replica's throughput. The gateway's /metrics merges replica phase
+// histograms bucket-wise exactly (the fixed bucket layout makes fleet
+// p50/p95 well-defined) alongside per-replica routing state, as JSON or
+// Prometheus; cmd/sbload -targets spreads the same closed-loop load
+// round-robin over bare replicas for the affinity-blind baseline.
+// cmd/sbgate/README.md has a two-replica quickstart.
+//
 // Start with examples/quickstart, or run:
 //
 //	go run ./cmd/smartconvey           # build a conveyor, watch it work

@@ -308,6 +308,14 @@ func RunBenchJSONWith(opts BenchOpts) ([]byte, error) {
 	}
 	rec.Results = append(rec.Results, srv...)
 
+	// Horizontal-tier kernels: spec-affinity cache partitioning across a
+	// gateway-fronted fleet, and zero-loss drain-aware rebalancing.
+	gk, err := gateKernels()
+	if err != nil {
+		return nil, err
+	}
+	rec.Results = append(rec.Results, gk...)
+
 	return json.MarshalIndent(rec, "", "  ")
 }
 

@@ -1,0 +1,128 @@
+package gate
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Replica states. A draining replica (healthz 503) is send-only-inflight:
+// the gateway stops routing new work to it but lets the responses it is
+// already streaming finish — that, plus retrying refused deterministic
+// specs on the successor, is what makes a scale-down lossless. A down
+// replica (dial error) is skipped entirely until the health loop sees it
+// answer again.
+const (
+	stateUp int32 = iota
+	stateDraining
+	stateDown
+)
+
+var stateNames = [...]string{"up", "draining", "down"}
+
+// replica is one backend and its gateway-side accounting.
+type replica struct {
+	url   string
+	state atomic.Int32
+
+	routed    atomic.Uint64 // requests proxied here (attempts that sent the request)
+	hits      atomic.Uint64 // responses served X-Cache: hit
+	peers     atomic.Uint64 // responses served X-Cache: peer
+	retries   atomic.Uint64 // requests that failed here and moved to a successor
+	errors    atomic.Uint64 // non-retryable transport failures surfaced to clients
+	lastProbe atomic.Int64  // unix ns of the last health probe
+}
+
+func (rp *replica) stateName() string { return stateNames[rp.state.Load()] }
+
+// healthLoop polls every replica's /healthz on the configured cadence.
+// The proxy path also demotes reactively (a 503 or dial error mid-request
+// beats the poller to it); the loop's job is promotion — noticing a
+// drained or crashed replica has come back — and catching state changes
+// on idle rings.
+func (g *Gateway) healthLoop() {
+	t := time.NewTicker(g.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-t.C:
+			g.probeAll()
+		}
+	}
+}
+
+// probeAll checks every replica once, concurrently.
+func (g *Gateway) probeAll() {
+	done := make(chan struct{}, len(g.replicas))
+	for _, rp := range g.replicas {
+		go func(rp *replica) {
+			g.probeOne(rp)
+			done <- struct{}{}
+		}(rp)
+	}
+	for range g.replicas {
+		<-done
+	}
+}
+
+func (g *Gateway) probeOne(rp *replica) {
+	timeout := g.cfg.HealthInterval
+	if timeout <= 0 {
+		timeout = defaultHealthInterval // loop disabled; explicit probes still need a budget
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rp.url+"/healthz", nil)
+	if err != nil {
+		rp.state.Store(stateDown)
+		return
+	}
+	resp, err := g.client.Do(req)
+	rp.lastProbe.Store(time.Now().UnixNano())
+	if err != nil {
+		rp.state.Store(stateDown)
+		return
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		rp.state.Store(stateUp)
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		rp.state.Store(stateDraining)
+	default:
+		rp.state.Store(stateDown)
+	}
+}
+
+// healthyURL reports whether the replica accepts new work.
+func (rp *replica) accepting() bool { return rp.state.Load() == stateUp }
+
+// markRefused demotes a replica the proxy saw refuse work: 503 means
+// draining (it is still finishing in-flight streams), a dial error means
+// down. The health loop re-promotes when /healthz recovers.
+func (g *Gateway) markRefused(rp *replica, dialErr bool) {
+	if dialErr {
+		rp.state.Store(stateDown)
+	} else {
+		rp.state.Store(stateDraining)
+	}
+}
+
+// isDialError distinguishes "never reached the replica" (safe to retry
+// anything, nothing executed) from an in-protocol failure.
+func isDialError(err error) bool {
+	if err == nil {
+		return false
+	}
+	s := err.Error()
+	return strings.Contains(s, "connection refused") ||
+		strings.Contains(s, "no such host") ||
+		strings.Contains(s, "connection reset") ||
+		strings.Contains(s, "EOF")
+}

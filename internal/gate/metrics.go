@@ -1,0 +1,148 @@
+package gate
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/server"
+)
+
+// ReplicaMetrics is one replica's row in the gateway /metrics document:
+// routing state and counters from the gateway's side of the wire.
+type ReplicaMetrics struct {
+	URL       string `json:"url"`
+	State     string `json:"state"`
+	Routed    uint64 `json:"routed"`
+	CacheHits uint64 `json:"cache_hits"`
+	PeerHits  uint64 `json:"peer_hits"`
+	Retries   uint64 `json:"retries"`
+	Errors    uint64 `json:"errors"`
+	Scraped   bool   `json:"scraped"` // this replica's /metrics answered the merge scrape
+}
+
+// GatewayMetrics is the JSON document of the gateway's GET /metrics: the
+// gateway's own routing counters plus the fleet — every reachable
+// replica's snapshot merged into one (histograms summed bucket-wise, so
+// fleet quantiles are exact; see server.MergeSnapshots).
+type GatewayMetrics struct {
+	Replicas     []ReplicaMetrics       `json:"replicas"`
+	RoutedTotal  uint64                 `json:"routed_total"`
+	RetriesTotal uint64                 `json:"retries_total"`
+	ErrorsTotal  uint64                 `json:"errors_total"`
+	Fleet        server.MetricsSnapshot `json:"fleet"`
+}
+
+// scrape fetches and decodes one replica's /metrics snapshot.
+func (g *Gateway) scrape(rp *replica) (server.MetricsSnapshot, bool) {
+	var snap server.MetricsSnapshot
+	req, err := http.NewRequest(http.MethodGet, rp.url+"/metrics", nil)
+	if err != nil {
+		return snap, false
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return snap, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return snap, false
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 16<<20)).Decode(&snap); err != nil {
+		return snap, false
+	}
+	return snap, true
+}
+
+// Metrics gathers the merged fleet document (also used in-process by the
+// bench kernels, so the scrape/merge path itself is exercised under load).
+func (g *Gateway) Metrics() GatewayMetrics {
+	doc := GatewayMetrics{
+		RoutedTotal:  g.routedTotal.Load(),
+		RetriesTotal: g.retriesTotal.Load(),
+		ErrorsTotal:  g.errorsTotal.Load(),
+	}
+	type scraped struct {
+		snap server.MetricsSnapshot
+		ok   bool
+	}
+	results := make([]scraped, len(g.replicas))
+	done := make(chan int, len(g.replicas))
+	for i, rp := range g.replicas {
+		go func(i int, rp *replica) {
+			results[i].snap, results[i].ok = g.scrape(rp)
+			done <- i
+		}(i, rp)
+	}
+	for range g.replicas {
+		<-done
+	}
+	snaps := make([]server.MetricsSnapshot, 0, len(g.replicas))
+	for i, rp := range g.replicas {
+		doc.Replicas = append(doc.Replicas, ReplicaMetrics{
+			URL:       rp.url,
+			State:     rp.stateName(),
+			Routed:    rp.routed.Load(),
+			CacheHits: rp.hits.Load(),
+			PeerHits:  rp.peers.Load(),
+			Retries:   rp.retries.Load(),
+			Errors:    rp.errors.Load(),
+			Scraped:   results[i].ok,
+		})
+		if results[i].ok {
+			snaps = append(snaps, results[i].snap)
+		}
+	}
+	doc.Fleet = server.MergeSnapshots(snaps)
+	return doc
+}
+
+// handleMetrics renders the merged document; ?format=prometheus (or
+// Accept: text/plain) emits the gateway's own series followed by the
+// fleet-merged sbserver series, one scrape for the whole tier.
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		gwError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	doc := g.Metrics()
+	format := r.URL.Query().Get("format")
+	if format == "prometheus" || (format == "" && strings.Contains(r.Header.Get("Accept"), "text/plain")) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		doc.WritePrometheus(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(doc)
+}
+
+// WritePrometheus renders the gateway series and the merged fleet series.
+func (d GatewayMetrics) WritePrometheus(w io.Writer) {
+	fmt.Fprintf(w, "# TYPE sbgate_routed_total counter\nsbgate_routed_total %d\n", d.RoutedTotal)
+	fmt.Fprintf(w, "# TYPE sbgate_retries_total counter\nsbgate_retries_total %d\n", d.RetriesTotal)
+	fmt.Fprintf(w, "# TYPE sbgate_errors_total counter\nsbgate_errors_total %d\n", d.ErrorsTotal)
+	fmt.Fprintf(w, "# TYPE sbgate_replica_up gauge\n")
+	for _, rp := range d.Replicas {
+		up := 0
+		if rp.State == "up" {
+			up = 1
+		}
+		fmt.Fprintf(w, "sbgate_replica_up{replica=%q,state=%q} %d\n", rp.URL, rp.State, up)
+	}
+	fmt.Fprintf(w, "# TYPE sbgate_replica_routed_total counter\n")
+	for _, rp := range d.Replicas {
+		fmt.Fprintf(w, "sbgate_replica_routed_total{replica=%q} %d\n", rp.URL, rp.Routed)
+	}
+	fmt.Fprintf(w, "# TYPE sbgate_replica_cache_hits_total counter\n")
+	for _, rp := range d.Replicas {
+		fmt.Fprintf(w, "sbgate_replica_cache_hits_total{replica=%q} %d\n", rp.URL, rp.CacheHits)
+	}
+	fmt.Fprintf(w, "# TYPE sbgate_replica_retries_total counter\n")
+	for _, rp := range d.Replicas {
+		fmt.Fprintf(w, "sbgate_replica_retries_total{replica=%q} %d\n", rp.URL, rp.Retries)
+	}
+	d.Fleet.WritePrometheus(w)
+}

@@ -1,0 +1,92 @@
+// Package gate is the horizontal service tier: a streaming reverse proxy
+// that fronts N sbserver replicas with spec-affinity routing (identical
+// specs always land on the same replica, so the fleet's cache capacity
+// partitions instead of duplicating), cross-replica cache peering on ring
+// changes, drain-aware rebalancing (a draining replica leaves the ring
+// with zero request loss), and fleet-merged observability.
+package gate
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/server/speckey"
+)
+
+// ring is a consistent-hash ring over replica indices. Each replica
+// contributes vnodes points (hashes of "url#i"), so key segments spread
+// evenly and a membership change remaps only the departed replica's
+// segments — the property cache affinity lives on: draining one replica
+// must not reshuffle every other replica's working set.
+type ring struct {
+	hashes   []uint64 // sorted point hashes
+	replicas []int    // replicas[i] owns hashes[i]
+	n        int      // distinct replica count
+}
+
+func newRing(urls []string, vnodes int) *ring {
+	if vnodes <= 0 {
+		vnodes = defaultVNodes
+	}
+	r := &ring{n: len(urls)}
+	type pt struct {
+		h   uint64
+		rep int
+	}
+	pts := make([]pt, 0, len(urls)*vnodes)
+	for rep, u := range urls {
+		for v := 0; v < vnodes; v++ {
+			pts = append(pts, pt{mix64(speckey.Hash(fmt.Sprintf("%s#%d", u, v))), rep})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].h != pts[j].h {
+			return pts[i].h < pts[j].h
+		}
+		return pts[i].rep < pts[j].rep // deterministic on (vanishingly rare) hash ties
+	})
+	r.hashes = make([]uint64, len(pts))
+	r.replicas = make([]int, len(pts))
+	for i, p := range pts {
+		r.hashes[i] = p.h
+		r.replicas[i] = p.rep
+	}
+	return r
+}
+
+// mix64 is the splitmix64/murmur3 finalizer: a full-avalanche pass over
+// the FNV point and key hashes. Raw FNV-1a is fine as a cache-key
+// fingerprint but too gentle for ring placement — inputs differing only
+// in a short suffix ("#0" vs "#1" vnode tags, nearby seeds) land on
+// nearby hashes, which would cluster one replica's vnodes into one arc
+// and starve the others. The finalizer spreads them uniformly.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// ordered returns every distinct replica in clockwise ring order starting
+// at the key's position: ordered[0] is the key's owner, ordered[1] its
+// successor (the peer-probe target and first failover), and so on. The
+// caller applies health filtering — the ring itself is pure geometry.
+func (r *ring) ordered(keyHash uint64) []int {
+	keyHash = mix64(keyHash)
+	out := make([]int, 0, r.n)
+	if len(r.hashes) == 0 {
+		return out
+	}
+	seen := make([]bool, r.n)
+	start := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= keyHash })
+	for i := 0; i < len(r.hashes) && len(out) < r.n; i++ {
+		rep := r.replicas[(start+i)%len(r.hashes)]
+		if !seen[rep] {
+			seen[rep] = true
+			out = append(out, rep)
+		}
+	}
+	return out
+}

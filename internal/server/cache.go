@@ -52,6 +52,7 @@ type resultCache struct {
 	byKey    map[string]*list.Element
 
 	hits, misses, evictions uint64
+	peekHits, peekMisses    uint64
 }
 
 // newResultCache builds a cache with the given byte budget; a non-positive
@@ -76,6 +77,21 @@ func (c *resultCache) get(key string) (*cacheEntry, bool) {
 	}
 	c.hits++
 	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry), true
+}
+
+// peek is the peering lookup: no LRU promotion (the key's ring owner is
+// now another replica — serving a transfer is not local reuse) and its own
+// counters, so peer traffic never skews the client hit ratio.
+func (c *resultCache) peek(key string) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.peekMisses++
+		return nil, false
+	}
+	c.peekHits++
 	return el.Value.(*cacheEntry), true
 }
 
@@ -115,9 +131,14 @@ type CacheSnapshot struct {
 	Coalesced uint64 `json:"coalesced"`
 	Bypass    uint64 `json:"bypass"`
 	Evictions uint64 `json:"evictions"`
-	Entries   int    `json:"entries"`
-	Bytes     int64  `json:"bytes"`
-	MaxBytes  int64  `json:"max_bytes"`
+	// Peering traffic: peeks this replica answered for others, and runs
+	// this replica adopted from a peer instead of re-running the engine.
+	PeekHits   uint64 `json:"peek_hits"`
+	PeekMisses uint64 `json:"peek_misses"`
+	PeerHits   uint64 `json:"peer_hits"`
+	Entries    int    `json:"entries"`
+	Bytes      int64  `json:"bytes"`
+	MaxBytes   int64  `json:"max_bytes"`
 }
 
 // snapshot returns the cache counters (coalesced/bypass are folded in by
@@ -126,11 +147,13 @@ func (c *resultCache) snapshot() CacheSnapshot {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheSnapshot{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
-		Entries:   c.ll.Len(),
-		Bytes:     c.bytes,
-		MaxBytes:  c.maxBytes,
+		Hits:       c.hits,
+		Misses:     c.misses,
+		Evictions:  c.evictions,
+		PeekHits:   c.peekHits,
+		PeekMisses: c.peekMisses,
+		Entries:    c.ll.Len(),
+		Bytes:      c.bytes,
+		MaxBytes:   c.maxBytes,
 	}
 }

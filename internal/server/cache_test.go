@@ -288,15 +288,15 @@ func TestCacheKeyEquivalence(t *testing.T) {
 	base := RunSpec{Scenario: "slope", Params: scenario.Params{"top": 8}}
 	key := func(sp RunSpec) string {
 		t.Helper()
-		k, err := sp.cacheKey(1, backendDES)
+		k, err := sp.Key(1)
 		if err != nil {
-			t.Fatalf("cacheKey(%+v): %v", sp, err)
+			t.Fatalf("Key(%+v): %v", sp, err)
 		}
 		return k
 	}
 	want := key(base)
 	for _, same := range []RunSpec{
-		{Scenario: "slope"},                                          // default params
+		{Scenario: "slope"}, // default params
 		{Scenario: "slope", Params: scenario.Params{"rise": 0}},      // explicit default
 		{Scenario: "slope", Params: scenario.Params{"top": 8}, K: 1}, // k=1 == serial == k=0
 		{Scenario: "slope", Shards: 1},                               // shards=1 == unsharded
@@ -317,7 +317,9 @@ func TestCacheKeyEquivalence(t *testing.T) {
 			t.Errorf("spec %+v collides with the base key %q", diff, want)
 		}
 	}
-	if asyncKey, err := base.cacheKey(1, backendAsync); err != nil || asyncKey == want {
+	async := base
+	async.Backend = backendAsync
+	if asyncKey, err := async.Key(1); err != nil || asyncKey == want {
 		t.Errorf("backend not part of the key (err=%v)", err)
 	}
 }

@@ -21,11 +21,14 @@ import (
 //	                    ?class=bulk demotes to the bulk priority class;
 //	                    ?cache=bypass skips the result cache.
 //	GET  /v1/scenarios  the scenario registry (names, docs, parameters)
+//	GET  /v1/peek       cache-only lookup by canonical key (peering; never
+//	                    runs the engine)
 //	GET  /metrics       service counters; JSON, or Prometheus text under
 //	                    ?format=prometheus (or Accept: text/plain)
 //	GET  /healthz       200 while serving, 503 while draining
 func (s *Server) routes() {
 	s.mux.HandleFunc("/v1/runs", s.handleRuns)
+	s.mux.HandleFunc("/v1/peek", s.handlePeek)
 	s.mux.HandleFunc("/v1/scenarios", s.handleScenarios)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -94,6 +97,7 @@ const (
 	xcacheMiss     = "miss"      // ran on the engine (and, if it succeeds, fills the cache)
 	xcacheBypass   = "bypass"    // uncacheable: ?cache=bypass or the async backend
 	xcacheCoalesce = "coalesced" // attached to an identical in-flight run
+	xcachePeer     = "peer"      // adopted from a peer replica's cache (no engine run)
 )
 
 // handleRuns admits one run request and answers it. The fast paths come
@@ -121,18 +125,34 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	scen, cfg, backend, err := spec.build()
+	scen, cfg, backend, err := buildSpec(spec)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// A draining replica refuses ALL new runs — cache hits included — so a
+	// gateway discovers the drain on the first request it routes here and
+	// rebalances the whole key segment at once, instead of dribbling 503s
+	// only on the cold keys. In-flight streams are unaffected; /v1/peek
+	// stays up so the successor can adopt this replica's warm entries.
+	if s.Draining() {
+		s.rejectRequest(w, class, ErrStopped)
+		return
+	}
 	mode := streamMode(r)
+	// Every run response names its canonical identity: the gateway hashes
+	// this same key for affinity routing, and clients can use it to
+	// correlate, dedupe or /v1/peek. buildSpec already validated the spec,
+	// so Key cannot fail here; the guard is belt-and-braces.
+	key, keyErr := spec.Key(s.cfg.Seed)
+	if keyErr == nil {
+		w.Header().Set(headerSpecKey, key)
+	}
 
 	// Only DES runs are pure functions of their spec; async runs race on
 	// wall-clock scheduling, so they are never cached or coalesced.
 	if backend == backendDES && !cacheBypassed(r) {
-		key, err := spec.cacheKey(s.cfg.Seed, backend)
-		if err == nil {
+		if keyErr == nil {
 			if e, ok := s.cache.get(key); ok {
 				s.metrics.recordAccept(class)
 				w.Header().Set(headerXCache, xcacheHit)
@@ -146,6 +166,28 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 				w.Header().Set(headerXCache, xcacheCoalesce)
 				s.respondFlight(w, r, f, class, mode, nil)
 				return
+			}
+			// Leader on a cold key: before paying for an engine run, ask the
+			// peer the gateway named (the key's previous ring owner) whether
+			// it still holds the recording. On a probe hit the adopted entry
+			// completes the flight exactly as a finished run would — it fills
+			// the local cache, feeds the shared event history, and any
+			// coalesced followers replay it; on any probe failure we fall
+			// through to the engine path unchanged.
+			if peer := r.Header.Get(headerPeerProbe); peer != "" && s.cfg.PeerProbe {
+				if e, ok := s.probePeer(r.Context(), peer, key); ok {
+					s.cache.put(e)
+					for _, ev := range e.events {
+						f.OnEvent(ev)
+					}
+					s.flights.remove(f.key)
+					f.complete(runOutcome{res: e.res}, e.timing)
+					s.metrics.recordAccept(class)
+					s.metrics.recordPeer()
+					w.Header().Set(headerXCache, xcachePeer)
+					s.respondFlight(w, r, f, class, mode, nil)
+					return
+				}
 			}
 			req := &runReq{
 				ctx:     f.runCtx,

@@ -22,6 +22,12 @@ type LoadConfig struct {
 	Clients   int
 	PerClient int
 	Spec      RunSpec
+	// Targets, when non-empty, bypasses BaseURL and spreads requests
+	// round-robin over these base URLs — the affinity-blind baseline a
+	// gateway's spec-routed distribution is compared against. Each request
+	// is tallied per target either way (from the X-Replica header when a
+	// gateway adds one, else the target URL).
+	Targets []string
 	// Class forces every request into one priority class ("interactive" or
 	// "bulk"); empty leaves the server default (interactive) unless
 	// BulkFraction mixes.
@@ -55,28 +61,39 @@ type ClassLoadReport struct {
 	Rejected  int `json:"rejected"`
 }
 
+// TargetLoadReport is one backend's slice of the outcome: keyed by the
+// X-Replica header when the requests went through a gateway, by the
+// round-robin target URL in direct -targets mode.
+type TargetLoadReport struct {
+	Requests  int `json:"requests"`
+	CacheHits int `json:"cache_hits"`
+	PeerHits  int `json:"peer_hits"`
+}
+
 // LoadReport is the generator's aggregate outcome. Latencies are full
 // request wall times (POST to stream close), in nanoseconds. PerClass
 // splits the outcome counts by priority class, and the cache counters
 // tally the X-Cache header of every answered request.
 type LoadReport struct {
-	Clients    int                        `json:"clients"`
-	Requests   int                        `json:"requests"`
-	Completed  int                        `json:"completed"`
-	Failed     int                        `json:"failed"`
-	Rejected   int                        `json:"rejected"` // 429/503 admission refusals
-	Events     int64                      `json:"events"`   // streamed event records observed
-	PerClass   map[string]ClassLoadReport `json:"per_class,omitempty"`
-	CacheHits  int                        `json:"cache_hits"`
-	CacheMiss  int                        `json:"cache_misses"`
-	Coalesced  int                        `json:"cache_coalesced"`
-	Bypassed   int                        `json:"cache_bypassed"`
-	ElapsedNS  int64                      `json:"elapsed_ns"`
-	RunsPerSec float64                    `json:"runs_per_sec"`
-	MeanNS     int64                      `json:"latency_mean_ns"`
-	P50NS      int64                      `json:"latency_p50_ns"`
-	P95NS      int64                      `json:"latency_p95_ns"`
-	MaxNS      int64                      `json:"latency_max_ns"`
+	Clients    int                         `json:"clients"`
+	Requests   int                         `json:"requests"`
+	Completed  int                         `json:"completed"`
+	Failed     int                         `json:"failed"`
+	Rejected   int                         `json:"rejected"` // 429/503 admission refusals
+	Events     int64                       `json:"events"`   // streamed event records observed
+	PerClass   map[string]ClassLoadReport  `json:"per_class,omitempty"`
+	PerTarget  map[string]TargetLoadReport `json:"per_target,omitempty"`
+	CacheHits  int                         `json:"cache_hits"`
+	CacheMiss  int                         `json:"cache_misses"`
+	Coalesced  int                         `json:"cache_coalesced"`
+	Bypassed   int                         `json:"cache_bypassed"`
+	PeerHits   int                         `json:"cache_peer_hits"`
+	ElapsedNS  int64                       `json:"elapsed_ns"`
+	RunsPerSec float64                     `json:"runs_per_sec"`
+	MeanNS     int64                       `json:"latency_mean_ns"`
+	P50NS      int64                       `json:"latency_p50_ns"`
+	P95NS      int64                       `json:"latency_p95_ns"`
+	MaxNS      int64                       `json:"latency_max_ns"`
 }
 
 // RunLoad runs the closed-loop load: every client retries nothing and
@@ -93,7 +110,16 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 	}
 	client := cfg.Client
 	if client == nil {
-		client = &http.Client{}
+		// Every closed-loop client keeps one connection busy; an idle-pool
+		// smaller than the client count would churn connections under load.
+		perHost := cfg.Clients
+		if perHost < http.DefaultMaxIdleConnsPerHost {
+			perHost = http.DefaultMaxIdleConnsPerHost
+		}
+		client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        perHost * (len(cfg.Targets) + 1),
+			MaxIdleConnsPerHost: perHost,
+		}}
 	}
 
 	// Pre-marshal the spec bodies: one per Zipf rank (seed variants of the
@@ -124,8 +150,13 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 		zipfS = 1.5
 	}
 
-	// One URL per (class, cache-mode) combination.
-	runURL := func(class string) string {
+	// One URL per (base, class, cache-mode) combination. In -targets mode
+	// the base rotates round-robin per request; otherwise it is BaseURL.
+	bases := cfg.Targets
+	if len(bases) == 0 {
+		bases = []string{cfg.BaseURL}
+	}
+	runURL := func(base, class string) string {
 		q := url.Values{}
 		if class != "" {
 			q.Set("class", class)
@@ -133,7 +164,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 		if cfg.CacheMode != "" {
 			q.Set("cache", cfg.CacheMode)
 		}
-		u := cfg.BaseURL + "/v1/runs"
+		u := base + "/v1/runs"
 		if enc := q.Encode(); enc != "" {
 			u += "?" + enc
 		}
@@ -145,6 +176,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 		latencies []int64
 		perClass  [numClasses]ClassLoadReport
 		xcache    map[string]int
+		targets   map[string]TargetLoadReport
 	}
 	tallies := make([]clientTally, cfg.Clients)
 	var wg sync.WaitGroup
@@ -154,6 +186,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 		go func(worker int, t *clientTally) {
 			defer wg.Done()
 			t.xcache = make(map[string]int, 4)
+			t.targets = make(map[string]TargetLoadReport, len(bases))
 			rng := rand.New(rand.NewSource(int64(worker)*0x9E3779B9 + 1))
 			var zipf *rand.Zipf
 			if nSpecs > 1 {
@@ -172,12 +205,28 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 				if zipf != nil {
 					body = bodies[zipf.Uint64()]
 				}
+				base := bases[(worker*cfg.PerClient+i)%len(bases)]
 				t0 := time.Now()
-				ok, rejected, events, xc := doRun(ctx, client, runURL(name), body)
+				ok, rejected, events, xc, replica := doRun(ctx, client, runURL(base, name), body)
 				t.latencies = append(t.latencies, int64(time.Since(t0)))
 				t.events += events
 				if xc != "" {
 					t.xcache[xc]++
+				}
+				label := replica
+				if label == "" && len(cfg.Targets) > 0 {
+					label = base
+				}
+				if label != "" {
+					tt := t.targets[label]
+					tt.Requests++
+					if xc == xcacheHit {
+						tt.CacheHits++
+					}
+					if xc == xcachePeer {
+						tt.PeerHits++
+					}
+					t.targets[label] = tt
 				}
 				t.perClass[class].Requests++
 				switch {
@@ -213,6 +262,17 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 		rep.CacheMiss += t.xcache[xcacheMiss]
 		rep.Coalesced += t.xcache[xcacheCoalesce]
 		rep.Bypassed += t.xcache[xcacheBypass]
+		rep.PeerHits += t.xcache[xcachePeer]
+		for label, tt := range t.targets {
+			if rep.PerTarget == nil {
+				rep.PerTarget = make(map[string]TargetLoadReport, len(bases))
+			}
+			agg := rep.PerTarget[label]
+			agg.Requests += tt.Requests
+			agg.CacheHits += tt.CacheHits
+			agg.PeerHits += tt.PeerHits
+			rep.PerTarget[label] = agg
+		}
 		all = append(all, t.latencies...)
 	}
 	for c := 0; c < numClasses; c++ {
@@ -242,23 +302,24 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 }
 
 // doRun issues one streamed run and consumes it to the terminal record.
-func doRun(ctx context.Context, client *http.Client, url string, body []byte) (ok, rejected bool, events int64, xcache string) {
+func doRun(ctx context.Context, client *http.Client, url string, body []byte) (ok, rejected bool, events int64, xcache, replica string) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
-		return false, false, 0, ""
+		return false, false, 0, "", ""
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := client.Do(req)
 	if err != nil {
-		return false, false, 0, ""
+		return false, false, 0, "", ""
 	}
 	defer resp.Body.Close()
 	xcache = resp.Header.Get(headerXCache)
+	replica = resp.Header.Get("X-Replica")
 	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
-		return false, true, 0, xcache
+		return false, true, 0, xcache, replica
 	}
 	if resp.StatusCode != http.StatusOK {
-		return false, false, 0, xcache
+		return false, false, 0, xcache, replica
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
@@ -283,5 +344,5 @@ func doRun(ctx context.Context, client *http.Client, url string, body []byte) (o
 			ok = false
 		}
 	}
-	return ok, false, events, xcache
+	return ok, false, events, xcache, replica
 }

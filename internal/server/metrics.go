@@ -37,6 +37,12 @@ type latencyAgg struct {
 	MeanNS int64  `json:"mean_ns"`
 	P50NS  int64  `json:"p50_ns"`
 	P95NS  int64  `json:"p95_ns"`
+	// BucketsNS is the raw bucket layout (histBuckets log-spaced counts,
+	// see hist.go). Snapshots carry it so an aggregator — the sbgate
+	// /metrics merge — can sum histograms bucket-wise across replicas and
+	// re-derive exact fleet-wide quantile estimates; every replica shares
+	// the one fixed layout, so the merge loses nothing.
+	BucketsNS []uint64 `json:"buckets_ns,omitempty"`
 
 	hist latencyHist
 }
@@ -51,12 +57,24 @@ func (a *latencyAgg) add(d time.Duration) {
 
 // finalize fills the derived fields for a snapshot copy.
 func (a *latencyAgg) finalize() {
+	a.BucketsNS = make([]uint64, histBuckets)
+	copy(a.BucketsNS, a.hist.counts[:])
 	if a.Count == 0 {
 		return
 	}
 	a.MeanNS = a.SumNS / int64(a.Count)
 	a.P50NS = a.hist.quantile(0.50)
 	a.P95NS = a.hist.quantile(0.95)
+}
+
+// restoreHist rebuilds the internal histogram from the serialized bucket
+// counts — a decoded snapshot (the gateway's view of a replica) has only
+// the JSON fields, and quantile math needs the hist back.
+func (a *latencyAgg) restoreHist() {
+	a.hist = latencyHist{count: a.Count, sum: a.SumNS, min: a.MinNS, max: a.MaxNS}
+	if len(a.BucketsNS) == histBuckets {
+		copy(a.hist.counts[:], a.BucketsNS)
+	}
 }
 
 // Request outcome kinds recorded at respond time.
@@ -95,6 +113,7 @@ type Metrics struct {
 	classes   [numClasses]ClassCounters
 	coalesced uint64 // requests served as singleflight followers
 	bypass    uint64 // requests that opted out of the cache (or async)
+	peers     uint64 // requests answered by adopting a peer replica's recording
 	phases    [numPhases]latencyAgg
 	engine    stats.SessionSummary
 
@@ -141,6 +160,12 @@ func (m *Metrics) recordCoalesced() {
 func (m *Metrics) recordBypass() {
 	m.mu.Lock()
 	m.bypass++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) recordPeer() {
+	m.mu.Lock()
+	m.peers++
 	m.mu.Unlock()
 }
 
@@ -238,7 +263,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		a.finalize()
 		snap.Latency[phaseNames[p]] = a
 	}
-	coalesced, bypass := m.coalesced, m.bypass
+	coalesced, bypass, peers := m.coalesced, m.bypass, m.peers
 	cache, ctrl := m.cache, m.ctrl
 	m.mu.Unlock()
 
@@ -247,6 +272,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	}
 	snap.Cache.Coalesced = coalesced
 	snap.Cache.Bypass = bypass
+	snap.Cache.PeerHits = peers
 	if ctrl != nil {
 		snap.Admission = ctrl.snapshot()
 	}
@@ -301,7 +327,8 @@ func (s MetricsSnapshot) WritePrometheus(w io.Writer) {
 	}{
 		{"hit", s.Cache.Hits}, {"miss", s.Cache.Misses},
 		{"coalesced", s.Cache.Coalesced}, {"bypass", s.Cache.Bypass},
-		{"eviction", s.Cache.Evictions},
+		{"eviction", s.Cache.Evictions}, {"peer_hit", s.Cache.PeerHits},
+		{"peek_hit", s.Cache.PeekHits}, {"peek_miss", s.Cache.PeekMisses},
 	} {
 		fmt.Fprintf(w, "sbserver_cache_requests_total{state=%q} %d\n", c.state, c.n)
 	}
@@ -316,14 +343,20 @@ func (s MetricsSnapshot) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "# TYPE sbserver_phase_latency_ns histogram\n")
 	for _, name := range phaseNames {
 		a := s.Latency[name]
+		// Serialized buckets when present (decoded or merged snapshots have
+		// no live hist), the in-process hist otherwise.
+		counts := a.BucketsNS
+		if len(counts) != histBuckets {
+			counts = a.hist.counts[:]
+		}
 		var cum uint64
 		for i := 0; i < histBuckets; i++ {
-			cum += a.hist.counts[i]
+			cum += counts[i]
 			le := fmt.Sprintf("%d", histUpperBound(i))
 			if i == histBuckets-1 {
 				le = "+Inf"
 			}
-			if a.hist.counts[i] == 0 && i < histBuckets-1 {
+			if counts[i] == 0 && i < histBuckets-1 {
 				continue // keep the exposition short: skip interior empties
 			}
 			fmt.Fprintf(w, "sbserver_phase_latency_ns_bucket{phase=%q,le=%q} %d\n", name, le, cum)

@@ -47,6 +47,14 @@ type Config struct {
 	// occupy (default 0.5). Interactive always has the full limit, so
 	// sweeps degrade gracefully instead of starving interactive traffic.
 	BulkShare float64
+	// PeerProbe enables cross-replica cache peering: on an engine-path
+	// miss, when the request carries an X-Peer-Probe header (set by the
+	// sbgate affinity router), the replica probes that peer's /v1/peek
+	// before paying for a run. Off by default — a lone replica has no
+	// peers and shouldn't honour probe headers from arbitrary clients.
+	PeerProbe bool
+	// PeerTimeout bounds one peer probe (default 750ms).
+	PeerTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -123,6 +131,8 @@ type Server struct {
 	runCtx context.Context // cancelled to force-abort in-flight runs
 	force  context.CancelFunc
 
+	peerClient *http.Client // peering probes; short-lived, bounded by PeerTimeout
+
 	pending  [numClasses]atomic.Int64 // admitted, outcome not yet delivered
 	inflight sync.WaitGroup           // one per admitted request; Wait = drained
 	draining atomic.Bool
@@ -139,6 +149,10 @@ func New(cfg Config) *Server {
 		ctrl:    newAdmission(cfg.SLO, cfg.QueueCap, cfg.BatchSize, cfg.BulkShare),
 		metrics: newMetrics(),
 		mux:     http.NewServeMux(),
+		peerClient: &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 4,
+			IdleConnTimeout:     30 * time.Second,
+		}},
 	}
 	s.metrics.cache = s.cache
 	s.metrics.ctrl = s.ctrl

@@ -437,7 +437,7 @@ func TestServerGracefulShutdownDrain(t *testing.T) {
 // boundary).
 func TestServerShutdownForceCancelRollsBack(t *testing.T) {
 	s := New(Config{BatchSize: 1, BatchWait: time.Millisecond})
-	scen, cfg, backend, err := RunSpec{Scenario: "slope", Params: scenario.Params{"top": 16}}.build()
+	scen, cfg, backend, err := buildSpec(RunSpec{Scenario: "slope", Params: scenario.Params{"top": 16}})
 	if err != nil {
 		t.Fatal(err)
 	}

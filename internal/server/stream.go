@@ -6,83 +6,31 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/scenario"
+	"repro/internal/server/speckey"
 )
 
 // RunSpec is the request schema of POST /v1/runs: a scenario-registry
-// lookup plus the per-run engine knobs the service exposes. Everything is
-// optional except the scenario name.
-type RunSpec struct {
-	// Scenario names a generator in the scenario registry ("fig10",
-	// "tower", "slope", "ridge", "blob", "random-stair").
-	Scenario string `json:"scenario"`
-	// Params are the generator's integer parameters; omitted keys take the
-	// generator defaults (see GET /v1/scenarios).
-	Params scenario.Params `json:"params,omitempty"`
-	// K is the parallel-moves election batch width (0 = serial protocol).
-	K int `json:"k,omitempty"`
-	// Shards partitions the surface into column bands before the run
-	// (0 or 1 = unsharded).
-	Shards int `json:"shards,omitempty"`
-	// Seed overrides the engine seed for this run (0 = engine default).
-	Seed int64 `json:"seed,omitempty"`
-	// Backend selects the execution backend: "des" (default, the
-	// deterministic discrete-event simulator) or "async" (the goroutine
-	// runtime).
-	Backend string `json:"backend,omitempty"`
-	// MaxRounds caps the number of elections (0 derives the engine's
-	// default safety bound).
-	MaxRounds int `json:"max_rounds,omitempty"`
-}
+// lookup plus the per-run engine knobs the service exposes. It is an alias
+// of speckey.Spec — the canonicalization (the result cache's content
+// address AND the gateway's affinity-routing hash) lives in
+// internal/server/speckey so replica and gateway derive the identical key
+// from the identical schema and cannot drift.
+type RunSpec = speckey.Spec
 
 // Backend names accepted by RunSpec.
 const (
-	backendDES   = "des"
-	backendAsync = "async"
+	backendDES   = speckey.BackendDES
+	backendAsync = speckey.BackendAsync
 )
 
-// cacheKey renders the spec as the content address of its result: the
-// canonical scenario invocation (defaults filled, declaration order) plus
-// every run knob that shapes the outcome, with semantically equivalent
-// spellings normalized (k<=1 is the serial protocol, shards<=1 is
-// unsharded, seed 0 is the engine's base seed). On the DES backend a run
-// is a pure function of this key, which is what makes the result cache and
-// the singleflight table exact rather than approximate. The caller has
-// already validated the spec via build(), so canonicalization cannot fail
-// on a served request.
-func (sp RunSpec) cacheKey(baseSeed int64, backend string) (string, error) {
-	canon, err := scenario.Canonical(sp.Scenario, sp.Params)
-	if err != nil {
-		return "", err
-	}
-	seed := sp.Seed
-	if seed == 0 {
-		seed = baseSeed
-	}
-	k := sp.K
-	if k < 1 {
-		k = 1
-	}
-	shards := sp.Shards
-	if shards <= 1 {
-		shards = 0
-	}
-	return fmt.Sprintf("%s|k=%d|shards=%d|seed=%d|rounds=%d|backend=%s",
-		canon, k, shards, seed, sp.MaxRounds, backend), nil
-}
-
-// build resolves the spec against the scenario registry into a runnable
+// buildSpec resolves the spec against the scenario registry into a runnable
 // instance: a fresh surface (pre-sharded when requested — the engine keeps
 // caller-provided shard layouts), the run configuration, and the
 // normalised backend name. All failures here are client errors (400).
-func (sp RunSpec) build() (*scenario.Scenario, core.Config, string, error) {
-	backend := sp.Backend
-	switch backend {
-	case "":
-		backend = backendDES
-	case backendDES, backendAsync:
-	default:
-		return nil, core.Config{}, "", fmt.Errorf("server: unknown backend %q (want %q or %q)",
-			sp.Backend, backendDES, backendAsync)
+func buildSpec(sp RunSpec) (*scenario.Scenario, core.Config, string, error) {
+	backend, err := sp.ResolveBackend()
+	if err != nil {
+		return nil, core.Config{}, "", err
 	}
 	if sp.K < 0 || sp.Shards < 0 || sp.MaxRounds < 0 {
 		return nil, core.Config{}, "", fmt.Errorf("server: negative k/shards/max_rounds")
